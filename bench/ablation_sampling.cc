@@ -1,0 +1,93 @@
+// Ablation: Algorithm 1 vs naive breadth-first / depth-first pruning
+// (paper Section 4.3: "In contrast to naive breadth first or depth first
+// pruning, our sub-sampling algorithm ensures that information needed
+// during Tree CNN is preserved"). All three decompositions feed the same
+// Prestroid sub-tree model; only the sub-tree selection differs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace prestroid::bench {
+namespace {
+
+ModelRun RunWithStrategy(const BenchDataset& data, const BenchScale& scale,
+                         subtree::PruningStrategy strategy, size_t k,
+                         uint64_t seed) {
+  core::PipelineConfig config;
+  config.word2vec.dim = scale.pf_mid;
+  config.word2vec.min_count = scale.full ? 10 : 2;
+  config.sampler.node_limit = 15;
+  config.num_subtrees = k;
+  config.pruning = strategy;
+  config.conv_channels = scale.grab_conv;
+  config.dense_units = scale.grab_dense;
+  config.learning_rate = scale.dl_learning_rate;
+  config.seed = seed;
+  auto pipeline =
+      core::PrestroidPipeline::Fit(data.records, data.splits.train, config)
+          .ValueOrDie();
+  TrainConfig train_config;
+  train_config.max_epochs = scale.max_epochs;
+  train_config.patience = scale.patience;
+  train_config.batch_size = scale.batch_size;
+  train_config.shuffle_seed = seed * 13 + 1;
+  TrainResult result = pipeline->Train(data.splits, train_config);
+  ModelRun run;
+  run.name = pipeline->ModelName();
+  run.test_mse_minutes = pipeline->EvaluateMseMinutes(data.splits.test);
+  run.best_epoch = result.best_epoch;
+  run.pipeline = std::move(pipeline);
+  return run;
+}
+
+int Run() {
+  BenchScale scale = GetBenchScale();
+  std::cout << "== Ablation: sub-tree decomposition strategy "
+               "(Section 4.3's design claim) ==\n\n";
+  BenchDataset data = BuildGrabDataset(scale);
+
+  const std::vector<subtree::PruningStrategy> strategies = {
+      subtree::PruningStrategy::kAlgorithm1,
+      subtree::PruningStrategy::kBreadthFirst,
+      subtree::PruningStrategy::kDepthFirst,
+  };
+
+  TablePrinter table({"decomposition", "K", "mean MSE (min^2)", "runs"});
+  constexpr int kSeeds = 3;
+  double best_algorithm1 = 1e18, best_naive = 1e18;
+  for (subtree::PruningStrategy strategy : strategies) {
+    for (size_t k : {9u, 21u}) {
+      double total = 0;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        total += RunWithStrategy(data, scale, strategy, k,
+                                 static_cast<uint64_t>(seed) * 97)
+                     .test_mse_minutes;
+      }
+      double mean = total / kSeeds;
+      table.AddRow({subtree::PruningStrategyToString(strategy),
+                    std::to_string(k), StrFormat("%.2f", mean),
+                    std::to_string(kSeeds)});
+      if (strategy == subtree::PruningStrategy::kAlgorithm1) {
+        best_algorithm1 = std::min(best_algorithm1, mean);
+      } else {
+        best_naive = std::min(best_naive, mean);
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nBest Algorithm 1 " << StrFormat("%.2f", best_algorithm1)
+            << " vs best naive pruning " << StrFormat("%.2f", best_naive)
+            << "\n"
+            << "Note: the naive chunkings cover the WHOLE tree with every "
+               "node voting, while\nAlgorithm 1's first-K samples focus the "
+               "root region with sparse votes — at\nsmall scale the dense "
+               "coverage can compensate for broken parent-child context\n"
+               "(see EXPERIMENTS.md for discussion).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace prestroid::bench
+
+int main() { return prestroid::bench::Run(); }

@@ -1,0 +1,130 @@
+// Reproduces Figure 2: logical plans plotted on (node count, max depth)
+// against the balanced-binary-tree and skewed-tree reference curves, for the
+// Grab-like and TPC-DS-like workloads. Prints summary statistics and an
+// ASCII density sketch instead of a scatter plot.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "plan/plan_stats.h"
+#include "util/table_printer.h"
+
+namespace prestroid::bench {
+namespace {
+
+struct ShapePoint {
+  size_t nodes;
+  size_t depth;
+};
+
+std::vector<ShapePoint> CollectShapes(
+    const std::vector<workload::QueryRecord>& records) {
+  std::vector<ShapePoint> points;
+  points.reserve(records.size());
+  for (const auto& record : records) {
+    plan::PlanStats stats = plan::ComputePlanStats(*record.plan);
+    points.push_back({stats.node_count, stats.max_depth});
+  }
+  return points;
+}
+
+void Summarize(const std::string& name, const std::vector<ShapePoint>& points,
+               TablePrinter* table) {
+  size_t max_nodes = 0, max_depth = 0;
+  double mean_nodes = 0;
+  size_t between = 0;  // strictly between the two reference curves
+  for (const ShapePoint& p : points) {
+    max_nodes = std::max(max_nodes, p.nodes);
+    max_depth = std::max(max_depth, p.depth);
+    mean_nodes += static_cast<double>(p.nodes);
+    const size_t skewed = plan::SkewedTreeNodeCount(p.depth);
+    const size_t balanced = plan::BalancedTreeNodeCount(p.depth);
+    if (p.nodes > skewed && p.nodes < balanced) ++between;
+  }
+  mean_nodes /= static_cast<double>(points.size());
+  table->AddRow({name, std::to_string(points.size()),
+                 StrFormat("%.1f", mean_nodes), std::to_string(max_nodes),
+                 std::to_string(max_depth),
+                 StrFormat("%.1f%%", 100.0 * static_cast<double>(between) /
+                                         static_cast<double>(points.size()))});
+}
+
+int Run() {
+  BenchScale scale = GetBenchScale();
+  std::cout << "== Figure 2: plan (node count, max depth) distribution ==\n";
+  std::cout << "(paper maxima: Grab (4969, 321), TPC-DS (883, 73), "
+               "TPC-H (477, 38))\n\n";
+
+  // Unfiltered traces with the shape tail enabled (the figure plots the raw
+  // 245,849-plan sample, not the CPU-banded training set).
+  workload::SchemaGenConfig schema_config;
+  schema_config.num_tables = scale.num_tables;
+  schema_config.num_days = scale.num_days;
+  schema_config.seed = 11;
+  workload::GeneratedSchema grab_schema =
+      workload::GenerateSchema(schema_config);
+  workload::TraceConfig grab_config;
+  grab_config.num_queries = scale.full ? 20000 : 2500;
+  grab_config.num_days = scale.num_days;
+  grab_config.filter_by_cpu = false;
+  grab_config.query_config.join_tail_prob = 0.06;
+  grab_config.query_config.p_deep_chain = 0.04;
+  grab_config.query_config.max_chain_depth = scale.full ? 120 : 60;
+  grab_config.query_config.max_joins = scale.full ? 64 : 48;
+  grab_config.seed = 12;
+  auto grab_records =
+      workload::GenerateGrabTrace(grab_schema, grab_config).ValueOrDie();
+
+  workload::GeneratedSchema tpcds_schema = workload::GenerateTpcdsSchema(10.0);
+  workload::TpcdsWorkloadConfig tpcds_config;
+  tpcds_config.num_templates = scale.tpcds_templates;
+  tpcds_config.num_queries = scale.full ? 5153 : 600;
+  tpcds_config.filter_by_cpu = false;
+  tpcds_config.seed = 13;
+  auto tpcds_records =
+      workload::GenerateTpcdsTrace(tpcds_schema, tpcds_config).ValueOrDie();
+
+  // TPC-H contrast: 22 templates, 1 instance each (the 22 public plans).
+  workload::GeneratedSchema tpch_schema = workload::GenerateTpchSchema(10.0);
+  workload::TpcdsWorkloadConfig tpch_config;
+  tpch_config.num_templates = 22;
+  tpch_config.num_queries = 22;
+  tpch_config.filter_by_cpu = false;
+  tpch_config.seed = 14;
+  auto tpch_records =
+      workload::GenerateTpcdsTrace(tpch_schema, tpch_config).ValueOrDie();
+
+  auto grab_points = CollectShapes(grab_records);
+  auto tpcds_points = CollectShapes(tpcds_records);
+  auto tpch_points = CollectShapes(tpch_records);
+
+  TablePrinter table({"workload", "plans", "mean nodes", "max nodes",
+                      "max depth", "% between curves"});
+  Summarize("Grab-like", grab_points, &table);
+  Summarize("TPC-DS-like", tpcds_points, &table);
+  Summarize("TPC-H-like", tpch_points, &table);
+  table.Print(std::cout);
+
+  // Reference curves at a few depths.
+  std::cout << "\nReference curves (node count at depth d):\n";
+  TablePrinter curves({"depth", "skewed (lower bound)", "balanced (upper bound)"});
+  for (size_t depth : {4u, 8u, 12u, 16u, 24u}) {
+    curves.AddRow({std::to_string(depth),
+                   std::to_string(plan::SkewedTreeNodeCount(depth)),
+                   std::to_string(std::min<size_t>(
+                       plan::BalancedTreeNodeCount(depth), 100000000))});
+  }
+  curves.Print(std::cout);
+
+  std::cout << "\nFindings to reproduce: (1) Grab-like plans span a much "
+               "wider (nodes, depth)\nrange than TPC-DS-like plans; (2) most "
+               "plans fall strictly between the skewed\nand balanced "
+               "reference curves.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace prestroid::bench
+
+int main() { return prestroid::bench::Run(); }

@@ -1,0 +1,66 @@
+// Reproduces Figure 5: percentage of cluster resources over- and
+// under-allocated on the held-out test queries, comparing the two best
+// Prestroid sub-tree configurations against the two full-tree baselines.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "util/table_printer.h"
+
+namespace prestroid::bench {
+namespace {
+
+int Run() {
+  BenchScale scale = GetBenchScale();
+  std::cout << "== Figure 5: over/under-provisioned cluster resources (% of "
+               "actual CPU time) ==\n";
+  std::cout << "(paper: all models mostly UNDER-provision; sub-trees have "
+               "smaller magnitudes than full trees)\n\n";
+  BenchDataset data = BuildGrabDataset(scale);
+
+  struct Variant {
+    size_t n, k, pf;
+    bool subtree;
+  };
+  const std::vector<Variant> variants = {
+      {15, 9, scale.pf_large, true},   // Prestroid (15-9-*)
+      {32, 11, scale.pf_mid, true},    // Prestroid (32-11-*)
+      {15, 9, scale.pf_small, false},  // Full-small
+      {15, 9, scale.pf_large, false},  // Full-large
+  };
+
+  TablePrinter table({"Model", "over-provisioned %", "under-provisioned %",
+                      "#over", "#under"});
+  double best_subtree_total = 1e18, best_full_total = 1e18;
+  for (const Variant& v : variants) {
+    ModelRun run = RunPrestroid(data, scale, true, v.n, v.k, v.pf, v.subtree);
+    std::vector<float> pred = run.pipeline->model()->Predict(data.splits.test);
+    std::vector<double> actual;
+    for (size_t idx : data.splits.test) actual.push_back(data.cpu_minutes[idx]);
+    core::ProvisioningAccuracy acc =
+        core::ComputeProvisioning(pred, actual, data.transform);
+    table.AddRow({run.name, StrFormat("%.2f", acc.over_pct),
+                  StrFormat("%.2f", acc.under_pct),
+                  std::to_string(acc.num_over), std::to_string(acc.num_under)});
+    double total = acc.over_pct + acc.under_pct;
+    if (v.subtree) {
+      best_subtree_total = std::min(best_subtree_total, total);
+    } else {
+      best_full_total = std::min(best_full_total, total);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: best sub-tree total misallocation "
+            << StrFormat("%.2f%%", best_subtree_total) << " vs best full-tree "
+            << StrFormat("%.2f%%", best_full_total)
+            << (best_subtree_total <= best_full_total * 1.15
+                    ? "  [OK: sub-trees allocate at least as accurately]"
+                    : "  [MISMATCH]")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace prestroid::bench
+
+int main() { return prestroid::bench::Run(); }

@@ -1,0 +1,60 @@
+// Reproduces Figure 9 (Appendix B.1): per-epoch runtime of Prestroid
+// (15-9-300) across batch sizes on 1 / 2 / 4 V100 GPUs under data
+// parallelism, quantifying the parameter-server scale-out penalty (paper:
+// 1.62x / 2.85x observed vs 2x / 4x ideal at batch 128).
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/scale_out_model.h"
+#include "util/table_printer.h"
+
+namespace prestroid::bench {
+namespace {
+
+int Run() {
+  std::cout << "== Figure 9: epoch runtime vs batch size for 1/2/4 GPUs, "
+               "Prestroid (15-9-300) ==\n\n";
+
+  const size_t kSamples = 19876 * 8 / 10;
+  const cloud::GpuSpec v100 = cloud::TeslaV100();
+  const PaperModelSpec spec = PaperGrabSpecs(1945, 240)[0];
+  cloud::ModelComputeProfile profile = cloud::TreeModelComputeProfile(
+      spec.trees_per_sample, spec.nodes_padded, spec.feature_dim,
+      spec.conv_channels, spec.dense_units);
+
+  TablePrinter table({"batch", "1 GPU (s)", "2 GPUs (s)", "4 GPUs (s)",
+                      "speedup@2", "speedup@4"});
+  double s2_at_128 = 0, s4_at_128 = 0;
+  for (size_t batch : {32u, 64u, 128u, 256u, 512u}) {
+    cloud::BatchFootprint fp = cloud::TreeModelFootprint(
+        batch, spec.trees_per_sample, spec.nodes_padded, spec.feature_dim,
+        spec.conv_channels, spec.dense_units);
+    double t1 = cloud::EstimateScaledEpochSeconds(kSamples, batch, fp, profile,
+                                                  v100, 1);
+    double t2 = cloud::EstimateScaledEpochSeconds(kSamples, batch, fp, profile,
+                                                  v100, 2);
+    double t4 = cloud::EstimateScaledEpochSeconds(kSamples, batch, fp, profile,
+                                                  v100, 4);
+    table.AddRow({std::to_string(batch), StrFormat("%.1f", t1),
+                  StrFormat("%.1f", t2), StrFormat("%.1f", t4),
+                  StrFormat("%.2fx", t1 / t2), StrFormat("%.2fx", t1 / t4)});
+    if (batch == 128) {
+      s2_at_128 = t1 / t2;
+      s4_at_128 = t1 / t4;
+    }
+  }
+  table.Print(std::cout);
+  std::cout << StrFormat(
+      "\nspeedup at batch 128: %.2fx on 2 GPUs (paper 1.62x), %.2fx on 4 "
+      "GPUs (paper 2.85x) — both below the 2x/4x ideal.\n",
+      s2_at_128, s4_at_128);
+  std::cout << "\nFinding to reproduce: scale-out speedups stay clearly "
+               "sub-linear, so the < Nx\nspeedup cannot offset the >= Nx "
+               "cluster price — train on one GPU.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace prestroid::bench
+
+int main() { return prestroid::bench::Run(); }

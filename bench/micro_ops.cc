@@ -1,0 +1,157 @@
+// google-benchmark microbenchmarks for the performance-critical kernels:
+// matmul, tree convolution, sub-tree sampling, Word2Vec training steps, and
+// plan parsing/featurization throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/featurizer.h"
+#include "embed/word2vec.h"
+#include "nn/tree_conv.h"
+#include "otp/otp_tree.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "subtree/subtree_sampler.h"
+#include "tensor/ops.h"
+#include "workload/query_generator.h"
+#include "workload/schema_generator.h"
+
+namespace prestroid {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Random({n, n}, &rng);
+  Tensor b = Tensor::Random({n, n}, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_TreeConvForward(benchmark::State& state) {
+  const size_t batch = 32, nodes = static_cast<size_t>(state.range(0));
+  const size_t in_dim = 64, out_dim = 64;
+  Rng rng(2);
+  TreeConvLayer conv(in_dim, out_dim, &rng);
+  TreeStructure structure;
+  structure.left.assign(batch, std::vector<int>(nodes, -1));
+  structure.right.assign(batch, std::vector<int>(nodes, -1));
+  structure.mask.assign(batch, std::vector<float>(nodes, 1.0f));
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t i = 0; 2 * i + 2 < nodes; ++i) {
+      structure.left[b][i] = static_cast<int>(2 * i + 1);
+      structure.right[b][i] = static_cast<int>(2 * i + 2);
+    }
+  }
+  Tensor features = Tensor::Random({batch, nodes, in_dim}, &rng);
+  for (auto _ : state) {
+    Tensor out = conv.Forward(features, structure);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_TreeConvForward)->Arg(15)->Arg(63)->Arg(255);
+
+void BM_TreeConvBackward(benchmark::State& state) {
+  const size_t batch = 32, nodes = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  TreeConvLayer conv(64, 64, &rng);
+  TreeStructure structure;
+  structure.left.assign(batch, std::vector<int>(nodes, -1));
+  structure.right.assign(batch, std::vector<int>(nodes, -1));
+  structure.mask.assign(batch, std::vector<float>(nodes, 1.0f));
+  Tensor features = Tensor::Random({batch, nodes, 64}, &rng);
+  Tensor grad = Tensor::Random({batch, nodes, 64}, &rng);
+  conv.Forward(features, structure);
+  for (auto _ : state) {
+    Tensor gx = conv.Backward(grad);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_TreeConvBackward)->Arg(15)->Arg(63);
+
+void BM_SubtreeSampling(benchmark::State& state) {
+  // Complete binary tree with state.range(0) levels.
+  std::function<otp::OtpNodePtr(size_t)> build = [&](size_t depth) {
+    auto node = std::make_unique<otp::OtpNode>();
+    node->type = otp::OtpNodeType::kOperator;
+    if (depth > 0) {
+      node->left = build(depth - 1);
+      node->right = build(depth - 1);
+    }
+    return node;
+  };
+  otp::OtpNodePtr root = build(static_cast<size_t>(state.range(0)));
+  subtree::SubtreeSamplerConfig config;
+  config.node_limit = 16;
+  config.conv_layers = 3;
+  for (auto _ : state) {
+    auto samples = subtree::SampleSubtrees(*root, config).ValueOrDie();
+    benchmark::DoNotOptimize(samples.data());
+  }
+}
+BENCHMARK(BM_SubtreeSampling)->Arg(6)->Arg(9)->Arg(11);
+
+void BM_ParseAndPlan(benchmark::State& state) {
+  workload::SchemaGenConfig schema_config;
+  schema_config.num_tables = 40;
+  schema_config.seed = 4;
+  workload::GeneratedSchema schema = workload::GenerateSchema(schema_config);
+  workload::QueryGenerator generator(&schema);
+  plan::Planner planner(&schema.catalog);
+  std::vector<std::string> queries;
+  for (uint64_t i = 0; i < 32; ++i) {
+    queries.push_back(generator.Generate(30, i * 7 + 1, i));
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    auto stmt = sql::ParseSelect(queries[cursor % queries.size()]).ValueOrDie();
+    auto plan_tree = planner.Plan(*stmt).ValueOrDie();
+    benchmark::DoNotOptimize(plan_tree.get());
+    ++cursor;
+  }
+}
+BENCHMARK(BM_ParseAndPlan);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  std::vector<std::vector<std::string>> corpus;
+  Rng rng(5);
+  for (int s = 0; s < 400; ++s) {
+    std::vector<std::string> sentence;
+    for (int t = 0; t < 6; ++t) {
+      sentence.push_back("tok" + std::to_string(rng.NextUint64(80)));
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  for (auto _ : state) {
+    embed::Word2VecConfig config;
+    config.dim = 32;
+    config.min_count = 1;
+    config.epochs = 1;
+    embed::Word2Vec model(config);
+    benchmark::DoNotOptimize(model.Train(corpus).ok());
+  }
+}
+BENCHMARK(BM_Word2VecEpoch);
+
+void BM_RecastPlan(benchmark::State& state) {
+  workload::SchemaGenConfig schema_config;
+  schema_config.num_tables = 40;
+  schema_config.seed = 6;
+  workload::GeneratedSchema schema = workload::GenerateSchema(schema_config);
+  workload::QueryGenerator generator(&schema);
+  plan::Planner planner(&schema.catalog);
+  auto stmt = sql::ParseSelect(generator.Generate(30, 12345, 1)).ValueOrDie();
+  auto plan_tree = planner.Plan(*stmt).ValueOrDie();
+  for (auto _ : state) {
+    auto tree = otp::RecastPlan(*plan_tree).ValueOrDie();
+    benchmark::DoNotOptimize(tree.root.get());
+  }
+}
+BENCHMARK(BM_RecastPlan);
+
+}  // namespace
+}  // namespace prestroid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Reproduces Table 1: percentage of tables in new queries that a model
+// trained through day T has never encountered, for prediction windows of
+// W in {1, 3, 5, 7, 9} days.
+#include <iostream>
+#include <set>
+
+#include "bench_common.h"
+#include "plan/plan_node.h"
+#include "util/table_printer.h"
+
+namespace prestroid::bench {
+namespace {
+
+void CollectTables(const plan::PlanNode& node, std::set<std::string>* tables) {
+  plan::VisitPlan(node, [tables](const plan::PlanNode& n) {
+    if (n.type == plan::PlanNodeType::kTableScan) tables->insert(n.table);
+  });
+}
+
+int Run() {
+  BenchScale scale = GetBenchScale();
+  std::cout << "== Table 1: % unseen tables over the next W-day window ==\n";
+  std::cout << "(paper: 1.65 / 4.76 / 7.64 / 9.27 / 12.18 for W=1/3/5/7/9)\n\n";
+
+  // One month of training data plus the forecast horizon, unfiltered (the
+  // churn study uses the raw 373K-query sample, not the CPU-banded one).
+  workload::SchemaGenConfig schema_config;
+  schema_config.num_tables = scale.num_tables * 2;
+  schema_config.num_days = 40;
+  schema_config.initial_fraction = 0.70;
+  schema_config.seed = 77;
+  workload::GeneratedSchema schema = workload::GenerateSchema(schema_config);
+
+  workload::TraceConfig trace_config;
+  trace_config.num_queries = scale.full ? 20000 : 3000;
+  trace_config.num_days = 40;
+  trace_config.filter_by_cpu = false;
+  trace_config.seed = 78;
+  auto records = workload::GenerateGrabTrace(schema, trace_config).ValueOrDie();
+
+  const int train_end = 30;  // model trained on days [0, 30)
+  std::set<std::string> seen;
+  for (const auto& record : records) {
+    if (record.day < train_end) CollectTables(*record.plan, &seen);
+  }
+
+  TablePrinter table({"W", "% new tables", "tables in window", "unseen"});
+  for (int window : {1, 3, 5, 7, 9}) {
+    std::set<std::string> in_window;
+    for (const auto& record : records) {
+      if (record.day >= train_end && record.day < train_end + window) {
+        CollectTables(*record.plan, &in_window);
+      }
+    }
+    size_t unseen = 0;
+    for (const std::string& t : in_window) {
+      if (seen.count(t) == 0) ++unseen;
+    }
+    double pct = in_window.empty()
+                     ? 0.0
+                     : 100.0 * static_cast<double>(unseen) /
+                           static_cast<double>(in_window.size());
+    table.AddRow({std::to_string(window), StrFormat("%.2f", pct),
+                  std::to_string(in_window.size()), std::to_string(unseen)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nFinding to reproduce: the unseen-table share grows "
+               "monotonically with W,\nmotivating frequent (daily) "
+               "re-training.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace prestroid::bench
+
+int main() { return prestroid::bench::Run(); }

@@ -1,0 +1,127 @@
+// Reproduces Table 5 (Appendix B.4): MSE of trained Prestroid full-tree and
+// sub-tree models over a 1-week sample drawn from OUTSIDE the training date
+// range — new tables (and therefore unseen TBL/PRED tokens) degrade accuracy
+// substantially relative to the in-distribution test MSE of Table 2.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace prestroid::bench {
+namespace {
+
+int Run() {
+  BenchScale scale = GetBenchScale();
+  std::cout << "== Table 5: MSE on a time-shifted 1-week sample ==\n";
+  std::cout << "(paper: in-distribution MSE ~46-51 degrades to 120-130 on "
+               "the shifted week)\n\n";
+
+  // Schema spans training window + shifted week; training trace covers days
+  // [0, 50), the shifted sample days [53, 60).
+  workload::SchemaGenConfig schema_config;
+  schema_config.num_tables = scale.num_tables;
+  schema_config.num_days = 60;
+  schema_config.initial_fraction = 0.6;
+  schema_config.seed = 31;
+  workload::GeneratedSchema schema = workload::GenerateSchema(schema_config);
+
+  workload::TraceConfig train_config;
+  train_config.num_queries = scale.full ? 19876 : scale.grab_queries;
+  train_config.num_days = 50;
+  train_config.seed = 32;
+  BenchDataset data;
+  data.schema = schema;  // note: records reference this copy's catalog only
+  data.records = workload::GenerateGrabTrace(schema, train_config).ValueOrDie();
+  Rng rng(33);
+  data.splits = workload::SplitRandom(data.records.size(), 0.8, 0.1, &rng);
+  data.cpu_minutes = workload::CpuMinutesOf(data.records);
+  PRESTROID_CHECK(data.transform.Fit(data.cpu_minutes).ok());
+  data.targets = data.transform.NormalizeAll(data.cpu_minutes);
+
+  // Shifted week: days 53..59, with heavy recency bias so fresh tables show
+  // up (the dynamism Table 1 quantifies).
+  workload::TraceConfig shift_config;
+  shift_config.num_queries = scale.full ? 780 : 120;
+  shift_config.num_days = 60;
+  shift_config.min_day = 53;
+  shift_config.seed = 34;
+  shift_config.query_config.recency_prob = 0.85;
+  shift_config.query_config.recency_window_days = 9;
+  auto shifted_records =
+      workload::GenerateGrabTrace(schema, shift_config).ValueOrDie();
+  std::vector<const workload::QueryRecord*> shifted;
+  for (const auto& record : shifted_records) shifted.push_back(&record);
+  std::cout << "training: " << data.records.size()
+            << " queries (days 0-49); shifted sample: " << shifted.size()
+            << " queries (days 53-59)\n\n";
+
+  // Mean-predictor reference MSEs. MSE in minutes^2 tracks the label
+  // variance of whichever sample it is computed on, so the degradation
+  // measure below is SKILL-based: (model MSE / mean-predictor MSE) on the
+  // shifted week relative to the same ratio on the in-distribution test set.
+  double train_mean = 0.0;
+  for (size_t idx : data.splits.train) train_mean += data.cpu_minutes[idx];
+  train_mean /= static_cast<double>(data.splits.train.size());
+  auto mean_mse = [&](auto&& minutes_of, size_t count) {
+    double total = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      double d = minutes_of(i) - train_mean;
+      total += d * d;
+    }
+    return total / static_cast<double>(count);
+  };
+  const double test_mean_mse = mean_mse(
+      [&](size_t i) { return data.cpu_minutes[data.splits.test[i]]; },
+      data.splits.test.size());
+  const double shifted_mean_mse = mean_mse(
+      [&](size_t i) { return shifted[i]->metrics.total_cpu_minutes; },
+      shifted.size());
+
+  TablePrinter table({"Model", "test MSE", "shifted MSE", "test skill",
+                      "shifted skill", "skill degradation"});
+  struct Variant {
+    size_t n, k, pf;
+    bool subtree;
+  };
+  const std::vector<Variant> variants = {
+      {15, 9, scale.pf_small, false},  // Full-small
+      {15, 9, scale.pf_large, false},  // Full-large
+      {15, 9, scale.pf_large, true},   // Prestroid (15-9-*)
+      {32, 11, scale.pf_mid, true},    // Prestroid (32-11-*)
+  };
+  size_t degraded = 0;
+  for (const Variant& v : variants) {
+    ModelRun run = RunPrestroid(data, scale, true, v.n, v.k, v.pf, v.subtree);
+    double shifted_se = 0.0;
+    for (const workload::QueryRecord* record : shifted) {
+      double predicted = run.pipeline->PredictPlan(*record->plan).ValueOrDie();
+      double diff = predicted - record->metrics.total_cpu_minutes;
+      shifted_se += diff * diff;
+    }
+    double shifted_mse = shifted_se / static_cast<double>(shifted.size());
+    // Skill < 1 beats predicting the mean; higher is worse.
+    double test_skill = run.test_mse_minutes / test_mean_mse;
+    double shifted_skill = shifted_mse / shifted_mean_mse;
+    if (shifted_skill > test_skill) ++degraded;
+    table.AddRow({run.name, StrFormat("%.2f", run.test_mse_minutes),
+                  StrFormat("%.2f", shifted_mse),
+                  StrFormat("%.2f", test_skill),
+                  StrFormat("%.2f", shifted_skill),
+                  StrFormat("%.2fx", shifted_skill / test_skill)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: " << degraded << "/4 models lose skill on the "
+            << "shifted week"
+            << (degraded >= 3 ? "  [OK: time shift degrades accuracy]"
+                              : "  [WEAK]")
+            << "\n";
+  std::cout << "\nFinding to reproduce: models lose predictive skill on the "
+               "shifted week (unseen\ntables -> unseen TBL and PRED tokens), "
+               "motivating frequent re-training.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace prestroid::bench
+
+int main() { return prestroid::bench::Run(); }

@@ -1,0 +1,106 @@
+// Plan explorer: developer tooling over the query frontend. Takes a SQL
+// statement (from argv or a built-in default), prints the EXPLAIN-style
+// logical plan, the O-T-P re-cast binary tree, and the Algorithm 1 sub-tree
+// decomposition with votes.
+//
+//   ./build/examples/plan_explorer "SELECT * FROM trips WHERE fare > 10"
+#include <iostream>
+#include <string>
+
+#include "otp/otp_tree.h"
+#include "plan/plan_stats.h"
+#include "plan/plan_text.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "subtree/subtree_sampler.h"
+
+using namespace prestroid;  // example code; the library never does this
+
+namespace {
+
+/// Demo catalog matching the default query.
+plan::Catalog DemoCatalog() {
+  plan::Catalog catalog;
+  plan::TableDef trips;
+  trips.name = "trips";
+  trips.row_count = 5e6;
+  trips.columns = {{"trip_id", plan::ColumnType::kInt, 5e6, 0, 5e6},
+                   {"driver_id", plan::ColumnType::kInt, 5e4, 0, 5e4},
+                   {"fare", plan::ColumnType::kDouble, 1e4, 0, 500},
+                   {"city", plan::ColumnType::kString, 40, 0, 40}};
+  plan::TableDef drivers;
+  drivers.name = "drivers";
+  drivers.row_count = 5e4;
+  drivers.columns = {{"driver_id", plan::ColumnType::kInt, 5e4, 0, 5e4},
+                     {"rating", plan::ColumnType::kDouble, 100, 0, 5},
+                     {"vehicle", plan::ColumnType::kString, 20, 0, 20}};
+  (void)catalog.AddTable(trips);
+  (void)catalog.AddTable(drivers);
+  return catalog;
+}
+
+void PrintOtp(const otp::OtpNode& node, int indent) {
+  for (int i = 0; i < indent; ++i) std::cout << "  ";
+  std::cout << otp::OtpNodeTypeToString(node.type);
+  if (!node.label.empty()) std::cout << " [" << node.label << "]";
+  std::cout << "\n";
+  if (node.left != nullptr) PrintOtp(*node.left, indent + 1);
+  if (node.right != nullptr) PrintOtp(*node.right, indent + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sql =
+      argc > 1 ? argv[1]
+               : "SELECT t.city, AVG(t.fare) AS avg_fare FROM trips t "
+                 "JOIN drivers d ON t.driver_id = d.driver_id "
+                 "WHERE t.fare > 12.5 AND (d.rating >= 4.5 OR t.city = 'sg') "
+                 "GROUP BY t.city ORDER BY avg_fare DESC LIMIT 10";
+  std::cout << "SQL:\n  " << sql << "\n\n";
+
+  auto stmt = sql::ParseSelect(sql);
+  if (!stmt.ok()) {
+    std::cerr << "parse error: " << stmt.status().ToString() << "\n";
+    return 1;
+  }
+  plan::Catalog catalog = DemoCatalog();
+  plan::Planner planner(&catalog);
+  auto planned = planner.Plan(**stmt);
+  if (!planned.ok()) {
+    std::cerr << "planner error: " << planned.status().ToString() << "\n"
+              << "(the demo catalog only defines tables `trips` and "
+                 "`drivers`)\n";
+    return 1;
+  }
+  plan::PlanNodePtr query_plan = std::move(planned).value();
+
+  std::cout << "Logical plan (EXPLAIN):\n" << plan::PlanToText(*query_plan);
+  plan::PlanStats stats = plan::ComputePlanStats(*query_plan);
+  std::cout << "\nplan stats: " << stats.node_count << " nodes, depth "
+            << stats.max_depth << ", " << stats.num_joins << " join(s), "
+            << stats.num_predicates << " predicate(s)\n\n";
+
+  otp::OtpTree tree = otp::RecastPlan(*query_plan).ValueOrDie();
+  std::cout << "O-T-P re-cast binary tree (" << tree.node_count
+            << " nodes, depth " << tree.max_depth << "):\n";
+  PrintOtp(*tree.root, 1);
+
+  subtree::SubtreeSamplerConfig sampler_config;
+  sampler_config.node_limit = 15;
+  sampler_config.conv_layers = 3;
+  auto samples = subtree::SampleSubtrees(*tree.root, sampler_config).ValueOrDie();
+  std::cout << "\nAlgorithm 1 decomposition (N=15, C=3): " << samples.size()
+            << " sub-tree(s)\n";
+  for (size_t s = 0; s < samples.size(); ++s) {
+    const subtree::SubtreeSample& sample = samples[s];
+    size_t votes = 0;
+    for (float v : sample.votes) votes += v > 0 ? 1 : 0;
+    std::cout << "  sub-tree " << s << ": " << sample.size() << " nodes, "
+              << votes << " voting, "
+              << (sample.complete ? "complete" : "pruned") << ", root = "
+              << otp::OtpNodeTypeToString(sample.nodes[0]->type) << " ["
+              << sample.nodes[0]->label << "]\n";
+  }
+  return 0;
+}

@@ -1,0 +1,221 @@
+// prestroid_cli — command-line front end over the public API, covering the
+// full production workflow:
+//
+//   prestroid_cli gen-trace --queries 300 --tables 40 --days 30
+//                 --seed 7 --out /tmp/trace.txt
+//   prestroid_cli train     --trace /tmp/trace.txt --out /tmp/model.ppl
+//                 [--full] [--n 15] [--k 9] [--pf 32] [--epochs 25]
+//   prestroid_cli predict   --model /tmp/model.ppl --trace /tmp/new.txt
+//                 [--limit 10]
+//   prestroid_cli explain   --trace /tmp/trace.txt [--index 0]
+//
+// gen-trace writes the on-disk trace format (SQL + EXPLAIN text + profiler
+// metrics per query); train fits and serializes a pipeline; predict loads a
+// saved pipeline and scores a trace's plans without retraining; explain
+// pretty-prints one record's logical plan and O-T-P statistics.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/pipeline.h"
+#include "otp/otp_tree.h"
+#include "plan/plan_stats.h"
+#include "plan/plan_text.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/dataset.h"
+#include "workload/trace.h"
+
+using namespace prestroid;  // CLI tool; the library never does this
+
+namespace {
+
+/// Minimal --flag value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    // Boolean flags (no value) are handled separately.
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) present_.insert(key.substr(2));
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return present_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> present_;
+};
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int GenTrace(const Flags& flags) {
+  workload::SchemaGenConfig schema_config;
+  schema_config.num_tables = static_cast<size_t>(flags.GetInt("tables", 40));
+  schema_config.num_days = static_cast<int>(flags.GetInt("days", 30));
+  schema_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  workload::GeneratedSchema schema = workload::GenerateSchema(schema_config);
+
+  workload::TraceConfig trace_config;
+  trace_config.num_queries = static_cast<size_t>(flags.GetInt("queries", 300));
+  trace_config.num_days = schema_config.num_days;
+  trace_config.seed = schema_config.seed + 1;
+  auto records = workload::GenerateGrabTrace(schema, trace_config);
+  if (!records.ok()) return Fail(records.status());
+
+  const std::string out = flags.Get("out", "trace.txt");
+  Status written = workload::WriteTraceFile(out, *records);
+  if (!written.ok()) return Fail(written);
+  std::cout << "wrote " << records->size() << " queries to " << out << "\n";
+  return 0;
+}
+
+int Train(const Flags& flags) {
+  const std::string trace_path = flags.Get("trace", "");
+  if (trace_path.empty()) {
+    std::cerr << "train requires --trace <file>\n";
+    return 2;
+  }
+  auto records = workload::ReadTraceFile(trace_path);
+  if (!records.ok()) return Fail(records.status());
+  std::cout << "loaded " << records->size() << " queries from " << trace_path
+            << "\n";
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 11)));
+  workload::DatasetSplits splits =
+      workload::SplitRandom(records->size(), 0.8, 0.1, &rng);
+
+  core::PipelineConfig config;
+  config.use_subtrees = !flags.Has("full");
+  config.sampler.node_limit = static_cast<size_t>(flags.GetInt("n", 15));
+  config.num_subtrees = static_cast<size_t>(flags.GetInt("k", 9));
+  config.word2vec.dim = static_cast<size_t>(flags.GetInt("pf", 32));
+  config.word2vec.min_count = 2;
+  config.conv_channels.assign(3, static_cast<size_t>(flags.GetInt("conv", 32)));
+  config.dense_units = {static_cast<size_t>(flags.GetInt("conv", 32)), 16};
+  config.learning_rate = 3e-3f;
+  auto pipeline = core::PrestroidPipeline::Fit(*records, splits.train, config);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+
+  TrainConfig train_config;
+  train_config.batch_size = static_cast<size_t>(flags.GetInt("batch", 32));
+  train_config.max_epochs = static_cast<size_t>(flags.GetInt("epochs", 25));
+  train_config.patience = 6;
+  TrainResult result = (*pipeline)->Train(splits, train_config);
+  std::cout << (*pipeline)->ModelName() << ": " << result.epochs_run
+            << " epochs (best " << result.best_epoch << "), test MSE "
+            << StrFormat("%.2f",
+                         (*pipeline)->EvaluateMseMinutes(splits.test))
+            << " min^2\n";
+
+  const std::string out = flags.Get("out", "model.ppl");
+  Status saved = (*pipeline)->SaveFile(out);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "saved pipeline to " << out << "\n";
+  return 0;
+}
+
+int Predict(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "");
+  const std::string trace_path = flags.Get("trace", "");
+  if (model_path.empty() || trace_path.empty()) {
+    std::cerr << "predict requires --model <file> --trace <file>\n";
+    return 2;
+  }
+  auto pipeline = core::PrestroidPipeline::LoadFile(model_path);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  auto records = workload::ReadTraceFile(trace_path);
+  if (!records.ok()) return Fail(records.status());
+
+  const size_t limit = std::min<size_t>(
+      records->size(), static_cast<size_t>(flags.GetInt("limit", 20)));
+  TablePrinter table({"query", "predicted (min)", "actual (min)", "error"});
+  double se = 0.0;
+  for (size_t i = 0; i < limit; ++i) {
+    auto predicted = (*pipeline)->PredictPlan(*(*records)[i].plan);
+    if (!predicted.ok()) return Fail(predicted.status());
+    double actual = (*records)[i].metrics.total_cpu_minutes;
+    se += (*predicted - actual) * (*predicted - actual);
+    table.AddRow({StrFormat("q%zu", i), StrFormat("%.2f", *predicted),
+                  StrFormat("%.2f", actual),
+                  StrFormat("%+.2f", *predicted - actual)});
+  }
+  table.Print(std::cout);
+  std::cout << StrFormat("MSE over %zu queries: %.2f min^2\n", limit,
+                         se / static_cast<double>(limit));
+  return 0;
+}
+
+int Explain(const Flags& flags) {
+  const std::string trace_path = flags.Get("trace", "");
+  if (trace_path.empty()) {
+    std::cerr << "explain requires --trace <file>\n";
+    return 2;
+  }
+  auto records = workload::ReadTraceFile(trace_path);
+  if (!records.ok()) return Fail(records.status());
+  const size_t index = static_cast<size_t>(flags.GetInt("index", 0));
+  if (index >= records->size()) {
+    std::cerr << "index out of range (trace has " << records->size()
+              << " queries)\n";
+    return 2;
+  }
+  const workload::QueryRecord& record = (*records)[index];
+  std::cout << "SQL:\n  " << record.sql << "\n\n";
+  std::cout << "Logical plan:\n" << plan::PlanToText(*record.plan);
+  plan::PlanStats stats = plan::ComputePlanStats(*record.plan);
+  auto tree = otp::RecastPlan(*record.plan);
+  if (!tree.ok()) return Fail(tree.status());
+  std::cout << "\nplan: " << stats.node_count << " nodes, depth "
+            << stats.max_depth << ", " << stats.num_joins << " join(s) | "
+            << "O-T-P tree: " << tree->node_count << " nodes, depth "
+            << tree->max_depth << "\n";
+  std::cout << StrFormat(
+      "measured: %.2f CPU min, %.3f GB peak memory, %.2f GB input\n",
+      record.metrics.total_cpu_minutes, record.metrics.peak_memory_gb,
+      record.metrics.input_gb);
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: prestroid_cli <command> [--flag value ...]\n"
+         "  gen-trace --queries N --tables T --days D --seed S --out FILE\n"
+         "  train     --trace FILE --out FILE [--full] [--n N] [--k K]\n"
+         "            [--pf P] [--conv C] [--epochs E] [--batch B]\n"
+         "  predict   --model FILE --trace FILE [--limit N]\n"
+         "  explain   --trace FILE [--index I]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "gen-trace") return GenTrace(flags);
+  if (command == "train") return Train(flags);
+  if (command == "predict") return Predict(flags);
+  if (command == "explain") return Explain(flags);
+  return Usage();
+}

@@ -1,0 +1,51 @@
+#include "baselines/kernels.h"
+
+#include <cmath>
+
+namespace prestroid::baselines {
+
+const char* KernelTypeToString(KernelType type) {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kPolynomial:
+      return "polynomial";
+    case KernelType::kRbf:
+      return "rbf";
+    case KernelType::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+double KernelFunction(const KernelConfig& config, const float* a,
+                      const float* b, size_t dim) {
+  switch (config.type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (size_t i = 0; i < dim; ++i) dot += static_cast<double>(a[i]) * b[i];
+      return dot;
+    }
+    case KernelType::kPolynomial: {
+      double dot = 0.0;
+      for (size_t i = 0; i < dim; ++i) dot += static_cast<double>(a[i]) * b[i];
+      return std::pow(config.gamma * dot + config.coef0, config.degree);
+    }
+    case KernelType::kRbf: {
+      double sq = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        double d = static_cast<double>(a[i]) - b[i];
+        sq += d * d;
+      }
+      return std::exp(-config.gamma * sq);
+    }
+    case KernelType::kSigmoid: {
+      double dot = 0.0;
+      for (size_t i = 0; i < dim; ++i) dot += static_cast<double>(a[i]) * b[i];
+      return std::tanh(config.gamma * dot + config.coef0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace prestroid::baselines

@@ -1,0 +1,31 @@
+#ifndef PRESTROID_BASELINES_KERNELS_H_
+#define PRESTROID_BASELINES_KERNELS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace prestroid::baselines {
+
+/// Kernel families for the SVR baseline (the paper's best performers were a
+/// degree-4 polynomial on Grab-Traces and a sigmoid kernel on TPC-DS).
+enum class KernelType { kLinear, kPolynomial, kRbf, kSigmoid };
+
+const char* KernelTypeToString(KernelType type);
+
+struct KernelConfig {
+  KernelType type = KernelType::kRbf;
+  /// Scale applied to the inner product / distance.
+  double gamma = 0.1;
+  /// Additive constant for polynomial and sigmoid kernels.
+  double coef0 = 1.0;
+  /// Polynomial degree.
+  int degree = 3;
+};
+
+/// K(a, b) for the configured kernel over `dim`-dimensional float vectors.
+double KernelFunction(const KernelConfig& config, const float* a,
+                      const float* b, size_t dim);
+
+}  // namespace prestroid::baselines
+
+#endif  // PRESTROID_BASELINES_KERNELS_H_

@@ -1,0 +1,83 @@
+#include "baselines/log_binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prestroid::baselines {
+
+LogBinningModel::LogBinningModel(size_t num_bins) : num_bins_(num_bins) {
+  PRESTROID_CHECK_GT(num_bins, 0u);
+}
+
+Status LogBinningModel::Fit(const std::vector<double>& node_counts,
+                            const std::vector<float>& targets) {
+  if (node_counts.size() != targets.size() || node_counts.empty()) {
+    return Status::InvalidArgument("node_counts/targets size mismatch or empty");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double n : node_counts) {
+    if (n <= 0.0) return Status::InvalidArgument("node count must be positive");
+    lo = std::min(lo, std::log(n));
+    hi = std::max(hi, std::log(n));
+  }
+  if (hi <= lo) hi = lo + 1e-9;
+  log_min_ = lo;
+  log_max_ = hi;
+  fitted_ = true;
+
+  std::vector<double> sums(num_bins_, 0.0);
+  std::vector<size_t> counts(num_bins_, 0);
+  double total = 0.0;
+  for (size_t i = 0; i < node_counts.size(); ++i) {
+    size_t bin = BinOf(node_counts[i]);
+    sums[bin] += targets[i];
+    ++counts[bin];
+    total += targets[i];
+  }
+  global_mean_ =
+      static_cast<float>(total / static_cast<double>(targets.size()));
+  bin_means_.assign(num_bins_, global_mean_);
+  bin_populated_.assign(num_bins_, false);
+  for (size_t b = 0; b < num_bins_; ++b) {
+    if (counts[b] > 0) {
+      bin_means_[b] = static_cast<float>(sums[b] / static_cast<double>(counts[b]));
+      bin_populated_[b] = true;
+    }
+  }
+  return Status::OK();
+}
+
+size_t LogBinningModel::BinOf(double node_count) const {
+  PRESTROID_CHECK(fitted_);
+  double log_n = std::log(std::max(node_count, 1e-9));
+  double frac = (log_n - log_min_) / (log_max_ - log_min_);
+  frac = std::clamp(frac, 0.0, 1.0);
+  size_t bin = static_cast<size_t>(frac * static_cast<double>(num_bins_));
+  return std::min(bin, num_bins_ - 1);
+}
+
+float LogBinningModel::Predict(double node_count) const {
+  const size_t bin = BinOf(node_count);
+  if (bin_populated_[bin]) return bin_means_[bin];
+  // Nearest populated bin.
+  for (size_t delta = 1; delta < num_bins_; ++delta) {
+    if (bin >= delta && bin_populated_[bin - delta]) return bin_means_[bin - delta];
+    if (bin + delta < num_bins_ && bin_populated_[bin + delta]) {
+      return bin_means_[bin + delta];
+    }
+  }
+  return global_mean_;
+}
+
+std::vector<float> LogBinningModel::PredictAll(
+    const std::vector<double>& node_counts) const {
+  std::vector<float> out;
+  out.reserve(node_counts.size());
+  for (double n : node_counts) out.push_back(Predict(n));
+  return out;
+}
+
+}  // namespace prestroid::baselines

@@ -1,0 +1,43 @@
+#ifndef PRESTROID_BASELINES_LOG_BINNING_H_
+#define PRESTROID_BASELINES_LOG_BINNING_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace prestroid::baselines {
+
+/// The paper's naive baseline: query plans are split by node count into B
+/// logarithmic bins; the mean training target within a bin is the prediction
+/// for every query landing in it (B = 1000 for Grab-Traces, 20 for TPC-DS).
+class LogBinningModel {
+ public:
+  explicit LogBinningModel(size_t num_bins);
+
+  /// Fits bin boundaries and per-bin means from (node_count, target) pairs.
+  /// Targets are normalized labels.
+  Status Fit(const std::vector<double>& node_counts,
+             const std::vector<float>& targets);
+
+  /// Predicts the normalized target for one plan size. Empty bins fall back
+  /// to the nearest populated bin.
+  float Predict(double node_count) const;
+  std::vector<float> PredictAll(const std::vector<double>& node_counts) const;
+
+  size_t num_bins() const { return num_bins_; }
+
+ private:
+  size_t BinOf(double node_count) const;
+
+  size_t num_bins_;
+  bool fitted_ = false;
+  double log_min_ = 0.0;
+  double log_max_ = 1.0;
+  std::vector<float> bin_means_;
+  std::vector<bool> bin_populated_;
+  float global_mean_ = 0.0f;
+};
+
+}  // namespace prestroid::baselines
+
+#endif  // PRESTROID_BASELINES_LOG_BINNING_H_

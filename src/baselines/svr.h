@@ -1,0 +1,60 @@
+#ifndef PRESTROID_BASELINES_SVR_H_
+#define PRESTROID_BASELINES_SVR_H_
+
+#include <vector>
+
+#include "baselines/kernels.h"
+#include "plan/plan_node.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace prestroid::baselines {
+
+/// Epsilon-SVR hyper-parameters. Trained in the kernel-expansion primal
+/// (f(x) = sum_i beta_i K(x_i, x) + b) by subgradient descent on the
+/// epsilon-insensitive loss with L2 regularization — a simpler, equivalent
+/// alternative to dual SMO for the dataset sizes here.
+struct SvrConfig {
+  KernelConfig kernel;
+  double c = 1.0;          // loss weight
+  double epsilon = 0.01;   // insensitivity tube width (normalized targets)
+  double learning_rate = 0.01;
+  size_t epochs = 200;
+  uint64_t seed = 31;
+};
+
+/// Kernelized support-vector regression (Ganapathi et al. 2009 baseline).
+class Svr {
+ public:
+  explicit Svr(const SvrConfig& config);
+
+  /// Fits over row-major features [n, d] with normalized targets [n].
+  Status Fit(const Tensor& features, const std::vector<float>& targets);
+
+  /// Predicts one normalized target; `x` must have the training width.
+  float Predict(const float* x) const;
+  std::vector<float> PredictAll(const Tensor& features) const;
+
+  size_t num_support() const;
+
+ private:
+  SvrConfig config_;
+  Tensor train_features_;
+  std::vector<double> beta_;
+  double bias_ = 0.0;
+  size_t dim_ = 0;
+};
+
+/// Feature extraction for SVR per the paper: direct query parsing plus plan
+/// operator instance counts (cardinalities intentionally omitted). Yields a
+/// fixed 16-wide vector: per-operator-type counts, node count, max depth,
+/// join count, predicate count, and SQL-text statistics.
+std::vector<float> SvrPlanFeatures(const plan::PlanNode& plan,
+                                   const std::string& sql);
+
+/// Stacks per-record feature vectors into a [n, d] tensor.
+Tensor StackFeatures(const std::vector<std::vector<float>>& rows);
+
+}  // namespace prestroid::baselines
+
+#endif  // PRESTROID_BASELINES_SVR_H_

@@ -1,0 +1,208 @@
+#include "baselines/wcnn.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace prestroid::baselines {
+
+namespace {
+constexpr int kPadId = 0;
+constexpr int kUnkId = 1;
+}  // namespace
+
+WcnnModel::WcnnModel(const WcnnConfig& config)
+    : config_(config), rng_(config.seed), loss_(config.huber_delta) {}
+
+WcnnModel::~WcnnModel() = default;
+
+std::vector<std::string> WcnnModel::TokenizeSql(const std::string& sql) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(ToLower(current));
+      current.clear();
+    }
+  };
+  for (char c : sql) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      current.push_back(c);
+    } else {
+      flush();
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        tokens.push_back(std::string(1, c));
+      }
+    }
+  }
+  flush();
+  // Bucket pure numbers so literals do not explode the vocabulary.
+  for (std::string& token : tokens) {
+    bool numeric = !token.empty();
+    for (char c : token) {
+      if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.') {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) token = StrFormat("<num%zu>", token.size() / 3);
+  }
+  return tokens;
+}
+
+Status WcnnModel::Fit(const std::vector<workload::QueryRecord>& records,
+                      const std::vector<size_t>& train_indices,
+                      const std::vector<float>& targets) {
+  if (records.empty() || records.size() != targets.size()) {
+    return Status::InvalidArgument("records/targets mismatch or empty");
+  }
+  for (size_t idx : train_indices) {
+    for (const std::string& token : TokenizeSql(records[idx].sql)) {
+      vocab_.emplace(token, static_cast<int>(vocab_.size()) + 2);
+    }
+  }
+  if (vocab_.empty()) {
+    return Status::InvalidArgument("WCNN vocabulary is empty");
+  }
+
+  const size_t min_len =
+      *std::max_element(config_.windows.begin(), config_.windows.end());
+  sequences_.resize(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::vector<int> ids;
+    for (const std::string& token : TokenizeSql(records[i].sql)) {
+      if (ids.size() >= config_.max_sequence) break;
+      auto it = vocab_.find(token);
+      ids.push_back(it == vocab_.end() ? kUnkId : it->second);
+    }
+    while (ids.size() < min_len) ids.push_back(kPadId);
+    sequences_[i] = std::move(ids);
+  }
+  targets_ = targets;
+
+  embedding_ = std::make_unique<EmbeddingLayer>(vocab_size(),
+                                                config_.embed_dim, &rng_);
+  for (size_t window : config_.windows) {
+    convs_.push_back(std::make_unique<Conv1d>(config_.embed_dim, window,
+                                              config_.filters_per_window,
+                                              &rng_));
+    conv_relus_.push_back(std::make_unique<ReluLayer>());
+    pools_.push_back(std::make_unique<GlobalMaxPool1d>());
+  }
+  dropout_ = std::make_unique<Dropout>(config_.dropout, &rng_);
+  head_ = std::make_unique<Dense>(
+      config_.windows.size() * config_.filters_per_window, 1, &rng_);
+  sigmoid_ = std::make_unique<SigmoidLayer>();
+  optimizer_ = std::make_unique<AdamOptimizer>(config_.learning_rate);
+  optimizer_->Register(embedding_->Params());
+  for (auto& conv : convs_) optimizer_->Register(conv->Params());
+  optimizer_->Register(head_->Params());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor WcnnModel::ForwardBatch(const std::vector<size_t>& batch) {
+  // Pad to the batch's longest sequence.
+  size_t max_len = 1;
+  for (size_t idx : batch) max_len = std::max(max_len, sequences_[idx].size());
+  std::vector<std::vector<int>> ids(batch.size(),
+                                    std::vector<int>(max_len, kPadId));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<int>& seq = sequences_[batch[i]];
+    std::copy(seq.begin(), seq.end(), ids[i].begin());
+  }
+  Tensor embedded = embedding_->ForwardIds(ids);  // [B, T, E]
+
+  const size_t f = config_.filters_per_window;
+  Tensor concat({batch.size(), convs_.size() * f});
+  for (size_t w = 0; w < convs_.size(); ++w) {
+    Tensor conv_out = conv_relus_[w]->Forward(convs_[w]->Forward(embedded));
+    Tensor pooled = pools_[w]->Forward(conv_out);  // [B, F]
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::copy(pooled.data() + i * f, pooled.data() + (i + 1) * f,
+                concat.data() + i * convs_.size() * f + w * f);
+    }
+  }
+  return sigmoid_->Forward(head_->Forward(dropout_->Forward(concat)));
+}
+
+void WcnnModel::BackwardBatch(const Tensor& grad_output) {
+  Tensor grad = dropout_->Backward(
+      head_->Backward(sigmoid_->Backward(grad_output)));
+  const size_t f = config_.filters_per_window;
+  const size_t b = grad.dim(0);
+  Tensor grad_embedded;  // accumulated below
+  for (size_t w = 0; w < convs_.size(); ++w) {
+    Tensor slice({b, f});
+    for (size_t i = 0; i < b; ++i) {
+      const float* src = grad.data() + i * convs_.size() * f + w * f;
+      std::copy(src, src + f, slice.data() + i * f);
+    }
+    Tensor g = convs_[w]->Backward(
+        conv_relus_[w]->Backward(pools_[w]->Backward(slice)));
+    if (grad_embedded.empty()) {
+      grad_embedded = g;
+    } else {
+      grad_embedded += g;
+    }
+  }
+  embedding_->Backward(grad_embedded);
+}
+
+double WcnnModel::TrainEpoch(const std::vector<size_t>& indices,
+                             size_t batch_size) {
+  PRESTROID_CHECK(fitted_);
+  dropout_->SetTraining(true);
+  double total_loss = 0.0;
+  size_t num_batches = 0;
+  for (size_t start = 0; start < indices.size(); start += batch_size) {
+    const size_t end = std::min(indices.size(), start + batch_size);
+    std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
+                              indices.begin() + static_cast<long>(end));
+    Tensor pred = ForwardBatch(batch);
+    Tensor target({batch.size(), 1});
+    for (size_t i = 0; i < batch.size(); ++i) target[i] = targets_[batch[i]];
+    optimizer_->ZeroGrad();
+    total_loss += loss_.Compute(pred, target);
+    ++num_batches;
+    BackwardBatch(loss_.Gradient());
+    optimizer_->Step();
+  }
+  return num_batches == 0 ? 0.0 : total_loss / static_cast<double>(num_batches);
+}
+
+std::vector<float> WcnnModel::Predict(const std::vector<size_t>& indices) {
+  PRESTROID_CHECK(fitted_);
+  dropout_->SetTraining(false);
+  std::vector<float> out;
+  out.reserve(indices.size());
+  constexpr size_t kEvalBatch = 128;
+  for (size_t start = 0; start < indices.size(); start += kEvalBatch) {
+    const size_t end = std::min(indices.size(), start + kEvalBatch);
+    std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
+                              indices.begin() + static_cast<long>(end));
+    Tensor pred = ForwardBatch(batch);
+    for (size_t i = 0; i < batch.size(); ++i) out.push_back(pred[i]);
+  }
+  dropout_->SetTraining(true);
+  return out;
+}
+
+size_t WcnnModel::NumParameters() const {
+  size_t total = embedding_->NumParameters() + head_->NumParameters();
+  for (auto& conv : convs_) total += conv->NumParameters();
+  return total;
+}
+
+size_t WcnnModel::InputBytesPerBatch(size_t batch_size) const {
+  // Token-id matrix padded to the dataset's max sequence length.
+  size_t max_len = 1;
+  for (const std::vector<int>& seq : sequences_) {
+    max_len = std::max(max_len, seq.size());
+  }
+  return batch_size * max_len * sizeof(int);
+}
+
+}  // namespace prestroid::baselines

@@ -1,0 +1,95 @@
+#ifndef PRESTROID_BASELINES_WCNN_H_
+#define PRESTROID_BASELINES_WCNN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/embedding_layer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "workload/trace.h"
+
+namespace prestroid::baselines {
+
+/// Hyper-parameters of the word-convolution baseline (Zolaktaf et al. 2020).
+/// The paper explores 100/250 kernels per {3,4,5} window, a 100-dim token
+/// embedding, 50% dropout, batch 16, lr 1e-3 (Grab) / 1e-4 (TPC-DS).
+struct WcnnConfig {
+  size_t embed_dim = 100;
+  std::vector<size_t> windows = {3, 4, 5};
+  size_t filters_per_window = 100;
+  float dropout = 0.5f;
+  float learning_rate = 1e-3f;
+  float huber_delta = 1.0f;
+  size_t max_sequence = 512;  // longer SQL strings are truncated
+  uint64_t seed = 5;
+  std::string name = "WCNN-100";
+};
+
+/// Convolution directly over the SQL string's word tokens: trainable token
+/// embedding, parallel Conv1d banks with windows {3,4,5}, global max-pool
+/// per bank, concat, dropout, dense sigmoid head. The model never sees the
+/// logical plan — the paper's discussion of why that caps its accuracy.
+class WcnnModel : public CostModel {
+ public:
+  explicit WcnnModel(const WcnnConfig& config);
+  ~WcnnModel() override;
+
+  /// Builds the token vocabulary from the TRAIN records and tokenizes all
+  /// records (sample index == record index).
+  Status Fit(const std::vector<workload::QueryRecord>& records,
+             const std::vector<size_t>& train_indices,
+             const std::vector<float>& targets);
+
+  // CostModel:
+  std::string name() const override { return config_.name; }
+  size_t num_samples() const override { return sequences_.size(); }
+  double TrainEpoch(const std::vector<size_t>& indices,
+                    size_t batch_size) override;
+  std::vector<float> Predict(const std::vector<size_t>& indices) override;
+  size_t NumParameters() const override;
+  std::vector<ParamRef> Params() override { return optimizer_->params(); }
+
+  /// Bytes of one batch's token-id matrix (WCNN's compact 1-D inputs;
+  /// Figure 6 shows this as the smallest footprint of all models).
+  size_t InputBytesPerBatch(size_t batch_size) const;
+
+  size_t vocab_size() const { return vocab_.size() + 2; }
+
+  /// Splits a SQL string into WCNN word tokens (lower-cased words, numbers
+  /// bucketed, punctuation as tokens).
+  static std::vector<std::string> TokenizeSql(const std::string& sql);
+
+ private:
+  Tensor ForwardBatch(const std::vector<size_t>& batch);
+  void BackwardBatch(const Tensor& grad_output);
+
+  WcnnConfig config_;
+  Rng rng_;
+  std::map<std::string, int> vocab_;  // token -> id (>= 2; 0 pad, 1 unk)
+
+  std::vector<std::vector<int>> sequences_;
+  std::vector<float> targets_;
+
+  std::unique_ptr<EmbeddingLayer> embedding_;
+  std::vector<std::unique_ptr<Conv1d>> convs_;
+  std::vector<std::unique_ptr<ReluLayer>> conv_relus_;
+  std::vector<std::unique_ptr<GlobalMaxPool1d>> pools_;
+  std::unique_ptr<Dropout> dropout_;
+  std::unique_ptr<Dense> head_;
+  std::unique_ptr<SigmoidLayer> sigmoid_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+  HuberLoss loss_;
+  bool fitted_ = false;
+};
+
+}  // namespace prestroid::baselines
+
+#endif  // PRESTROID_BASELINES_WCNN_H_

@@ -1,0 +1,14 @@
+#include "cloud/azure_catalog.h"
+
+namespace prestroid::cloud {
+
+std::vector<AzureCluster> AzureNcV3Clusters() {
+  const GpuSpec v100 = TeslaV100();
+  return {
+      {"NC6s_V3", 1, 4.23, v100},
+      {"NC12s_V3", 2, 8.47, v100},
+      {"NC24s_V3", 4, 18.63, v100},
+  };
+}
+
+}  // namespace prestroid::cloud

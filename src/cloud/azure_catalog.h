@@ -1,0 +1,26 @@
+#ifndef PRESTROID_CLOUD_AZURE_CATALOG_H_
+#define PRESTROID_CLOUD_AZURE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "cloud/gpu_spec.h"
+
+namespace prestroid::cloud {
+
+/// One rentable GPU cluster tier.
+struct AzureCluster {
+  std::string name;
+  size_t num_gpus = 1;
+  double hourly_usd = 0.0;
+  GpuSpec gpu;
+};
+
+/// The paper's Azure NC_V3 series: NC6s_V3 (1 GPU, $4.23/h), NC12s_V3
+/// (2 GPUs, $8.47/h), NC24s_V3 (4 GPUs, $18.63/h) — note the super-linear
+/// price step to 4 GPUs that drives the paper's "train on one GPU" advice.
+std::vector<AzureCluster> AzureNcV3Clusters();
+
+}  // namespace prestroid::cloud
+
+#endif  // PRESTROID_CLOUD_AZURE_CATALOG_H_

@@ -1,0 +1,46 @@
+#include "cloud/cost_optimizer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace prestroid::cloud {
+
+BatchFootprint ShardFootprint(const BatchFootprint& footprint,
+                              size_t num_gpus) {
+  PRESTROID_CHECK_GT(num_gpus, 0u);
+  BatchFootprint shard = footprint;
+  shard.input_bytes = footprint.input_bytes / num_gpus;
+  shard.activation_bytes = footprint.activation_bytes / num_gpus;
+  // Parameters (and optimizer state) replicate on every GPU.
+  return shard;
+}
+
+TrainingCostEstimate CheapestFeasibleTraining(
+    const std::vector<AzureCluster>& clusters, size_t num_samples,
+    size_t batch_size, const BatchFootprint& footprint,
+    const ModelComputeProfile& profile, size_t epochs,
+    const EpochTimeParams& epoch_params, const ScaleOutParams& scale_params) {
+  TrainingCostEstimate best;
+  for (const AzureCluster& cluster : clusters) {
+    const BatchFootprint shard = ShardFootprint(footprint, cluster.num_gpus);
+    if (!FitsOnGpu(shard, cluster.gpu)) continue;
+    const double epoch_seconds = EstimateScaledEpochSeconds(
+        num_samples, batch_size, footprint, profile, cluster.gpu,
+        cluster.num_gpus, epoch_params, scale_params);
+    const double hours =
+        epoch_seconds * static_cast<double>(epochs) / 3600.0;
+    const double usd = hours * cluster.hourly_usd;
+    if (!best.feasible || usd < best.total_usd) {
+      best.feasible = true;
+      best.cluster_name = cluster.name;
+      best.num_gpus = cluster.num_gpus;
+      best.epoch_seconds = epoch_seconds;
+      best.total_hours = hours;
+      best.total_usd = usd;
+    }
+  }
+  return best;
+}
+
+}  // namespace prestroid::cloud

@@ -1,0 +1,41 @@
+#ifndef PRESTROID_CLOUD_COST_OPTIMIZER_H_
+#define PRESTROID_CLOUD_COST_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "cloud/azure_catalog.h"
+#include "cloud/scale_out_model.h"
+
+namespace prestroid::cloud {
+
+/// Outcome of a training-cost query for one model / batch size.
+struct TrainingCostEstimate {
+  bool feasible = false;
+  std::string cluster_name;
+  size_t num_gpus = 0;
+  double epoch_seconds = 0.0;
+  double total_hours = 0.0;
+  double total_usd = 0.0;
+};
+
+/// Figure 7's procedure: among the given clusters, pick the LOWEST-COST one
+/// that can hold the batch. On a multi-GPU cluster the batch is sharded
+/// across GPUs (data parallelism), so a batch that OOMs one V100 may still
+/// be feasible on NC12s/NC24s — at scale-out prices and penalties. Training
+/// runs for `epochs` epochs over `num_samples` samples.
+TrainingCostEstimate CheapestFeasibleTraining(
+    const std::vector<AzureCluster>& clusters, size_t num_samples,
+    size_t batch_size, const BatchFootprint& footprint,
+    const ModelComputeProfile& profile, size_t epochs,
+    const EpochTimeParams& epoch_params = {},
+    const ScaleOutParams& scale_params = {});
+
+/// Scales a batch footprint down to the per-GPU shard under data
+/// parallelism (inputs and activations shard; parameters replicate).
+BatchFootprint ShardFootprint(const BatchFootprint& footprint,
+                              size_t num_gpus);
+
+}  // namespace prestroid::cloud
+
+#endif  // PRESTROID_CLOUD_COST_OPTIMIZER_H_

@@ -1,0 +1,87 @@
+#include "cloud/epoch_time_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prestroid::cloud {
+
+ModelComputeProfile TreeModelComputeProfile(
+    size_t trees_per_sample, size_t nodes_padded, size_t feature_dim,
+    const std::vector<size_t>& conv_channels,
+    const std::vector<size_t>& dense_units) {
+  PRESTROID_CHECK(!conv_channels.empty());
+  double forward_flops = 0.0;
+  const double slots =
+      static_cast<double>(trees_per_sample) * static_cast<double>(nodes_padded);
+  double in = static_cast<double>(feature_dim);
+  size_t params = 0;
+  size_t prev = feature_dim;
+  for (size_t out : conv_channels) {
+    // Triangular kernel: 3 matmuls (self/left/right) of [in x out] per node.
+    forward_flops += slots * 3.0 * 2.0 * in * static_cast<double>(out);
+    params += 3 * prev * out + out;
+    in = static_cast<double>(out);
+    prev = out;
+  }
+  size_t head_in = trees_per_sample * conv_channels.back();
+  for (size_t units : dense_units) {
+    forward_flops += 2.0 * static_cast<double>(head_in) * units;
+    params += head_in * units + units;
+    head_in = units;
+  }
+  forward_flops += 2.0 * static_cast<double>(head_in);
+  params += head_in + 1;
+
+  ModelComputeProfile profile;
+  // Backward is roughly 2x the forward work.
+  profile.flops_per_sample = 3.0 * forward_flops;
+  profile.parameter_bytes = params * sizeof(float);
+  profile.sequential_trees = trees_per_sample;
+  return profile;
+}
+
+namespace {
+
+double BatchSeconds(size_t batch_size, const BatchFootprint& footprint,
+                    const ModelComputeProfile& profile, const GpuSpec& gpu,
+                    const EpochTimeParams& params, double flops_scale) {
+  const double transfer_s =
+      static_cast<double>(footprint.input_bytes) /
+      (gpu.pcie_gbps * 1e9 * params.transfer_efficiency);
+  const double compute_s =
+      profile.flops_per_sample * static_cast<double>(batch_size) * flops_scale /
+      (gpu.tflops * 1e12 * params.flops_utilization);
+  const double launch_s =
+      params.per_batch_latency_s +
+      params.per_tree_latency_s *
+          static_cast<double>(profile.sequential_trees);
+  return transfer_s + compute_s + launch_s;
+}
+
+}  // namespace
+
+double EstimateEpochSeconds(size_t num_samples, size_t batch_size,
+                            const BatchFootprint& footprint,
+                            const ModelComputeProfile& profile,
+                            const GpuSpec& gpu, const EpochTimeParams& params) {
+  PRESTROID_CHECK_GT(batch_size, 0u);
+  const size_t num_batches = (num_samples + batch_size - 1) / batch_size;
+  return static_cast<double>(num_batches) *
+         BatchSeconds(batch_size, footprint, profile, gpu, params,
+                      /*flops_scale=*/1.0);
+}
+
+double EstimateInferenceSeconds(size_t num_samples, size_t batch_size,
+                                const BatchFootprint& footprint,
+                                const ModelComputeProfile& profile,
+                                const GpuSpec& gpu,
+                                const EpochTimeParams& params) {
+  PRESTROID_CHECK_GT(batch_size, 0u);
+  const size_t num_batches = (num_samples + batch_size - 1) / batch_size;
+  return static_cast<double>(num_batches) *
+         BatchSeconds(batch_size, footprint, profile, gpu, params,
+                      /*flops_scale=*/1.0 / 3.0);
+}
+
+}  // namespace prestroid::cloud

@@ -1,0 +1,65 @@
+#ifndef PRESTROID_CLOUD_EPOCH_TIME_MODEL_H_
+#define PRESTROID_CLOUD_EPOCH_TIME_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cloud/footprint.h"
+#include "cloud/gpu_spec.h"
+
+namespace prestroid::cloud {
+
+/// Compute profile of one model, independent of batch size.
+struct ModelComputeProfile {
+  /// Forward + backward FLOPs for one sample.
+  double flops_per_sample = 0.0;
+  /// Trainable parameter bytes (drives multi-GPU sync cost).
+  size_t parameter_bytes = 0;
+  /// Sub-trees processed sequentially per sample (the paper's tf_map
+  /// inefficiency: K sequential convolution launches; 1 for other models).
+  size_t sequential_trees = 1;
+};
+
+/// FLOPs of a tree-convolution model (forward + backward ~ 3x forward).
+/// `nodes_padded` is the per-tree padded slot count.
+ModelComputeProfile TreeModelComputeProfile(
+    size_t trees_per_sample, size_t nodes_padded, size_t feature_dim,
+    const std::vector<size_t>& conv_channels,
+    const std::vector<size_t>& dense_units);
+
+/// Tunable constants of the single-GPU epoch-time model.
+struct EpochTimeParams {
+  /// Fraction of peak TFLOPs actually sustained on these small kernels.
+  double flops_utilization = 0.18;
+  /// Fixed per-batch launch/dispatch latency (seconds).
+  double per_batch_latency_s = 0.002;
+  /// Extra latency per *sequentially launched* sub-tree convolution stack
+  /// within a batch (the paper's tf_map inefficiency: each of the K
+  /// sub-trees runs its 3-layer convolution as a separate sequential
+  /// dispatch). Calibrated so Full-300 / (15-9-300) epoch time at batch 32
+  /// reproduces the paper's 3.45x ratio.
+  double per_tree_latency_s = 0.0085;
+  /// Host->device transfer efficiency factor (<1 means slower than peak).
+  double transfer_efficiency = 0.7;
+};
+
+/// Seconds for one training epoch on a single GPU: per-batch host->device
+/// transfer of the padded input + compute at sustained FLOPs + launch
+/// latencies (including the sequential sub-tree map penalty).
+double EstimateEpochSeconds(size_t num_samples, size_t batch_size,
+                            const BatchFootprint& footprint,
+                            const ModelComputeProfile& profile,
+                            const GpuSpec& gpu,
+                            const EpochTimeParams& params = {});
+
+/// Inference pass over `num_samples` at the given batch size (forward only,
+/// ~1/3 of the training FLOPs, no optimizer state transfers).
+double EstimateInferenceSeconds(size_t num_samples, size_t batch_size,
+                                const BatchFootprint& footprint,
+                                const ModelComputeProfile& profile,
+                                const GpuSpec& gpu,
+                                const EpochTimeParams& params = {});
+
+}  // namespace prestroid::cloud
+
+#endif  // PRESTROID_CLOUD_EPOCH_TIME_MODEL_H_

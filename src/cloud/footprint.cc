@@ -1,0 +1,68 @@
+#include "cloud/footprint.h"
+
+#include "util/logging.h"
+
+namespace prestroid::cloud {
+
+BatchFootprint TreeModelFootprint(size_t batch_size, size_t trees_per_sample,
+                                  size_t nodes_padded, size_t feature_dim,
+                                  const std::vector<size_t>& conv_channels,
+                                  const std::vector<size_t>& dense_units) {
+  PRESTROID_CHECK(!conv_channels.empty());
+  BatchFootprint footprint;
+  const size_t slots = batch_size * trees_per_sample * nodes_padded;
+  footprint.input_bytes = slots * feature_dim * sizeof(float);
+
+  // Forward activations retained for backprop, their gradients, and
+  // framework workspace: roughly kActivationCopies live [slots, channels]
+  // tensors per convolution layer during the backward pass.
+  constexpr size_t kActivationCopies = 5;
+  size_t activations = 0;
+  for (size_t channels : conv_channels) {
+    activations += kActivationCopies * slots * channels * sizeof(float);
+  }
+  // Pooled vector + dense activations.
+  size_t pooled = batch_size * trees_per_sample * conv_channels.back();
+  activations += pooled * sizeof(float);
+  for (size_t units : dense_units) {
+    activations += batch_size * units * sizeof(float);
+  }
+  footprint.activation_bytes = activations;
+
+  // Parameters: 3 triangular weight matrices + bias per conv layer; dense
+  // head on the flattened K * C vector.
+  size_t params = 0;
+  size_t in = feature_dim;
+  for (size_t out : conv_channels) {
+    params += 3 * in * out + out;
+    in = out;
+  }
+  size_t head_in = trees_per_sample * conv_channels.back();
+  for (size_t units : dense_units) {
+    params += head_in * units + units;
+    head_in = units;
+  }
+  params += head_in + 1;
+  footprint.parameter_bytes = params * sizeof(float);
+  return footprint;
+}
+
+BatchFootprint FlatModelFootprint(size_t batch_size,
+                                  size_t input_floats_per_sample,
+                                  size_t hidden_floats_per_sample,
+                                  size_t num_parameters) {
+  BatchFootprint footprint;
+  footprint.input_bytes = batch_size * input_floats_per_sample * sizeof(float);
+  footprint.activation_bytes =
+      batch_size * hidden_floats_per_sample * sizeof(float);
+  footprint.parameter_bytes = num_parameters * sizeof(float);
+  return footprint;
+}
+
+bool FitsOnGpu(const BatchFootprint& footprint, const GpuSpec& gpu,
+               double reserve_fraction) {
+  const double available = gpu.memory_gb * 1e9 * (1.0 - reserve_fraction);
+  return static_cast<double>(footprint.total_bytes()) <= available;
+}
+
+}  // namespace prestroid::cloud

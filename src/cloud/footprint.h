@@ -1,0 +1,50 @@
+#ifndef PRESTROID_CLOUD_FOOTPRINT_H_
+#define PRESTROID_CLOUD_FOOTPRINT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cloud/gpu_spec.h"
+
+namespace prestroid::cloud {
+
+/// Byte accounting for one training batch: padded input tensor plus the
+/// forward activations the GPU must retain to compute backprop gradients
+/// (the paper's Section 3.2 memory argument).
+struct BatchFootprint {
+  size_t input_bytes = 0;
+  size_t activation_bytes = 0;
+  size_t parameter_bytes = 0;
+
+  size_t total_bytes() const {
+    // Adam keeps two moment tensors per parameter alongside the gradients.
+    return input_bytes + activation_bytes + 4 * parameter_bytes;
+  }
+  double input_mb() const { return static_cast<double>(input_bytes) / 1e6; }
+  double total_mb() const { return static_cast<double>(total_bytes()) / 1e6; }
+};
+
+/// Footprint of a tree-convolution model batch: `trees_per_sample` trees per
+/// sample (K for sub-tree models, 1 for full trees), each padded to
+/// `nodes_padded` slots of `feature_dim` floats, through `conv_channels`
+/// convolutions and `dense_units` dense layers.
+BatchFootprint TreeModelFootprint(size_t batch_size, size_t trees_per_sample,
+                                  size_t nodes_padded, size_t feature_dim,
+                                  const std::vector<size_t>& conv_channels,
+                                  const std::vector<size_t>& dense_units);
+
+/// Footprint of a generic flat-input model (M-MSCN, WCNN): padded input of
+/// `input_floats_per_sample` plus `hidden_floats_per_sample` activations.
+BatchFootprint FlatModelFootprint(size_t batch_size,
+                                  size_t input_floats_per_sample,
+                                  size_t hidden_floats_per_sample,
+                                  size_t num_parameters);
+
+/// Whether a batch fits into the GPU, leaving `reserve_fraction` of memory
+/// for the framework/runtime.
+bool FitsOnGpu(const BatchFootprint& footprint, const GpuSpec& gpu,
+               double reserve_fraction = 0.15);
+
+}  // namespace prestroid::cloud
+
+#endif  // PRESTROID_CLOUD_FOOTPRINT_H_

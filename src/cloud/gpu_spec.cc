@@ -1,0 +1,7 @@
+#include "cloud/gpu_spec.h"
+
+namespace prestroid::cloud {
+
+GpuSpec TeslaV100() { return GpuSpec(); }
+
+}  // namespace prestroid::cloud

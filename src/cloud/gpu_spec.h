@@ -1,0 +1,26 @@
+#ifndef PRESTROID_CLOUD_GPU_SPEC_H_
+#define PRESTROID_CLOUD_GPU_SPEC_H_
+
+#include <string>
+
+namespace prestroid::cloud {
+
+/// Performance envelope of one accelerator. Defaults model the NVIDIA Tesla
+/// V100 (16 GB) used by the paper's Azure NC_V3 clusters.
+struct GpuSpec {
+  std::string name = "Tesla V100";
+  double memory_gb = 16.0;
+  /// Effective host-to-device transfer bandwidth (PCIe 3.0 x16, realistic).
+  double pcie_gbps = 12.0;
+  /// Sustained FP32 throughput.
+  double tflops = 14.0;
+  /// Device memory bandwidth.
+  double mem_bandwidth_gbps = 900.0;
+};
+
+/// The V100 spec used across all cloud experiments.
+GpuSpec TeslaV100();
+
+}  // namespace prestroid::cloud
+
+#endif  // PRESTROID_CLOUD_GPU_SPEC_H_

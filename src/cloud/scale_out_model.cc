@@ -1,0 +1,51 @@
+#include "cloud/scale_out_model.h"
+
+#include "util/logging.h"
+
+namespace prestroid::cloud {
+
+double EstimateScaledEpochSeconds(size_t num_samples, size_t batch_size,
+                                  const BatchFootprint& footprint,
+                                  const ModelComputeProfile& profile,
+                                  const GpuSpec& gpu, size_t num_gpus,
+                                  const EpochTimeParams& epoch_params,
+                                  const ScaleOutParams& scale_params) {
+  PRESTROID_CHECK_GT(num_gpus, 0u);
+  const double single =
+      EstimateEpochSeconds(num_samples, batch_size, footprint, profile, gpu,
+                           epoch_params);
+  if (num_gpus == 1) return single;
+
+  const double n = static_cast<double>(num_gpus);
+  // Amdahl: only (1 - serial_fraction) of the per-epoch work shards.
+  const double parallel_time =
+      single * (scale_params.serial_fraction +
+                (1.0 - scale_params.serial_fraction) / n);
+
+  // Parameter-server synchronization: each of the N workers pushes gradients
+  // and pulls weights every batch, all through one server's NIC.
+  const size_t num_batches = (num_samples + batch_size - 1) / batch_size;
+  const double bytes_per_sync =
+      2.0 * static_cast<double>(profile.parameter_bytes) * n;
+  const double sync_per_batch =
+      bytes_per_sync / (scale_params.network_gbps * 1e9) +
+      scale_params.sync_latency_s * n;
+  const double sync_time = static_cast<double>(num_batches) * sync_per_batch;
+
+  return parallel_time + sync_time;
+}
+
+double ScaleOutSpeedup(size_t num_samples, size_t batch_size,
+                       const BatchFootprint& footprint,
+                       const ModelComputeProfile& profile, const GpuSpec& gpu,
+                       size_t num_gpus, const EpochTimeParams& epoch_params,
+                       const ScaleOutParams& scale_params) {
+  const double single = EstimateEpochSeconds(num_samples, batch_size, footprint,
+                                             profile, gpu, epoch_params);
+  const double scaled =
+      EstimateScaledEpochSeconds(num_samples, batch_size, footprint, profile,
+                                 gpu, num_gpus, epoch_params, scale_params);
+  return single / scaled;
+}
+
+}  // namespace prestroid::cloud

@@ -1,0 +1,44 @@
+#ifndef PRESTROID_CLOUD_SCALE_OUT_MODEL_H_
+#define PRESTROID_CLOUD_SCALE_OUT_MODEL_H_
+
+#include <cstddef>
+
+#include "cloud/epoch_time_model.h"
+
+namespace prestroid::cloud {
+
+/// Constants of the data-parallel (parameter-server) scale-out model of
+/// Appendix B.1: weights are replicated, batches sharded, and every epoch
+/// each worker pushes gradients to and pulls weights from a single
+/// bandwidth-bottlenecked parameter server.
+struct ScaleOutParams {
+  /// Inter-GPU / network bandwidth available to the parameter server.
+  double network_gbps = 8.0;
+  /// Per-synchronization fixed latency, per worker (seconds).
+  double sync_latency_s = 0.0008;
+  /// Fraction of the per-batch work that cannot be parallelized
+  /// (input pipeline, kernel launches) — Amdahl residue.
+  double serial_fraction = 0.08;
+};
+
+/// Epoch seconds when training on `num_gpus` with data parallelism.
+/// Reproduces the paper's Figure 9 penalties: speedups of ~1.6x/2.9x instead
+/// of 2x/4x, worse for parameter-heavy models.
+double EstimateScaledEpochSeconds(size_t num_samples, size_t batch_size,
+                                  const BatchFootprint& footprint,
+                                  const ModelComputeProfile& profile,
+                                  const GpuSpec& gpu, size_t num_gpus,
+                                  const EpochTimeParams& epoch_params = {},
+                                  const ScaleOutParams& scale_params = {});
+
+/// Observed speedup of `num_gpus` over single-GPU for the same setup.
+double ScaleOutSpeedup(size_t num_samples, size_t batch_size,
+                       const BatchFootprint& footprint,
+                       const ModelComputeProfile& profile, const GpuSpec& gpu,
+                       size_t num_gpus,
+                       const EpochTimeParams& epoch_params = {},
+                       const ScaleOutParams& scale_params = {});
+
+}  // namespace prestroid::cloud
+
+#endif  // PRESTROID_CLOUD_SCALE_OUT_MODEL_H_

@@ -1,0 +1,142 @@
+#include "core/full_tree_model.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace prestroid::core {
+
+FullTreeModel::FullTreeModel(const FullTreeModelConfig& config)
+    : config_(config), rng_(config.seed), loss_(config.huber_delta) {
+  PRESTROID_CHECK_GT(config_.feature_dim, 0u);
+  conv_ = std::make_unique<TreeConvStack>(config_.feature_dim,
+                                          config_.conv_channels, &rng_);
+  DenseHeadConfig head_config;
+  head_config.input_dim = conv_->output_dim();
+  head_config.hidden = config_.dense_units;
+  head_config.dropout = config_.dropout;
+  head_config.batch_norm = config_.batch_norm;
+  head_ = std::make_unique<DenseHead>(head_config, &rng_);
+  optimizer_ = std::make_unique<AdamOptimizer>(config_.learning_rate);
+  optimizer_->Register(conv_->Params());
+  optimizer_->Register(head_->Params());
+}
+
+void FullTreeModel::AddSample(TreeFeatures tree, float target) {
+  PRESTROID_CHECK(!finalized_);
+  PRESTROID_CHECK_EQ(tree.features.dim(1), config_.feature_dim);
+  max_nodes_ = std::max(max_nodes_, tree.num_nodes());
+  samples_.push_back(std::move(tree));
+  targets_.push_back(target);
+}
+
+void FullTreeModel::Finalize() {
+  PRESTROID_CHECK(!samples_.empty());
+  finalized_ = true;
+}
+
+void FullTreeModel::StageSample(TreeFeatures tree) {
+  PRESTROID_CHECK(finalized_);
+  PRESTROID_CHECK_EQ(tree.features.dim(1), config_.feature_dim);
+  samples_.push_back(std::move(tree));
+  targets_.push_back(0.0f);
+}
+
+void FullTreeModel::PopSample() {
+  PRESTROID_CHECK(!samples_.empty());
+  samples_.pop_back();
+  targets_.pop_back();
+}
+
+Tensor FullTreeModel::AssembleBatch(const std::vector<size_t>& batch,
+                                    TreeStructure* structure) const {
+  PRESTROID_CHECK(finalized_);
+  const size_t b = batch.size();
+  // The dataset-wide padding size; staged inference samples may exceed it.
+  size_t n = max_nodes_;
+  for (size_t idx : batch) n = std::max(n, samples_[idx].num_nodes());
+  const size_t f = config_.feature_dim;
+  Tensor features({b, n, f});
+  structure->left.assign(b, std::vector<int>(n, -1));
+  structure->right.assign(b, std::vector<int>(n, -1));
+  structure->mask.assign(b, std::vector<float>(n, 0.0f));
+  for (size_t i = 0; i < b; ++i) {
+    const TreeFeatures& tree = samples_[batch[i]];
+    const size_t count = tree.num_nodes();
+    std::memcpy(features.data() + i * n * f, tree.features.data(),
+                sizeof(float) * count * f);
+    for (size_t node = 0; node < count; ++node) {
+      structure->left[i][node] = tree.left[node];
+      structure->right[i][node] = tree.right[node];
+      structure->mask[i][node] = tree.votes[node];
+    }
+  }
+  return features;
+}
+
+Tensor FullTreeModel::ForwardBatch(const Tensor& features,
+                                   const TreeStructure& structure) {
+  Tensor conv_out = conv_->Forward(features, structure);
+  Tensor pooled = pooling_.Forward(conv_out, structure);  // [B, C]
+  return head_->Forward(pooled);
+}
+
+double FullTreeModel::TrainEpoch(const std::vector<size_t>& indices,
+                                 size_t batch_size) {
+  PRESTROID_CHECK(finalized_);
+  PRESTROID_CHECK_GT(batch_size, 0u);
+  head_->SetTraining(true);
+  double total_loss = 0.0;
+  size_t num_batches = 0;
+  for (size_t start = 0; start < indices.size(); start += batch_size) {
+    const size_t end = std::min(indices.size(), start + batch_size);
+    std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
+                              indices.begin() + static_cast<long>(end));
+    TreeStructure structure;
+    Tensor features = AssembleBatch(batch, &structure);
+    Tensor pred = ForwardBatch(features, structure);
+
+    Tensor target({batch.size(), 1});
+    for (size_t i = 0; i < batch.size(); ++i) target[i] = targets_[batch[i]];
+
+    optimizer_->ZeroGrad();
+    total_loss += loss_.Compute(pred, target);
+    ++num_batches;
+
+    Tensor grad = loss_.Gradient();
+    grad = head_->Backward(grad);
+    Tensor grad_conv = pooling_.Backward(grad);
+    conv_->Backward(grad_conv);
+    optimizer_->Step();
+  }
+  return num_batches == 0 ? 0.0 : total_loss / static_cast<double>(num_batches);
+}
+
+std::vector<float> FullTreeModel::Predict(const std::vector<size_t>& indices) {
+  PRESTROID_CHECK(finalized_);
+  head_->SetTraining(false);
+  std::vector<float> out;
+  out.reserve(indices.size());
+  constexpr size_t kEvalBatch = 32;
+  for (size_t start = 0; start < indices.size(); start += kEvalBatch) {
+    const size_t end = std::min(indices.size(), start + kEvalBatch);
+    std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
+                              indices.begin() + static_cast<long>(end));
+    TreeStructure structure;
+    Tensor features = AssembleBatch(batch, &structure);
+    Tensor pred = ForwardBatch(features, structure);
+    for (size_t i = 0; i < batch.size(); ++i) out.push_back(pred[i]);
+  }
+  head_->SetTraining(true);
+  return out;
+}
+
+size_t FullTreeModel::NumParameters() const {
+  return conv_->NumParameters() + head_->NumParameters();
+}
+
+size_t FullTreeModel::InputBytesPerBatch(size_t batch_size) const {
+  return batch_size * max_nodes_ * config_.feature_dim * sizeof(float);
+}
+
+}  // namespace prestroid::core

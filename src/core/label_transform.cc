@@ -1,0 +1,53 @@
+#include "core/label_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace prestroid::core {
+
+Status LabelTransform::Fit(const std::vector<double>& cpu_minutes) {
+  if (cpu_minutes.empty()) {
+    return Status::InvalidArgument("cannot fit label transform on empty data");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : cpu_minutes) {
+    if (v <= 0.0) {
+      return Status::InvalidArgument("CPU minutes must be positive");
+    }
+    double lv = std::log(v);
+    lo = std::min(lo, lv);
+    hi = std::max(hi, lv);
+  }
+  if (hi <= lo) hi = lo + 1e-9;  // degenerate single-valued corpus
+  log_min_ = lo;
+  log_max_ = hi;
+  fitted_ = true;
+  return Status::OK();
+}
+
+float LabelTransform::Normalize(double cpu_minutes) const {
+  PRESTROID_CHECK(fitted_);
+  PRESTROID_CHECK_GT(cpu_minutes, 0.0);
+  double norm = (std::log(cpu_minutes) - log_min_) / (log_max_ - log_min_);
+  return static_cast<float>(std::clamp(norm, 0.0, 1.0));
+}
+
+double LabelTransform::Denormalize(float normalized) const {
+  PRESTROID_CHECK(fitted_);
+  double n = std::clamp(static_cast<double>(normalized), 0.0, 1.0);
+  return std::exp(log_min_ + n * (log_max_ - log_min_));
+}
+
+std::vector<float> LabelTransform::NormalizeAll(
+    const std::vector<double>& cpu_minutes) const {
+  std::vector<float> out;
+  out.reserve(cpu_minutes.size());
+  for (double v : cpu_minutes) out.push_back(Normalize(v));
+  return out;
+}
+
+}  // namespace prestroid::core

@@ -1,0 +1,39 @@
+#ifndef PRESTROID_CORE_LABEL_TRANSFORM_H_
+#define PRESTROID_CORE_LABEL_TRANSFORM_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace prestroid::core {
+
+/// The paper's label pipeline: log transformation followed by min-max
+/// normalization, constraining all training values into [0, 1] (which is why
+/// every model ends in a sigmoid unit).
+class LabelTransform {
+ public:
+  /// Fits the min/max of log(cpu_minutes) over the corpus. Values must be
+  /// positive.
+  Status Fit(const std::vector<double>& cpu_minutes);
+
+  bool fitted() const { return fitted_; }
+
+  /// minutes -> [0, 1] (clamped for out-of-range inference-time values).
+  float Normalize(double cpu_minutes) const;
+  /// [0, 1] -> minutes.
+  double Denormalize(float normalized) const;
+
+  std::vector<float> NormalizeAll(const std::vector<double>& cpu_minutes) const;
+
+  double log_min() const { return log_min_; }
+  double log_max() const { return log_max_; }
+
+ private:
+  bool fitted_ = false;
+  double log_min_ = 0.0;
+  double log_max_ = 1.0;
+};
+
+}  // namespace prestroid::core
+
+#endif  // PRESTROID_CORE_LABEL_TRANSFORM_H_

@@ -1,0 +1,58 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prestroid::core {
+
+double MseMinutes(const std::vector<float>& predicted_norm,
+                  const std::vector<double>& actual_minutes,
+                  const LabelTransform& transform) {
+  PRESTROID_CHECK_EQ(predicted_norm.size(), actual_minutes.size());
+  PRESTROID_CHECK(!predicted_norm.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < predicted_norm.size(); ++i) {
+    double diff = transform.Denormalize(predicted_norm[i]) - actual_minutes[i];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(predicted_norm.size());
+}
+
+ProvisioningAccuracy ComputeProvisioning(
+    const std::vector<float>& predicted_norm,
+    const std::vector<double>& actual_minutes,
+    const LabelTransform& transform) {
+  PRESTROID_CHECK_EQ(predicted_norm.size(), actual_minutes.size());
+  ProvisioningAccuracy acc;
+  double total_actual = 0.0, over = 0.0, under = 0.0;
+  for (size_t i = 0; i < predicted_norm.size(); ++i) {
+    double predicted = transform.Denormalize(predicted_norm[i]);
+    double actual = actual_minutes[i];
+    total_actual += actual;
+    if (predicted > actual) {
+      over += predicted - actual;
+      ++acc.num_over;
+    } else if (predicted < actual) {
+      under += actual - predicted;
+      ++acc.num_under;
+    }
+  }
+  if (total_actual > 0.0) {
+    acc.over_pct = over / total_actual * 100.0;
+    acc.under_pct = under / total_actual * 100.0;
+  }
+  return acc;
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace prestroid::core

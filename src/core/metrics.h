@@ -1,0 +1,36 @@
+#ifndef PRESTROID_CORE_METRICS_H_
+#define PRESTROID_CORE_METRICS_H_
+
+#include <vector>
+
+#include "core/label_transform.h"
+
+namespace prestroid::core {
+
+/// MSE in minutes^2 — the unit of the paper's Table 2: predictions are
+/// denormalized back into minutes before squaring.
+double MseMinutes(const std::vector<float>& predicted_norm,
+                  const std::vector<double>& actual_minutes,
+                  const LabelTransform& transform);
+
+/// Resource allocation accuracy (paper Figure 5): how much of the cluster's
+/// actual CPU resources a model over- and under-allocates across a test set.
+/// over_pct = sum of excess allocation over queries where pred > actual, as
+/// a percentage of total actual CPU time; under_pct analogously for deficit.
+struct ProvisioningAccuracy {
+  double over_pct = 0.0;
+  double under_pct = 0.0;
+  size_t num_over = 0;
+  size_t num_under = 0;
+};
+
+ProvisioningAccuracy ComputeProvisioning(
+    const std::vector<float>& predicted_norm,
+    const std::vector<double>& actual_minutes, const LabelTransform& transform);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double SampleStdDev(const std::vector<double>& values);
+
+}  // namespace prestroid::core
+
+#endif  // PRESTROID_CORE_METRICS_H_

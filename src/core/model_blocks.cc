@@ -1,0 +1,111 @@
+#include "core/model_blocks.h"
+
+#include "util/logging.h"
+
+namespace prestroid::core {
+
+TreeConvStack::TreeConvStack(size_t input_dim,
+                             const std::vector<size_t>& channels, Rng* rng) {
+  PRESTROID_CHECK(!channels.empty());
+  size_t in = input_dim;
+  for (size_t out : channels) {
+    convs_.push_back(std::make_unique<TreeConvLayer>(in, out, rng));
+    relus_.push_back(std::make_unique<ReluLayer>());
+    in = out;
+  }
+  output_dim_ = in;
+}
+
+Tensor TreeConvStack::Forward(const Tensor& features,
+                              const TreeStructure& structure) {
+  Tensor x = features;
+  for (size_t i = 0; i < convs_.size(); ++i) {
+    x = convs_[i]->Forward(x, structure);
+    x = relus_[i]->Forward(x);
+  }
+  return x;
+}
+
+Tensor TreeConvStack::Backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (size_t i = convs_.size(); i-- > 0;) {
+    grad = relus_[i]->Backward(grad);
+    grad = convs_[i]->Backward(grad);
+  }
+  return grad;
+}
+
+std::vector<ParamRef> TreeConvStack::Params() {
+  std::vector<ParamRef> params;
+  for (auto& conv : convs_) {
+    for (ParamRef& p : conv->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+size_t TreeConvStack::NumParameters() {
+  size_t total = 0;
+  for (ParamRef& p : Params()) total += p.value->size();
+  return total;
+}
+
+DenseHead::DenseHead(const DenseHeadConfig& config, Rng* rng) {
+  PRESTROID_CHECK_GT(config.input_dim, 0u);
+  size_t in = config.input_dim;
+  for (size_t width : config.hidden) {
+    layers_.push_back(std::make_unique<Dense>(in, width, rng));
+    if (config.batch_norm) {
+      layers_.push_back(std::make_unique<BatchNorm1d>(width));
+    }
+    layers_.push_back(std::make_unique<ReluLayer>());
+    if (config.dropout > 0.0f) {
+      layers_.push_back(std::make_unique<Dropout>(config.dropout, rng));
+    }
+    in = width;
+  }
+  PRESTROID_CHECK_GT(config.outputs, 0u);
+  layers_.push_back(std::make_unique<Dense>(in, config.outputs, rng));
+  layers_.push_back(std::make_unique<SigmoidLayer>());
+}
+
+Tensor DenseHead::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Tensor DenseHead::Backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i]->Backward(grad);
+  }
+  return grad;
+}
+
+void DenseHead::SetTraining(bool training) {
+  for (auto& layer : layers_) layer->SetTraining(training);
+}
+
+std::vector<ParamRef> DenseHead::Params() {
+  std::vector<ParamRef> params;
+  for (auto& layer : layers_) {
+    for (ParamRef& p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<ParamRef> DenseHead::State() {
+  std::vector<ParamRef> state;
+  for (auto& layer : layers_) {
+    for (ParamRef& p : layer->State()) state.push_back(p);
+  }
+  return state;
+}
+
+size_t DenseHead::NumParameters() {
+  size_t total = 0;
+  for (ParamRef& p : Params()) total += p.value->size();
+  return total;
+}
+
+}  // namespace prestroid::core

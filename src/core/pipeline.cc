@@ -1,0 +1,211 @@
+#include "core/pipeline.h"
+
+#include "embed/predicate_tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace prestroid::core {
+
+namespace {
+
+/// Collects the PRED expressions of an O-T-P tree.
+void CollectPredicates(const otp::OtpNode& node,
+                       std::vector<const sql::Expr*>* out) {
+  if (node.type == otp::OtpNodeType::kPredicate && node.predicate != nullptr) {
+    out->push_back(node.predicate.get());
+  }
+  if (node.left != nullptr) CollectPredicates(*node.left, out);
+  if (node.right != nullptr) CollectPredicates(*node.right, out);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PrestroidPipeline>> PrestroidPipeline::Fit(
+    const std::vector<workload::QueryRecord>& records,
+    const std::vector<size_t>& train_indices, const PipelineConfig& config) {
+  if (records.empty()) {
+    return Status::InvalidArgument("cannot fit pipeline on an empty trace");
+  }
+  if (train_indices.empty()) {
+    return Status::InvalidArgument("training partition is empty");
+  }
+  auto pipeline = std::unique_ptr<PrestroidPipeline>(new PrestroidPipeline());
+  pipeline->config_ = config;
+
+  // 1. Label transform over the whole corpus (paper Section 5.1).
+  pipeline->cpu_minutes_ = workload::CpuMinutesOf(records);
+  PRESTROID_RETURN_NOT_OK(pipeline->transform_.Fit(pipeline->cpu_minutes_));
+  pipeline->targets_ =
+      pipeline->transform_.NormalizeAll(pipeline->cpu_minutes_);
+
+  // 2. Re-cast every plan once (train trees also feed the vocabularies).
+  std::vector<otp::OtpTree> trees;
+  trees.reserve(records.size());
+  for (const workload::QueryRecord& record : records) {
+    PRESTROID_ASSIGN_OR_RETURN(otp::OtpTree tree,
+                               otp::RecastPlan(*record.plan));
+    trees.push_back(std::move(tree));
+  }
+
+  // 3. Word2Vec over the TRAIN predicates (values and conjunctions
+  // stripped), window 5, min_count per config.
+  std::vector<std::vector<std::string>> sentences;
+  std::vector<const sql::Expr*> train_predicates;
+  for (size_t idx : train_indices) {
+    std::vector<const sql::Expr*> predicates;
+    CollectPredicates(*trees[idx].root, &predicates);
+    for (const sql::Expr* predicate : predicates) {
+      std::vector<std::string> sentence =
+          embed::TokenizePredicate(*predicate);
+      if (sentence.size() >= 2) sentences.push_back(std::move(sentence));
+      train_predicates.push_back(predicate);
+    }
+  }
+  pipeline->word2vec_ = std::make_unique<embed::Word2Vec>(config.word2vec);
+  PRESTROID_RETURN_NOT_OK(pipeline->word2vec_->Train(sentences));
+
+  // 4. Predicate encoder with the global OOV fallback.
+  pipeline->predicate_encoder_ =
+      std::make_unique<embed::PredicateEncoder>(pipeline->word2vec_.get());
+  pipeline->predicate_encoder_->FitGlobalFallback(train_predicates);
+
+  // 5. Operator / table vocabularies from the train trees.
+  pipeline->encoder_ =
+      std::make_unique<otp::OtpEncoder>(pipeline->predicate_encoder_.get());
+  std::vector<const otp::OtpTree*> train_trees;
+  train_trees.reserve(train_indices.size());
+  for (size_t idx : train_indices) train_trees.push_back(&trees[idx]);
+  pipeline->encoder_->FitVocabulary(train_trees);
+
+  pipeline->featurizer_ = std::make_unique<Featurizer>(
+      pipeline->encoder_.get(), pipeline->predicate_encoder_.get());
+
+  // 6. Model construction + featurization of every record.
+  const size_t feature_dim = pipeline->encoder_->feature_dim();
+  if (config.use_subtrees) {
+    SubtreeModelConfig model_config;
+    model_config.feature_dim = feature_dim;
+    model_config.node_limit = config.sampler.node_limit;
+    model_config.num_subtrees = config.num_subtrees;
+    model_config.conv_channels = config.conv_channels;
+    model_config.dense_units = config.dense_units;
+    model_config.dropout = config.dropout;
+    model_config.batch_norm = config.batch_norm;
+    model_config.learning_rate = config.learning_rate;
+    model_config.seed = config.seed;
+    model_config.name =
+        StrFormat("Prestroid (%zu-%zu-%zu)", config.sampler.node_limit,
+                  config.num_subtrees, config.word2vec.dim);
+    if (config.pruning != subtree::PruningStrategy::kAlgorithm1) {
+      model_config.name +=
+          StrFormat(" [%s]", subtree::PruningStrategyToString(config.pruning));
+    }
+    pipeline->subtree_model_ = std::make_unique<SubtreeModel>(model_config);
+    for (size_t i = 0; i < records.size(); ++i) {
+      PRESTROID_ASSIGN_OR_RETURN(
+          std::vector<TreeFeatures> subtrees,
+          pipeline->featurizer_->FeaturizeSubtrees(
+              *records[i].plan, config.sampler, config.num_subtrees,
+              config.pruning));
+      pipeline->subtree_model_->AddSample(std::move(subtrees),
+                                          pipeline->targets_[i]);
+    }
+  } else {
+    FullTreeModelConfig model_config;
+    model_config.feature_dim = feature_dim;
+    model_config.conv_channels = config.conv_channels;
+    model_config.dense_units = config.dense_units;
+    model_config.dropout = config.dropout;
+    model_config.batch_norm = config.batch_norm;
+    model_config.learning_rate = config.learning_rate;
+    model_config.seed = config.seed;
+    model_config.name = StrFormat("Full-%zu", config.word2vec.dim);
+    pipeline->full_model_ = std::make_unique<FullTreeModel>(model_config);
+    for (size_t i = 0; i < records.size(); ++i) {
+      PRESTROID_ASSIGN_OR_RETURN(
+          TreeFeatures features,
+          pipeline->featurizer_->FeaturizeFullPlan(*records[i].plan));
+      pipeline->full_model_->AddSample(std::move(features),
+                                       pipeline->targets_[i]);
+    }
+    pipeline->full_model_->Finalize();
+  }
+  return pipeline;
+}
+
+CostModel* PrestroidPipeline::model() {
+  return config_.use_subtrees ? static_cast<CostModel*>(subtree_model_.get())
+                              : static_cast<CostModel*>(full_model_.get());
+}
+
+TrainResult PrestroidPipeline::Train(const workload::DatasetSplits& splits,
+                                     const TrainConfig& train_config) {
+  std::vector<float> val_targets;
+  val_targets.reserve(splits.val.size());
+  for (size_t idx : splits.val) val_targets.push_back(targets_[idx]);
+  return TrainWithEarlyStopping(model(), splits.train, splits.val, val_targets,
+                                train_config);
+}
+
+std::vector<double> PrestroidPipeline::PredictMinutes(
+    const std::vector<size_t>& indices) {
+  std::vector<float> norm = model()->Predict(indices);
+  std::vector<double> minutes;
+  minutes.reserve(norm.size());
+  for (float n : norm) minutes.push_back(transform_.Denormalize(n));
+  return minutes;
+}
+
+double PrestroidPipeline::EvaluateMseMinutes(
+    const std::vector<size_t>& indices) {
+  std::vector<float> norm = model()->Predict(indices);
+  std::vector<double> actual;
+  actual.reserve(indices.size());
+  for (size_t idx : indices) actual.push_back(cpu_minutes_[idx]);
+  return MseMinutes(norm, actual, transform_);
+}
+
+Result<double> PrestroidPipeline::PredictPlan(const plan::PlanNode& plan) {
+  float norm = 0.0f;
+  if (config_.use_subtrees) {
+    PRESTROID_ASSIGN_OR_RETURN(
+        std::vector<TreeFeatures> subtrees,
+        featurizer_->FeaturizeSubtrees(plan, config_.sampler,
+                                       config_.num_subtrees,
+                                       config_.pruning));
+    // Stage the sample, predict it, then drop it again.
+    const size_t idx = subtree_model_->num_samples();
+    subtree_model_->AddSample(std::move(subtrees), 0.0f);
+    norm = subtree_model_->Predict({idx})[0];
+    subtree_model_->PopSample();
+  } else {
+    PRESTROID_ASSIGN_OR_RETURN(TreeFeatures features,
+                               featurizer_->FeaturizeFullPlan(plan));
+    const size_t idx = full_model_->num_samples();
+    full_model_->StageSample(std::move(features));
+    norm = full_model_->Predict({idx})[0];
+    full_model_->PopSample();
+  }
+  return transform_.Denormalize(norm);
+}
+
+std::string PrestroidPipeline::ModelName() const {
+  if (!config_.use_subtrees) {
+    return StrFormat("Full-%zu", config_.word2vec.dim);
+  }
+  std::string name =
+      StrFormat("Prestroid (%zu-%zu-%zu)", config_.sampler.node_limit,
+                config_.num_subtrees, config_.word2vec.dim);
+  if (config_.pruning != subtree::PruningStrategy::kAlgorithm1) {
+    name += StrFormat(" [%s]", subtree::PruningStrategyToString(config_.pruning));
+  }
+  return name;
+}
+
+size_t PrestroidPipeline::InputBytesPerBatch(size_t batch_size) const {
+  return config_.use_subtrees
+             ? subtree_model_->InputBytesPerBatch(batch_size)
+             : full_model_->InputBytesPerBatch(batch_size);
+}
+
+}  // namespace prestroid::core

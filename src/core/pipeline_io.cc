@@ -1,0 +1,246 @@
+// Serialization of a fitted PrestroidPipeline (see pipeline.h). Text format:
+//
+//   PRESTROID_PIPELINE v1
+//   <config scalars>
+//   conv_channels / dense_units lists
+//   transform <log_min> <log_max>
+//   <embedded Word2Vec dump>
+//   fallback <dim> <floats...>
+//   operators <n> (<label> <id>)* ; tables <n> (<name> <id>)*
+//   full_max_nodes <n>            (full-tree pipelines only)
+//   weights <count> (<name> <numel> <floats...>)*
+//
+// Labels and tokens never contain whitespace (operator labels are
+// "Join:INNER"-style, tables/columns are identifiers), so stream extraction
+// round-trips them safely.
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "util/logging.h"
+
+namespace prestroid::core {
+
+namespace {
+
+void DumpSizeList(std::ostream& os, const char* tag,
+                  const std::vector<size_t>& values) {
+  os << tag << " " << values.size();
+  for (size_t v : values) os << " " << v;
+  os << "\n";
+}
+
+Status ReadSizeList(std::istream& is, const char* tag,
+                    std::vector<size_t>* out) {
+  std::string label;
+  size_t count = 0;
+  is >> label >> count;
+  if (!is.good() || label != tag) {
+    return Status::ParseError(std::string("expected list tag ") + tag);
+  }
+  out->resize(count);
+  for (size_t& v : *out) is >> v;
+  if (is.fail()) return Status::ParseError("truncated size list");
+  return Status::OK();
+}
+
+void DumpVocab(std::ostream& os, const char* tag,
+               const std::map<std::string, size_t>& vocab) {
+  os << tag << " " << vocab.size();
+  for (const auto& [label, id] : vocab) os << " " << label << " " << id;
+  os << "\n";
+}
+
+Status ReadVocab(std::istream& is, const char* tag,
+                 std::map<std::string, size_t>* out) {
+  std::string label;
+  size_t count = 0;
+  is >> label >> count;
+  if (!is.good() || label != tag) {
+    return Status::ParseError(std::string("expected vocab tag ") + tag);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    std::string key;
+    size_t id = 0;
+    is >> key >> id;
+    out->emplace(std::move(key), id);
+  }
+  if (is.fail()) return Status::ParseError("truncated vocabulary");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PrestroidPipeline::SaveFile(const std::string& path) {
+  std::ofstream os(path);
+  if (!os.is_open()) return Status::IoError("cannot open for write: " + path);
+  os.precision(9);
+
+  os << "PRESTROID_PIPELINE v1\n";
+  os << "config " << (config_.use_subtrees ? 1 : 0) << " "
+     << static_cast<int>(config_.pruning) << " " << config_.num_subtrees << " "
+     << config_.sampler.node_limit << " " << config_.sampler.conv_layers << " "
+     << config_.word2vec.dim << " " << config_.dropout << " "
+     << (config_.batch_norm ? 1 : 0) << " " << config_.learning_rate << " "
+     << config_.seed << "\n";
+  DumpSizeList(os, "conv_channels", config_.conv_channels);
+  DumpSizeList(os, "dense_units", config_.dense_units);
+  os << "transform " << transform_.log_min() << " " << transform_.log_max()
+     << "\n";
+  word2vec_->Serialize(os);
+  const std::vector<float>& fallback = predicate_encoder_->global_fallback();
+  os << "fallback " << fallback.size();
+  for (float v : fallback) os << " " << v;
+  os << "\n";
+  DumpVocab(os, "operators", encoder_->operator_ids());
+  DumpVocab(os, "tables", encoder_->table_ids());
+  if (!config_.use_subtrees) {
+    os << "full_max_nodes " << full_model_->max_nodes() << "\n";
+  }
+
+  auto dump_tensors = [&os](const char* tag, std::vector<ParamRef> refs) {
+    os << tag << " " << refs.size() << "\n";
+    for (const ParamRef& ref : refs) {
+      os << ref.name << " " << ref.value->size();
+      for (size_t i = 0; i < ref.value->size(); ++i) {
+        os << " " << (*ref.value)[i];
+      }
+      os << "\n";
+    }
+  };
+  dump_tensors("weights", model()->Params());
+  dump_tensors("state", model()->State());
+  os.close();
+  if (!os.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PrestroidPipeline>> PrestroidPipeline::LoadFile(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) return Status::IoError("cannot open for read: " + path);
+
+  std::string magic, version;
+  is >> magic >> version;
+  if (magic != "PRESTROID_PIPELINE" || version != "v1") {
+    return Status::ParseError("not a Prestroid pipeline file: " + path);
+  }
+
+  auto pipeline = std::unique_ptr<PrestroidPipeline>(new PrestroidPipeline());
+  PipelineConfig& config = pipeline->config_;
+  std::string tag;
+  int use_subtrees = 0, pruning = 0, batch_norm = 0;
+  is >> tag >> use_subtrees >> pruning >> config.num_subtrees >>
+      config.sampler.node_limit >> config.sampler.conv_layers >>
+      config.word2vec.dim >> config.dropout >> batch_norm >>
+      config.learning_rate >> config.seed;
+  if (!is.good() || tag != "config") {
+    return Status::ParseError("bad pipeline config header");
+  }
+  config.use_subtrees = use_subtrees != 0;
+  config.pruning = static_cast<subtree::PruningStrategy>(pruning);
+  config.batch_norm = batch_norm != 0;
+  PRESTROID_RETURN_NOT_OK(
+      ReadSizeList(is, "conv_channels", &config.conv_channels));
+  PRESTROID_RETURN_NOT_OK(ReadSizeList(is, "dense_units", &config.dense_units));
+
+  double log_min = 0, log_max = 1;
+  is >> tag >> log_min >> log_max;
+  if (!is.good() || tag != "transform") {
+    return Status::ParseError("bad transform record");
+  }
+  // Re-fit the transform from its endpoints (log of the stored bounds).
+  PRESTROID_RETURN_NOT_OK(
+      pipeline->transform_.Fit({std::exp(log_min), std::exp(log_max)}));
+
+  pipeline->word2vec_ = std::make_unique<embed::Word2Vec>();
+  PRESTROID_RETURN_NOT_OK(pipeline->word2vec_->Restore(is));
+
+  pipeline->predicate_encoder_ =
+      std::make_unique<embed::PredicateEncoder>(pipeline->word2vec_.get());
+  size_t fallback_size = 0;
+  is >> tag >> fallback_size;
+  if (!is.good() || tag != "fallback") {
+    return Status::ParseError("bad fallback record");
+  }
+  std::vector<float> fallback(fallback_size);
+  for (float& v : fallback) is >> v;
+  pipeline->predicate_encoder_->RestoreGlobalFallback(std::move(fallback));
+
+  pipeline->encoder_ =
+      std::make_unique<otp::OtpEncoder>(pipeline->predicate_encoder_.get());
+  std::map<std::string, size_t> operators, tables;
+  PRESTROID_RETURN_NOT_OK(ReadVocab(is, "operators", &operators));
+  PRESTROID_RETURN_NOT_OK(ReadVocab(is, "tables", &tables));
+  pipeline->encoder_->RestoreVocabulary(std::move(operators),
+                                        std::move(tables));
+  pipeline->featurizer_ = std::make_unique<Featurizer>(
+      pipeline->encoder_.get(), pipeline->predicate_encoder_.get());
+
+  // Rebuild the model skeleton with the fitted vocabularies' feature width.
+  const size_t feature_dim = pipeline->encoder_->feature_dim();
+  if (config.use_subtrees) {
+    SubtreeModelConfig model_config;
+    model_config.feature_dim = feature_dim;
+    model_config.node_limit = config.sampler.node_limit;
+    model_config.num_subtrees = config.num_subtrees;
+    model_config.conv_channels = config.conv_channels;
+    model_config.dense_units = config.dense_units;
+    model_config.dropout = config.dropout;
+    model_config.batch_norm = config.batch_norm;
+    model_config.learning_rate = config.learning_rate;
+    model_config.seed = config.seed;
+    pipeline->subtree_model_ = std::make_unique<SubtreeModel>(model_config);
+  } else {
+    size_t max_nodes = 0;
+    is >> tag >> max_nodes;
+    if (!is.good() || tag != "full_max_nodes") {
+      return Status::ParseError("bad full_max_nodes record");
+    }
+    FullTreeModelConfig model_config;
+    model_config.feature_dim = feature_dim;
+    model_config.conv_channels = config.conv_channels;
+    model_config.dense_units = config.dense_units;
+    model_config.dropout = config.dropout;
+    model_config.batch_norm = config.batch_norm;
+    model_config.learning_rate = config.learning_rate;
+    model_config.seed = config.seed;
+    pipeline->full_model_ = std::make_unique<FullTreeModel>(model_config);
+    pipeline->full_model_->FinalizeEmpty(max_nodes);
+  }
+
+  // Restore the trained weights (and non-trainable buffers) into the
+  // freshly built tensors.
+  auto read_tensors = [&is](const char* expected_tag,
+                            std::vector<ParamRef> refs) -> Status {
+    std::string header;
+    size_t count = 0;
+    is >> header >> count;
+    if (!is.good() || header != expected_tag) {
+      return Status::ParseError(std::string("bad tensor section ") +
+                                expected_tag);
+    }
+    if (refs.size() != count) {
+      return Status::ParseError(
+          "tensor count mismatch: file does not match the rebuilt "
+          "architecture");
+    }
+    for (ParamRef& ref : refs) {
+      std::string name;
+      size_t numel = 0;
+      is >> name >> numel;
+      if (!is.good() || numel != ref.value->size()) {
+        return Status::ParseError("tensor shape mismatch for " + ref.name);
+      }
+      for (size_t i = 0; i < numel; ++i) is >> (*ref.value)[i];
+    }
+    if (is.fail()) return Status::ParseError("truncated tensor section");
+    return Status::OK();
+  };
+  PRESTROID_RETURN_NOT_OK(read_tensors("weights", pipeline->model()->Params()));
+  PRESTROID_RETURN_NOT_OK(read_tensors("state", pipeline->model()->State()));
+  return pipeline;
+}
+
+}  // namespace prestroid::core

@@ -1,0 +1,179 @@
+#include "core/subtree_model.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace prestroid::core {
+
+SubtreeModel::SubtreeModel(const SubtreeModelConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      loss_(config.huber_delta) {
+  PRESTROID_CHECK_GT(config_.feature_dim, 0u);
+  PRESTROID_CHECK_GT(config_.node_limit, 0u);
+  PRESTROID_CHECK_GT(config_.num_subtrees, 0u);
+  conv_ = std::make_unique<TreeConvStack>(config_.feature_dim,
+                                          config_.conv_channels, &rng_);
+  PRESTROID_CHECK_GT(config_.output_dim, 0u);
+  DenseHeadConfig head_config;
+  head_config.input_dim = config_.num_subtrees * conv_->output_dim();
+  head_config.hidden = config_.dense_units;
+  head_config.dropout = config_.dropout;
+  head_config.batch_norm = config_.batch_norm;
+  head_config.outputs = config_.output_dim;
+  head_ = std::make_unique<DenseHead>(head_config, &rng_);
+  optimizer_ = std::make_unique<AdamOptimizer>(config_.learning_rate);
+  optimizer_->Register(conv_->Params());
+  optimizer_->Register(head_->Params());
+}
+
+void SubtreeModel::AddSample(std::vector<TreeFeatures> subtrees,
+                             float target) {
+  PRESTROID_CHECK_EQ(config_.output_dim, 1u);
+  AddSampleMulti(std::move(subtrees), {target});
+}
+
+void SubtreeModel::AddSampleMulti(std::vector<TreeFeatures> subtrees,
+                                  const std::vector<float>& targets) {
+  PRESTROID_CHECK_EQ(targets.size(), config_.output_dim);
+  for (const TreeFeatures& tree : subtrees) {
+    PRESTROID_CHECK_LE(tree.num_nodes(), config_.node_limit);
+    PRESTROID_CHECK_EQ(tree.features.dim(1), config_.feature_dim);
+  }
+  if (subtrees.size() > config_.num_subtrees) {
+    subtrees.resize(config_.num_subtrees);
+  }
+  samples_.push_back(std::move(subtrees));
+  // Flat [num_samples, output_dim] layout.
+  for (float target : targets) targets_.push_back(target);
+}
+
+void SubtreeModel::PopSample() {
+  PRESTROID_CHECK(!samples_.empty());
+  samples_.pop_back();
+  for (size_t i = 0; i < config_.output_dim; ++i) targets_.pop_back();
+}
+
+Tensor SubtreeModel::AssembleBatch(const std::vector<size_t>& batch,
+                                   TreeStructure* structure) const {
+  const size_t b = batch.size();
+  const size_t k = config_.num_subtrees;
+  const size_t n = config_.node_limit;
+  const size_t f = config_.feature_dim;
+
+  Tensor features({b * k, n, f});
+  structure->left.assign(b * k, std::vector<int>(n, -1));
+  structure->right.assign(b * k, std::vector<int>(n, -1));
+  structure->mask.assign(b * k, std::vector<float>(n, 0.0f));
+
+  for (size_t i = 0; i < b; ++i) {
+    const std::vector<TreeFeatures>& trees = samples_[batch[i]];
+    for (size_t s = 0; s < trees.size(); ++s) {
+      const TreeFeatures& tree = trees[s];
+      const size_t slot = i * k + s;
+      const size_t count = tree.num_nodes();
+      std::memcpy(features.data() + slot * n * f, tree.features.data(),
+                  sizeof(float) * count * f);
+      for (size_t node = 0; node < count; ++node) {
+        structure->left[slot][node] = tree.left[node];
+        structure->right[slot][node] = tree.right[node];
+        structure->mask[slot][node] = tree.votes[node];
+      }
+    }
+    // Missing sub-trees (trees.size() < K) keep all-zero masks: they pool to
+    // the zero vector, exactly like a fully 0-padded sub-tree slot.
+  }
+  return features;
+}
+
+Tensor SubtreeModel::ForwardBatch(const Tensor& features,
+                                  const TreeStructure& structure) {
+  const size_t bk = features.dim(0);
+  const size_t b = bk / config_.num_subtrees;
+  Tensor conv_out = conv_->Forward(features, structure);
+  Tensor pooled = pooling_.Forward(conv_out, structure);  // [B*K, C]
+  // Row-major [B*K, C] is bitwise identical to [B, K*C]: flattening across
+  // sub-trees is a pure reshape.
+  Tensor flat = pooled.Reshape({b, config_.num_subtrees * conv_->output_dim()});
+  return head_->Forward(flat);
+}
+
+double SubtreeModel::TrainEpoch(const std::vector<size_t>& indices,
+                                size_t batch_size) {
+  PRESTROID_CHECK_GT(batch_size, 0u);
+  head_->SetTraining(true);
+  double total_loss = 0.0;
+  size_t num_batches = 0;
+  for (size_t start = 0; start < indices.size(); start += batch_size) {
+    const size_t end = std::min(indices.size(), start + batch_size);
+    std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
+                              indices.begin() + static_cast<long>(end));
+    TreeStructure structure;
+    Tensor features = AssembleBatch(batch, &structure);
+    Tensor pred = ForwardBatch(features, structure);
+
+    const size_t out = config_.output_dim;
+    Tensor target({batch.size(), out});
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (size_t j = 0; j < out; ++j) {
+        target[i * out + j] = targets_[batch[i] * out + j];
+      }
+    }
+
+    optimizer_->ZeroGrad();
+    total_loss += loss_.Compute(pred, target);
+    ++num_batches;
+
+    Tensor grad = loss_.Gradient();
+    grad = head_->Backward(grad);  // [B, K*C]
+    Tensor grad_pooled = grad.Reshape(
+        {batch.size() * config_.num_subtrees, conv_->output_dim()});
+    Tensor grad_conv = pooling_.Backward(grad_pooled);
+    conv_->Backward(grad_conv);
+    optimizer_->Step();
+  }
+  return num_batches == 0 ? 0.0 : total_loss / static_cast<double>(num_batches);
+}
+
+Tensor SubtreeModel::PredictMulti(const std::vector<size_t>& indices) {
+  head_->SetTraining(false);
+  const size_t out_dim = config_.output_dim;
+  Tensor out({indices.size(), out_dim});
+  constexpr size_t kEvalBatch = 64;
+  for (size_t start = 0; start < indices.size(); start += kEvalBatch) {
+    const size_t end = std::min(indices.size(), start + kEvalBatch);
+    std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
+                              indices.begin() + static_cast<long>(end));
+    TreeStructure structure;
+    Tensor features = AssembleBatch(batch, &structure);
+    Tensor pred = ForwardBatch(features, structure);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (size_t j = 0; j < out_dim; ++j) {
+        out.At(start + i, j) = pred.At(i, j);
+      }
+    }
+  }
+  head_->SetTraining(true);
+  return out;
+}
+
+std::vector<float> SubtreeModel::Predict(const std::vector<size_t>& indices) {
+  Tensor multi = PredictMulti(indices);
+  std::vector<float> out;
+  out.reserve(indices.size());
+  // CostModel interface: the first objective (total CPU time).
+  for (size_t i = 0; i < indices.size(); ++i) out.push_back(multi.At(i, 0));
+  return out;
+}
+
+size_t SubtreeModel::NumParameters() const {
+  return conv_->NumParameters() + head_->NumParameters();
+}
+
+size_t SubtreeModel::InputBytesPerBatch(size_t batch_size) const {
+  return batch_size * config_.num_subtrees * config_.node_limit *
+         config_.feature_dim * sizeof(float);
+}
+
+}  // namespace prestroid::core

@@ -1,0 +1,97 @@
+#ifndef PRESTROID_CORE_SUBTREE_MODEL_H_
+#define PRESTROID_CORE_SUBTREE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/featurizer.h"
+#include "core/model_blocks.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace prestroid::core {
+
+/// Hyper-parameters of the Prestroid sub-tree model (paper notation
+/// N-K-P_f). The P_f dimension is implied by `feature_dim` (the encoder's
+/// node width already includes the P_f-wide predicate block).
+struct SubtreeModelConfig {
+  size_t feature_dim = 0;   // node-feature width F
+  size_t node_limit = 15;   // N: max nodes per sub-tree
+  size_t num_subtrees = 9;  // K: sub-trees per query
+  std::vector<size_t> conv_channels = {512, 512, 512};
+  std::vector<size_t> dense_units = {128, 64};
+  float dropout = 0.1f;
+  bool batch_norm = true;
+  float learning_rate = 1e-4f;
+  float huber_delta = 1.0f;
+  /// Number of regression targets. 1 = the paper's total-CPU-time objective;
+  /// >1 enables the multi-objective extension (e.g. {CPU, peak memory,
+  /// input bytes}), all trained jointly under one Huber loss.
+  size_t output_dim = 1;
+  uint64_t seed = 1;
+  std::string name = "Prestroid";
+};
+
+/// The paper's core contribution: per-query K sub-trees of <= N nodes run
+/// through a shared tree-convolution trunk, vote-masked dynamic pooling per
+/// sub-tree, flattened across sub-trees, then a dense sigmoid head.
+class SubtreeModel : public CostModel {
+ public:
+  explicit SubtreeModel(const SubtreeModelConfig& config);
+
+  /// Adds one featurized sample (the first K sub-trees from the Featurizer;
+  /// fewer are zero-padded) with its normalized target (output_dim must
+  /// be 1).
+  void AddSample(std::vector<TreeFeatures> subtrees, float target);
+
+  /// Multi-objective variant: `targets` holds output_dim normalized values.
+  void AddSampleMulti(std::vector<TreeFeatures> subtrees,
+                      const std::vector<float>& targets);
+
+  /// Predicts all output_dim objectives: [indices.size(), output_dim].
+  Tensor PredictMulti(const std::vector<size_t>& indices);
+
+  /// Removes the most recently added sample (used to stage transient
+  /// inference-only samples).
+  void PopSample();
+
+  // CostModel:
+  std::string name() const override { return config_.name; }
+  size_t num_samples() const override { return samples_.size(); }
+  double TrainEpoch(const std::vector<size_t>& indices,
+                    size_t batch_size) override;
+  std::vector<float> Predict(const std::vector<size_t>& indices) override;
+  size_t NumParameters() const override;
+  std::vector<ParamRef> Params() override { return optimizer_->params(); }
+  std::vector<ParamRef> State() override { return head_->State(); }
+
+  /// Exact bytes of the padded input tensor for one batch (Figure 6 top):
+  /// batch * K * N * F * sizeof(float).
+  size_t InputBytesPerBatch(size_t batch_size) const;
+
+  const SubtreeModelConfig& config() const { return config_; }
+  const std::vector<float>& targets() const { return targets_; }
+
+ private:
+  /// Assembles the padded [B*K, N, F] batch and its structure.
+  Tensor AssembleBatch(const std::vector<size_t>& batch,
+                       TreeStructure* structure) const;
+  Tensor ForwardBatch(const Tensor& features, const TreeStructure& structure);
+
+  SubtreeModelConfig config_;
+  Rng rng_;
+  std::unique_ptr<TreeConvStack> conv_;
+  MaskedDynamicPooling pooling_;
+  std::unique_ptr<DenseHead> head_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+  HuberLoss loss_;
+
+  std::vector<std::vector<TreeFeatures>> samples_;
+  std::vector<float> targets_;
+};
+
+}  // namespace prestroid::core
+
+#endif  // PRESTROID_CORE_SUBTREE_MODEL_H_

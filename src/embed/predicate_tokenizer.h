@@ -1,0 +1,31 @@
+#ifndef PRESTROID_EMBED_PREDICATE_TOKENIZER_H_
+#define PRESTROID_EMBED_PREDICATE_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace prestroid::embed {
+
+/// Extracts the Word2Vec training tokens of one *atomic* predicate clause:
+/// column names and the comparison operator, with all literal values omitted
+/// (paper Section 4.2 / Figure 4). E.g. `a.longitude > 103.8` ->
+/// ["longitude", ">"].
+std::vector<std::string> TokenizeClause(const sql::Expr& clause);
+
+/// Flattens a whole predicate tree into its token sequence, stripping the
+/// AND/OR conjunctions and every literal. This is the "sentence" a predicate
+/// contributes to Word2Vec training.
+std::vector<std::string> TokenizePredicate(const sql::Expr& predicate);
+
+/// True for the atomic clause kinds (everything except AND/OR/NOT).
+bool IsAtomicClause(const sql::Expr& expr);
+
+/// Collects pointers to the atomic clauses of a predicate tree in-order.
+void CollectAtomicClauses(const sql::Expr& predicate,
+                          std::vector<const sql::Expr*>* clauses);
+
+}  // namespace prestroid::embed
+
+#endif  // PRESTROID_EMBED_PREDICATE_TOKENIZER_H_

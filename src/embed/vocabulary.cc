@@ -1,0 +1,53 @@
+#include "embed/vocabulary.h"
+
+#include <algorithm>
+
+namespace prestroid::embed {
+
+void Vocabulary::Build(const std::vector<std::vector<std::string>>& sentences,
+                       size_t min_count) {
+  ids_.clear();
+  tokens_.clear();
+  counts_.clear();
+  total_count_ = 0;
+
+  std::map<std::string, int64_t> freq;
+  for (const auto& sentence : sentences) {
+    for (const std::string& token : sentence) ++freq[token];
+  }
+  std::vector<std::pair<std::string, int64_t>> kept;
+  for (const auto& [token, count] : freq) {
+    if (count >= static_cast<int64_t>(min_count)) kept.emplace_back(token, count);
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  tokens_.reserve(kept.size());
+  counts_.reserve(kept.size());
+  for (const auto& [token, count] : kept) {
+    ids_.emplace(token, static_cast<int>(tokens_.size()));
+    tokens_.push_back(token);
+    counts_.push_back(count);
+    total_count_ += count;
+  }
+}
+
+void Vocabulary::Restore(std::vector<std::string> tokens,
+                         std::vector<int64_t> counts) {
+  ids_.clear();
+  total_count_ = 0;
+  tokens_ = std::move(tokens);
+  counts_ = std::move(counts);
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    ids_.emplace(tokens_[i], static_cast<int>(i));
+    total_count_ += counts_[i];
+  }
+}
+
+int Vocabulary::Lookup(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+}  // namespace prestroid::embed

@@ -1,0 +1,44 @@
+#ifndef PRESTROID_EMBED_VOCABULARY_H_
+#define PRESTROID_EMBED_VOCABULARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prestroid::embed {
+
+/// Token vocabulary with frequency counts and a min-count cutoff, mirroring
+/// Gensim's Word2Vec vocabulary handling (the paper uses min_count = 10).
+class Vocabulary {
+ public:
+  /// Counts tokens across the corpus and keeps those with frequency >=
+  /// min_count. Ids are assigned in decreasing-frequency order (ties broken
+  /// lexicographically) so id 0 is the most frequent token.
+  void Build(const std::vector<std::vector<std::string>>& sentences,
+             size_t min_count);
+
+  /// Rebuilds the vocabulary from serialized (token, count) pairs, in id
+  /// order (used by model loading).
+  void Restore(std::vector<std::string> tokens, std::vector<int64_t> counts);
+
+  /// Returns the token id or -1 if out-of-vocabulary.
+  int Lookup(const std::string& token) const;
+  bool Contains(const std::string& token) const { return Lookup(token) >= 0; }
+
+  const std::string& TokenOf(size_t id) const { return tokens_[id]; }
+  int64_t CountOf(size_t id) const { return counts_[id]; }
+
+  size_t size() const { return tokens_.size(); }
+  int64_t total_count() const { return total_count_; }
+
+ private:
+  std::map<std::string, int> ids_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace prestroid::embed
+
+#endif  // PRESTROID_EMBED_VOCABULARY_H_

@@ -1,0 +1,75 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace prestroid {
+
+Tensor ReluLayer::Forward(const Tensor& input) {
+  input_cache_ = input;
+  return Relu(input);
+}
+
+Tensor ReluLayer::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK_EQ(grad_output.size(), input_cache_.size());
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (input_cache_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor SigmoidLayer::Forward(const Tensor& input) {
+  output_cache_ = Sigmoid(input);
+  return output_cache_;
+}
+
+Tensor SigmoidLayer::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK_EQ(grad_output.size(), output_cache_.size());
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    float y = output_cache_[i];
+    grad[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+Tensor TanhLayer::Forward(const Tensor& input) {
+  output_cache_ = TanhT(input);
+  return output_cache_;
+}
+
+Tensor TanhLayer::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK_EQ(grad_output.size(), output_cache_.size());
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    float y = output_cache_[i];
+    grad[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+LeakyReluLayer::LeakyReluLayer(float negative_slope)
+    : negative_slope_(negative_slope) {}
+
+Tensor LeakyReluLayer::Forward(const Tensor& input) {
+  input_cache_ = input;
+  Tensor out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0f) out[i] *= negative_slope_;
+  }
+  return out;
+}
+
+Tensor LeakyReluLayer::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK_EQ(grad_output.size(), input_cache_.size());
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (input_cache_[i] < 0.0f) grad[i] *= negative_slope_;
+  }
+  return grad;
+}
+
+}  // namespace prestroid

@@ -1,0 +1,54 @@
+#ifndef PRESTROID_NN_ACTIVATIONS_H_
+#define PRESTROID_NN_ACTIVATIONS_H_
+
+#include "nn/layer.h"
+
+namespace prestroid {
+
+/// Elementwise max(0, x).
+class ReluLayer : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor input_cache_;
+};
+
+/// Elementwise logistic sigmoid. The paper uses a single sigmoid output unit
+/// because labels are min-max normalized into [0, 1].
+class SigmoidLayer : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor output_cache_;
+};
+
+/// Elementwise tanh.
+class TanhLayer : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor output_cache_;
+};
+
+/// Leaky ReLU with configurable negative slope (used by tree-conv stacks in
+/// Neo-style models).
+class LeakyReluLayer : public Layer {
+ public:
+  explicit LeakyReluLayer(float negative_slope = 0.01f);
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  float negative_slope_;
+  Tensor input_cache_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_ACTIVATIONS_H_

@@ -1,0 +1,38 @@
+#ifndef PRESTROID_NN_BATCH_NORM_H_
+#define PRESTROID_NN_BATCH_NORM_H_
+
+#include "nn/layer.h"
+
+namespace prestroid {
+
+/// 1-D batch normalization over [batch, features]. The paper uses batch
+/// normalization between dense layers of the sub-tree model (Section 5.2).
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(size_t features, float momentum = 0.1f,
+                       float epsilon = 1e-5f);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+  std::vector<ParamRef> State() override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  size_t features_;
+  float momentum_;
+  float epsilon_;
+  Tensor gamma_, beta_;
+  Tensor gamma_grad_, beta_grad_;
+  Tensor running_mean_, running_var_;
+  // Caches for backward.
+  Tensor x_hat_;
+  Tensor batch_std_inv_;  // 1/sqrt(var + eps), per feature
+  Tensor centered_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_BATCH_NORM_H_

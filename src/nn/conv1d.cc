@@ -1,0 +1,119 @@
+#include "nn/conv1d.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+Conv1d::Conv1d(size_t embed_dim, size_t window, size_t filters, Rng* rng)
+    : embed_dim_(embed_dim),
+      window_(window),
+      filters_(filters),
+      weight_(Tensor::GlorotUniform(filters, window * embed_dim, rng)
+                  .Reshape({filters, window * embed_dim})),
+      bias_({filters}),
+      weight_grad_({filters, window * embed_dim}),
+      bias_grad_({filters}) {
+  PRESTROID_CHECK_GT(window, 0u);
+  PRESTROID_CHECK_GT(filters, 0u);
+}
+
+Tensor Conv1d::Forward(const Tensor& input) {
+  PRESTROID_CHECK_EQ(input.rank(), 3u);
+  PRESTROID_CHECK_EQ(input.dim(2), embed_dim_);
+  PRESTROID_CHECK_GE(input.dim(1), window_);
+  input_cache_ = input;
+  const size_t batch = input.dim(0);
+  const size_t time = input.dim(1);
+  const size_t out_time = time - window_ + 1;
+  Tensor out({batch, out_time, filters_});
+  const size_t patch = window_ * embed_dim_;
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t t = 0; t < out_time; ++t) {
+      // Patch is contiguous in a row-major [batch, time, embed] layout.
+      const float* x = input.data() + (b * time + t) * embed_dim_;
+      for (size_t f = 0; f < filters_; ++f) {
+        const float* w = weight_.data() + f * patch;
+        float acc = bias_[f];
+        for (size_t p = 0; p < patch; ++p) acc += x[p] * w[p];
+        out.At(b, t, f) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1d::Backward(const Tensor& grad_output) {
+  const size_t batch = input_cache_.dim(0);
+  const size_t time = input_cache_.dim(1);
+  const size_t out_time = time - window_ + 1;
+  PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
+  PRESTROID_CHECK_EQ(grad_output.dim(1), out_time);
+  PRESTROID_CHECK_EQ(grad_output.dim(2), filters_);
+
+  Tensor grad_in(input_cache_.shape());
+  const size_t patch = window_ * embed_dim_;
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t t = 0; t < out_time; ++t) {
+      const float* x = input_cache_.data() + (b * time + t) * embed_dim_;
+      float* gx = grad_in.data() + (b * time + t) * embed_dim_;
+      for (size_t f = 0; f < filters_; ++f) {
+        const float gy = grad_output.At(b, t, f);
+        if (gy == 0.0f) continue;
+        const float* w = weight_.data() + f * patch;
+        float* gw = weight_grad_.data() + f * patch;
+        bias_grad_[f] += gy;
+        for (size_t p = 0; p < patch; ++p) {
+          gw[p] += gy * x[p];
+          gx[p] += gy * w[p];
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Conv1d::Params() {
+  return {{"weight", &weight_, &weight_grad_}, {"bias", &bias_, &bias_grad_}};
+}
+
+Tensor GlobalMaxPool1d::Forward(const Tensor& input) {
+  PRESTROID_CHECK_EQ(input.rank(), 3u);
+  const size_t batch = input.dim(0), time = input.dim(1), ch = input.dim(2);
+  PRESTROID_CHECK_GT(time, 0u);
+  input_shape_ = input.shape();
+  argmax_.assign(batch * ch, 0);
+  Tensor out({batch, ch});
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < ch; ++c) {
+      float best = input.At(b, 0, c);
+      size_t best_t = 0;
+      for (size_t t = 1; t < time; ++t) {
+        float v = input.At(b, t, c);
+        if (v > best) {
+          best = v;
+          best_t = t;
+        }
+      }
+      out.At(b, c) = best;
+      argmax_[b * ch + c] = best_t;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalMaxPool1d::Backward(const Tensor& grad_output) {
+  const size_t batch = input_shape_[0], ch = input_shape_[2];
+  PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
+  PRESTROID_CHECK_EQ(grad_output.dim(1), ch);
+  Tensor grad_in(input_shape_);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < ch; ++c) {
+      grad_in.At(b, argmax_[b * ch + c], c) = grad_output.At(b, c);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace prestroid

@@ -1,0 +1,49 @@
+#ifndef PRESTROID_NN_CONV1D_H_
+#define PRESTROID_NN_CONV1D_H_
+
+#include "nn/layer.h"
+#include "util/random.h"
+
+namespace prestroid {
+
+/// 1-D (temporal) convolution over token embeddings, as used by the WCNN
+/// baseline: input [batch, time, embed] is convolved by `filters` kernels of
+/// width `window` producing [batch, time - window + 1, filters] ("valid"
+/// padding). Sequences shorter than `window` must be padded by the caller.
+class Conv1d : public Layer {
+ public:
+  Conv1d(size_t embed_dim, size_t window, size_t filters, Rng* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+
+  size_t window() const { return window_; }
+  size_t filters() const { return filters_; }
+
+ private:
+  size_t embed_dim_;
+  size_t window_;
+  size_t filters_;
+  Tensor weight_;       // [filters, window * embed]
+  Tensor bias_;         // [filters]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;  // [batch, time, embed]
+};
+
+/// Max-pool over the time axis: [batch, time, channels] -> [batch, channels].
+/// Remembers argmax positions for backward.
+class GlobalMaxPool1d : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<size_t> argmax_;  // [batch * channels] time index of the max
+  std::vector<size_t> input_shape_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_CONV1D_H_

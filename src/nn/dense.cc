@@ -1,0 +1,35 @@
+#include "nn/dense.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace prestroid {
+
+Dense::Dense(size_t in_features, size_t out_features, Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::GlorotUniform(in_features, out_features, rng)),
+      bias_({out_features}),
+      weight_grad_({in_features, out_features}),
+      bias_grad_({out_features}) {}
+
+Tensor Dense::Forward(const Tensor& input) {
+  PRESTROID_CHECK_EQ(input.rank(), 2u);
+  PRESTROID_CHECK_EQ(input.dim(1), in_features_);
+  input_cache_ = input;
+  return AddRowBroadcast(MatMul(input, weight_), bias_);
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK_EQ(grad_output.dim(0), input_cache_.dim(0));
+  PRESTROID_CHECK_EQ(grad_output.dim(1), out_features_);
+  weight_grad_ += MatMulTransposeA(input_cache_, grad_output);
+  bias_grad_ += SumRows(grad_output);
+  return MatMulTransposeB(grad_output, weight_);
+}
+
+std::vector<ParamRef> Dense::Params() {
+  return {{"weight", &weight_, &weight_grad_}, {"bias", &bias_, &bias_grad_}};
+}
+
+}  // namespace prestroid

@@ -1,0 +1,37 @@
+#ifndef PRESTROID_NN_DENSE_H_
+#define PRESTROID_NN_DENSE_H_
+
+#include "nn/layer.h"
+#include "util/random.h"
+
+namespace prestroid {
+
+/// Fully-connected layer: y = x W + b, x is [batch, in], W is [in, out].
+class Dense : public Layer {
+ public:
+  Dense(size_t in_features, size_t out_features, Rng* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+
+  /// Direct weight access for tests and serialization.
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  Tensor weight_;       // [in, out]
+  Tensor bias_;         // [out]
+  Tensor weight_grad_;  // [in, out]
+  Tensor bias_grad_;    // [out]
+  Tensor input_cache_;  // [batch, in]
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_DENSE_H_

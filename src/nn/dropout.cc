@@ -1,0 +1,40 @@
+#include "nn/dropout.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace prestroid {
+
+Dropout::Dropout(float rate, Rng* rng) : rate_(rate), rng_(rng) {
+  PRESTROID_CHECK_GE(rate, 0.0f);
+  PRESTROID_CHECK_LT(rate, 1.0f);
+  PRESTROID_CHECK(rng != nullptr);
+}
+
+Tensor Dropout::Forward(const Tensor& input) {
+  if (!training_ || rate_ == 0.0f) {
+    mask_ = Tensor();
+    return input;
+  }
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng_->Bernoulli(keep)) {
+      mask_[i] = scale;
+      out[i] *= scale;
+    } else {
+      mask_[i] = 0.0f;
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;
+  return Mul(grad_output, mask_);
+}
+
+}  // namespace prestroid

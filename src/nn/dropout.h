@@ -1,0 +1,29 @@
+#ifndef PRESTROID_NN_DROPOUT_H_
+#define PRESTROID_NN_DROPOUT_H_
+
+#include "nn/layer.h"
+#include "util/random.h"
+
+namespace prestroid {
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `rate` and survivors are scaled by 1/(1-rate); identity at eval time.
+class Dropout : public Layer {
+ public:
+  /// `rng` must outlive the layer. rate in [0, 1).
+  Dropout(float rate, Rng* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng* rng_;
+  Tensor mask_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_DROPOUT_H_

@@ -1,0 +1,65 @@
+#include "nn/embedding_layer.h"
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+EmbeddingLayer::EmbeddingLayer(size_t vocab_size, size_t embed_dim, Rng* rng)
+    : vocab_size_(vocab_size),
+      embed_dim_(embed_dim),
+      table_(Tensor::RandomNormal({vocab_size, embed_dim}, rng, 0.0f, 0.05f)),
+      table_grad_({vocab_size, embed_dim}) {
+  PRESTROID_CHECK_GT(vocab_size, 0u);
+  // Padding id 0 maps to the zero vector.
+  for (size_t j = 0; j < embed_dim_; ++j) table_.At(0, j) = 0.0f;
+}
+
+Tensor EmbeddingLayer::ForwardIds(const std::vector<std::vector<int>>& ids) {
+  PRESTROID_CHECK(!ids.empty());
+  const size_t batch = ids.size();
+  const size_t time = ids[0].size();
+  ids_cache_ = ids;
+  Tensor out({batch, time, embed_dim_});
+  for (size_t b = 0; b < batch; ++b) {
+    PRESTROID_CHECK_EQ(ids[b].size(), time);
+    for (size_t t = 0; t < time; ++t) {
+      int id = ids[b][t];
+      PRESTROID_CHECK_GE(id, 0);
+      PRESTROID_CHECK_LT(static_cast<size_t>(id), vocab_size_);
+      const float* row = table_.data() + static_cast<size_t>(id) * embed_dim_;
+      float* dst = out.data() + (b * time + t) * embed_dim_;
+      for (size_t j = 0; j < embed_dim_; ++j) dst[j] = row[j];
+    }
+  }
+  return out;
+}
+
+Tensor EmbeddingLayer::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK(!ids_cache_.empty());
+  const size_t batch = ids_cache_.size();
+  const size_t time = ids_cache_[0].size();
+  PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
+  PRESTROID_CHECK_EQ(grad_output.dim(1), time);
+  PRESTROID_CHECK_EQ(grad_output.dim(2), embed_dim_);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t t = 0; t < time; ++t) {
+      int id = ids_cache_[b][t];
+      if (id == 0) continue;  // Padding has no gradient.
+      float* grow = table_grad_.data() + static_cast<size_t>(id) * embed_dim_;
+      const float* src = grad_output.data() + (b * time + t) * embed_dim_;
+      for (size_t j = 0; j < embed_dim_; ++j) grow[j] += src[j];
+    }
+  }
+  return Tensor();
+}
+
+Tensor EmbeddingLayer::Forward(const Tensor& /*input*/) {
+  PRESTROID_CHECK(false) << "EmbeddingLayer requires ForwardIds()";
+  return Tensor();
+}
+
+std::vector<ParamRef> EmbeddingLayer::Params() {
+  return {{"table", &table_, &table_grad_}};
+}
+
+}  // namespace prestroid

@@ -1,0 +1,44 @@
+#ifndef PRESTROID_NN_EMBEDDING_LAYER_H_
+#define PRESTROID_NN_EMBEDDING_LAYER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/random.h"
+
+namespace prestroid {
+
+/// Trainable token-embedding lookup (WCNN's embedding layer). Token id 0 is
+/// reserved as padding and always maps to the zero vector with no gradient.
+class EmbeddingLayer : public Layer {
+ public:
+  EmbeddingLayer(size_t vocab_size, size_t embed_dim, Rng* rng);
+
+  /// Looks up a [batch, time] id matrix -> [batch, time, embed] tensor.
+  /// Ids must be < vocab_size.
+  Tensor ForwardIds(const std::vector<std::vector<int>>& ids);
+
+  /// Accumulates gradients for the ids passed to the last ForwardIds call.
+  /// Returns an empty tensor (embeddings are the input boundary).
+  Tensor Backward(const Tensor& grad_output) override;
+
+  /// Layer interface: not usable with a float input; use ForwardIds.
+  Tensor Forward(const Tensor& input) override;
+
+  std::vector<ParamRef> Params() override;
+
+  size_t vocab_size() const { return vocab_size_; }
+  size_t embed_dim() const { return embed_dim_; }
+  Tensor& table() { return table_; }
+
+ private:
+  size_t vocab_size_;
+  size_t embed_dim_;
+  Tensor table_;       // [vocab, embed]
+  Tensor table_grad_;  // [vocab, embed]
+  std::vector<std::vector<int>> ids_cache_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_EMBEDDING_LAYER_H_

@@ -1,0 +1,46 @@
+#ifndef PRESTROID_NN_LOSS_H_
+#define PRESTROID_NN_LOSS_H_
+
+#include "tensor/tensor.h"
+
+namespace prestroid {
+
+/// Loss functions return the scalar batch loss from Compute() and expose the
+/// gradient of that loss with respect to the predictions via Gradient().
+/// Both tensors must have identical shapes; the loss is averaged over all
+/// elements.
+class Loss {
+ public:
+  virtual ~Loss();
+  /// Computes and caches the loss for this (pred, target) pair.
+  virtual double Compute(const Tensor& pred, const Tensor& target) = 0;
+  /// dL/d(pred) for the pair given to the last Compute() call.
+  virtual Tensor Gradient() const = 0;
+};
+
+/// Mean squared error: mean((pred - target)^2).
+class MseLoss : public Loss {
+ public:
+  double Compute(const Tensor& pred, const Tensor& target) override;
+  Tensor Gradient() const override;
+
+ private:
+  Tensor diff_;
+};
+
+/// Huber loss with threshold `delta` (the paper trains every deep model with
+/// Huber loss): quadratic within |e| <= delta, linear beyond.
+class HuberLoss : public Loss {
+ public:
+  explicit HuberLoss(float delta = 1.0f);
+  double Compute(const Tensor& pred, const Tensor& target) override;
+  Tensor Gradient() const override;
+
+ private:
+  float delta_;
+  Tensor diff_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_LOSS_H_

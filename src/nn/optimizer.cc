@@ -1,0 +1,95 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+Optimizer::~Optimizer() = default;
+
+void Optimizer::Register(const std::vector<ParamRef>& params) {
+  for (const ParamRef& p : params) {
+    PRESTROID_CHECK(p.value != nullptr);
+    PRESTROID_CHECK(p.grad != nullptr);
+    PRESTROID_CHECK_EQ(p.value->size(), p.grad->size());
+    params_.push_back(p);
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (ParamRef& p : params_) p.grad->Fill(0.0f);
+}
+
+void Optimizer::MaybeClipGradients() {
+  if (clip_norm_ <= 0.0f) return;
+  double sq = 0.0;
+  for (ParamRef& p : params_) {
+    for (size_t i = 0; i < p.grad->size(); ++i) {
+      double g = (*p.grad)[i];
+      sq += g * g;
+    }
+  }
+  double norm = std::sqrt(sq);
+  if (norm <= clip_norm_) return;
+  float scale = static_cast<float>(clip_norm_ / (norm + 1e-12));
+  for (ParamRef& p : params_) *p.grad *= scale;
+}
+
+SgdOptimizer::SgdOptimizer(float lr, float momentum)
+    : lr_(lr), momentum_(momentum) {}
+
+void SgdOptimizer::Step() {
+  MaybeClipGradients();
+  if (momentum_ > 0.0f && velocity_.size() != params_.size()) {
+    velocity_.clear();
+    for (ParamRef& p : params_) velocity_.emplace_back(p.value->shape());
+  }
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& value = *params_[k].value;
+    Tensor& grad = *params_[k].grad;
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[k];
+      for (size_t i = 0; i < value.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + grad[i];
+        value[i] -= lr_ * vel[i];
+      }
+    } else {
+      for (size_t i = 0; i < value.size(); ++i) value[i] -= lr_ * grad[i];
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(float lr, float beta1, float beta2, float epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void AdamOptimizer::Step() {
+  MaybeClipGradients();
+  if (m_.size() != params_.size()) {
+    m_.clear();
+    v_.clear();
+    for (ParamRef& p : params_) {
+      m_.emplace_back(p.value->shape());
+      v_.emplace_back(p.value->shape());
+    }
+  }
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& value = *params_[k].value;
+    Tensor& grad = *params_[k].grad;
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (size_t i = 0; i < value.size(); ++i) {
+      const float g = grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace prestroid

@@ -1,0 +1,92 @@
+#include "nn/trainer.h"
+
+#include <chrono>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+CostModel::~CostModel() = default;
+
+double MeanSquaredError(const std::vector<float>& pred,
+                        const std::vector<float>& target) {
+  PRESTROID_CHECK_EQ(pred.size(), target.size());
+  PRESTROID_CHECK(!pred.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = static_cast<double>(pred[i]) - target[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(pred.size());
+}
+
+TrainResult TrainWithEarlyStopping(CostModel* model,
+                                   const std::vector<size_t>& train_indices,
+                                   const std::vector<size_t>& val_indices,
+                                   const std::vector<float>& val_targets,
+                                   const TrainConfig& config) {
+  PRESTROID_CHECK(model != nullptr);
+  PRESTROID_CHECK(!train_indices.empty());
+  PRESTROID_CHECK_EQ(val_indices.size(), val_targets.size());
+
+  Rng shuffle_rng(config.shuffle_seed);
+  std::vector<size_t> order = train_indices;
+
+  TrainResult result;
+  double best = std::numeric_limits<double>::infinity();
+  size_t since_best = 0;
+  // Checkpoint buffer for best-validation weights (paper: "average MSE
+  // scores taken from the best performing iterations").
+  std::vector<ParamRef> params = model->Params();
+  std::vector<Tensor> best_weights;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t epoch = 1; epoch <= config.max_epochs; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    double train_loss = model->TrainEpoch(order, config.batch_size);
+    result.train_loss_history.push_back(train_loss);
+
+    double val_mse = val_indices.empty()
+                         ? train_loss
+                         : MeanSquaredError(model->Predict(val_indices),
+                                            val_targets);
+    result.val_mse_history.push_back(val_mse);
+    result.epochs_run = epoch;
+
+    if (config.verbose) {
+      PRESTROID_LOG(Info) << model->name() << " epoch " << epoch
+                          << " train_loss=" << train_loss
+                          << " val_mse=" << val_mse;
+    }
+
+    if (val_mse < best - config.min_delta) {
+      best = val_mse;
+      result.best_epoch = epoch;
+      since_best = 0;
+      best_weights.clear();
+      best_weights.reserve(params.size());
+      for (const ParamRef& p : params) best_weights.push_back(*p.value);
+    } else {
+      ++since_best;
+      if (since_best >= config.patience) break;
+    }
+  }
+  // Restore the best-validation checkpoint so Predict() serves it.
+  if (!best_weights.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      *params[i].value = best_weights[i];
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.best_val_mse = best;
+  result.total_train_seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.mean_epoch_seconds =
+      result.epochs_run == 0
+          ? 0.0
+          : result.total_train_seconds / static_cast<double>(result.epochs_run);
+  return result;
+}
+
+}  // namespace prestroid

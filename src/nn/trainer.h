@@ -1,0 +1,86 @@
+#ifndef PRESTROID_NN_TRAINER_H_
+#define PRESTROID_NN_TRAINER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/random.h"
+
+namespace prestroid {
+
+/// Abstract interface every query-cost regressor implements (Prestroid
+/// sub-tree / full-tree models and the M-MSCN / WCNN baselines). Each model
+/// owns its featurized copy of the dataset; sample indices select rows.
+/// Targets are the normalized labels in [0, 1] (see core/label_transform.h).
+class CostModel {
+ public:
+  virtual ~CostModel();
+
+  CostModel() = default;
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
+
+  virtual std::string name() const = 0;
+  virtual size_t num_samples() const = 0;
+
+  /// Runs one epoch of mini-batch training over the given sample indices
+  /// (already shuffled by the caller); returns the mean training loss.
+  virtual double TrainEpoch(const std::vector<size_t>& indices,
+                            size_t batch_size) = 0;
+
+  /// Predicts normalized costs for the given samples (eval mode).
+  virtual std::vector<float> Predict(const std::vector<size_t>& indices) = 0;
+
+  /// Total trainable parameter count (for paper-style model-size reports).
+  virtual size_t NumParameters() const = 0;
+
+  /// Trainable parameters, used by the trainer to checkpoint/restore the
+  /// best-validation weights. An empty list disables checkpointing.
+  virtual std::vector<ParamRef> Params() { return {}; }
+
+  /// Non-trainable buffers that serialization must also carry (e.g.
+  /// batch-norm running statistics).
+  virtual std::vector<ParamRef> State() { return {}; }
+};
+
+/// Configuration for the early-stopping training loop. The paper trains with
+/// ADAM, batch size 64 (unless stated otherwise) and early stopping.
+struct TrainConfig {
+  size_t batch_size = 64;
+  size_t max_epochs = 200;
+  /// Stop when validation MSE has not improved for `patience` epochs.
+  size_t patience = 8;
+  /// Minimum improvement to reset patience.
+  double min_delta = 1e-6;
+  uint64_t shuffle_seed = 17;
+  bool verbose = false;
+};
+
+/// Outcome of one training run.
+struct TrainResult {
+  size_t epochs_run = 0;          // total epochs executed
+  size_t best_epoch = 0;          // 1-based epoch with lowest val MSE
+  double best_val_mse = 0.0;      // normalized-space MSE at best epoch
+  std::vector<double> train_loss_history;
+  std::vector<double> val_mse_history;
+  double total_train_seconds = 0.0;
+  double mean_epoch_seconds = 0.0;
+};
+
+/// Mean squared error between predictions and targets.
+double MeanSquaredError(const std::vector<float>& pred,
+                        const std::vector<float>& target);
+
+/// Trains `model` on `train_indices`, monitoring MSE over `val_indices`
+/// against `val_targets` (normalized), with early stopping.
+TrainResult TrainWithEarlyStopping(CostModel* model,
+                                   const std::vector<size_t>& train_indices,
+                                   const std::vector<size_t>& val_indices,
+                                   const std::vector<float>& val_targets,
+                                   const TrainConfig& config);
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_TRAINER_H_

@@ -1,0 +1,180 @@
+#include "nn/tree_conv.h"
+
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace prestroid {
+
+TreeConvLayer::TreeConvLayer(size_t in_features, size_t out_features, Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      w_self_(Tensor::GlorotUniform(in_features, out_features, rng)),
+      w_left_(Tensor::GlorotUniform(in_features, out_features, rng)),
+      w_right_(Tensor::GlorotUniform(in_features, out_features, rng)),
+      bias_({out_features}),
+      w_self_grad_({in_features, out_features}),
+      w_left_grad_({in_features, out_features}),
+      w_right_grad_({in_features, out_features}),
+      bias_grad_({out_features}) {}
+
+Tensor TreeConvLayer::Forward(const Tensor& features,
+                              const TreeStructure& structure) {
+  PRESTROID_CHECK_EQ(features.rank(), 3u);
+  const size_t batch = features.dim(0);
+  const size_t nodes = features.dim(1);
+  PRESTROID_CHECK_EQ(features.dim(2), in_features_);
+  PRESTROID_CHECK_EQ(structure.batch_size(), batch);
+  PRESTROID_CHECK_EQ(structure.max_nodes(), nodes);
+
+  input_cache_ = features;
+  structure_cache_ = &structure;
+
+  Tensor out({batch, nodes, out_features_});
+  // Helper: out_row += x_row * W, with x_row [in], W [in, out].
+  auto accumulate = [&](const float* x_row, const Tensor& w, float* out_row) {
+    for (size_t i = 0; i < in_features_; ++i) {
+      const float xv = x_row[i];
+      if (xv == 0.0f) continue;
+      const float* w_row = w.data() + i * out_features_;
+      for (size_t o = 0; o < out_features_; ++o) out_row[o] += xv * w_row[o];
+    }
+  };
+
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t n = 0; n < nodes; ++n) {
+      float* out_row = out.data() + (b * nodes + n) * out_features_;
+      for (size_t o = 0; o < out_features_; ++o) out_row[o] = bias_[o];
+      const float* self_row = features.data() + (b * nodes + n) * in_features_;
+      accumulate(self_row, w_self_, out_row);
+      int l = structure.left[b][n];
+      if (l >= 0) {
+        accumulate(features.data() + (b * nodes + static_cast<size_t>(l)) * in_features_,
+                   w_left_, out_row);
+      }
+      int r = structure.right[b][n];
+      if (r >= 0) {
+        accumulate(features.data() + (b * nodes + static_cast<size_t>(r)) * in_features_,
+                   w_right_, out_row);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TreeConvLayer::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK(structure_cache_ != nullptr);
+  const TreeStructure& structure = *structure_cache_;
+  const size_t batch = input_cache_.dim(0);
+  const size_t nodes = input_cache_.dim(1);
+  PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
+  PRESTROID_CHECK_EQ(grad_output.dim(1), nodes);
+  PRESTROID_CHECK_EQ(grad_output.dim(2), out_features_);
+
+  Tensor grad_in(input_cache_.shape());
+
+  // For each position: dW += x^T gy; dx += gy W^T.
+  auto backprop_one = [&](const float* x_row, const float* gy_row, Tensor& w,
+                          Tensor& w_grad, float* gx_row) {
+    for (size_t i = 0; i < in_features_; ++i) {
+      const float* w_row = w.data() + i * out_features_;
+      float* gw_row = w_grad.data() + i * out_features_;
+      const float xv = x_row[i];
+      float acc = 0.0f;
+      for (size_t o = 0; o < out_features_; ++o) {
+        const float g = gy_row[o];
+        gw_row[o] += xv * g;
+        acc += g * w_row[o];
+      }
+      gx_row[i] += acc;
+    }
+  };
+
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t n = 0; n < nodes; ++n) {
+      const float* gy = grad_output.data() + (b * nodes + n) * out_features_;
+      for (size_t o = 0; o < out_features_; ++o) bias_grad_[o] += gy[o];
+      const size_t self_off = (b * nodes + n) * in_features_;
+      backprop_one(input_cache_.data() + self_off, gy, w_self_, w_self_grad_,
+                   grad_in.data() + self_off);
+      int l = structure.left[b][n];
+      if (l >= 0) {
+        const size_t off = (b * nodes + static_cast<size_t>(l)) * in_features_;
+        backprop_one(input_cache_.data() + off, gy, w_left_, w_left_grad_,
+                     grad_in.data() + off);
+      }
+      int r = structure.right[b][n];
+      if (r >= 0) {
+        const size_t off = (b * nodes + static_cast<size_t>(r)) * in_features_;
+        backprop_one(input_cache_.data() + off, gy, w_right_, w_right_grad_,
+                     grad_in.data() + off);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> TreeConvLayer::Params() {
+  return {{"w_self", &w_self_, &w_self_grad_},
+          {"w_left", &w_left_, &w_left_grad_},
+          {"w_right", &w_right_, &w_right_grad_},
+          {"bias", &bias_, &bias_grad_}};
+}
+
+size_t TreeConvLayer::NumParameters() {
+  size_t total = 0;
+  for (ParamRef& p : Params()) total += p.value->size();
+  return total;
+}
+
+Tensor MaskedDynamicPooling::Forward(const Tensor& features,
+                                     const TreeStructure& structure) {
+  PRESTROID_CHECK_EQ(features.rank(), 3u);
+  const size_t batch = features.dim(0);
+  const size_t nodes = features.dim(1);
+  const size_t dims = features.dim(2);
+  PRESTROID_CHECK_EQ(structure.batch_size(), batch);
+  input_shape_ = features.shape();
+  argmax_.assign(batch * dims, -1);
+
+  Tensor out({batch, dims});
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t d = 0; d < dims; ++d) {
+      float best = -std::numeric_limits<float>::infinity();
+      int best_n = -1;
+      for (size_t n = 0; n < nodes; ++n) {
+        if (structure.mask[b][n] == 0.0f) continue;
+        float v = features.At(b, n, d);
+        if (v > best) {
+          best = v;
+          best_n = static_cast<int>(n);
+        }
+      }
+      if (best_n >= 0) {
+        out.At(b, d) = best;
+        argmax_[b * dims + d] = best_n;
+      }  // else: fully-masked tree pools to zero.
+    }
+  }
+  return out;
+}
+
+Tensor MaskedDynamicPooling::Backward(const Tensor& grad_output) {
+  const size_t batch = input_shape_[0];
+  const size_t dims = input_shape_[2];
+  PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
+  PRESTROID_CHECK_EQ(grad_output.dim(1), dims);
+  Tensor grad_in(input_shape_);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t d = 0; d < dims; ++d) {
+      int n = argmax_[b * dims + d];
+      if (n >= 0) {
+        grad_in.At(b, static_cast<size_t>(n), d) = grad_output.At(b, d);
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace prestroid

@@ -1,0 +1,83 @@
+#ifndef PRESTROID_NN_TREE_CONV_H_
+#define PRESTROID_NN_TREE_CONV_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/random.h"
+
+namespace prestroid {
+
+/// Structural view of a batch of binary trees laid out as node slots.
+///
+/// Each tree in the batch is padded to the same `max_nodes` slot count (this
+/// is exactly the 0-padding the paper studies; see FootprintOfBatch in
+/// cloud/footprint.h for the byte accounting). Slot 0 is conventionally the
+/// root. `left[b][i]` / `right[b][i]` give the slot index of node i's children
+/// within tree b, or -1 for a null child (the Ø nodes of the O-T-P re-cast).
+/// Padding slots are never reachable as children of real nodes.
+struct TreeStructure {
+  std::vector<std::vector<int>> left;
+  std::vector<std::vector<int>> right;
+  /// 1.0 for slots holding real nodes, 0.0 for padding. Also used to carry
+  /// the sub-tree *votes* of Algorithm 1 (a vote of 0 masks the node out of
+  /// dynamic pooling even though it is a real node).
+  std::vector<std::vector<float>> mask;
+
+  size_t batch_size() const { return left.size(); }
+  size_t max_nodes() const { return left.empty() ? 0 : left[0].size(); }
+};
+
+/// Tree convolution with triangular kernels (Mou et al. 2016), the
+/// parent/left-child/right-child sliding window used by Neo and Prestroid:
+///
+///   out[b,i] = act_in * W_self + x[left(i)] * W_left + x[right(i)] * W_right + bias
+///
+/// Null children contribute zero. Input [batch, max_nodes, in] ->
+/// output [batch, max_nodes, out]. The structure is passed per batch and must
+/// stay alive until Backward() completes.
+class TreeConvLayer {
+ public:
+  TreeConvLayer(size_t in_features, size_t out_features, Rng* rng);
+
+  TreeConvLayer(const TreeConvLayer&) = delete;
+  TreeConvLayer& operator=(const TreeConvLayer&) = delete;
+
+  Tensor Forward(const Tensor& features, const TreeStructure& structure);
+  /// Returns dL/d(features). Accumulates weight gradients.
+  Tensor Backward(const Tensor& grad_output);
+
+  std::vector<ParamRef> Params();
+  size_t NumParameters();
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  Tensor w_self_, w_left_, w_right_;  // each [in, out]
+  Tensor bias_;                       // [out]
+  Tensor w_self_grad_, w_left_grad_, w_right_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;
+  const TreeStructure* structure_cache_ = nullptr;
+};
+
+/// One-way dynamic pooling with vote bit-masking (paper Section 4.1):
+/// elementwise max over the node axis restricted to slots whose mask/vote is
+/// nonzero. [batch, max_nodes, features] -> [batch, features]. Trees whose
+/// mask is entirely zero pool to the zero vector.
+class MaskedDynamicPooling {
+ public:
+  Tensor Forward(const Tensor& features, const TreeStructure& structure);
+  Tensor Backward(const Tensor& grad_output);
+
+ private:
+  std::vector<int> argmax_;  // [batch*features] node index of max, -1 if none
+  std::vector<size_t> input_shape_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_TREE_CONV_H_

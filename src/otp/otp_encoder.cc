@@ -1,0 +1,78 @@
+#include "otp/otp_encoder.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace prestroid::otp {
+
+PredicateEmbedder::~PredicateEmbedder() = default;
+
+OtpEncoder::OtpEncoder(const PredicateEmbedder* embedder)
+    : embedder_(embedder) {
+  PRESTROID_CHECK(embedder != nullptr);
+}
+
+void OtpEncoder::FitVocabulary(const std::vector<const OtpTree*>& corpus) {
+  operator_ids_.clear();
+  table_ids_.clear();
+  for (const OtpTree* tree : corpus) {
+    PRESTROID_CHECK(tree != nullptr && tree->root != nullptr);
+    FlatOtpTree flat = Flatten(*tree);
+    for (const OtpNode* node : flat.nodes) {
+      if (node->type == OtpNodeType::kOperator) {
+        operator_ids_.emplace(node->label, operator_ids_.size());
+      } else if (node->type == OtpNodeType::kTable) {
+        table_ids_.emplace(node->label, table_ids_.size());
+      }
+    }
+  }
+}
+
+size_t OtpEncoder::feature_dim() const {
+  // One extra slot per 1-hot block for unknown labels.
+  return (operator_ids_.size() + 1) + embedder_->dim() + (table_ids_.size() + 1);
+}
+
+void OtpEncoder::EncodeNode(const OtpNode& node, float* out) const {
+  const size_t opr_width = operator_ids_.size() + 1;
+  const size_t pred_width = embedder_->dim();
+  const size_t tbl_width = table_ids_.size() + 1;
+  std::memset(out, 0, sizeof(float) * (opr_width + pred_width + tbl_width));
+  switch (node.type) {
+    case OtpNodeType::kOperator: {
+      auto it = operator_ids_.find(node.label);
+      // Last slot of the block is UNK.
+      size_t slot = it != operator_ids_.end() ? it->second : opr_width - 1;
+      out[slot] = 1.0f;
+      break;
+    }
+    case OtpNodeType::kPredicate:
+      PRESTROID_CHECK(node.predicate != nullptr);
+      embedder_->Embed(*node.predicate, out + opr_width);
+      break;
+    case OtpNodeType::kTable: {
+      auto it = table_ids_.find(node.label);
+      size_t slot = it != table_ids_.end() ? it->second : tbl_width - 1;
+      out[opr_width + pred_width + slot] = 1.0f;
+      break;
+    }
+    case OtpNodeType::kNull:
+      break;  // Ø encodes as all zero.
+  }
+}
+
+Tensor OtpEncoder::EncodeTree(const FlatOtpTree& flat) const {
+  const size_t dim = feature_dim();
+  Tensor out({flat.size(), dim});
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EncodeNode(*flat.nodes[i], out.data() + i * dim);
+  }
+  return out;
+}
+
+bool OtpEncoder::KnowsTable(const std::string& table) const {
+  return table_ids_.count(table) > 0;
+}
+
+}  // namespace prestroid::otp

@@ -1,0 +1,70 @@
+#ifndef PRESTROID_OTP_OTP_ENCODER_H_
+#define PRESTROID_OTP_OTP_ENCODER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "otp/otp_tree.h"
+#include "tensor/tensor.h"
+
+namespace prestroid::otp {
+
+/// Abstract predicate-embedding provider. Implemented by
+/// embed::PredicateEncoder (Word2Vec + conjunction pooling); kept abstract
+/// here so the O-T-P layer does not depend on the embedding subsystem.
+class PredicateEmbedder {
+ public:
+  virtual ~PredicateEmbedder();
+  /// Embedding width P_f.
+  virtual size_t dim() const = 0;
+  /// Writes the embedding of `predicate` into out[0..dim()).
+  virtual void Embed(const sql::Expr& predicate, float* out) const = 0;
+};
+
+/// Encodes O-T-P nodes into the paper's [OPR 1-hot | PRED emb | TBL 1-hot]
+/// node-feature layout. Operator and table vocabularies are fitted from a
+/// training corpus; unseen labels at encode time map to a reserved UNK slot
+/// (the paper's Table 1 churn study is exactly about these).
+class OtpEncoder {
+ public:
+  explicit OtpEncoder(const PredicateEmbedder* embedder);
+
+  /// Collects operator and table vocabularies from the corpus.
+  void FitVocabulary(const std::vector<const OtpTree*>& corpus);
+
+  /// Total node-feature width: |OPR|+1 + P_f + |TBL|+1.
+  size_t feature_dim() const;
+  size_t num_operators() const { return operator_ids_.size(); }
+  size_t num_tables() const { return table_ids_.size(); }
+
+  /// Encodes one node into out[0..feature_dim()). Ø nodes encode to zero.
+  void EncodeNode(const OtpNode& node, float* out) const;
+
+  /// Encodes a flattened tree into a [size, feature_dim] tensor.
+  Tensor EncodeTree(const FlatOtpTree& flat) const;
+
+  /// True if `table` was seen during FitVocabulary (Table 1 experiment).
+  bool KnowsTable(const std::string& table) const;
+
+  /// Vocabulary access for serialization.
+  const std::map<std::string, size_t>& operator_ids() const {
+    return operator_ids_;
+  }
+  const std::map<std::string, size_t>& table_ids() const { return table_ids_; }
+  /// Rebuilds the vocabularies from serialized maps (model loading).
+  void RestoreVocabulary(std::map<std::string, size_t> operators,
+                         std::map<std::string, size_t> tables) {
+    operator_ids_ = std::move(operators);
+    table_ids_ = std::move(tables);
+  }
+
+ private:
+  const PredicateEmbedder* embedder_;
+  std::map<std::string, size_t> operator_ids_;
+  std::map<std::string, size_t> table_ids_;
+};
+
+}  // namespace prestroid::otp
+
+#endif  // PRESTROID_OTP_OTP_ENCODER_H_

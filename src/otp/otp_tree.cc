@@ -1,0 +1,163 @@
+#include "otp/otp_tree.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace prestroid::otp {
+
+const char* OtpNodeTypeToString(OtpNodeType type) {
+  switch (type) {
+    case OtpNodeType::kOperator:
+      return "OPR";
+    case OtpNodeType::kTable:
+      return "TBL";
+    case OtpNodeType::kPredicate:
+      return "PRED";
+    case OtpNodeType::kNull:
+      return "NULL";
+  }
+  return "?";
+}
+
+namespace {
+
+OtpNodePtr MakeNullNode() {
+  auto node = std::make_unique<OtpNode>();
+  node->type = OtpNodeType::kNull;
+  return node;
+}
+
+OtpNodePtr MakePredNode(const sql::Expr& predicate) {
+  auto node = std::make_unique<OtpNode>();
+  node->type = OtpNodeType::kPredicate;
+  node->predicate = predicate.Clone();
+  node->label = node->predicate->ToString();
+  return node;
+}
+
+OtpNodePtr MakeTableNode(const std::string& table) {
+  auto node = std::make_unique<OtpNode>();
+  node->type = OtpNodeType::kTable;
+  node->label = table;
+  return node;
+}
+
+/// Operator label including the discriminating detail (join flavour /
+/// exchange kind) so the 1-hot operator vocabulary distinguishes them.
+std::string OperatorLabel(const plan::PlanNode& node) {
+  switch (node.type) {
+    case plan::PlanNodeType::kJoin:
+      return StrFormat("Join:%s", sql::JoinTypeToString(node.join_type));
+    case plan::PlanNodeType::kExchange:
+      return StrFormat("Exchange:%s",
+                       plan::ExchangeKindToString(node.exchange_kind));
+    default:
+      return plan::PlanNodeTypeToString(node.type);
+  }
+}
+
+Result<OtpNodePtr> Recast(const plan::PlanNode& plan_node) {
+  auto node = std::make_unique<OtpNode>();
+  node->type = OtpNodeType::kOperator;
+  node->label = OperatorLabel(plan_node);
+
+  if (plan_node.type == plan::PlanNodeType::kTableScan) {
+    // R3: leaf -> OPR with left = TBL, right = Ø.
+    node->left = MakeTableNode(plan_node.table);
+    node->right = MakeNullNode();
+    return node;
+  }
+  if (plan_node.type == plan::PlanNodeType::kJoin) {
+    // R2: join children untouched.
+    if (plan_node.children.size() != 2) {
+      return Status::InvalidArgument("join node must have two children");
+    }
+    PRESTROID_ASSIGN_OR_RETURN(node->left, Recast(*plan_node.children[0]));
+    PRESTROID_ASSIGN_OR_RETURN(node->right, Recast(*plan_node.children[1]));
+    return node;
+  }
+  // R1: non-join node -> left child untouched, right child is the predicate
+  // (or Ø when the operator carries none).
+  if (plan_node.children.size() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("operator %s must have one child",
+                  plan::PlanNodeTypeToString(plan_node.type)));
+  }
+  PRESTROID_ASSIGN_OR_RETURN(node->left, Recast(*plan_node.children[0]));
+  if (plan_node.predicate != nullptr) {
+    node->right = MakePredNode(*plan_node.predicate);
+  } else {
+    // R4 applied eagerly: binary-complete with Ø.
+    node->right = MakeNullNode();
+  }
+  return node;
+}
+
+}  // namespace
+
+size_t CountNodes(const OtpNode& node) {
+  size_t count = 1;
+  if (node.left != nullptr) count += CountNodes(*node.left);
+  if (node.right != nullptr) count += CountNodes(*node.right);
+  return count;
+}
+
+size_t MaxDepth(const OtpNode& node) {
+  size_t depth = 0;
+  if (node.left != nullptr) depth = std::max(depth, MaxDepth(*node.left) + 1);
+  if (node.right != nullptr) depth = std::max(depth, MaxDepth(*node.right) + 1);
+  return depth;
+}
+
+Result<OtpTree> RecastPlan(const plan::PlanNode& plan_root) {
+  OtpTree tree;
+  PRESTROID_ASSIGN_OR_RETURN(tree.root, Recast(plan_root));
+  tree.node_count = CountNodes(*tree.root);
+  tree.max_depth = MaxDepth(*tree.root);
+  return tree;
+}
+
+FlatOtpTree Flatten(const OtpTree& tree) {
+  FlatOtpTree flat;
+  PRESTROID_CHECK(tree.root != nullptr);
+  std::deque<std::pair<const OtpNode*, int>> queue;
+  queue.emplace_back(tree.root.get(), 0);
+  // First pass: BFS order and depths.
+  while (!queue.empty()) {
+    auto [node, depth] = queue.front();
+    queue.pop_front();
+    flat.nodes.push_back(node);
+    flat.depth.push_back(depth);
+    if (node->left != nullptr) queue.emplace_back(node->left.get(), depth + 1);
+    if (node->right != nullptr) queue.emplace_back(node->right.get(), depth + 1);
+  }
+  // Second pass: child indices via a pointer->index map built from order.
+  flat.left.assign(flat.nodes.size(), -1);
+  flat.right.assign(flat.nodes.size(), -1);
+  // BFS guarantees children appear after parents; find indices linearly with
+  // a small map.
+  std::vector<std::pair<const OtpNode*, int>> index;
+  index.reserve(flat.nodes.size());
+  for (size_t i = 0; i < flat.nodes.size(); ++i) {
+    index.emplace_back(flat.nodes[i], static_cast<int>(i));
+  }
+  std::sort(index.begin(), index.end());
+  auto find_index = [&index](const OtpNode* node) -> int {
+    auto it = std::lower_bound(
+        index.begin(), index.end(), std::make_pair(node, 0),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    PRESTROID_CHECK(it != index.end() && it->first == node);
+    return it->second;
+  };
+  for (size_t i = 0; i < flat.nodes.size(); ++i) {
+    const OtpNode* node = flat.nodes[i];
+    if (node->left != nullptr) flat.left[i] = find_index(node->left.get());
+    if (node->right != nullptr) flat.right[i] = find_index(node->right.get());
+  }
+  return flat;
+}
+
+}  // namespace prestroid::otp

@@ -1,0 +1,72 @@
+#ifndef PRESTROID_OTP_OTP_TREE_H_
+#define PRESTROID_OTP_OTP_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "util/status.h"
+
+namespace prestroid::otp {
+
+/// Node categories of the Operator-Table-Predicate encoding framework
+/// (paper Section 4.1). kNull is the Ø padding node that completes the
+/// binary tree.
+enum class OtpNodeType { kOperator, kTable, kPredicate, kNull };
+
+const char* OtpNodeTypeToString(OtpNodeType type);
+
+struct OtpNode;
+using OtpNodePtr = std::unique_ptr<OtpNode>;
+
+/// One node of the re-cast binary tree.
+struct OtpNode {
+  OtpNodeType type = OtpNodeType::kNull;
+  /// kOperator: operator label (e.g. "Join:INNER", "Filter", "TableScan");
+  /// kTable: table name; kPredicate: canonical predicate text.
+  std::string label;
+  /// Owned clone of the predicate expression (kPredicate only).
+  sql::ExprPtr predicate;
+  OtpNodePtr left;
+  OtpNodePtr right;
+
+  bool IsLeaf() const { return left == nullptr && right == nullptr; }
+};
+
+/// A fully re-cast O-T-P binary tree.
+struct OtpTree {
+  OtpNodePtr root;
+  size_t node_count = 0;
+  size_t max_depth = 0;
+};
+
+/// Applies the paper's four re-cast rules to a logical plan:
+///   R1  non-join node  -> OPR, right child = PRED (its predicate) or Ø
+///   R2  join node      -> OPR, both children untouched
+///   R3  leaf (scan)    -> OPR, left child = TBL(table), right child = Ø
+///   R4  binary-complete: add Ø to any node with fewer than 2 children
+Result<OtpTree> RecastPlan(const plan::PlanNode& plan_root);
+
+/// Flattened breadth-first view of an OtpTree used for tensorization.
+/// Index 0 is the root; children indices are -1 for absent children (Ø nodes
+/// ARE materialized and get their own slots).
+struct FlatOtpTree {
+  std::vector<const OtpNode*> nodes;  // BFS order
+  std::vector<int> left;              // index into `nodes`, -1 if none
+  std::vector<int> right;
+  std::vector<int> depth;             // depth of each node (root = 0)
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Flattens `tree` breadth-first.
+FlatOtpTree Flatten(const OtpTree& tree);
+
+/// Recomputes node count / max depth of an OtpNode subtree.
+size_t CountNodes(const OtpNode& node);
+size_t MaxDepth(const OtpNode& node);
+
+}  // namespace prestroid::otp
+
+#endif  // PRESTROID_OTP_OTP_TREE_H_

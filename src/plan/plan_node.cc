@@ -1,0 +1,193 @@
+#include "plan/plan_node.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace prestroid::plan {
+
+const char* PlanNodeTypeToString(PlanNodeType type) {
+  switch (type) {
+    case PlanNodeType::kTableScan:
+      return "TableScan";
+    case PlanNodeType::kFilter:
+      return "Filter";
+    case PlanNodeType::kProject:
+      return "Project";
+    case PlanNodeType::kJoin:
+      return "Join";
+    case PlanNodeType::kAggregate:
+      return "Aggregate";
+    case PlanNodeType::kSort:
+      return "Sort";
+    case PlanNodeType::kLimit:
+      return "Limit";
+    case PlanNodeType::kExchange:
+      return "Exchange";
+    case PlanNodeType::kDistinct:
+      return "Distinct";
+  }
+  return "?";
+}
+
+const char* ExchangeKindToString(ExchangeKind kind) {
+  switch (kind) {
+    case ExchangeKind::kGather:
+      return "GATHER";
+    case ExchangeKind::kRepartition:
+      return "REPARTITION";
+    case ExchangeKind::kBroadcast:
+      return "BROADCAST";
+  }
+  return "?";
+}
+
+PlanNodePtr PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->type = type;
+  copy->table = table;
+  if (predicate != nullptr) copy->predicate = predicate->Clone();
+  copy->expressions.reserve(expressions.size());
+  for (const sql::ExprPtr& e : expressions) copy->expressions.push_back(e->Clone());
+  copy->group_keys = group_keys;
+  copy->sort_descending = sort_descending;
+  copy->join_type = join_type;
+  copy->exchange_kind = exchange_kind;
+  copy->limit = limit;
+  copy->cardinality = cardinality;
+  copy->children.reserve(children.size());
+  for (const PlanNodePtr& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+std::string PlanNode::Label() const {
+  switch (type) {
+    case PlanNodeType::kTableScan:
+      return StrFormat("TableScan [%s]", table.c_str());
+    case PlanNodeType::kFilter:
+      return StrFormat("Filter [%s]", predicate->ToString().c_str());
+    case PlanNodeType::kProject: {
+      std::vector<std::string> parts;
+      parts.reserve(expressions.size());
+      for (const sql::ExprPtr& e : expressions) parts.push_back(e->ToString());
+      return StrFormat("Project [%s]", Join(parts, "; ").c_str());
+    }
+    case PlanNodeType::kJoin:
+      return StrFormat(
+          "Join [%s%s%s]", sql::JoinTypeToString(join_type),
+          predicate != nullptr ? ": " : "",
+          predicate != nullptr ? predicate->ToString().c_str() : "");
+    case PlanNodeType::kAggregate: {
+      std::vector<std::string> aggs;
+      aggs.reserve(expressions.size());
+      for (const sql::ExprPtr& e : expressions) aggs.push_back(e->ToString());
+      return StrFormat("Aggregate [keys: %s | aggs: %s]",
+                       Join(group_keys, "; ").c_str(),
+                       Join(aggs, "; ").c_str());
+    }
+    case PlanNodeType::kSort: {
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < expressions.size(); ++i) {
+        keys.push_back(expressions[i]->ToString() +
+                       (i < sort_descending.size() && sort_descending[i]
+                            ? " DESC"
+                            : ""));
+      }
+      return StrFormat("Sort [%s]", Join(keys, "; ").c_str());
+    }
+    case PlanNodeType::kLimit:
+      return StrFormat("Limit [%lld]", static_cast<long long>(limit));
+    case PlanNodeType::kExchange:
+      return StrFormat("Exchange [%s]", ExchangeKindToString(exchange_kind));
+    case PlanNodeType::kDistinct:
+      return "Distinct";
+  }
+  return "?";
+}
+
+PlanNodePtr MakeTableScan(std::string table) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kTableScan;
+  node->table = std::move(table);
+  return node;
+}
+
+PlanNodePtr MakeFilter(sql::ExprPtr predicate, PlanNodePtr child) {
+  PRESTROID_CHECK(predicate != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kFilter;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeProject(std::vector<sql::ExprPtr> expressions,
+                        PlanNodePtr child) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kProject;
+  node->expressions = std::move(expressions);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeJoin(sql::JoinType type, sql::ExprPtr condition,
+                     PlanNodePtr left, PlanNodePtr right) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kJoin;
+  node->join_type = type;
+  node->predicate = std::move(condition);
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+PlanNodePtr MakeAggregate(std::vector<std::string> group_keys,
+                          std::vector<sql::ExprPtr> aggregates,
+                          PlanNodePtr child) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kAggregate;
+  node->group_keys = std::move(group_keys);
+  node->expressions = std::move(aggregates);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeSort(std::vector<sql::ExprPtr> keys,
+                     std::vector<bool> descending, PlanNodePtr child) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kSort;
+  node->expressions = std::move(keys);
+  node->sort_descending = std::move(descending);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeLimit(int64_t limit, PlanNodePtr child) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kLimit;
+  node->limit = limit;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeExchange(ExchangeKind kind, PlanNodePtr child) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kExchange;
+  node->exchange_kind = kind;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeDistinct(PlanNodePtr child) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kDistinct;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+void VisitPlan(const PlanNode& root,
+               const std::function<void(const PlanNode&)>& fn) {
+  fn(root);
+  for (const PlanNodePtr& child : root.children) VisitPlan(*child, fn);
+}
+
+}  // namespace prestroid::plan

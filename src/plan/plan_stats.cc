@@ -1,0 +1,40 @@
+#include "plan/plan_stats.h"
+
+#include <algorithm>
+
+namespace prestroid::plan {
+
+namespace {
+
+size_t Depth(const PlanNode& node) {
+  size_t deepest = 0;
+  for (const PlanNodePtr& child : node.children) {
+    deepest = std::max(deepest, Depth(*child) + 1);
+  }
+  return deepest;
+}
+
+}  // namespace
+
+PlanStats ComputePlanStats(const PlanNode& root) {
+  PlanStats stats;
+  VisitPlan(root, [&stats](const PlanNode& node) {
+    ++stats.node_count;
+    ++stats.per_type[node.type];
+    if (node.type == PlanNodeType::kJoin) {
+      ++stats.num_joins;
+      if (node.predicate != nullptr) ++stats.num_predicates;
+    }
+    if (node.type == PlanNodeType::kFilter) ++stats.num_predicates;
+  });
+  stats.max_depth = Depth(root);
+  return stats;
+}
+
+size_t BalancedTreeNodeCount(size_t depth) {
+  return (static_cast<size_t>(1) << (depth + 1)) - 1;
+}
+
+size_t SkewedTreeNodeCount(size_t depth) { return depth + 1; }
+
+}  // namespace prestroid::plan

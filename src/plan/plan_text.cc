@@ -1,0 +1,201 @@
+#include "plan/plan_text.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace prestroid::plan {
+
+namespace {
+
+void WriteNode(const PlanNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << "- " << node.Label() << "\n";
+  for (const PlanNodePtr& child : node.children) {
+    WriteNode(*child, depth + 1, os);
+  }
+}
+
+struct ParsedLine {
+  int depth;
+  std::string kind;     // e.g. "Filter"
+  std::string payload;  // bracket contents, may be empty
+};
+
+Result<ParsedLine> ParseLine(const std::string& line) {
+  size_t indent = 0;
+  while (indent < line.size() && line[indent] == ' ') ++indent;
+  if (indent % 2 != 0) {
+    return Status::ParseError("odd indentation in plan text: " + line);
+  }
+  std::string_view rest = std::string_view(line).substr(indent);
+  if (!StartsWith(rest, "- ")) {
+    return Status::ParseError("expected '- ' bullet in plan text: " + line);
+  }
+  rest = rest.substr(2);
+  ParsedLine out;
+  out.depth = static_cast<int>(indent / 2);
+  size_t bracket = rest.find(" [");
+  if (bracket == std::string_view::npos) {
+    out.kind = std::string(Trim(rest));
+  } else {
+    out.kind = std::string(rest.substr(0, bracket));
+    if (!EndsWith(rest, "]")) {
+      return Status::ParseError("missing ']' in plan text: " + line);
+    }
+    out.payload =
+        std::string(rest.substr(bracket + 2, rest.size() - bracket - 3));
+  }
+  return out;
+}
+
+Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
+  auto node = std::make_unique<PlanNode>();
+  const std::string& kind = line.kind;
+  const std::string& payload = line.payload;
+  if (kind == "TableScan") {
+    node->type = PlanNodeType::kTableScan;
+    node->table = payload;
+  } else if (kind == "Filter") {
+    node->type = PlanNodeType::kFilter;
+    auto pred = sql::ParseExpression(payload);
+    if (!pred.ok()) return pred.status();
+    node->predicate = std::move(pred).value();
+  } else if (kind == "Project") {
+    node->type = PlanNodeType::kProject;
+    for (const std::string& part : Split(payload, ';')) {
+      std::string text(Trim(part));
+      if (text.empty()) continue;
+      auto expr = sql::ParseExpression(text);
+      if (!expr.ok()) return expr.status();
+      node->expressions.push_back(std::move(expr).value());
+    }
+  } else if (kind == "Join") {
+    node->type = PlanNodeType::kJoin;
+    std::string head = payload;
+    std::string cond;
+    size_t colon = payload.find(": ");
+    if (colon != std::string::npos) {
+      head = payload.substr(0, colon);
+      cond = payload.substr(colon + 2);
+    }
+    if (head == "INNER") {
+      node->join_type = sql::JoinType::kInner;
+    } else if (head == "LEFT") {
+      node->join_type = sql::JoinType::kLeft;
+    } else if (head == "RIGHT") {
+      node->join_type = sql::JoinType::kRight;
+    } else if (head == "FULL") {
+      node->join_type = sql::JoinType::kFull;
+    } else if (head == "CROSS") {
+      node->join_type = sql::JoinType::kCross;
+    } else {
+      return Status::ParseError("unknown join type: " + head);
+    }
+    if (!cond.empty()) {
+      auto pred = sql::ParseExpression(cond);
+      if (!pred.ok()) return pred.status();
+      node->predicate = std::move(pred).value();
+    }
+  } else if (kind == "Aggregate") {
+    node->type = PlanNodeType::kAggregate;
+    size_t bar = payload.find(" | aggs: ");
+    if (bar == std::string::npos || !StartsWith(payload, "keys: ")) {
+      return Status::ParseError("malformed Aggregate payload: " + payload);
+    }
+    std::string keys = payload.substr(6, bar - 6);
+    std::string aggs = payload.substr(bar + 9);
+    for (const std::string& key : Split(keys, ';')) {
+      std::string text(Trim(key));
+      if (!text.empty()) node->group_keys.push_back(text);
+    }
+    for (const std::string& agg : Split(aggs, ';')) {
+      std::string text(Trim(agg));
+      if (text.empty()) continue;
+      auto expr = sql::ParseExpression(text);
+      if (!expr.ok()) return expr.status();
+      node->expressions.push_back(std::move(expr).value());
+    }
+  } else if (kind == "Sort") {
+    node->type = PlanNodeType::kSort;
+    for (const std::string& part : Split(payload, ';')) {
+      std::string text(Trim(part));
+      if (text.empty()) continue;
+      bool desc = false;
+      if (EndsWith(text, " DESC")) {
+        desc = true;
+        text = text.substr(0, text.size() - 5);
+      }
+      auto expr = sql::ParseExpression(text);
+      if (!expr.ok()) return expr.status();
+      node->expressions.push_back(std::move(expr).value());
+      node->sort_descending.push_back(desc);
+    }
+  } else if (kind == "Limit") {
+    node->type = PlanNodeType::kLimit;
+    node->limit = std::strtoll(payload.c_str(), nullptr, 10);
+  } else if (kind == "Exchange") {
+    node->type = PlanNodeType::kExchange;
+    if (payload == "GATHER") {
+      node->exchange_kind = ExchangeKind::kGather;
+    } else if (payload == "REPARTITION") {
+      node->exchange_kind = ExchangeKind::kRepartition;
+    } else if (payload == "BROADCAST") {
+      node->exchange_kind = ExchangeKind::kBroadcast;
+    } else {
+      return Status::ParseError("unknown exchange kind: " + payload);
+    }
+  } else if (kind == "Distinct") {
+    node->type = PlanNodeType::kDistinct;
+  } else {
+    return Status::ParseError("unknown plan node kind: " + kind);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::string PlanToText(const PlanNode& root) {
+  std::ostringstream os;
+  WriteNode(root, 0, &os);
+  return os.str();
+}
+
+Result<PlanNodePtr> ParsePlanText(const std::string& text) {
+  std::vector<ParsedLine> lines;
+  for (const std::string& raw : Split(text, '\n')) {
+    if (Trim(raw).empty()) continue;
+    auto line = ParseLine(raw);
+    if (!line.ok()) return line.status();
+    lines.push_back(std::move(line).value());
+  }
+  if (lines.empty()) return Status::ParseError("empty plan text");
+  if (lines[0].depth != 0) {
+    return Status::ParseError("plan text must start at depth 0");
+  }
+
+  // Depth-indexed stack of the current path from the root.
+  std::vector<PlanNode*> stack;
+  auto root = NodeFromLine(lines[0]);
+  if (!root.ok()) return root.status();
+  PlanNodePtr root_node = std::move(root).value();
+  stack.push_back(root_node.get());
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const ParsedLine& line = lines[i];
+    if (line.depth < 1 || static_cast<size_t>(line.depth) > stack.size()) {
+      return Status::ParseError(
+          StrFormat("bad indentation at plan line %zu", i));
+    }
+    stack.resize(static_cast<size_t>(line.depth));
+    auto node = NodeFromLine(line);
+    if (!node.ok()) return node.status();
+    PlanNode* parent = stack.back();
+    parent->children.push_back(std::move(node).value());
+    stack.push_back(parent->children.back().get());
+  }
+  return root_node;
+}
+
+}  // namespace prestroid::plan

@@ -1,0 +1,27 @@
+#ifndef PRESTROID_PLAN_PLAN_TEXT_H_
+#define PRESTROID_PLAN_PLAN_TEXT_H_
+
+#include <string>
+
+#include "plan/plan_node.h"
+#include "util/status.h"
+
+namespace prestroid::plan {
+
+/// Serializes a plan tree to an EXPLAIN-style indented text form, e.g.
+///
+///   - Exchange [GATHER]
+///     - Aggregate [keys: region | aggs: COUNT(*)]
+///       - Filter [(fare > 10)]
+///         - TableScan [trips]
+///
+/// The format round-trips through ParsePlanText. This stands in for Presto's
+/// `EXPLAIN <query>` output as the ingestion format of trace files.
+std::string PlanToText(const PlanNode& root);
+
+/// Parses the text produced by PlanToText back into a plan tree.
+Result<PlanNodePtr> ParsePlanText(const std::string& text);
+
+}  // namespace prestroid::plan
+
+#endif  // PRESTROID_PLAN_PLAN_TEXT_H_

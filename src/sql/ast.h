@@ -1,0 +1,126 @@
+#ifndef PRESTROID_SQL_AST_H_
+#define PRESTROID_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prestroid::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+struct SelectStmt;
+
+/// Expression node kinds covering the mini-SQL dialect's predicates and
+/// scalar expressions.
+enum class ExprKind {
+  kColumn,     // [table.]name
+  kNumberLit,  // numeric literal
+  kStringLit,  // 'string' literal
+  kNullLit,    // NULL
+  kStar,       // * in SELECT or COUNT(*)
+  kBinary,     // arithmetic: + - * / %
+  kCompare,    // = <> != < <= > >=
+  kAnd,        // conjunction (n-ary flattened to binary at parse time)
+  kOr,
+  kNot,
+  kIn,         // children[0] IN (children[1..])
+  kBetween,    // children[0] BETWEEN children[1] AND children[2]
+  kLike,       // children[0] LIKE children[1]
+  kIsNull,     // children[0] IS [NOT] NULL, negated flag in `op` == "NOT"
+  kFuncCall,   // name(children...) - aggregates COUNT/SUM/AVG/MIN/MAX
+};
+
+const char* ExprKindToString(ExprKind kind);
+
+/// Generic expression tree node. Fields are used per kind (see ExprKind).
+struct Expr {
+  ExprKind kind;
+  /// kColumn: optional qualifier; kFuncCall: function name.
+  std::string table;
+  /// kColumn: column name; kFuncCall: function name; kIsNull: "NOT" if
+  /// negated; kBinary/kCompare: operator text.
+  std::string name;
+  double number = 0.0;  // kNumberLit
+  std::string str;      // kStringLit
+  std::string op;       // kBinary/kCompare operator; kIsNull negation marker
+  std::vector<ExprPtr> children;
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+  /// Round-trippable SQL text.
+  std::string ToString() const;
+};
+
+/// Factory helpers used by the parser, the planner and the query generator.
+ExprPtr MakeColumn(std::string table, std::string name);
+ExprPtr MakeNumber(double value);
+ExprPtr MakeString(std::string value);
+ExprPtr MakeNull();
+ExprPtr MakeStar();
+ExprPtr MakeCompare(std::string op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr inner);
+ExprPtr MakeIn(ExprPtr lhs, std::vector<ExprPtr> values);
+ExprPtr MakeBetween(ExprPtr value, ExprPtr lo, ExprPtr hi);
+ExprPtr MakeLike(ExprPtr lhs, ExprPtr pattern);
+ExprPtr MakeIsNull(ExprPtr value, bool negated);
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args);
+
+/// Join flavours supported by the dialect.
+enum class JoinType { kInner, kLeft, kRight, kFull, kCross };
+const char* JoinTypeToString(JoinType type);
+
+/// One item of the SELECT list.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty if none
+};
+
+/// A base table or a parenthesized sub-select in FROM.
+struct TableRef {
+  std::string table;  // empty for subqueries
+  std::string alias;  // empty if none
+  std::unique_ptr<SelectStmt> subquery;
+
+  bool IsSubquery() const { return subquery != nullptr; }
+  /// The name this relation is visible as (alias if set, else table).
+  std::string VisibleName() const { return alias.empty() ? table : alias; }
+};
+
+/// JOIN <ref> ON <condition>.
+struct JoinClause {
+  JoinType type = JoinType::kInner;
+  TableRef ref;
+  ExprPtr condition;  // null for CROSS JOIN
+};
+
+/// ORDER BY item.
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;   // null if absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // null if absent
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  /// Round-trippable SQL text.
+  std::string ToString() const;
+};
+
+}  // namespace prestroid::sql
+
+#endif  // PRESTROID_SQL_AST_H_

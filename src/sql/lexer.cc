@@ -1,0 +1,159 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace prestroid::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      Token token;
+      token.offset = start;
+      if (IsReservedKeyword(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+      tokens.push_back(std::move(token));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (input[j] == '.' && !seen_dot))) {
+        if (input[j] == '.') seen_dot = true;
+        ++j;
+      }
+      // Optional exponent: e[+-]?digits.
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          while (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) ++k;
+          j = k;
+        }
+      }
+      tokens.push_back({TokenType::kNumber, input.substr(i, j - i), start});
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          value.push_back(input[j]);
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(value), start});
+      i = j;
+    } else {
+      switch (c) {
+        case ',':
+          tokens.push_back({TokenType::kComma, ",", start});
+          ++i;
+          break;
+        case '.':
+          tokens.push_back({TokenType::kDot, ".", start});
+          ++i;
+          break;
+        case '(':
+          tokens.push_back({TokenType::kLeftParen, "(", start});
+          ++i;
+          break;
+        case ')':
+          tokens.push_back({TokenType::kRightParen, ")", start});
+          ++i;
+          break;
+        case '<':
+          if (i + 1 < n && (input[i + 1] == '=' || input[i + 1] == '>')) {
+            tokens.push_back(
+                {TokenType::kOperator, input.substr(i, 2), start});
+            i += 2;
+          } else {
+            tokens.push_back({TokenType::kOperator, "<", start});
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && input[i + 1] == '=') {
+            tokens.push_back({TokenType::kOperator, ">=", start});
+            i += 2;
+          } else {
+            tokens.push_back({TokenType::kOperator, ">", start});
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < n && input[i + 1] == '=') {
+            tokens.push_back({TokenType::kOperator, "!=", start});
+            i += 2;
+          } else {
+            return Status::ParseError(
+                StrFormat("unexpected '!' at offset %zu", start));
+          }
+          break;
+        case '=':
+        case '+':
+        case '-':
+        case '*':
+        case '/':
+        case '%':
+          tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+          ++i;
+          break;
+        default:
+          return Status::ParseError(
+              StrFormat("unexpected character '%c' at offset %zu", c, start));
+      }
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace prestroid::sql

@@ -1,0 +1,19 @@
+#ifndef PRESTROID_SQL_LEXER_H_
+#define PRESTROID_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace prestroid::sql {
+
+/// Tokenizes a mini-SQL string. Identifiers are kept as written; keywords are
+/// recognized case-insensitively and normalized to upper case. String literals
+/// use single quotes with '' as the escape.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace prestroid::sql
+
+#endif  // PRESTROID_SQL_LEXER_H_

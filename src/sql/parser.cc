@@ -1,0 +1,461 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace prestroid::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Grammar (informal):
+///
+///   select    := SELECT [DISTINCT] items FROM table_ref join* [WHERE pred]
+///                [GROUP BY exprs] [HAVING pred] [ORDER BY order_items]
+///                [LIMIT number]
+///   pred      := or ; or := and (OR and)* ; and := unary (AND unary)*
+///   unary     := NOT unary | primary
+///   primary   := '(' pred ')' | comparison
+///   comparison:= value (cmp_op value | IN list | BETWEEN v AND v |
+///                LIKE string | IS [NOT] NULL)
+///   value     := term (('+'|'-') term)* ; term := factor (('*'|'/'|'%') factor)*
+///   factor    := column | literal | func '(' args ')' | '(' value ')'
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    auto stmt_result = ParseSelectBody();
+    if (!stmt_result.ok()) return stmt_result.status();
+    if (!Peek().IsKeyword("") && Peek().type != TokenType::kEnd) {
+      return Error("trailing tokens after statement");
+    }
+    return stmt_result;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    size_t saved = pos_;
+    auto pred = ParsePredicate();
+    if (pred.ok() && Peek().type == TokenType::kEnd) return pred;
+    // Fall back to a bare value expression (e.g. "AVG(x)" in a Project).
+    pos_ = saved;
+    auto value = ParseValueExpr();
+    if (!value.ok()) return value.status();
+    if (Peek().type != TokenType::kEnd) return Error("trailing tokens");
+    return value;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenType type) {
+    if (Peek().type == type) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat("%s near offset %zu (token '%s')",
+                                        what.c_str(), Peek().offset,
+                                        Peek().text.c_str()));
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectBody() {
+    if (!MatchKeyword("SELECT")) return Error("expected SELECT");
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->distinct = MatchKeyword("DISTINCT");
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      auto expr = ParseValueExpr();
+      if (!expr.ok()) return expr.status();
+      item.expr = std::move(expr).value();
+      if (MatchKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+        item.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+
+    if (!MatchKeyword("FROM")) return Error("expected FROM");
+    auto from = ParseTableRef();
+    if (!from.ok()) return from.status();
+    stmt->from = std::move(from).value();
+
+    // Joins.
+    while (true) {
+      JoinType type;
+      if (MatchKeyword("JOIN")) {
+        type = JoinType::kInner;
+      } else if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+        Advance();  // INNER
+        Advance();  // JOIN
+        type = JoinType::kInner;
+      } else if (Peek().IsKeyword("LEFT") || Peek().IsKeyword("RIGHT") ||
+                 Peek().IsKeyword("FULL")) {
+        std::string side = Advance().text;
+        MatchKeyword("OUTER");
+        if (!MatchKeyword("JOIN")) return Error("expected JOIN");
+        type = side == "LEFT"    ? JoinType::kLeft
+               : side == "RIGHT" ? JoinType::kRight
+                                 : JoinType::kFull;
+      } else if (Peek().IsKeyword("CROSS") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        type = JoinType::kCross;
+      } else {
+        break;
+      }
+      JoinClause join;
+      join.type = type;
+      auto ref = ParseTableRef();
+      if (!ref.ok()) return ref.status();
+      join.ref = std::move(ref).value();
+      if (type != JoinType::kCross) {
+        if (!MatchKeyword("ON")) return Error("expected ON");
+        auto cond = ParsePredicate();
+        if (!cond.ok()) return cond.status();
+        join.condition = std::move(cond).value();
+      }
+      stmt->joins.push_back(std::move(join));
+    }
+
+    if (MatchKeyword("WHERE")) {
+      auto where = ParsePredicate();
+      if (!where.ok()) return where.status();
+      stmt->where = std::move(where).value();
+    }
+    if (MatchKeyword("GROUP")) {
+      if (!MatchKeyword("BY")) return Error("expected BY after GROUP");
+      while (true) {
+        auto expr = ParseValueExpr();
+        if (!expr.ok()) return expr.status();
+        stmt->group_by.push_back(std::move(expr).value());
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    if (MatchKeyword("HAVING")) {
+      auto having = ParsePredicate();
+      if (!having.ok()) return having.status();
+      stmt->having = std::move(having).value();
+    }
+    if (MatchKeyword("ORDER")) {
+      if (!MatchKeyword("BY")) return Error("expected BY after ORDER");
+      while (true) {
+        OrderItem item;
+        auto expr = ParseValueExpr();
+        if (!expr.ok()) return expr.status();
+        item.expr = std::move(expr).value();
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) return Error("expected LIMIT count");
+      stmt->limit = static_cast<int64_t>(std::strtod(Advance().text.c_str(), nullptr));
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Match(TokenType::kLeftParen)) {
+      auto sub = ParseSelectBody();
+      if (!sub.ok()) return sub.status();
+      ref.subquery = std::move(sub).value();
+      if (!Match(TokenType::kRightParen)) return Error("expected ')'");
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.table = Advance().text;
+    } else {
+      return Error("expected table name or subquery");
+    }
+    if (MatchKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    if (ref.IsSubquery() && ref.alias.empty()) {
+      return Error("subquery in FROM requires an alias");
+    }
+    return ref;
+  }
+
+  Result<ExprPtr> ParsePredicate() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr result = std::move(lhs).value();
+    while (MatchKeyword("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs.status();
+      result = MakeOr(std::move(result), std::move(rhs).value());
+    }
+    return result;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr result = std::move(lhs).value();
+    while (MatchKeyword("AND")) {
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs.status();
+      result = MakeAnd(std::move(result), std::move(rhs).value());
+    }
+    return result;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchKeyword("NOT")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      return MakeNot(std::move(inner).value());
+    }
+    return ParsePrimaryPredicate();
+  }
+
+  // Lookahead to distinguish a parenthesized predicate from a parenthesized
+  // value expression: both start with '('. We try the predicate first.
+  Result<ExprPtr> ParsePrimaryPredicate() {
+    if (Peek().type == TokenType::kLeftParen && LooksLikeNestedPredicate()) {
+      Advance();  // consume '('
+      auto inner = ParsePredicate();
+      if (!inner.ok()) return inner.status();
+      if (!Match(TokenType::kRightParen)) return Error("expected ')'");
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  /// Scans ahead from a '(' to decide whether it encloses a boolean
+  /// predicate (contains AND/OR/NOT/comparison at depth 1).
+  bool LooksLikeNestedPredicate() const {
+    size_t i = pos_ + 1;
+    int depth = 1;
+    while (i < tokens_.size() && depth > 0) {
+      const Token& t = tokens_[i];
+      if (t.type == TokenType::kLeftParen) ++depth;
+      if (t.type == TokenType::kRightParen) --depth;
+      if (depth >= 1 &&
+          (t.IsKeyword("AND") || t.IsKeyword("OR") || t.IsKeyword("NOT") ||
+           t.IsKeyword("IN") || t.IsKeyword("BETWEEN") || t.IsKeyword("LIKE") ||
+           t.IsKeyword("IS") ||
+           (t.type == TokenType::kOperator &&
+            (t.text == "=" || t.text == "<" || t.text == ">" ||
+             t.text == "<=" || t.text == ">=" || t.text == "<>" ||
+             t.text == "!=")))) {
+        return true;
+      }
+      ++i;
+    }
+    return false;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParseValueExpr();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr value = std::move(lhs).value();
+
+    if (Peek().type == TokenType::kOperator) {
+      const std::string op = Peek().text;
+      if (op == "=" || op == "<" || op == ">" || op == "<=" || op == ">=" ||
+          op == "<>" || op == "!=") {
+        Advance();
+        auto rhs = ParseValueExpr();
+        if (!rhs.ok()) return rhs.status();
+        return MakeCompare(op, std::move(value), std::move(rhs).value());
+      }
+    }
+    if (MatchKeyword("IN")) {
+      if (!Match(TokenType::kLeftParen)) return Error("expected '(' after IN");
+      std::vector<ExprPtr> values;
+      while (true) {
+        auto v = ParseValueExpr();
+        if (!v.ok()) return v.status();
+        values.push_back(std::move(v).value());
+        if (!Match(TokenType::kComma)) break;
+      }
+      if (!Match(TokenType::kRightParen)) return Error("expected ')'");
+      return MakeIn(std::move(value), std::move(values));
+    }
+    if (MatchKeyword("BETWEEN")) {
+      auto lo = ParseValueExpr();
+      if (!lo.ok()) return lo.status();
+      if (!MatchKeyword("AND")) return Error("expected AND in BETWEEN");
+      auto hi = ParseValueExpr();
+      if (!hi.ok()) return hi.status();
+      return MakeBetween(std::move(value), std::move(lo).value(),
+                         std::move(hi).value());
+    }
+    if (MatchKeyword("LIKE")) {
+      auto pattern = ParseValueExpr();
+      if (!pattern.ok()) return pattern.status();
+      return MakeLike(std::move(value), std::move(pattern).value());
+    }
+    if (MatchKeyword("IS")) {
+      bool negated = MatchKeyword("NOT");
+      if (!MatchKeyword("NULL")) return Error("expected NULL after IS");
+      return MakeIsNull(std::move(value), negated);
+    }
+    // A bare value expression in predicate position (e.g. join keys compared
+    // via ON a.x = b.y is handled above). Treat as error to surface bugs.
+    return Error("expected comparison operator");
+  }
+
+  Result<ExprPtr> ParseValueExpr() { return ParseAdditive(); }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr result = std::move(lhs).value();
+    while (Peek().IsOperator("+") || Peek().IsOperator("-")) {
+      std::string op = Advance().text;
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs.status();
+      result = MakeBinary(op, std::move(result), std::move(rhs).value());
+    }
+    return result;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr result = std::move(lhs).value();
+    while (Peek().IsOperator("*") || Peek().IsOperator("/") ||
+           Peek().IsOperator("%")) {
+      // '*' directly after SELECT/(, or before FROM, is the star item, not a
+      // multiplication; star never reaches here because ParseFactor consumes it.
+      std::string op = Advance().text;
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) return rhs.status();
+      result = MakeBinary(op, std::move(result), std::move(rhs).value());
+    }
+    return result;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    const Token& t = Peek();
+    if (t.IsOperator("*")) {
+      Advance();
+      return MakeStar();
+    }
+    if (t.IsOperator("-")) {
+      Advance();
+      if (Peek().type == TokenType::kNumber) {
+        return MakeNumber(-std::strtod(Advance().text.c_str(), nullptr));
+      }
+      auto inner = ParseFactor();
+      if (!inner.ok()) return inner.status();
+      return MakeBinary("-", MakeNumber(0), std::move(inner).value());
+    }
+    if (t.type == TokenType::kNumber) {
+      return MakeNumber(std::strtod(Advance().text.c_str(), nullptr));
+    }
+    if (t.type == TokenType::kString) {
+      return MakeString(Advance().text);
+    }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      return MakeNull();
+    }
+    // Aggregate functions are keywords in this dialect.
+    if ((t.IsKeyword("COUNT") || t.IsKeyword("SUM") || t.IsKeyword("AVG") ||
+         t.IsKeyword("MIN") || t.IsKeyword("MAX")) &&
+        Peek(1).type == TokenType::kLeftParen) {
+      std::string fname = Advance().text;
+      Advance();  // '('
+      std::vector<ExprPtr> args;
+      if (!Match(TokenType::kRightParen)) {
+        MatchKeyword("DISTINCT");  // tolerated, not tracked per-arg
+        while (true) {
+          auto arg = ParseValueExpr();
+          if (!arg.ok()) return arg.status();
+          args.push_back(std::move(arg).value());
+          if (!Match(TokenType::kComma)) break;
+        }
+        if (!Match(TokenType::kRightParen)) return Error("expected ')'");
+      }
+      return MakeFuncCall(std::move(fname), std::move(args));
+    }
+    if (t.type == TokenType::kIdentifier) {
+      std::string first = Advance().text;
+      if (Match(TokenType::kDot)) {
+        if (Peek().type == TokenType::kIdentifier) {
+          return MakeColumn(first, Advance().text);
+        }
+        if (Peek().IsOperator("*")) {
+          Advance();
+          return MakeColumn(first, "*");
+        }
+        return Error("expected column after '.'");
+      }
+      if (Peek().type == TokenType::kLeftParen) {
+        // Non-aggregate scalar function call.
+        Advance();
+        std::vector<ExprPtr> args;
+        if (!Match(TokenType::kRightParen)) {
+          while (true) {
+            auto arg = ParseValueExpr();
+            if (!arg.ok()) return arg.status();
+            args.push_back(std::move(arg).value());
+            if (!Match(TokenType::kComma)) break;
+          }
+          if (!Match(TokenType::kRightParen)) return Error("expected ')'");
+        }
+        return MakeFuncCall(std::move(first), std::move(args));
+      }
+      return MakeColumn("", std::move(first));
+    }
+    if (Match(TokenType::kLeftParen)) {
+      auto inner = ParseValueExpr();
+      if (!inner.ok()) return inner.status();
+      if (!Match(TokenType::kRightParen)) return Error("expected ')'");
+      return inner;
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace prestroid::sql

@@ -1,0 +1,23 @@
+#ifndef PRESTROID_SQL_PARSER_H_
+#define PRESTROID_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace prestroid::sql {
+
+/// Parses a mini-SQL SELECT statement (the dialect used by the workload
+/// generators and the Prestroid pipeline). Returns ParseError on malformed
+/// input — never aborts.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+/// Parses a standalone predicate/scalar expression (used by the plan-text
+/// round-trip and by tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace prestroid::sql
+
+#endif  // PRESTROID_SQL_PARSER_H_

@@ -1,0 +1,55 @@
+#include "sql/token.h"
+
+#include <array>
+
+namespace prestroid::sql {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kOperator:
+      return "operator";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kLeftParen:
+      return "(";
+    case TokenType::kRightParen:
+      return ")";
+    case TokenType::kEnd:
+      return "<end>";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsOperator(const char* op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+bool IsReservedKeyword(const std::string& upper_word) {
+  static constexpr std::array<const char*, 34> kKeywords = {
+      "SELECT", "FROM",    "WHERE", "GROUP", "BY",   "HAVING", "ORDER",
+      "LIMIT",  "JOIN",    "INNER", "LEFT",  "RIGHT", "FULL",  "CROSS",
+      "OUTER",  "ON",      "AS",    "AND",   "OR",   "NOT",    "IN",
+      "BETWEEN", "LIKE",   "IS",    "NULL",  "ASC",  "DESC",   "DISTINCT",
+      "COUNT",  "SUM",     "AVG",   "MIN",   "MAX",  "UNION",
+  };
+  for (const char* kw : kKeywords) {
+    if (upper_word == kw) return true;
+  }
+  return false;
+}
+
+}  // namespace prestroid::sql

@@ -1,0 +1,39 @@
+#ifndef PRESTROID_SQL_TOKEN_H_
+#define PRESTROID_SQL_TOKEN_H_
+
+#include <string>
+
+namespace prestroid::sql {
+
+/// Lexical token categories for the mini-SQL dialect.
+enum class TokenType {
+  kIdentifier,   // table_a, col_1 (also dotted parts, lexed separately)
+  kKeyword,      // SELECT, FROM, WHERE, ... (uppercased in `text`)
+  kNumber,       // 42, 3.14, -7
+  kString,       // 'abc'
+  kOperator,     // = <> != < <= > >= + - * / %
+  kComma,
+  kDot,
+  kLeftParen,
+  kRightParen,
+  kEnd,          // end of input
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keywords are normalized to upper case
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+/// True if `word` (case-insensitive) is a reserved keyword of the dialect.
+bool IsReservedKeyword(const std::string& upper_word);
+
+}  // namespace prestroid::sql
+
+#endif  // PRESTROID_SQL_TOKEN_H_

@@ -1,0 +1,99 @@
+#include "subtree/naive_pruning.h"
+
+#include <deque>
+#include <map>
+
+#include "util/logging.h"
+
+namespace prestroid::subtree {
+
+namespace {
+
+using otp::OtpNode;
+
+void DfsOrder(const OtpNode& node, std::vector<const OtpNode*>* out) {
+  out->push_back(&node);
+  if (node.left != nullptr) DfsOrder(*node.left, out);
+  if (node.right != nullptr) DfsOrder(*node.right, out);
+}
+
+std::vector<const OtpNode*> BfsOrder(const OtpNode& root) {
+  std::vector<const OtpNode*> out;
+  std::deque<const OtpNode*> queue;
+  queue.push_back(&root);
+  while (!queue.empty()) {
+    const OtpNode* node = queue.front();
+    queue.pop_front();
+    out.push_back(node);
+    if (node->left != nullptr) queue.push_back(node->left.get());
+    if (node->right != nullptr) queue.push_back(node->right.get());
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* PruningStrategyToString(PruningStrategy strategy) {
+  switch (strategy) {
+    case PruningStrategy::kAlgorithm1:
+      return "algorithm1";
+    case PruningStrategy::kBreadthFirst:
+      return "bfs-prune";
+    case PruningStrategy::kDepthFirst:
+      return "dfs-prune";
+  }
+  return "?";
+}
+
+std::vector<SubtreeSample> PruneNaive(const otp::OtpNode& root,
+                                      size_t node_limit,
+                                      PruningStrategy strategy) {
+  PRESTROID_CHECK_GT(node_limit, 0u);
+  std::vector<const OtpNode*> order;
+  if (strategy == PruningStrategy::kDepthFirst) {
+    DfsOrder(root, &order);
+  } else {
+    order = BfsOrder(root);
+  }
+
+  std::vector<SubtreeSample> samples;
+  for (size_t start = 0; start < order.size(); start += node_limit) {
+    const size_t end = std::min(order.size(), start + node_limit);
+    SubtreeSample sample;
+    sample.nodes.assign(order.begin() + static_cast<long>(start),
+                        order.begin() + static_cast<long>(end));
+    sample.votes.assign(sample.size(), 1.0f);
+    sample.complete = false;
+    // Local child indices; links leaving the chunk are severed.
+    std::map<const OtpNode*, int> index;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      index.emplace(sample.nodes[i], static_cast<int>(i));
+    }
+    sample.left.assign(sample.size(), -1);
+    sample.right.assign(sample.size(), -1);
+    for (size_t i = 0; i < sample.size(); ++i) {
+      const OtpNode* node = sample.nodes[i];
+      if (node->left != nullptr) {
+        auto it = index.find(node->left.get());
+        if (it != index.end()) sample.left[i] = it->second;
+      }
+      if (node->right != nullptr) {
+        auto it = index.find(node->right.get());
+        if (it != index.end()) sample.right[i] = it->second;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+Result<std::vector<SubtreeSample>> DecomposeTree(
+    const otp::OtpNode& root, const SubtreeSamplerConfig& config,
+    PruningStrategy strategy) {
+  if (strategy == PruningStrategy::kAlgorithm1) {
+    return SampleSubtrees(root, config);
+  }
+  return PruneNaive(root, config.node_limit, strategy);
+}
+
+}  // namespace prestroid::subtree

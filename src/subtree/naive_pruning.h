@@ -1,0 +1,36 @@
+#ifndef PRESTROID_SUBTREE_NAIVE_PRUNING_H_
+#define PRESTROID_SUBTREE_NAIVE_PRUNING_H_
+
+#include "subtree/subtree_sampler.h"
+
+namespace prestroid::subtree {
+
+/// The naive decompositions Algorithm 1 is contrasted against in the paper
+/// (Section 4.3): chunk the tree's traversal order into groups of at most N
+/// nodes and treat every chunk as a "sub-tree". Unlike Algorithm 1, chunks
+/// sever parent-child edges arbitrarily and mark every node as voting, so
+/// convolution runs over nodes whose context is incomplete.
+enum class PruningStrategy {
+  kAlgorithm1,    // the paper's sampler (SampleSubtrees)
+  kBreadthFirst,  // BFS order chunked into N-node groups
+  kDepthFirst,    // pre-order DFS chunked into N-node groups
+};
+
+const char* PruningStrategyToString(PruningStrategy strategy);
+
+/// Decomposes `root` into chunks of at most `node_limit` nodes following the
+/// given naive traversal order. Child links crossing a chunk boundary are
+/// dropped (-1); all votes are 1 (the naive schemes have no notion of
+/// incomplete context).
+std::vector<SubtreeSample> PruneNaive(const otp::OtpNode& root,
+                                      size_t node_limit,
+                                      PruningStrategy strategy);
+
+/// Dispatch helper: runs Algorithm 1 or a naive strategy uniformly.
+Result<std::vector<SubtreeSample>> DecomposeTree(
+    const otp::OtpNode& root, const SubtreeSamplerConfig& config,
+    PruningStrategy strategy);
+
+}  // namespace prestroid::subtree
+
+#endif  // PRESTROID_SUBTREE_NAIVE_PRUNING_H_

@@ -1,0 +1,139 @@
+#include "subtree/subtree_sampler.h"
+
+#include <deque>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace prestroid::subtree {
+
+namespace {
+
+using otp::OtpNode;
+
+/// getNodes(R, D): all nodes of the subtree rooted at `root` up to relative
+/// depth `max_depth` inclusive, in BFS order, with per-node depths.
+void GetNodes(const OtpNode& root, size_t max_depth,
+              std::vector<const OtpNode*>* nodes, std::vector<size_t>* depths) {
+  nodes->clear();
+  depths->clear();
+  std::deque<std::pair<const OtpNode*, size_t>> queue;
+  queue.emplace_back(&root, 0);
+  while (!queue.empty()) {
+    auto [node, depth] = queue.front();
+    queue.pop_front();
+    nodes->push_back(node);
+    depths->push_back(depth);
+    if (depth == max_depth) continue;
+    if (node->left != nullptr) queue.emplace_back(node->left.get(), depth + 1);
+    if (node->right != nullptr) queue.emplace_back(node->right.get(), depth + 1);
+  }
+}
+
+/// Builds the local child-index arrays of a sample.
+void IndexSample(SubtreeSample* sample) {
+  std::map<const OtpNode*, int> index;
+  for (size_t i = 0; i < sample->nodes.size(); ++i) {
+    index.emplace(sample->nodes[i], static_cast<int>(i));
+  }
+  sample->left.assign(sample->nodes.size(), -1);
+  sample->right.assign(sample->nodes.size(), -1);
+  for (size_t i = 0; i < sample->nodes.size(); ++i) {
+    const OtpNode* node = sample->nodes[i];
+    if (node->left != nullptr) {
+      auto it = index.find(node->left.get());
+      if (it != index.end()) sample->left[i] = it->second;
+    }
+    if (node->right != nullptr) {
+      auto it = index.find(node->right.get());
+      if (it != index.end()) sample->right[i] = it->second;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<SubtreeSample>> SampleSubtrees(
+    const otp::OtpNode& root, const SubtreeSamplerConfig& config) {
+  const size_t n_limit = config.node_limit;
+  const size_t c = config.conv_layers;
+  // Constraint from the paper: N >= 2^(C+1) - 1 (the paper writes a strict
+  // inequality but itself runs N = 15 with C = 3).
+  const size_t min_nodes = (static_cast<size_t>(1) << (c + 1)) - 1;
+  if (n_limit < min_nodes) {
+    return Status::InvalidArgument(
+        StrFormat("node limit N=%zu violates N >= 2^(C+1)-1 = %zu for C=%zu",
+                  n_limit, min_nodes, c));
+  }
+
+  std::vector<SubtreeSample> samples;
+  std::deque<const OtpNode*> frontier;
+  frontier.push_back(&root);
+
+  std::vector<const OtpNode*> candidates, prior;
+  std::vector<size_t> cand_depths, prior_depths;
+
+  while (!frontier.empty()) {
+    const OtpNode* seed = frontier.front();
+    frontier.pop_front();
+
+    // Grow the candidate set one full level at a time until it exceeds N or
+    // stops growing (complete subtree reached).
+    size_t depth = 0;
+    GetNodes(*seed, 0, &candidates, &cand_depths);
+    bool grew = true;
+    while (candidates.size() <= n_limit) {
+      prior = candidates;
+      prior_depths = cand_depths;
+      ++depth;
+      GetNodes(*seed, depth, &candidates, &cand_depths);
+      if (candidates.size() == prior.size()) {
+        grew = false;  // no new children anywhere: complete subtree
+        break;
+      }
+    }
+
+    SubtreeSample sample;
+    sample.nodes = prior;
+    sample.complete = !grew;
+    const size_t count = sample.nodes.size();
+
+    if (sample.complete) {
+      // Every node saw its full subtree: all votes are 1.
+      sample.votes.assign(count, 1.0f);
+    } else {
+      // `depth` is the first level whose inclusion exceeded N; the sample
+      // holds levels [0, depth-1]. Nodes at levels <= depth-1-C have C
+      // complete levels below them inside the sample and may vote.
+      const size_t sample_depth = depth - 1;
+      sample.votes.assign(count, 0.0f);
+      const size_t vote_cutoff = sample_depth >= c ? sample_depth - c : 0;
+      for (size_t i = 0; i < count; ++i) {
+        if (prior_depths[i] + c <= sample_depth &&
+            prior_depths[i] <= vote_cutoff) {
+          sample.votes[i] = 1.0f;
+        }
+      }
+      // Re-seed the frontier with the nodes at relative depth D - C so the
+      // next samples re-cover the voteless fringe with full context.
+      size_t reseed_depth = sample_depth >= c ? sample_depth - c : 1;
+      if (reseed_depth == 0) reseed_depth = 1;  // guarantee progress
+      for (size_t i = 0; i < count; ++i) {
+        if (prior_depths[i] == reseed_depth) {
+          const OtpNode* node = sample.nodes[i];
+          // Leaves need no re-processing: their subtree is just themselves
+          // and is already fully covered by this sample.
+          if (node->left != nullptr || node->right != nullptr) {
+            frontier.push_back(node);
+          }
+        }
+      }
+    }
+    IndexSample(&sample);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace prestroid::subtree

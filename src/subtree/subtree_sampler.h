@@ -1,0 +1,50 @@
+#ifndef PRESTROID_SUBTREE_SUBTREE_SAMPLER_H_
+#define PRESTROID_SUBTREE_SUBTREE_SAMPLER_H_
+
+#include <vector>
+
+#include "otp/otp_tree.h"
+#include "util/status.h"
+
+namespace prestroid::subtree {
+
+/// Sampler parameters: N (max nodes per sub-tree) and C (convolution layers).
+/// The paper's rule (N > 2^(C+1)-1, applied inclusively since its own
+/// configurations use N = 15 with C = 3) guarantees a sub-tree can hold at
+/// least one node with C complete levels below it.
+struct SubtreeSamplerConfig {
+  size_t node_limit = 15;  // N
+  size_t conv_layers = 3;  // C
+};
+
+/// One sampled sub-tree: a view over the original OtpTree plus the vote bit
+/// mask of Algorithm 1. Nodes are in BFS order from the sub-tree root;
+/// child indices are local (-1 when the child is outside the sample or
+/// absent).
+struct SubtreeSample {
+  std::vector<const otp::OtpNode*> nodes;
+  std::vector<int> left;
+  std::vector<int> right;
+  /// 1 for nodes whose information is complete through C convolutions
+  /// ("allowed to vote"), 0 otherwise.
+  std::vector<float> votes;
+  /// True when the sample covers a complete subtree (hit leaves, not the
+  /// node limit).
+  bool complete = false;
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Algorithm 1 (paper Section 4.3): decomposes a (possibly huge) O-T-P
+/// binary tree into sub-trees of at most N nodes whose votes mark the nodes
+/// with complete C-level convolution context. Re-seeds the BFS frontier at
+/// relative depth D - C of every pruned sample so breadth-level information
+/// is preserved across samples.
+///
+/// Returns InvalidArgument unless N >= 2^(C+1) - 1.
+Result<std::vector<SubtreeSample>> SampleSubtrees(
+    const otp::OtpNode& root, const SubtreeSamplerConfig& config);
+
+}  // namespace prestroid::subtree
+
+#endif  // PRESTROID_SUBTREE_SUBTREE_SAMPLER_H_

@@ -1,0 +1,184 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  PRESTROID_CHECK_EQ(b.rank(), 2u);
+  PRESTROID_CHECK_EQ(a.dim(1), b.dim(0));
+  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = ap[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bp + kk * n;
+      float* orow = op + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  PRESTROID_CHECK_EQ(b.rank(), 2u);
+  PRESTROID_CHECK_EQ(a.dim(0), b.dim(0));
+  const size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = ap + kk * m;
+    const float* brow = bp + kk * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* orow = op + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  PRESTROID_CHECK_EQ(b.rank(), 2u);
+  PRESTROID_CHECK_EQ(a.dim(1), b.dim(1));
+  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      op[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  const size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) out.At(j, i) = a.At(i, j);
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  PRESTROID_CHECK_EQ(a.size(), b.size());
+  Tensor out = a;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  PRESTROID_CHECK_EQ(bias.size(), a.dim(1));
+  Tensor out = a;
+  const size_t m = a.dim(0), n = a.dim(1);
+  for (size_t i = 0; i < m; ++i) {
+    float* row = out.data() + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  const size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  for (size_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    for (size_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  Tensor out = SumRows(a);
+  PRESTROID_CHECK_GT(a.dim(0), 0u);
+  out *= 1.0f / static_cast<float>(a.dim(0));
+  return out;
+}
+
+Tensor MaxRows(const Tensor& a) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  PRESTROID_CHECK_GT(a.dim(0), 0u);
+  const size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  for (size_t j = 0; j < n; ++j) out[j] = a.At(0, j);
+  for (size_t i = 1; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) out[j] = std::max(out[j], a.At(i, j));
+  }
+  return out;
+}
+
+Tensor MinRows(const Tensor& a) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  PRESTROID_CHECK_GT(a.dim(0), 0u);
+  const size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  for (size_t j = 0; j < n; ++j) out[j] = a.At(0, j);
+  for (size_t i = 1; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) out[j] = std::min(out[j], a.At(i, j));
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor out = a;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out = a;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  return out;
+}
+
+Tensor TanhT(const Tensor& a) {
+  Tensor out = a;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  return out;
+}
+
+}  // namespace prestroid

@@ -1,0 +1,48 @@
+#ifndef PRESTROID_TENSOR_OPS_H_
+#define PRESTROID_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace prestroid {
+
+/// Matrix multiply: a is [m, k], b is [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// MatMul where `a` is transposed: a is [k, m], b is [k, n] -> [m, n].
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
+
+/// MatMul where `b` is transposed: a is [m, k], b is [n, k] -> [m, n].
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& a);
+
+/// Elementwise arithmetic; shapes must match exactly.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+
+/// Adds row-vector `bias` [n] to every row of `a` [m, n].
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/// Column-wise sum of a rank-2 tensor: [m, n] -> [n].
+Tensor SumRows(const Tensor& a);
+
+/// Row-wise mean of a rank-2 tensor: [m, n] -> [n] (mean over axis 0).
+Tensor MeanRows(const Tensor& a);
+
+/// Elementwise max over axis 0 of rank-2 tensor: [m, n] -> [n].
+Tensor MaxRows(const Tensor& a);
+
+/// Elementwise min over axis 0 of rank-2 tensor: [m, n] -> [n].
+Tensor MinRows(const Tensor& a);
+
+/// Elementwise unary helpers.
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor TanhT(const Tensor& a);
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_TENSOR_OPS_H_

@@ -1,0 +1,165 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+size_t ShapeSize(const std::vector<size_t>& shape) {
+  size_t total = 1;
+  for (size_t d : shape) total *= d;
+  return shape.empty() ? 0 : total;
+}
+
+std::string ShapeToString(const std::vector<size_t>& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<size_t> shape)
+    : Tensor(std::vector<size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  PRESTROID_CHECK_EQ(data_.size(), ShapeSize(shape_));
+}
+
+Tensor Tensor::Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(std::vector<size_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Random(std::vector<size_t> shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<size_t> shape, Rng* rng, float mean,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(size_t fan_in, size_t fan_out, Rng* rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Random({fan_in, fan_out}, rng, -limit, limit);
+}
+
+size_t Tensor::dim(size_t axis) const {
+  PRESTROID_CHECK_LT(axis, shape_.size());
+  return shape_[axis];
+}
+
+float& Tensor::At(size_t r, size_t c) {
+  PRESTROID_CHECK_EQ(rank(), 2u);
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::At(size_t r, size_t c) const {
+  PRESTROID_CHECK_EQ(rank(), 2u);
+  return data_[r * shape_[1] + c];
+}
+
+float& Tensor::At(size_t i, size_t j, size_t k) {
+  PRESTROID_CHECK_EQ(rank(), 3u);
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::At(size_t i, size_t j, size_t k) const {
+  PRESTROID_CHECK_EQ(rank(), 3u);
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+Tensor Tensor::Reshape(std::vector<size_t> new_shape) const {
+  PRESTROID_CHECK_EQ(ShapeSize(new_shape), size());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  PRESTROID_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  PRESTROID_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+float Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::Mean() const {
+  PRESTROID_CHECK(!data_.empty());
+  return Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::Min() const {
+  PRESTROID_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  PRESTROID_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(size_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << "{";
+  size_t n = std::min(max_elems, data_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  if (n < data_.size()) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace prestroid

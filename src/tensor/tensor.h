@@ -1,0 +1,101 @@
+#ifndef PRESTROID_TENSOR_TENSOR_H_
+#define PRESTROID_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace prestroid {
+
+/// Dense, row-major float32 tensor. This is the numeric substrate for the
+/// from-scratch neural-network library (the paper used TensorFlow; we build
+/// the equivalent math on CPU — see DESIGN.md substitution table).
+///
+/// Copyable and movable; copies are deep.
+class Tensor {
+ public:
+  /// Empty (rank-0, no elements) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+  Tensor(std::initializer_list<size_t> shape);
+
+  /// Builds a tensor with explicit contents. data.size() must equal the
+  /// product of shape.
+  Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+  /// Factory helpers.
+  static Tensor Zeros(std::vector<size_t> shape);
+  static Tensor Ones(std::vector<size_t> shape);
+  static Tensor Full(std::vector<size_t> shape, float value);
+  /// Uniform in [lo, hi).
+  static Tensor Random(std::vector<size_t> shape, Rng* rng, float lo = -1.0f,
+                       float hi = 1.0f);
+  /// Gaussian with the given parameters.
+  static Tensor RandomNormal(std::vector<size_t> shape, Rng* rng,
+                             float mean = 0.0f, float stddev = 1.0f);
+  /// Glorot/Xavier-uniform init for a [fan_in, fan_out] weight matrix.
+  static Tensor GlorotUniform(size_t fan_in, size_t fan_out, Rng* rng);
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t dim(size_t axis) const;
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  /// 2-D element access (row-major). Requires rank() == 2.
+  float& At(size_t r, size_t c);
+  float At(size_t r, size_t c) const;
+  /// 3-D element access. Requires rank() == 3.
+  float& At(size_t i, size_t j, size_t k);
+  float At(size_t i, size_t j, size_t k) const;
+
+  /// Returns a reshaped deep view (same data, new shape); total size must
+  /// be preserved.
+  Tensor Reshape(std::vector<size_t> new_shape) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// In-place elementwise updates.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// Sum / mean / min / max over all elements.
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+
+  /// Approximate equality for tests.
+  bool AllClose(const Tensor& other, float atol = 1e-5f) const;
+
+  /// Debug rendering: "Tensor[2,3]{...}" with up to `max_elems` values.
+  std::string ToString(size_t max_elems = 16) const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+size_t ShapeSize(const std::vector<size_t>& shape);
+
+/// Pretty "[a, b, c]" rendering of a shape.
+std::string ShapeToString(const std::vector<size_t>& shape);
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_TENSOR_TENSOR_H_

@@ -1,0 +1,62 @@
+#ifndef PRESTROID_UTIL_LOGGING_H_
+#define PRESTROID_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace prestroid {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that reaches stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink flushed (and, for CHECK failures, aborted) on
+/// destruction. Use through the PRESTROID_LOG / PRESTROID_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PRESTROID_LOG(level)                                              \
+  ::prestroid::internal::LogMessage(::prestroid::LogLevel::k##level,      \
+                                    __FILE__, __LINE__)
+
+/// Internal-invariant check: aborts with a message when `cond` is false.
+/// Use for programmer errors only; recoverable conditions return Status.
+#define PRESTROID_CHECK(cond)                                             \
+  if (!(cond))                                                            \
+  ::prestroid::internal::LogMessage(::prestroid::LogLevel::kError,        \
+                                    __FILE__, __LINE__, /*fatal=*/true)   \
+      << "Check failed: " #cond " "
+
+#define PRESTROID_CHECK_EQ(a, b) PRESTROID_CHECK((a) == (b))
+#define PRESTROID_CHECK_NE(a, b) PRESTROID_CHECK((a) != (b))
+#define PRESTROID_CHECK_LT(a, b) PRESTROID_CHECK((a) < (b))
+#define PRESTROID_CHECK_LE(a, b) PRESTROID_CHECK((a) <= (b))
+#define PRESTROID_CHECK_GT(a, b) PRESTROID_CHECK((a) > (b))
+#define PRESTROID_CHECK_GE(a, b) PRESTROID_CHECK((a) >= (b))
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_UTIL_LOGGING_H_

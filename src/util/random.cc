@@ -1,0 +1,142 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+namespace {
+
+// SplitMix64, used only to expand the seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  PRESTROID_CHECK_GT(bound, 0u);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PRESTROID_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  double u2 = UniformDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Gaussian(mu, sigma));
+}
+
+double Rng::Pareto(double x_m, double alpha) {
+  PRESTROID_CHECK_GT(alpha, 0.0);
+  double u = 1.0 - UniformDouble();  // in (0, 1]
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+size_t Rng::Zipf(size_t n, double s) {
+  PRESTROID_CHECK_GT(n, 0u);
+  if (n == 1) return 0;
+  // Rejection-inversion sampler (Hörmann & Derflinger) over ranks 1..n.
+  const double kN = static_cast<double>(n);
+  auto h_integral = [s](double x) {
+    double log_x = std::log(x);
+    if (std::abs(1.0 - s) < 1e-12) return log_x;
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h = [s](double x) { return std::pow(x, -s); };
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(kN + 0.5);
+  while (true) {
+    double u = h_x1 + UniformDouble() * (h_n - h_x1);
+    double x;
+    if (std::abs(1.0 - s) < 1e-12) {
+      x = std::exp(u);
+    } else {
+      x = std::pow(u * (1.0 - s) + 1.0, 1.0 / (1.0 - s));
+    }
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > kN) k = kN;
+    if (u >= h_integral(k + 0.5) - h(k) || u >= h_x1) {
+      return static_cast<size_t>(k) - 1;
+    }
+  }
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  PRESTROID_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  PRESTROID_CHECK_GT(total, 0.0);
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace prestroid

@@ -1,0 +1,74 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prestroid {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(state_->code);
+  result += ": ";
+  result += state_->message;
+  return result;
+}
+
+namespace internal {
+
+void DieOnError(const Status& status) {
+  std::fprintf(stderr, "FATAL: ValueOrDie on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace prestroid

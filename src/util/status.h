@@ -1,0 +1,155 @@
+#ifndef PRESTROID_UTIL_STATUS_H_
+#define PRESTROID_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace prestroid {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Cheap, copyable success/error carrier. OK status stores no allocation.
+///
+/// Public APIs in this library return `Status` (or `Result<T>`) instead of
+/// throwing; exceptions never cross the public API boundary.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers for each error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. Matches the RocksDB trick of making success allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so `return value;` and
+  /// `return Status::X(...)` both work inside functions returning Result<T>.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    // A Result must never hold an OK status without a value.
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise (see PRESTROID_CHECK semantics).
+  T& value() & { return std::get<T>(payload_); }
+  const T& value() const& { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, aborting the process with `msg` context on error.
+  T ValueOrDie();
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnError(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() {
+  if (!ok()) internal::DieOnError(status());
+  return std::get<T>(std::move(payload_));
+}
+
+/// Propagates a non-OK Status to the caller.
+#define PRESTROID_RETURN_NOT_OK(expr)                   \
+  do {                                                  \
+    ::prestroid::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                          \
+  } while (false)
+
+#define PRESTROID_CONCAT_IMPL(x, y) x##y
+#define PRESTROID_CONCAT(x, y) PRESTROID_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result-returning expression, assigning the value on success and
+/// propagating the Status on failure: PRESTROID_ASSIGN_OR_RETURN(auto v, F());
+#define PRESTROID_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto PRESTROID_CONCAT(_result_, __LINE__) = (rexpr);                    \
+  if (!PRESTROID_CONCAT(_result_, __LINE__).ok())                         \
+    return PRESTROID_CONCAT(_result_, __LINE__).status();                 \
+  lhs = std::move(PRESTROID_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_UTIL_STATUS_H_

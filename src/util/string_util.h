@@ -1,0 +1,38 @@
+#ifndef PRESTROID_UTIL_STRING_UTIL_H_
+#define PRESTROID_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prestroid {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// ASCII lower/upper-casing (locale independent).
+std::string ToLower(std::string_view input);
+std::string ToUpper(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if the two strings match ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_UTIL_STRING_UTIL_H_

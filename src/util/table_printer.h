@@ -1,0 +1,36 @@
+#ifndef PRESTROID_UTIL_TABLE_PRINTER_H_
+#define PRESTROID_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prestroid {
+
+/// Renders aligned ASCII tables — used by the benchmark harnesses to print the
+/// same rows/series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` decimal places.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Writes the padded table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Writes comma-separated values (for downstream plotting).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_UTIL_TABLE_PRINTER_H_

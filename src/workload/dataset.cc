@@ -1,0 +1,73 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace prestroid::workload {
+
+DatasetSplits SplitRandom(size_t num_records, double train_ratio,
+                          double val_ratio, Rng* rng) {
+  PRESTROID_CHECK(rng != nullptr);
+  PRESTROID_CHECK_LE(train_ratio + val_ratio, 1.0 + 1e-9);
+  std::vector<size_t> order(num_records);
+  for (size_t i = 0; i < num_records; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  DatasetSplits splits;
+  const size_t train_end = static_cast<size_t>(
+      static_cast<double>(num_records) * train_ratio);
+  const size_t val_end = train_end + static_cast<size_t>(
+      static_cast<double>(num_records) * val_ratio);
+  for (size_t i = 0; i < num_records; ++i) {
+    if (i < train_end) {
+      splits.train.push_back(order[i]);
+    } else if (i < val_end) {
+      splits.val.push_back(order[i]);
+    } else {
+      splits.test.push_back(order[i]);
+    }
+  }
+  return splits;
+}
+
+DatasetSplits SplitByTemplate(const std::vector<QueryRecord>& records,
+                              double train_ratio, double val_ratio, Rng* rng) {
+  PRESTROID_CHECK(rng != nullptr);
+  std::map<int, std::vector<size_t>> by_template;
+  for (size_t i = 0; i < records.size(); ++i) {
+    by_template[records[i].template_id].push_back(i);
+  }
+  std::vector<int> templates;
+  templates.reserve(by_template.size());
+  for (const auto& [id, members] : by_template) templates.push_back(id);
+  rng->Shuffle(&templates);
+
+  DatasetSplits splits;
+  const size_t n = templates.size();
+  const size_t train_end =
+      static_cast<size_t>(static_cast<double>(n) * train_ratio);
+  const size_t val_end =
+      train_end + static_cast<size_t>(static_cast<double>(n) * val_ratio);
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<size_t>* bucket = &splits.test;
+    if (t < train_end) {
+      bucket = &splits.train;
+    } else if (t < val_end) {
+      bucket = &splits.val;
+    }
+    for (size_t idx : by_template[templates[t]]) bucket->push_back(idx);
+  }
+  return splits;
+}
+
+std::vector<double> CpuMinutesOf(const std::vector<QueryRecord>& records) {
+  std::vector<double> labels;
+  labels.reserve(records.size());
+  for (const QueryRecord& record : records) {
+    labels.push_back(record.metrics.total_cpu_minutes);
+  }
+  return labels;
+}
+
+}  // namespace prestroid::workload

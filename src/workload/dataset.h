@@ -1,0 +1,33 @@
+#ifndef PRESTROID_WORKLOAD_DATASET_H_
+#define PRESTROID_WORKLOAD_DATASET_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "workload/trace.h"
+
+namespace prestroid::workload {
+
+/// Index-based train/validation/test partition over a record vector.
+struct DatasetSplits {
+  std::vector<size_t> train;
+  std::vector<size_t> val;
+  std::vector<size_t> test;
+};
+
+/// Random 8/1/1 split (Grab-Traces protocol). Ratios must sum to <= 1; the
+/// remainder goes to test.
+DatasetSplits SplitRandom(size_t num_records, double train_ratio,
+                          double val_ratio, Rng* rng);
+
+/// Template-level 8/1/1 split (TPC-DS protocol): all instances of a template
+/// land in the same partition, so test templates are never seen in training.
+DatasetSplits SplitByTemplate(const std::vector<QueryRecord>& records,
+                              double train_ratio, double val_ratio, Rng* rng);
+
+/// Extracts the total-CPU-minute label of every record.
+std::vector<double> CpuMinutesOf(const std::vector<QueryRecord>& records);
+
+}  // namespace prestroid::workload
+
+#endif  // PRESTROID_WORKLOAD_DATASET_H_

@@ -1,0 +1,68 @@
+#ifndef PRESTROID_WORKLOAD_QUERY_GENERATOR_H_
+#define PRESTROID_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "workload/schema_generator.h"
+
+namespace prestroid::workload {
+
+/// Knobs controlling the shape distribution of generated queries. Defaults
+/// target the Grab-Traces profile: mostly small plans, a heavy Pareto tail of
+/// huge joins and deep pipeline chains (Figures 2 and 8).
+struct QueryGenConfig {
+  /// Join-count distribution: geometric body + Pareto tail.
+  double join_geometric_p = 0.45;
+  double join_tail_prob = 0.05;
+  double join_tail_pareto_alpha = 1.1;
+  size_t max_joins = 48;
+  /// Probability a FROM relation is itself a subquery (recursive).
+  double p_subquery = 0.12;
+  size_t max_subquery_depth = 2;
+  /// Probability of wrapping the query in a long skinny pipeline of nested
+  /// subqueries (creates the depth tail of Figure 2).
+  double p_deep_chain = 0.03;
+  size_t max_chain_depth = 40;
+  double p_where = 0.92;
+  size_t max_pred_clauses = 5;
+  /// Probability an internal conjunction node is OR instead of AND.
+  double p_or = 0.3;
+  double p_group_by = 0.40;
+  double p_order_by = 0.30;
+  double p_limit = 0.45;
+  /// Zipf skew of table popularity.
+  double table_zipf_s = 1.05;
+  /// With this probability a relation is drawn uniformly from tables created
+  /// within `recency_window_days` instead of by popularity — models teams
+  /// querying freshly-landed tables (drives the Table 1 churn series).
+  double recency_prob = 0.10;
+  int recency_window_days = 7;
+};
+
+/// Generates mini-SQL query strings over a GeneratedSchema.
+///
+/// The skeleton (tables, join structure, predicate columns, clause shapes) is
+/// a deterministic function of `structure_seed`; literal values are a
+/// function of `literal_seed`. Re-using a structure seed with fresh literal
+/// seeds yields "template instances" — exactly how the TPC-DS-like workload
+/// varies only predicate fields between queries (paper Section 5.1).
+class QueryGenerator {
+ public:
+  QueryGenerator(const GeneratedSchema* schema, QueryGenConfig config = {});
+
+  /// Generates the SQL text of one query visible on `day` (only tables whose
+  /// creation_day <= day are referenced).
+  std::string Generate(int day, uint64_t structure_seed,
+                       uint64_t literal_seed) const;
+
+  const QueryGenConfig& config() const { return config_; }
+
+ private:
+  const GeneratedSchema* schema_;
+  QueryGenConfig config_;
+};
+
+}  // namespace prestroid::workload
+
+#endif  // PRESTROID_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,366 @@
+#include "workload/schema_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace prestroid::workload {
+
+namespace {
+
+using plan::ColumnDef;
+using plan::ColumnType;
+using plan::TableDef;
+
+/// Thematic column-name vocabulary. Names within a theme co-occur inside the
+/// same tables, which gives the predicate Word2Vec model real structure to
+/// learn (e.g. longitude/latitude vs. datamart_key).
+struct Theme {
+  const char* name;
+  std::vector<std::pair<const char*, ColumnType>> columns;
+};
+
+const std::vector<Theme>& Themes() {
+  static const std::vector<Theme>* kThemes = new std::vector<Theme>{
+      {"geo",
+       {{"longitude", ColumnType::kDouble},
+        {"latitude", ColumnType::kDouble},
+        {"geohash", ColumnType::kString},
+        {"city_id", ColumnType::kInt},
+        {"country_code", ColumnType::kString},
+        {"region", ColumnType::kString}}},
+      {"time",
+       {{"event_ts", ColumnType::kTimestamp},
+        {"created_at", ColumnType::kTimestamp},
+        {"updated_at", ColumnType::kTimestamp},
+        {"ds", ColumnType::kString},
+        {"hour_of_day", ColumnType::kInt},
+        {"day_of_week", ColumnType::kInt}}},
+      {"money",
+       {{"fare", ColumnType::kDouble},
+        {"amount", ColumnType::kDouble},
+        {"tax", ColumnType::kDouble},
+        {"discount", ColumnType::kDouble},
+        {"currency", ColumnType::kString},
+        {"commission", ColumnType::kDouble}}},
+      {"ids",
+       {{"driver_id", ColumnType::kInt},
+        {"passenger_id", ColumnType::kInt},
+        {"order_id", ColumnType::kInt},
+        {"merchant_id", ColumnType::kInt},
+        {"booking_id", ColumnType::kInt},
+        {"vehicle_id", ColumnType::kInt}}},
+      {"metrics",
+       {{"distance_km", ColumnType::kDouble},
+        {"duration_s", ColumnType::kDouble},
+        {"rating", ColumnType::kDouble},
+        {"eta_min", ColumnType::kDouble},
+        {"surge_factor", ColumnType::kDouble},
+        {"num_stops", ColumnType::kInt}}},
+      {"status",
+       {{"status", ColumnType::kString},
+        {"state", ColumnType::kString},
+        {"type", ColumnType::kString},
+        {"source", ColumnType::kString},
+        {"flag", ColumnType::kInt},
+        {"datamart_key", ColumnType::kString}}},
+  };
+  return *kThemes;
+}
+
+ColumnDef MakeColumn(const char* name, ColumnType type, Rng* rng) {
+  ColumnDef col;
+  col.name = name;
+  col.type = type;
+  switch (type) {
+    case ColumnType::kInt:
+      col.num_distinct = std::max(2.0, rng->LogNormal(8.0, 2.0));
+      col.min_value = 0.0;
+      col.max_value = col.num_distinct * rng->Uniform(1.0, 4.0);
+      break;
+    case ColumnType::kDouble:
+      col.num_distinct = std::max(10.0, rng->LogNormal(10.0, 2.0));
+      col.min_value = rng->Uniform(-200.0, 0.0);
+      col.max_value = col.min_value + rng->LogNormal(5.0, 1.5);
+      break;
+    case ColumnType::kString:
+      col.num_distinct = std::max(2.0, rng->LogNormal(4.0, 1.5));
+      col.min_value = 0.0;
+      col.max_value = col.num_distinct;
+      break;
+    case ColumnType::kTimestamp:
+      col.num_distinct = std::max(100.0, rng->LogNormal(12.0, 1.0));
+      col.min_value = 1.6e9;  // epoch seconds
+      col.max_value = 1.7e9;
+      break;
+  }
+  return col;
+}
+
+const char* const kTableWords[] = {
+    "trips",   "orders",   "payments", "drivers",  "sessions", "events",
+    "bookings", "merchants", "ratings", "incentives", "wallets", "campaigns",
+    "deliveries", "routes", "fares",   "promos",   "refunds",  "vehicles",
+    "zones",   "surge",    "eta",      "logs",     "snapshots", "metrics",
+};
+
+}  // namespace
+
+std::vector<std::string> GeneratedSchema::TablesAvailableAt(int day) const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < table_names.size(); ++i) {
+    if (creation_day[i] <= day) out.push_back(table_names[i]);
+  }
+  return out;
+}
+
+GeneratedSchema GenerateSchema(const SchemaGenConfig& config) {
+  PRESTROID_CHECK_GE(config.max_columns, config.min_columns);
+  Rng rng(config.seed);
+  GeneratedSchema schema;
+
+  const auto& themes = Themes();
+  const size_t num_words = sizeof(kTableWords) / sizeof(kTableWords[0]);
+
+  for (size_t t = 0; t < config.num_tables; ++t) {
+    TableDef table;
+    table.name = StrFormat("%s_%zu", kTableWords[rng.NextUint64(num_words)], t);
+    table.row_count = std::max(
+        100.0, rng.LogNormal(config.row_count_log_mu, config.row_count_log_sigma));
+    table.row_bytes = rng.Uniform(48.0, 512.0);
+
+    // Pick 2-3 themes; draw columns mostly from them so theme words co-occur.
+    size_t num_themes = 2 + rng.NextUint64(2);
+    std::vector<size_t> theme_ids;
+    while (theme_ids.size() < num_themes) {
+      size_t id = rng.NextUint64(themes.size());
+      if (std::find(theme_ids.begin(), theme_ids.end(), id) == theme_ids.end()) {
+        theme_ids.push_back(id);
+      }
+    }
+    size_t num_cols = config.min_columns +
+                      rng.NextUint64(config.max_columns - config.min_columns + 1);
+    std::vector<std::string> used;
+    // Every table gets at least one join-key id column.
+    {
+      const Theme& ids = themes[3];
+      auto [name, type] = ids.columns[rng.NextUint64(ids.columns.size())];
+      table.columns.push_back(MakeColumn(name, type, &rng));
+      used.emplace_back(name);
+    }
+    size_t guard = 0;
+    while (table.columns.size() < num_cols && guard++ < 400) {
+      const Theme& theme = themes[theme_ids[rng.NextUint64(theme_ids.size())]];
+      auto [name, type] = theme.columns[rng.NextUint64(theme.columns.size())];
+      if (std::find(used.begin(), used.end(), name) != used.end()) {
+        // Duplicate within the table: derive a suffixed variant.
+        std::string variant = StrFormat("%s_%zu", name, rng.NextUint64(9) + 2);
+        if (std::find(used.begin(), used.end(), variant) != used.end()) continue;
+        ColumnDef col = MakeColumn(name, type, &rng);
+        col.name = variant;
+        table.columns.push_back(std::move(col));
+        used.push_back(std::move(variant));
+      } else {
+        table.columns.push_back(MakeColumn(name, type, &rng));
+        used.emplace_back(name);
+      }
+    }
+
+    int created = 0;
+    if (!rng.Bernoulli(config.initial_fraction)) {
+      created = static_cast<int>(rng.NextUint64(
+          static_cast<uint64_t>(std::max(1, config.num_days))));
+    }
+    schema.creation_day.push_back(created);
+    schema.table_names.push_back(table.name);
+    PRESTROID_CHECK(schema.catalog.AddTable(std::move(table)).ok());
+  }
+  return schema;
+}
+
+GeneratedSchema GenerateTpcdsSchema(double scale_factor) {
+  Rng rng(4242);
+  GeneratedSchema schema;
+
+  struct Spec {
+    const char* name;
+    double rows_at_sf1;
+    std::vector<const char*> int_cols;
+    std::vector<const char*> num_cols;
+    std::vector<const char*> str_cols;
+  };
+  // Standard TPC-DS table names with representative column subsets; fact
+  // tables scale with SF, dimensions stay near-constant.
+  const std::vector<Spec> specs = {
+      {"store_sales", 2.88e6,
+       {"ss_sold_date_sk", "ss_item_sk", "ss_customer_sk", "ss_store_sk",
+        "ss_ticket_number", "ss_quantity"},
+       {"ss_sales_price", "ss_ext_discount_amt", "ss_net_profit",
+        "ss_wholesale_cost", "ss_list_price"},
+       {}},
+      {"store_returns", 2.88e5,
+       {"sr_returned_date_sk", "sr_item_sk", "sr_customer_sk", "sr_ticket_number"},
+       {"sr_return_amt", "sr_fee", "sr_net_loss"},
+       {}},
+      {"catalog_sales", 1.44e6,
+       {"cs_sold_date_sk", "cs_item_sk", "cs_bill_customer_sk", "cs_order_number",
+        "cs_quantity"},
+       {"cs_sales_price", "cs_ext_ship_cost", "cs_net_profit", "cs_list_price"},
+       {}},
+      {"catalog_returns", 1.44e5,
+       {"cr_returned_date_sk", "cr_item_sk", "cr_order_number"},
+       {"cr_return_amount", "cr_net_loss"},
+       {}},
+      {"web_sales", 7.2e5,
+       {"ws_sold_date_sk", "ws_item_sk", "ws_bill_customer_sk", "ws_order_number",
+        "ws_quantity"},
+       {"ws_sales_price", "ws_ext_ship_cost", "ws_net_profit"},
+       {}},
+      {"web_returns", 7.2e4,
+       {"wr_returned_date_sk", "wr_item_sk", "wr_order_number"},
+       {"wr_return_amt", "wr_net_loss"},
+       {}},
+      {"inventory", 1.17e7,
+       {"inv_date_sk", "inv_item_sk", "inv_warehouse_sk", "inv_quantity_on_hand"},
+       {},
+       {}},
+      {"date_dim", 7.3e4,
+       {"d_date_sk", "d_year", "d_moy", "d_dom", "d_qoy", "d_dow"},
+       {},
+       {"d_day_name", "d_date"}},
+      {"time_dim", 8.64e4, {"t_time_sk", "t_hour", "t_minute"}, {}, {"t_shift"}},
+      {"item", 1.8e4,
+       {"i_item_sk", "i_manufact_id", "i_brand_id", "i_class_id", "i_category_id"},
+       {"i_current_price", "i_wholesale_cost"},
+       {"i_item_id", "i_brand", "i_class", "i_category", "i_color", "i_size"}},
+      {"customer", 1e5,
+       {"c_customer_sk", "c_current_cdemo_sk", "c_current_addr_sk",
+        "c_birth_year", "c_birth_month"},
+       {},
+       {"c_customer_id", "c_first_name", "c_last_name", "c_email_address"}},
+      {"customer_address", 5e4,
+       {"ca_address_sk", "ca_gmt_offset"},
+       {},
+       {"ca_city", "ca_county", "ca_state", "ca_zip", "ca_country"}},
+      {"customer_demographics", 1.92e6,
+       {"cd_demo_sk", "cd_purchase_estimate", "cd_dep_count"},
+       {},
+       {"cd_gender", "cd_marital_status", "cd_education_status",
+        "cd_credit_rating"}},
+      {"household_demographics", 7.2e3,
+       {"hd_demo_sk", "hd_income_band_sk", "hd_dep_count", "hd_vehicle_count"},
+       {},
+       {"hd_buy_potential"}},
+      {"income_band", 20, {"ib_income_band_sk", "ib_lower_bound", "ib_upper_bound"},
+       {}, {}},
+      {"store", 12,
+       {"s_store_sk", "s_number_employees", "s_floor_space"},
+       {"s_tax_precentage"},
+       {"s_store_id", "s_store_name", "s_city", "s_state", "s_market_manager"}},
+      {"call_center", 6,
+       {"cc_call_center_sk", "cc_employees"},
+       {"cc_tax_percentage"},
+       {"cc_call_center_id", "cc_name", "cc_manager", "cc_city"}},
+      {"catalog_page", 1.17e4, {"cp_catalog_page_sk", "cp_catalog_number"},
+       {}, {"cp_catalog_page_id", "cp_department", "cp_type"}},
+      {"web_site", 30, {"web_site_sk", "web_open_date_sk"},
+       {"web_tax_percentage"}, {"web_site_id", "web_name", "web_manager"}},
+      {"web_page", 60, {"wp_web_page_sk", "wp_char_count", "wp_link_count"},
+       {}, {"wp_web_page_id", "wp_type"}},
+      {"warehouse", 5, {"w_warehouse_sk", "w_warehouse_sq_ft"}, {},
+       {"w_warehouse_id", "w_warehouse_name", "w_city", "w_state"}},
+      {"promotion", 300, {"p_promo_sk", "p_start_date_sk", "p_end_date_sk"},
+       {"p_cost"}, {"p_promo_id", "p_promo_name", "p_channel_email"}},
+      {"reason", 35, {"r_reason_sk"}, {}, {"r_reason_id", "r_reason_desc"}},
+      {"ship_mode", 20, {"sm_ship_mode_sk"}, {},
+       {"sm_ship_mode_id", "sm_type", "sm_code", "sm_carrier"}},
+  };
+
+  for (const Spec& spec : specs) {
+    TableDef table;
+    table.name = spec.name;
+    // Fact tables (large at SF1) scale with the factor; dimensions do not.
+    const bool is_fact = spec.rows_at_sf1 >= 1e5;
+    table.row_count = spec.rows_at_sf1 * (is_fact ? scale_factor : 1.0);
+    table.row_bytes = rng.Uniform(64.0, 220.0);
+    for (const char* col : spec.int_cols) {
+      table.columns.push_back(MakeColumn(col, ColumnType::kInt, &rng));
+    }
+    for (const char* col : spec.num_cols) {
+      table.columns.push_back(MakeColumn(col, ColumnType::kDouble, &rng));
+    }
+    for (const char* col : spec.str_cols) {
+      table.columns.push_back(MakeColumn(col, ColumnType::kString, &rng));
+    }
+    schema.table_names.push_back(table.name);
+    schema.creation_day.push_back(0);
+    PRESTROID_CHECK(schema.catalog.AddTable(std::move(table)).ok());
+  }
+  return schema;
+}
+
+GeneratedSchema GenerateTpchSchema(double scale_factor) {
+  Rng rng(2424);
+  GeneratedSchema schema;
+
+  struct Spec {
+    const char* name;
+    double rows_at_sf1;
+    bool scales;
+    std::vector<const char*> int_cols;
+    std::vector<const char*> num_cols;
+    std::vector<const char*> str_cols;
+  };
+  const std::vector<Spec> specs = {
+      {"lineitem", 6.0e6, true,
+       {"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity"},
+       {"l_extendedprice", "l_discount", "l_tax"},
+       {"l_returnflag", "l_linestatus", "l_shipdate", "l_shipmode",
+        "l_comment"}},
+      {"orders", 1.5e6, true,
+       {"o_orderkey", "o_custkey", "o_shippriority"},
+       {"o_totalprice"},
+       {"o_orderstatus", "o_orderdate", "o_orderpriority", "o_clerk"}},
+      {"customer", 1.5e5, true,
+       {"c_custkey", "c_nationkey"},
+       {"c_acctbal"},
+       {"c_name", "c_address", "c_phone", "c_mktsegment"}},
+      {"part", 2.0e5, true,
+       {"p_partkey", "p_size"},
+       {"p_retailprice"},
+       {"p_name", "p_mfgr", "p_brand", "p_type", "p_container"}},
+      {"supplier", 1.0e4, true,
+       {"s_suppkey", "s_nationkey"},
+       {"s_acctbal"},
+       {"s_name", "s_address", "s_phone"}},
+      {"partsupp", 8.0e5, true,
+       {"ps_partkey", "ps_suppkey", "ps_availqty"},
+       {"ps_supplycost"},
+       {}},
+      {"nation", 25, false, {"n_nationkey", "n_regionkey"}, {}, {"n_name"}},
+      {"region", 5, false, {"r_regionkey"}, {}, {"r_name"}},
+  };
+  for (const Spec& spec : specs) {
+    TableDef table;
+    table.name = spec.name;
+    table.row_count = spec.rows_at_sf1 * (spec.scales ? scale_factor : 1.0);
+    table.row_bytes = rng.Uniform(72.0, 200.0);
+    for (const char* col : spec.int_cols) {
+      table.columns.push_back(MakeColumn(col, ColumnType::kInt, &rng));
+    }
+    for (const char* col : spec.num_cols) {
+      table.columns.push_back(MakeColumn(col, ColumnType::kDouble, &rng));
+    }
+    for (const char* col : spec.str_cols) {
+      table.columns.push_back(MakeColumn(col, ColumnType::kString, &rng));
+    }
+    schema.table_names.push_back(table.name);
+    schema.creation_day.push_back(0);
+    PRESTROID_CHECK(schema.catalog.AddTable(std::move(table)).ok());
+  }
+  return schema;
+}
+
+}  // namespace prestroid::workload

@@ -1,0 +1,59 @@
+#ifndef PRESTROID_WORKLOAD_SCHEMA_GENERATOR_H_
+#define PRESTROID_WORKLOAD_SCHEMA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/catalog.h"
+#include "util/random.h"
+
+namespace prestroid::workload {
+
+/// Parameters of the synthetic data-lake schema. Defaults approximate the
+/// paper's setting: a lake with hundreds of tables, wide row-count spread,
+/// and steady table churn (new tables appear daily — Table 1).
+struct SchemaGenConfig {
+  size_t num_tables = 240;
+  size_t min_columns = 4;
+  size_t max_columns = 36;
+  /// Row counts drawn log-normally: exp(N(mu, sigma)).
+  double row_count_log_mu = 13.5;
+  double row_count_log_sigma = 2.2;
+  /// Trace window length in days; tables are created throughout it.
+  int num_days = 60;
+  /// Fraction of tables that already exist on day 0.
+  double initial_fraction = 0.75;
+  uint64_t seed = 7;
+};
+
+/// A generated schema: the catalog plus per-table creation days used to
+/// simulate the lake's growth.
+struct GeneratedSchema {
+  plan::Catalog catalog;
+  std::vector<std::string> table_names;  // aligned with creation_day
+  std::vector<int> creation_day;
+
+  /// Names of tables that exist on `day` (creation_day <= day).
+  std::vector<std::string> TablesAvailableAt(int day) const;
+};
+
+/// Generates a thematically-structured schema: columns are drawn from shared
+/// vocabulary themes (geo, time, money, ids, metrics, status) so predicate
+/// tokens exhibit the co-occurrence structure Word2Vec exploits (e.g.
+/// "longitude"/"latitude" appear together; paper Section 4.2).
+GeneratedSchema GenerateSchema(const SchemaGenConfig& config);
+
+/// The TPC-DS-like fixed schema (24 tables with the standard names:
+/// store_sales, catalog_sales, web_sales, date_dim, item, customer, ...).
+/// `scale_factor` scales fact-table row counts (paper: SF 10).
+GeneratedSchema GenerateTpcdsSchema(double scale_factor = 10.0);
+
+/// The TPC-H fixed schema (8 tables: lineitem, orders, customer, part,
+/// supplier, partsupp, nation, region). Used by the Figure 2 contrast
+/// (paper: 22 public TPC-H plans, max (477, 38)).
+GeneratedSchema GenerateTpchSchema(double scale_factor = 10.0);
+
+}  // namespace prestroid::workload
+
+#endif  // PRESTROID_WORKLOAD_SCHEMA_GENERATOR_H_

@@ -1,0 +1,119 @@
+#include "workload/tpcds_templates.h"
+
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace prestroid::workload {
+
+QueryGenConfig TpcdsQueryGenConfig() {
+  QueryGenConfig config;
+  config.join_geometric_p = 0.55;
+  config.join_tail_prob = 0.02;
+  config.join_tail_pareto_alpha = 2.0;
+  config.max_joins = 8;
+  config.p_subquery = 0.15;
+  config.max_subquery_depth = 2;
+  config.p_deep_chain = 0.01;
+  config.max_chain_depth = 10;
+  config.p_group_by = 0.6;  // TPC-DS is aggregation-heavy
+  config.p_or = 0.25;
+  return config;
+}
+
+Result<std::vector<QueryRecord>> GenerateTpcdsTrace(
+    const GeneratedSchema& tpcds_schema, const TpcdsWorkloadConfig& config) {
+  QueryGenerator generator(&tpcds_schema, TpcdsQueryGenConfig());
+  plan::Planner planner(&tpcds_schema.catalog);
+  cost::CostModel cost_model(&tpcds_schema.catalog);
+  Rng rng(config.seed);
+
+  // Fix one structure seed per template. Like the paper (81 of 103 public
+  // templates survive its CPU filter), candidate templates whose instances
+  // never land inside the CPU band are screened out up front.
+  std::vector<uint64_t> template_seeds;
+  template_seeds.reserve(config.num_templates);
+  size_t screen_attempts = 0;
+  const size_t max_screen_attempts = config.num_templates * 40;
+  while (template_seeds.size() < config.num_templates &&
+         screen_attempts < max_screen_attempts) {
+    ++screen_attempts;
+    const uint64_t candidate = rng.Next();
+    if (!config.filter_by_cpu) {
+      template_seeds.push_back(candidate);
+      continue;
+    }
+    size_t accepted = 0;
+    for (int probe = 0; probe < 6 && accepted < 2; ++probe) {
+      std::string sql = generator.Generate(0, candidate, rng.Next());
+      auto stmt = sql::ParseSelect(sql);
+      if (!stmt.ok()) break;
+      auto planned = planner.Plan(**stmt);
+      if (!planned.ok()) break;
+      plan::PlanNodePtr probe_plan = std::move(planned).value();
+      auto metrics = cost_model.Execute(probe_plan.get(), &rng);
+      if (!metrics.ok()) break;
+      if (metrics->total_cpu_minutes >= config.min_cpu_minutes &&
+          metrics->total_cpu_minutes <= config.max_cpu_minutes) {
+        ++accepted;
+      }
+    }
+    if (accepted >= 2) template_seeds.push_back(candidate);
+  }
+  if (template_seeds.size() < config.num_templates) {
+    return Status::Internal(StrFormat(
+        "only %zu/%zu TPC-DS templates survive the CPU filter",
+        template_seeds.size(), config.num_templates));
+  }
+
+  std::vector<QueryRecord> records;
+  records.reserve(config.num_queries);
+  const size_t max_attempts = config.num_queries * config.max_attempts_factor;
+  size_t attempts = 0;
+  int64_t next_id = 0;
+  // Round-robin over templates so every template is represented.
+  size_t template_cursor = 0;
+  while (records.size() < config.num_queries && attempts < max_attempts) {
+    ++attempts;
+    const size_t template_id = template_cursor;
+    template_cursor = (template_cursor + 1) % config.num_templates;
+
+    std::string sql = generator.Generate(
+        /*day=*/0, template_seeds[template_id], /*literal_seed=*/rng.Next());
+    auto stmt = sql::ParseSelect(sql);
+    if (!stmt.ok()) {
+      return Status::Internal("template instance failed to parse: " +
+                              stmt.status().ToString());
+    }
+    auto planned = planner.Plan(**stmt);
+    if (!planned.ok()) {
+      return Status::Internal("template instance failed to plan: " +
+                              planned.status().ToString());
+    }
+    plan::PlanNodePtr query_plan = std::move(planned).value();
+    auto metrics = cost_model.Execute(query_plan.get(), &rng);
+    if (!metrics.ok()) return metrics.status();
+    if (config.filter_by_cpu &&
+        (metrics->total_cpu_minutes < config.min_cpu_minutes ||
+         metrics->total_cpu_minutes > config.max_cpu_minutes)) {
+      continue;
+    }
+    QueryRecord record;
+    record.id = next_id++;
+    record.day = 0;
+    record.template_id = static_cast<int>(template_id);
+    record.sql = std::move(sql);
+    record.plan = std::move(query_plan);
+    record.metrics = *metrics;
+    records.push_back(std::move(record));
+  }
+  if (records.size() < config.num_queries) {
+    return Status::Internal(StrFormat(
+        "TPC-DS trace accepted only %zu/%zu queries; retune the CPU filter",
+        records.size(), config.num_queries));
+  }
+  return records;
+}
+
+}  // namespace prestroid::workload

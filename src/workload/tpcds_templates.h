@@ -1,0 +1,35 @@
+#ifndef PRESTROID_WORKLOAD_TPCDS_TEMPLATES_H_
+#define PRESTROID_WORKLOAD_TPCDS_TEMPLATES_H_
+
+#include "workload/trace.h"
+
+namespace prestroid::workload {
+
+/// Parameters of the TPC-DS-like templated workload (paper Section 5.1:
+/// 5,153 queries from 81 templates, Presto SF 10, CPU time filtered 1-60min,
+/// only predicate literals vary between instances of a template).
+struct TpcdsWorkloadConfig {
+  size_t num_templates = 81;
+  size_t num_queries = 1000;
+  uint64_t seed = 23;
+  bool filter_by_cpu = true;
+  double min_cpu_minutes = 1.0;
+  double max_cpu_minutes = 60.0;
+  size_t max_attempts_factor = 60;
+};
+
+/// Generates the templated trace over the TPC-DS schema: each template is a
+/// fixed query skeleton (fixed structure seed); instances re-draw only the
+/// predicate literals. Records carry their template_id so splits can be done
+/// at the template level (as the paper does).
+Result<std::vector<QueryRecord>> GenerateTpcdsTrace(
+    const GeneratedSchema& tpcds_schema, const TpcdsWorkloadConfig& config);
+
+/// The query-generator shape profile used for TPC-DS-like templates:
+/// moderate joins, no deep pipeline tail (plans top out near the paper's
+/// (883, 73) rather than Grab's (4969, 321)).
+QueryGenConfig TpcdsQueryGenConfig();
+
+}  // namespace prestroid::workload
+
+#endif  // PRESTROID_WORKLOAD_TPCDS_TEMPLATES_H_

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/kernels.h"
+#include "baselines/log_binning.h"
+#include "baselines/mscn.h"
+#include "baselines/svr.h"
+#include "baselines/wcnn.h"
+#include "core/label_transform.h"
+#include "sql/parser.h"
+#include "workload/dataset.h"
+
+namespace prestroid::baselines {
+namespace {
+
+TEST(LogBinningTest, PredictsBinMeans) {
+  LogBinningModel model(4);
+  // Two clusters of plan sizes with distinct targets.
+  std::vector<double> nodes = {2, 2, 3, 1000, 1100, 900};
+  std::vector<float> targets = {0.1f, 0.2f, 0.15f, 0.8f, 0.9f, 0.85f};
+  ASSERT_TRUE(model.Fit(nodes, targets).ok());
+  EXPECT_NEAR(model.Predict(2.5), 0.15f, 0.01f);
+  EXPECT_NEAR(model.Predict(1000), 0.85f, 0.01f);
+}
+
+TEST(LogBinningTest, EmptyBinFallsBackToNeighbor) {
+  LogBinningModel model(100);
+  std::vector<double> nodes = {1, 10000};
+  std::vector<float> targets = {0.0f, 1.0f};
+  ASSERT_TRUE(model.Fit(nodes, targets).ok());
+  // Middle of the (empty) range resolves to the nearest populated bin.
+  float mid = model.Predict(100);
+  EXPECT_TRUE(std::abs(mid - 0.0f) < 1e-5f || std::abs(mid - 1.0f) < 1e-5f);
+}
+
+TEST(LogBinningTest, RejectsBadInput) {
+  LogBinningModel model(10);
+  EXPECT_FALSE(model.Fit({}, {}).ok());
+  EXPECT_FALSE(model.Fit({1, 2}, {0.5f}).ok());
+  EXPECT_FALSE(model.Fit({0}, {0.5f}).ok());
+}
+
+TEST(KernelTest, LinearIsDotProduct) {
+  KernelConfig config;
+  config.type = KernelType::kLinear;
+  float a[] = {1, 2, 3};
+  float b[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(KernelFunction(config, a, b, 3), 32.0);
+}
+
+TEST(KernelTest, RbfIsOneAtZeroDistance) {
+  KernelConfig config;
+  config.type = KernelType::kRbf;
+  config.gamma = 0.5;
+  float a[] = {1, 2};
+  EXPECT_DOUBLE_EQ(KernelFunction(config, a, a, 2), 1.0);
+  float b[] = {2, 2};
+  EXPECT_NEAR(KernelFunction(config, a, b, 2), std::exp(-0.5), 1e-9);
+}
+
+TEST(KernelTest, PolynomialDegree) {
+  KernelConfig config;
+  config.type = KernelType::kPolynomial;
+  config.gamma = 1.0;
+  config.coef0 = 0.0;
+  config.degree = 2;
+  float a[] = {2};
+  float b[] = {3};
+  EXPECT_DOUBLE_EQ(KernelFunction(config, a, b, 1), 36.0);
+}
+
+TEST(KernelTest, SigmoidBounded) {
+  KernelConfig config;
+  config.type = KernelType::kSigmoid;
+  float a[] = {100};
+  float b[] = {100};
+  EXPECT_LE(KernelFunction(config, a, b, 1), 1.0);
+  EXPECT_GE(KernelFunction(config, a, b, 1), -1.0);
+}
+
+TEST(SvrTest, FitsLinearTrend) {
+  // y = 0.1 + 0.8 x over x in [0, 1].
+  const size_t n = 60;
+  Tensor features({n, 1});
+  std::vector<float> targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    float x = static_cast<float>(i) / (n - 1);
+    features.At(i, 0) = x;
+    targets[i] = 0.1f + 0.8f * x;
+  }
+  SvrConfig config;
+  config.kernel.type = KernelType::kRbf;
+  config.kernel.gamma = 2.0;
+  config.c = 4.0;
+  config.epochs = 400;
+  config.learning_rate = 0.02;
+  Svr svr(config);
+  ASSERT_TRUE(svr.Fit(features, targets).ok());
+  float x_test = 0.5f;
+  EXPECT_NEAR(svr.Predict(&x_test), 0.5f, 0.1f);
+  EXPECT_GT(svr.num_support(), 0u);
+  // Monotone along the trend.
+  float lo = 0.1f, hi = 0.9f;
+  EXPECT_LT(svr.Predict(&lo), svr.Predict(&hi));
+}
+
+TEST(SvrTest, RejectsShapeMismatch) {
+  Svr svr(SvrConfig{});
+  EXPECT_FALSE(svr.Fit(Tensor({2, 2}), {0.5f}).ok());
+  EXPECT_FALSE(svr.Fit(Tensor({0, 2}), {}).ok());
+}
+
+TEST(SvrFeaturesTest, StackAndExtract) {
+  auto scan = plan::MakeTableScan("t");
+  auto pred = sql::ParseExpression("x > 1").ValueOrDie();
+  auto filter = plan::MakeFilter(std::move(pred), std::move(scan));
+  std::vector<float> features = SvrPlanFeatures(*filter, "SELECT x FROM t");
+  EXPECT_EQ(features.size(), 16u);
+  EXPECT_NEAR(features[0], std::log1p(2.0f), 1e-5f);  // 2 nodes
+  Tensor stacked = StackFeatures({features, features});
+  EXPECT_EQ(stacked.dim(0), 2u);
+  EXPECT_EQ(stacked.dim(1), 16u);
+}
+
+/// Shared small trace for the DL baselines.
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::SchemaGenConfig schema_config;
+    schema_config.num_tables = 20;
+    schema_config.num_days = 10;
+    schema_config.seed = 21;
+    auto schema = GenerateSchema(schema_config);
+    workload::TraceConfig trace_config;
+    trace_config.num_queries = 60;
+    trace_config.num_days = 10;
+    trace_config.seed = 22;
+    records_ = new std::vector<workload::QueryRecord>(
+        GenerateGrabTrace(schema, trace_config).ValueOrDie());
+    transform_ = new core::LabelTransform();
+    ASSERT_TRUE(transform_->Fit(workload::CpuMinutesOf(*records_)).ok());
+    targets_ = new std::vector<float>(
+        transform_->NormalizeAll(workload::CpuMinutesOf(*records_)));
+    for (size_t i = 0; i < records_->size(); ++i) indices_.push_back(i);
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    delete transform_;
+    delete targets_;
+    indices_.clear();
+  }
+
+  static std::vector<workload::QueryRecord>* records_;
+  static core::LabelTransform* transform_;
+  static std::vector<float>* targets_;
+  static std::vector<size_t> indices_;
+};
+
+std::vector<workload::QueryRecord>* BaselineFixture::records_ = nullptr;
+core::LabelTransform* BaselineFixture::transform_ = nullptr;
+std::vector<float>* BaselineFixture::targets_ = nullptr;
+std::vector<size_t> BaselineFixture::indices_;
+
+TEST_F(BaselineFixture, MscnFitsAndLearns) {
+  MscnConfig config;
+  config.hidden_units = 16;
+  config.learning_rate = 3e-3f;
+  MscnModel model(config);
+  ASSERT_TRUE(model.Fit(*records_, indices_, *targets_).ok());
+  EXPECT_EQ(model.num_samples(), records_->size());
+  EXPECT_GT(model.NumParameters(), 100u);
+  EXPECT_GT(model.table_element_dim(), 1u);
+  EXPECT_GT(model.predicate_element_dim(), 11u);
+
+  double first = model.TrainEpoch(indices_, 16);
+  double last = first;
+  for (int epoch = 0; epoch < 25; ++epoch) last = model.TrainEpoch(indices_, 16);
+  EXPECT_LT(last, first);
+  std::vector<float> pred = model.Predict(indices_);
+  ASSERT_EQ(pred.size(), indices_.size());
+  for (float p : pred) {
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+TEST_F(BaselineFixture, MscnInputBytesGrowWithBatch) {
+  MscnModel model(MscnConfig{});
+  ASSERT_TRUE(model.Fit(*records_, indices_, *targets_).ok());
+  EXPECT_EQ(model.InputBytesPerBatch(64), 2 * model.InputBytesPerBatch(32));
+  EXPECT_GT(model.InputBytesPerBatch(1), 0u);
+}
+
+TEST_F(BaselineFixture, WcnnFitsAndLearns) {
+  WcnnConfig config;
+  config.embed_dim = 16;
+  config.filters_per_window = 8;
+  config.learning_rate = 3e-3f;
+  config.dropout = 0.1f;
+  WcnnModel model(config);
+  ASSERT_TRUE(model.Fit(*records_, indices_, *targets_).ok());
+  EXPECT_GT(model.vocab_size(), 20u);
+  double first = model.TrainEpoch(indices_, 16);
+  double last = first;
+  for (int epoch = 0; epoch < 25; ++epoch) last = model.TrainEpoch(indices_, 16);
+  EXPECT_LT(last, first);
+  std::vector<float> pred = model.Predict({0, 1, 2});
+  EXPECT_EQ(pred.size(), 3u);
+}
+
+TEST_F(BaselineFixture, WcnnParameterCountScalesWithFilters) {
+  WcnnConfig small;
+  small.embed_dim = 16;
+  small.filters_per_window = 8;
+  WcnnConfig large = small;
+  large.filters_per_window = 32;
+  WcnnModel small_model(small), large_model(large);
+  ASSERT_TRUE(small_model.Fit(*records_, indices_, *targets_).ok());
+  ASSERT_TRUE(large_model.Fit(*records_, indices_, *targets_).ok());
+  EXPECT_GT(large_model.NumParameters(), small_model.NumParameters());
+}
+
+TEST(WcnnTokenizerTest, WordsAndPunctuation) {
+  auto tokens = WcnnModel::TokenizeSql("SELECT a_b, c FROM t WHERE x > 12");
+  // Lower-cased words; punctuation separate; numbers bucketed.
+  EXPECT_EQ(tokens[0], "select");
+  EXPECT_EQ(tokens[1], "a_b");
+  EXPECT_EQ(tokens[2], ",");
+  bool has_bucket = false;
+  for (const std::string& t : tokens) {
+    if (t.rfind("<num", 0) == 0) has_bucket = true;
+    // No raw digits survive.
+    EXPECT_NE(t, "12");
+  }
+  EXPECT_TRUE(has_bucket);
+}
+
+TEST_F(BaselineFixture, WcnnRejectsEmptyVocab) {
+  WcnnModel model(WcnnConfig{});
+  EXPECT_FALSE(model.Fit(*records_, {}, *targets_).ok());
+}
+
+}  // namespace
+}  // namespace prestroid::baselines

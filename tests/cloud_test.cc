@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "cloud/azure_catalog.h"
+#include "cloud/cost_optimizer.h"
+#include "cloud/epoch_time_model.h"
+#include "cloud/footprint.h"
+#include "cloud/scale_out_model.h"
+
+namespace prestroid::cloud {
+namespace {
+
+TEST(AzureCatalogTest, PaperPricing) {
+  auto clusters = AzureNcV3Clusters();
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0].name, "NC6s_V3");
+  EXPECT_EQ(clusters[0].num_gpus, 1u);
+  EXPECT_DOUBLE_EQ(clusters[0].hourly_usd, 4.23);
+  EXPECT_DOUBLE_EQ(clusters[1].hourly_usd, 8.47);
+  EXPECT_DOUBLE_EQ(clusters[2].hourly_usd, 18.63);
+  // Pricing is super-linear from 2 to 4 GPUs (drives single-GPU advice).
+  EXPECT_GT(clusters[2].hourly_usd, 2 * clusters[1].hourly_usd);
+  EXPECT_DOUBLE_EQ(clusters[0].gpu.memory_gb, 16.0);
+}
+
+TEST(FootprintTest, InputBytesExact) {
+  // batch 32, K=9 trees, N=15 nodes, F=100 floats.
+  BatchFootprint fp = TreeModelFootprint(32, 9, 15, 100, {512, 512, 512},
+                                         {128, 64});
+  EXPECT_EQ(fp.input_bytes, 32u * 9 * 15 * 100 * 4);
+  EXPECT_GT(fp.activation_bytes, fp.input_bytes);  // 512-channel activations
+  EXPECT_GT(fp.parameter_bytes, 0u);
+  EXPECT_GT(fp.total_mb(), fp.input_mb());
+}
+
+TEST(FootprintTest, SubtreeVsFullTreePaperRatio) {
+  // Paper Section 5.4: Prestroid (15-9-300) reduces per-batch input size
+  // 13.5x vs Full-300 padded to the largest tree (1945 nodes).
+  BatchFootprint subtree =
+      TreeModelFootprint(32, 9, 15, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint full =
+      TreeModelFootprint(32, 1, 1945, 300, {512, 512, 512}, {128, 64});
+  double ratio = static_cast<double>(full.input_bytes) /
+                 static_cast<double>(subtree.input_bytes);
+  EXPECT_NEAR(ratio, 1945.0 / (9 * 15), 1e-9);  // = 14.4x, paper reports 13.5x
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(FootprintTest, FitsOnGpuBoundary) {
+  GpuSpec gpu = TeslaV100();
+  BatchFootprint small;
+  small.input_bytes = 1 << 20;
+  EXPECT_TRUE(FitsOnGpu(small, gpu));
+  BatchFootprint huge;
+  huge.input_bytes = static_cast<size_t>(20e9);
+  EXPECT_FALSE(FitsOnGpu(huge, gpu));
+}
+
+TEST(FootprintTest, FullTreeLargeBatchOverflowsOneV100) {
+  // The paper's OOM scenario: Full-tree models at large batch sizes cannot
+  // train on a single 16 GB V100, while sub-tree models still fit.
+  GpuSpec gpu = TeslaV100();
+  BatchFootprint full =
+      TreeModelFootprint(512, 1, 1945, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint subtree =
+      TreeModelFootprint(512, 9, 15, 300, {512, 512, 512}, {128, 64});
+  EXPECT_FALSE(FitsOnGpu(full, gpu));
+  EXPECT_TRUE(FitsOnGpu(subtree, gpu));
+}
+
+TEST(ComputeProfileTest, FlopsScaleWithNodesAndChannels) {
+  auto small = TreeModelComputeProfile(1, 15, 100, {64, 64, 64}, {32});
+  auto big_nodes = TreeModelComputeProfile(1, 150, 100, {64, 64, 64}, {32});
+  auto big_channels = TreeModelComputeProfile(1, 15, 100, {512, 512, 512}, {32});
+  EXPECT_GT(big_nodes.flops_per_sample, small.flops_per_sample * 5);
+  EXPECT_GT(big_channels.flops_per_sample, small.flops_per_sample * 5);
+  EXPECT_GT(small.parameter_bytes, 0u);
+}
+
+TEST(EpochTimeTest, MoreSamplesTakeLonger) {
+  GpuSpec gpu = TeslaV100();
+  auto profile = TreeModelComputeProfile(9, 15, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint fp =
+      TreeModelFootprint(32, 9, 15, 300, {512, 512, 512}, {128, 64});
+  double t1 = EstimateEpochSeconds(1000, 32, fp, profile, gpu);
+  double t2 = EstimateEpochSeconds(2000, 32, fp, profile, gpu);
+  EXPECT_GT(t2, t1 * 1.8);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(EpochTimeTest, FullTreeSlowerThanSubtree) {
+  // Figure 6 bottom: Full-300 epochs are ~3.45x slower than (15-9-300).
+  GpuSpec gpu = TeslaV100();
+  auto sub_profile =
+      TreeModelComputeProfile(9, 15, 300, {512, 512, 512}, {128, 64});
+  auto full_profile =
+      TreeModelComputeProfile(1, 1945, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint sub_fp =
+      TreeModelFootprint(32, 9, 15, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint full_fp =
+      TreeModelFootprint(32, 1, 1945, 300, {512, 512, 512}, {128, 64});
+  double sub_t = EstimateEpochSeconds(16000, 32, sub_fp, sub_profile, gpu);
+  double full_t = EstimateEpochSeconds(16000, 32, full_fp, full_profile, gpu);
+  EXPECT_GT(full_t / sub_t, 2.0);
+  EXPECT_LT(full_t / sub_t, 20.0);
+}
+
+TEST(EpochTimeTest, SequentialSubtreePenaltyGrowsWithK) {
+  // The tf_map inefficiency: larger K adds disproportionate launch latency.
+  GpuSpec gpu = TeslaV100();
+  auto k9 = TreeModelComputeProfile(9, 15, 300, {128, 128, 128}, {32});
+  auto k21 = TreeModelComputeProfile(21, 15, 300, {128, 128, 128}, {32});
+  BatchFootprint fp9 = TreeModelFootprint(32, 9, 15, 300, {128}, {32});
+  BatchFootprint fp21 = TreeModelFootprint(32, 21, 15, 300, {128}, {32});
+  double t9 = EstimateEpochSeconds(16000, 32, fp9, k9, gpu);
+  double t21 = EstimateEpochSeconds(16000, 32, fp21, k21, gpu);
+  // 21/9 = 2.33x more work, but time grows even faster than footprint alone.
+  EXPECT_GT(t21, t9);
+}
+
+TEST(EpochTimeTest, InferenceCheaperThanTraining) {
+  GpuSpec gpu = TeslaV100();
+  auto profile = TreeModelComputeProfile(9, 15, 300, {512, 512, 512}, {128});
+  BatchFootprint fp = TreeModelFootprint(64, 9, 15, 300, {512}, {128});
+  EXPECT_LT(EstimateInferenceSeconds(2000, 64, fp, profile, gpu),
+            EstimateEpochSeconds(2000, 64, fp, profile, gpu));
+}
+
+TEST(ScaleOutTest, SpeedupBelowLinear) {
+  // Figure 9 / Appendix B.1: 2 GPUs < 2x, 4 GPUs < 4x.
+  GpuSpec gpu = TeslaV100();
+  auto profile = TreeModelComputeProfile(9, 15, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint fp =
+      TreeModelFootprint(128, 9, 15, 300, {512, 512, 512}, {128, 64});
+  double s2 = ScaleOutSpeedup(16000, 128, fp, profile, gpu, 2);
+  double s4 = ScaleOutSpeedup(16000, 128, fp, profile, gpu, 4);
+  EXPECT_GT(s2, 1.0);
+  EXPECT_LT(s2, 2.0);
+  EXPECT_GT(s4, s2);
+  EXPECT_LT(s4, 4.0);
+}
+
+TEST(ScaleOutTest, HeavierModelsPayMoreSyncCost) {
+  GpuSpec gpu = TeslaV100();
+  auto light = TreeModelComputeProfile(9, 15, 100, {64, 64, 64}, {32});
+  auto heavy = TreeModelComputeProfile(9, 15, 100, {64, 64, 64}, {32});
+  heavy.parameter_bytes = light.parameter_bytes * 100;
+  BatchFootprint fp = TreeModelFootprint(64, 9, 15, 100, {64, 64, 64}, {32});
+  double light_speedup = ScaleOutSpeedup(16000, 64, fp, light, gpu, 4);
+  double heavy_speedup = ScaleOutSpeedup(16000, 64, fp, heavy, gpu, 4);
+  EXPECT_GT(light_speedup, heavy_speedup);
+}
+
+TEST(ScaleOutTest, SingleGpuIsIdentity) {
+  GpuSpec gpu = TeslaV100();
+  auto profile = TreeModelComputeProfile(9, 15, 100, {64}, {32});
+  BatchFootprint fp = TreeModelFootprint(32, 9, 15, 100, {64}, {32});
+  EXPECT_DOUBLE_EQ(ScaleOutSpeedup(1000, 32, fp, profile, gpu, 1), 1.0);
+}
+
+TEST(EpochTimeTest, SequentialTreePenaltyIsPerBatch) {
+  // The tf_map penalty scales with the number of batches, so smaller
+  // batches pay proportionally more launch overhead (sub-trees lose their
+  // edge at tiny batch sizes, as in Figure 7's batch-32 point).
+  GpuSpec gpu = TeslaV100();
+  auto profile = TreeModelComputeProfile(9, 15, 300, {512, 512, 512}, {128});
+  BatchFootprint fp32 = TreeModelFootprint(32, 9, 15, 300, {512}, {128});
+  BatchFootprint fp256 = TreeModelFootprint(256, 9, 15, 300, {512}, {128});
+  double t32 = EstimateEpochSeconds(16000, 32, fp32, profile, gpu);
+  double t256 = EstimateEpochSeconds(16000, 256, fp256, profile, gpu);
+  EXPECT_GT(t32, t256);  // same samples, more batches, more launches
+}
+
+TEST(CostOptimizerTest, ShardFootprintSplitsInputsNotParams) {
+  BatchFootprint fp;
+  fp.input_bytes = 1000;
+  fp.activation_bytes = 2000;
+  fp.parameter_bytes = 500;
+  BatchFootprint shard = ShardFootprint(fp, 4);
+  EXPECT_EQ(shard.input_bytes, 250u);
+  EXPECT_EQ(shard.activation_bytes, 500u);
+  EXPECT_EQ(shard.parameter_bytes, 500u);
+}
+
+TEST(CostOptimizerTest, SmallBatchPicksSingleGpu) {
+  auto clusters = AzureNcV3Clusters();
+  auto profile = TreeModelComputeProfile(9, 15, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint fp =
+      TreeModelFootprint(32, 9, 15, 300, {512, 512, 512}, {128, 64});
+  TrainingCostEstimate estimate =
+      CheapestFeasibleTraining(clusters, 16000, 32, fp, profile, 49);
+  ASSERT_TRUE(estimate.feasible);
+  // Diminishing scale-out returns + super-linear pricing => 1 GPU is cheapest.
+  EXPECT_EQ(estimate.cluster_name, "NC6s_V3");
+  EXPECT_GT(estimate.total_usd, 0.0);
+}
+
+TEST(CostOptimizerTest, OomBatchForcesMultiGpu) {
+  auto clusters = AzureNcV3Clusters();
+  auto profile =
+      TreeModelComputeProfile(1, 1945, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint fp =
+      TreeModelFootprint(512, 1, 1945, 300, {512, 512, 512}, {128, 64});
+  TrainingCostEstimate estimate =
+      CheapestFeasibleTraining(clusters, 16000, 512, fp, profile, 51);
+  ASSERT_TRUE(estimate.feasible);
+  EXPECT_GT(estimate.num_gpus, 1u);  // single V100 OOMs; sharding required
+}
+
+TEST(CostOptimizerTest, ImpossibleBatchIsInfeasible) {
+  auto clusters = AzureNcV3Clusters();
+  auto profile = TreeModelComputeProfile(1, 100000, 300, {512}, {128});
+  BatchFootprint fp =
+      TreeModelFootprint(4096, 1, 100000, 300, {512, 512, 512}, {128});
+  TrainingCostEstimate estimate =
+      CheapestFeasibleTraining(clusters, 16000, 4096, fp, profile, 50);
+  EXPECT_FALSE(estimate.feasible);
+}
+
+TEST(CostOptimizerTest, SubtreeCheaperThanFullTree) {
+  // The headline Figure 7 claim at batch 256: sub-trees train much cheaper.
+  auto clusters = AzureNcV3Clusters();
+  auto sub_profile =
+      TreeModelComputeProfile(9, 15, 300, {512, 512, 512}, {128, 64});
+  auto full_profile =
+      TreeModelComputeProfile(1, 1945, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint sub_fp =
+      TreeModelFootprint(256, 9, 15, 300, {512, 512, 512}, {128, 64});
+  BatchFootprint full_fp =
+      TreeModelFootprint(256, 1, 1945, 300, {512, 512, 512}, {128, 64});
+  auto sub = CheapestFeasibleTraining(clusters, 16000, 256, sub_fp,
+                                      sub_profile, 49);
+  auto full = CheapestFeasibleTraining(clusters, 16000, 256, full_fp,
+                                       full_profile, 51);
+  ASSERT_TRUE(sub.feasible);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_GT(full.total_usd / sub.total_usd, 3.0);
+}
+
+}  // namespace
+}  // namespace prestroid::cloud

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace prestroid::cost {
+namespace {
+
+plan::Catalog TestCatalog() {
+  plan::Catalog catalog;
+  plan::TableDef big;
+  big.name = "big";
+  big.row_count = 1e7;
+  big.row_bytes = 100;
+  big.columns = {{"id", plan::ColumnType::kInt, 1e6, 0, 1e6},
+                 {"v", plan::ColumnType::kDouble, 1e4, 0, 100},
+                 {"s", plan::ColumnType::kString, 50, 0, 50}};
+  plan::TableDef small;
+  small.name = "small";
+  small.row_count = 1e4;
+  small.row_bytes = 64;
+  small.columns = {{"id", plan::ColumnType::kInt, 1e4, 0, 1e4},
+                   {"w", plan::ColumnType::kDouble, 100, 0, 10}};
+  EXPECT_TRUE(catalog.AddTable(big).ok());
+  EXPECT_TRUE(catalog.AddTable(small).ok());
+  return catalog;
+}
+
+plan::PlanNodePtr Plan(const plan::Catalog& catalog, const std::string& sql) {
+  auto stmt = sql::ParseSelect(sql).ValueOrDie();
+  plan::PlannerOptions options;
+  options.insert_exchanges = false;
+  plan::Planner planner(&catalog, options);
+  return planner.Plan(*stmt).ValueOrDie();
+}
+
+TEST(SelectivityTest, EqualityUsesNdv) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  const plan::TableDef* table = *catalog.GetTable("big");
+  auto pred = sql::ParseExpression("id = 5").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*pred, table), 1e-6, 1e-9);
+}
+
+TEST(SelectivityTest, RangeUsesColumnBounds) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  const plan::TableDef* table = *catalog.GetTable("big");
+  auto lt = sql::ParseExpression("v < 25").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*lt, table), 0.25, 1e-6);
+  auto gt = sql::ParseExpression("v > 25").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*gt, table), 0.75, 1e-6);
+}
+
+TEST(SelectivityTest, ConjunctionsCompose) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  const plan::TableDef* table = *catalog.GetTable("big");
+  auto and_pred = sql::ParseExpression("v < 50 AND v < 50").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*and_pred, table), 0.25, 1e-6);
+  auto or_pred = sql::ParseExpression("v < 50 OR v < 50").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*or_pred, table), 0.75, 1e-6);
+  auto not_pred = sql::ParseExpression("NOT v < 50").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*not_pred, table), 0.5, 1e-6);
+}
+
+TEST(SelectivityTest, BetweenAndIn) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  const plan::TableDef* table = *catalog.GetTable("big");
+  auto between = sql::ParseExpression("v BETWEEN 10 AND 30").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*between, table), 0.2, 1e-6);
+  auto in = sql::ParseExpression("id IN (1, 2, 3, 4)").ValueOrDie();
+  EXPECT_NEAR(model.PredicateSelectivity(*in, table), 4e-6, 1e-9);
+}
+
+TEST(SelectivityTest, AlwaysInUnitRange) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  for (const char* text :
+       {"v < -999", "v > 99999", "s LIKE '%x%'", "id IS NULL",
+        "id IS NOT NULL", "v <> 3", "NOT (v < 0 OR v > 100)"}) {
+    auto pred = sql::ParseExpression(text).ValueOrDie();
+    double sel = model.PredicateSelectivity(*pred, *catalog.GetTable("big"));
+    EXPECT_GE(sel, 0.0) << text;
+    EXPECT_LE(sel, 1.0) << text;
+  }
+}
+
+TEST(CostModelTest, FilterReducesCardinality) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto scan = Plan(catalog, "SELECT * FROM big");
+  auto filtered = Plan(catalog, "SELECT * FROM big WHERE v < 10");
+  EXPECT_TRUE(model.EstimateCpuMinutes(scan.get()).ok());
+  EXPECT_TRUE(model.EstimateCpuMinutes(filtered.get()).ok());
+  EXPECT_LT(filtered->cardinality, scan->cardinality);
+}
+
+TEST(CostModelTest, MoreJoinsCostMore) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto one = Plan(catalog, "SELECT * FROM big");
+  auto two = Plan(catalog,
+                  "SELECT big.v FROM big JOIN small ON big.id = small.id");
+  double c1 = model.EstimateCpuMinutes(one.get()).ValueOrDie();
+  double c2 = model.EstimateCpuMinutes(two.get()).ValueOrDie();
+  EXPECT_GT(c2, c1);
+}
+
+TEST(CostModelTest, SortAddsCost) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto plain = Plan(catalog, "SELECT v FROM big");
+  auto sorted = Plan(catalog, "SELECT v FROM big ORDER BY v");
+  EXPECT_GT(model.EstimateCpuMinutes(sorted.get()).ValueOrDie(),
+            model.EstimateCpuMinutes(plain.get()).ValueOrDie());
+}
+
+TEST(CostModelTest, EstimateIsDeterministic) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto plan1 = Plan(catalog, "SELECT v FROM big WHERE v > 5");
+  auto plan2 = Plan(catalog, "SELECT v FROM big WHERE v > 5");
+  EXPECT_DOUBLE_EQ(model.EstimateCpuMinutes(plan1.get()).ValueOrDie(),
+                   model.EstimateCpuMinutes(plan2.get()).ValueOrDie());
+}
+
+TEST(CostModelTest, ExecuteAddsReproducibleNoise) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto plan1 = Plan(catalog, "SELECT v FROM big");
+  Rng rng_a(42), rng_b(42), rng_c(43);
+  double a = model.Execute(plan1.get(), &rng_a).ValueOrDie().total_cpu_minutes;
+  double b = model.Execute(plan1.get(), &rng_b).ValueOrDie().total_cpu_minutes;
+  double c = model.Execute(plan1.get(), &rng_c).ValueOrDie().total_cpu_minutes;
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Noise is multiplicative and stays near the noiseless estimate.
+  double base = model.EstimateCpuMinutes(plan1.get()).ValueOrDie();
+  EXPECT_GT(a, base * 0.3);
+  EXPECT_LT(a, base * 3.0);
+}
+
+TEST(CostModelTest, MetricsArePositive) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto plan1 = Plan(
+      catalog, "SELECT big.v FROM big JOIN small ON big.id = small.id");
+  Rng rng(7);
+  ExecutionMetrics metrics = model.Execute(plan1.get(), &rng).ValueOrDie();
+  EXPECT_GT(metrics.total_cpu_minutes, 0.0);
+  EXPECT_GT(metrics.peak_memory_gb, 0.0);
+  EXPECT_GT(metrics.input_gb, 0.0);
+}
+
+TEST(CostModelTest, UnknownTableFails) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto scan = plan::MakeTableScan("missing");
+  EXPECT_EQ(model.EstimateCpuMinutes(scan.get()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CostModelTest, LimitCapsCardinality) {
+  plan::Catalog catalog = TestCatalog();
+  CostModel model(&catalog);
+  auto limited = Plan(catalog, "SELECT * FROM big LIMIT 10");
+  EXPECT_TRUE(model.EstimateCpuMinutes(limited.get()).ok());
+  EXPECT_LE(limited->cardinality, 10.0);
+}
+
+}  // namespace
+}  // namespace prestroid::cost

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "otp/otp_encoder.h"
+#include "otp/otp_tree.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace prestroid::otp {
+namespace {
+
+plan::Catalog TestCatalog() {
+  plan::Catalog catalog;
+  plan::TableDef a;
+  a.name = "a";
+  a.columns = {{"id", plan::ColumnType::kInt, 100, 0, 100},
+               {"x", plan::ColumnType::kDouble, 100, 0, 100}};
+  plan::TableDef b;
+  b.name = "b";
+  b.columns = {{"id", plan::ColumnType::kInt, 100, 0, 100},
+               {"y", plan::ColumnType::kDouble, 100, 0, 100}};
+  EXPECT_TRUE(catalog.AddTable(a).ok());
+  EXPECT_TRUE(catalog.AddTable(b).ok());
+  return catalog;
+}
+
+plan::PlanNodePtr Plan(const plan::Catalog& catalog, const std::string& sql,
+                       bool exchanges = false) {
+  auto stmt = sql::ParseSelect(sql).ValueOrDie();
+  plan::PlannerOptions options;
+  options.insert_exchanges = exchanges;
+  plan::Planner planner(&catalog, options);
+  return planner.Plan(*stmt).ValueOrDie();
+}
+
+TEST(RecastTest, ScanRuleR3) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree = Plan(catalog, "SELECT * FROM a");
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  // Scan -> OPR(TableScan) with left TBL(a), right Ø.
+  ASSERT_NE(tree.root, nullptr);
+  EXPECT_EQ(tree.root->type, OtpNodeType::kOperator);
+  EXPECT_EQ(tree.root->label, "TableScan");
+  ASSERT_NE(tree.root->left, nullptr);
+  EXPECT_EQ(tree.root->left->type, OtpNodeType::kTable);
+  EXPECT_EQ(tree.root->left->label, "a");
+  ASSERT_NE(tree.root->right, nullptr);
+  EXPECT_EQ(tree.root->right->type, OtpNodeType::kNull);
+  EXPECT_EQ(tree.node_count, 3u);
+}
+
+TEST(RecastTest, FilterRuleR1AttachesPredRight) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree = Plan(catalog, "SELECT * FROM a WHERE x > 5");
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  EXPECT_EQ(tree.root->label, "Filter");
+  ASSERT_NE(tree.root->right, nullptr);
+  EXPECT_EQ(tree.root->right->type, OtpNodeType::kPredicate);
+  ASSERT_NE(tree.root->right->predicate, nullptr);
+  EXPECT_EQ(tree.root->left->label, "TableScan");
+}
+
+TEST(RecastTest, JoinRuleR2KeepsBothChildren) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree = Plan(catalog, "SELECT a.x FROM a JOIN b ON a.id = b.id");
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  // Project(Join(scan, scan)) -> OPR(Project) / left = Join.
+  const OtpNode* join = tree.root->left.get();
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->label, "Join:INNER");
+  EXPECT_EQ(join->left->type, OtpNodeType::kOperator);
+  EXPECT_EQ(join->right->type, OtpNodeType::kOperator);
+}
+
+TEST(RecastTest, OperatorLabelsDiscriminateKinds) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree =
+      Plan(catalog, "SELECT a.x FROM a JOIN b ON a.id = b.id", true);
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  // Exchange labels carry the kind.
+  EXPECT_EQ(tree.root->label, "Exchange:GATHER");
+  bool found_repartition = false;
+  FlatOtpTree flat = Flatten(tree);
+  for (const OtpNode* node : flat.nodes) {
+    if (node->label == "Exchange:REPARTITION") found_repartition = true;
+  }
+  EXPECT_TRUE(found_repartition);
+}
+
+TEST(RecastTest, BinaryCompletion) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree = Plan(catalog, "SELECT x FROM a ORDER BY x LIMIT 5");
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  // Every OPR node has exactly two children (possibly Ø).
+  FlatOtpTree flat = Flatten(tree);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (flat.nodes[i]->type == OtpNodeType::kOperator) {
+      EXPECT_NE(flat.nodes[i]->left, nullptr);
+      EXPECT_NE(flat.nodes[i]->right, nullptr);
+    }
+  }
+}
+
+TEST(FlattenTest, BfsOrderAndIndices) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree = Plan(catalog, "SELECT a.x FROM a JOIN b ON a.id = b.id");
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  FlatOtpTree flat = Flatten(tree);
+  EXPECT_EQ(flat.size(), tree.node_count);
+  EXPECT_EQ(flat.nodes[0], tree.root.get());
+  EXPECT_EQ(flat.depth[0], 0);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (flat.left[i] >= 0) {
+      EXPECT_EQ(flat.nodes[static_cast<size_t>(flat.left[i])],
+                flat.nodes[i]->left.get());
+      EXPECT_EQ(flat.depth[static_cast<size_t>(flat.left[i])],
+                flat.depth[i] + 1);
+      EXPECT_GT(flat.left[i], static_cast<int>(i));  // BFS: children later
+    }
+    if (flat.right[i] >= 0) {
+      EXPECT_EQ(flat.nodes[static_cast<size_t>(flat.right[i])],
+                flat.nodes[i]->right.get());
+    }
+  }
+}
+
+TEST(CountersTest, NodeCountAndDepthConsistent) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree = Plan(
+      catalog, "SELECT a.x FROM a JOIN b ON a.id = b.id WHERE a.x > 1", true);
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  EXPECT_EQ(tree.node_count, CountNodes(*tree.root));
+  EXPECT_EQ(tree.max_depth, MaxDepth(*tree.root));
+  FlatOtpTree flat = Flatten(tree);
+  int max_depth = 0;
+  for (int d : flat.depth) max_depth = std::max(max_depth, d);
+  EXPECT_EQ(static_cast<size_t>(max_depth), tree.max_depth);
+}
+
+/// Fixed-width dummy embedder for encoder tests.
+class FakeEmbedder : public PredicateEmbedder {
+ public:
+  explicit FakeEmbedder(size_t dim) : dim_(dim) {}
+  size_t dim() const override { return dim_; }
+  void Embed(const sql::Expr&, float* out) const override {
+    for (size_t i = 0; i < dim_; ++i) out[i] = 0.5f;
+  }
+
+ private:
+  size_t dim_;
+};
+
+TEST(EncoderTest, FeatureLayoutBlocks) {
+  plan::Catalog catalog = TestCatalog();
+  auto plan_tree =
+      Plan(catalog, "SELECT a.x FROM a JOIN b ON a.id = b.id WHERE a.x > 1");
+  OtpTree tree = RecastPlan(*plan_tree).ValueOrDie();
+  FakeEmbedder embedder(4);
+  OtpEncoder encoder(&embedder);
+  encoder.FitVocabulary({&tree});
+  // ops: Project, Filter, Join:INNER, TableScan -> 4; tables: a, b -> 2.
+  EXPECT_EQ(encoder.num_operators(), 4u);
+  EXPECT_EQ(encoder.num_tables(), 2u);
+  EXPECT_EQ(encoder.feature_dim(), (4 + 1) + 4 + (2 + 1));
+
+  FlatOtpTree flat = Flatten(tree);
+  Tensor encoded = encoder.EncodeTree(flat);
+  EXPECT_EQ(encoded.dim(0), flat.size());
+  EXPECT_EQ(encoded.dim(1), encoder.feature_dim());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const float* row = encoded.data() + i * encoder.feature_dim();
+    float opr = 0, pred = 0, tbl = 0;
+    for (size_t j = 0; j < 5; ++j) opr += row[j];
+    for (size_t j = 5; j < 9; ++j) pred += row[j];
+    for (size_t j = 9; j < 12; ++j) tbl += row[j];
+    switch (flat.nodes[i]->type) {
+      case OtpNodeType::kOperator:
+        EXPECT_EQ(opr, 1.0f);
+        EXPECT_EQ(pred + tbl, 0.0f);
+        break;
+      case OtpNodeType::kPredicate:
+        EXPECT_EQ(pred, 2.0f);  // 4 dims * 0.5
+        EXPECT_EQ(opr + tbl, 0.0f);
+        break;
+      case OtpNodeType::kTable:
+        EXPECT_EQ(tbl, 1.0f);
+        EXPECT_EQ(opr + pred, 0.0f);
+        break;
+      case OtpNodeType::kNull:
+        EXPECT_EQ(opr + pred + tbl, 0.0f);
+        break;
+    }
+  }
+}
+
+TEST(EncoderTest, UnknownLabelsMapToUnkSlot) {
+  plan::Catalog catalog = TestCatalog();
+  auto train_plan = Plan(catalog, "SELECT * FROM a");
+  OtpTree train_tree = RecastPlan(*train_plan).ValueOrDie();
+  FakeEmbedder embedder(2);
+  OtpEncoder encoder(&embedder);
+  encoder.FitVocabulary({&train_tree});
+  EXPECT_TRUE(encoder.KnowsTable("a"));
+  EXPECT_FALSE(encoder.KnowsTable("b"));
+
+  auto test_plan = Plan(catalog, "SELECT * FROM b");
+  OtpTree test_tree = RecastPlan(*test_plan).ValueOrDie();
+  FlatOtpTree flat = Flatten(test_tree);
+  Tensor encoded = encoder.EncodeTree(flat);
+  // Table "b" lands on the UNK slot (last of the table block).
+  bool unk_hit = false;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (flat.nodes[i]->type == OtpNodeType::kTable) {
+      unk_hit = encoded.At(i, encoder.feature_dim() - 1) == 1.0f;
+    }
+  }
+  EXPECT_TRUE(unk_hit);
+}
+
+}  // namespace
+}  // namespace prestroid::otp

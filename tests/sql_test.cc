@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace prestroid::sql {
+namespace {
+
+TEST(LexerTest, KeywordsNormalizedIdentifiersKept) {
+  auto tokens = Tokenize("select Foo FROM bar_1").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 5u);  // + end
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "Foo");
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[3].text, "bar_1");
+  EXPECT_EQ(tokens[4].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  auto tokens = Tokenize("x >= 3.14 <> != <= .5").ValueOrDie();
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "3.14");
+  EXPECT_EQ(tokens[3].text, "<>");
+  EXPECT_EQ(tokens[4].text, "!=");
+  EXPECT_EQ(tokens[5].text, "<=");
+  EXPECT_EQ(tokens[6].text, ".5");
+}
+
+TEST(LexerTest, StringLiteralWithEscape) {
+  auto tokens = Tokenize("'it''s ok'").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's ok");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto result = Tokenize("'oops");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("select #").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseSelect("SELECT * FROM trips").ValueOrDie();
+  EXPECT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(stmt->from.table, "trips");
+  EXPECT_EQ(stmt->joins.size(), 0u);
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, WherePredicatePrecedence) {
+  auto stmt =
+      ParseSelect("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").ValueOrDie();
+  // AND binds tighter: OR(x=1, AND(y=2, z=3)).
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kOr);
+  EXPECT_EQ(stmt->where->children[1]->kind, ExprKind::kAnd);
+}
+
+TEST(ParserTest, JoinVariants) {
+  auto stmt = ParseSelect(
+                  "SELECT a.x FROM a JOIN b ON a.id = b.id "
+                  "LEFT JOIN c ON b.id = c.id CROSS JOIN d")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt->joins.size(), 3u);
+  EXPECT_EQ(stmt->joins[0].type, JoinType::kInner);
+  EXPECT_EQ(stmt->joins[1].type, JoinType::kLeft);
+  EXPECT_EQ(stmt->joins[2].type, JoinType::kCross);
+  EXPECT_EQ(stmt->joins[2].condition, nullptr);
+}
+
+TEST(ParserTest, GroupByHavingOrderLimit) {
+  auto stmt = ParseSelect(
+                  "SELECT city, COUNT(*) AS n FROM trips GROUP BY city "
+                  "HAVING COUNT(*) > 10 ORDER BY n DESC LIMIT 5")
+                  .ValueOrDie();
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_NE(stmt->having, nullptr);
+  ASSERT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_EQ(stmt->limit.value(), 5);
+}
+
+TEST(ParserTest, SubqueryInFrom) {
+  auto stmt =
+      ParseSelect("SELECT t.c FROM (SELECT x AS c FROM inner_t) AS t")
+          .ValueOrDie();
+  ASSERT_TRUE(stmt->from.IsSubquery());
+  EXPECT_EQ(stmt->from.alias, "t");
+  EXPECT_EQ(stmt->from.subquery->from.table, "inner_t");
+}
+
+TEST(ParserTest, SubqueryRequiresAlias) {
+  EXPECT_FALSE(ParseSelect("SELECT 1 FROM (SELECT x FROM t)").ok());
+}
+
+TEST(ParserTest, InBetweenLikeIsNull) {
+  auto stmt = ParseSelect(
+                  "SELECT a FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 1 AND 9 "
+                  "AND c LIKE '%x%' AND d IS NOT NULL")
+                  .ValueOrDie();
+  ASSERT_NE(stmt->where, nullptr);
+  std::string text = stmt->where->ToString();
+  EXPECT_NE(text.find("IN (1, 2, 3)"), std::string::npos);
+  EXPECT_NE(text.find("BETWEEN 1 AND 9"), std::string::npos);
+  EXPECT_NE(text.find("LIKE '%x%'"), std::string::npos);
+  EXPECT_NE(text.find("IS NOT NULL"), std::string::npos);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto expr = ParseExpression("1 + 2 * 3").ValueOrDie();
+  EXPECT_EQ(expr->kind, ExprKind::kBinary);
+  EXPECT_EQ(expr->op, "+");
+  EXPECT_EQ(expr->children[1]->op, "*");
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  auto expr = ParseExpression("x > -5").ValueOrDie();
+  EXPECT_EQ(expr->children[1]->number, -5.0);
+}
+
+TEST(ParserTest, NotPredicate) {
+  auto expr = ParseExpression("NOT (a = 1 OR b = 2)").ValueOrDie();
+  EXPECT_EQ(expr->kind, ExprKind::kNot);
+  EXPECT_EQ(expr->children[0]->kind, ExprKind::kOr);
+}
+
+TEST(ParserTest, QualifiedColumns) {
+  auto expr = ParseExpression("tbl.col = 4").ValueOrDie();
+  EXPECT_EQ(expr->children[0]->table, "tbl");
+  EXPECT_EQ(expr->children[0]->name, "col");
+}
+
+TEST(ParserTest, AggregateCalls) {
+  auto stmt =
+      ParseSelect("SELECT SUM(fare), AVG(t.dist), COUNT(*) FROM t").ValueOrDie();
+  EXPECT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].expr->name, "SUM");
+  EXPECT_EQ(stmt->items[2].expr->children[0]->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, ErrorsOnGarbage) {
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t JOIN").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra garbage !!").ok());
+}
+
+// Round-trip property: parse -> ToString -> parse -> ToString is stable.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParseToStringFixedPoint) {
+  auto first = ParseSelect(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string text1 = (*first)->ToString();
+  auto second = ParseSelect(text1);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\n" << text1;
+  EXPECT_EQ(text1, (*second)->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "SELECT * FROM t",
+        "SELECT a, b AS bb FROM t WHERE a > 1 AND b < 2",
+        "SELECT DISTINCT x FROM t ORDER BY x",
+        "SELECT t1.a FROM t1 JOIN t2 ON t1.id = t2.id WHERE t2.v IN (1, 2)",
+        "SELECT COUNT(*) AS n FROM t GROUP BY c HAVING COUNT(*) > 3 LIMIT 7",
+        "SELECT s.c FROM (SELECT a AS c FROM u WHERE a BETWEEN 0 AND 5) AS s",
+        "SELECT a FROM t WHERE NOT (x = 1 OR y LIKE '%z%') AND w IS NULL",
+        "SELECT a + b * 2 AS v FROM t WHERE a - 1 >= 0"));
+
+TEST(ExprTest, CloneIsDeep) {
+  auto expr = ParseExpression("a = 1 AND b = 2").ValueOrDie();
+  auto copy = expr->Clone();
+  expr->children[0]->children[1]->number = 99;
+  EXPECT_EQ(copy->children[0]->children[1]->number, 1.0);
+}
+
+}  // namespace
+}  // namespace prestroid::sql

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace prestroid {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructFromData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(0, 1), 2.0f);
+  EXPECT_EQ(t.At(1, 0), 3.0f);
+  EXPECT_EQ(t.At(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ThreeDimAccess) {
+  Tensor t({2, 3, 4});
+  t.At(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.At(2, 1), 6.0f);
+  EXPECT_EQ(r.size(), t.size());
+}
+
+TEST(TensorTest, FillAndScale) {
+  Tensor t({4});
+  t.Fill(2.0f);
+  t *= 3.0f;
+  EXPECT_EQ(t.Sum(), 24.0f);
+  EXPECT_EQ(t.Mean(), 6.0f);
+}
+
+TEST(TensorTest, AddSubInPlace) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  a += b;
+  EXPECT_TRUE(a.AllClose(Tensor({3}, {5, 7, 9})));
+  a -= b;
+  EXPECT_TRUE(a.AllClose(Tensor({3}, {1, 2, 3})));
+}
+
+TEST(TensorTest, MinMax) {
+  Tensor t({4}, {-1, 5, 2, 0});
+  EXPECT_EQ(t.Min(), -1.0f);
+  EXPECT_EQ(t.Max(), 5.0f);
+}
+
+TEST(TensorTest, AllCloseShapeMismatch) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_FALSE(a.AllClose(b));
+}
+
+TEST(TensorTest, GlorotWithinLimit) {
+  Rng rng(1);
+  Tensor w = Tensor::GlorotUniform(100, 50, &rng);
+  float limit = std::sqrt(6.0f / 150.0f);
+  EXPECT_LE(w.Max(), limit);
+  EXPECT_GE(w.Min(), -limit);
+  EXPECT_NEAR(w.Mean(), 0.0f, 0.01f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t({100});
+  std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("Tensor[100]"), std::string::npos);
+}
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(c.AllClose(Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Rng rng(2);
+  Tensor a = Tensor::Random({5, 7}, &rng);
+  EXPECT_TRUE(Transpose(Transpose(a)).AllClose(a));
+}
+
+// Property sweep: MatMulTransposeA/B agree with explicit Transpose+MatMul.
+class MatMulParamTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulParamTest, TransposedVariantsAgree) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::Random({static_cast<size_t>(m), static_cast<size_t>(k)}, &rng);
+  Tensor b = Tensor::Random({static_cast<size_t>(k), static_cast<size_t>(n)}, &rng);
+  Tensor expected = MatMul(a, b);
+  EXPECT_TRUE(MatMulTransposeA(Transpose(a), b).AllClose(expected, 1e-4f));
+  EXPECT_TRUE(MatMulTransposeB(a, Transpose(b)).AllClose(expected, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulParamTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 32, 8), std::make_tuple(10, 1, 10)));
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor a({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {1, 2, 3});
+  Tensor out = AddRowBroadcast(a, bias);
+  EXPECT_TRUE(out.AllClose(Tensor({2, 3}, {1, 2, 3, 2, 3, 4})));
+}
+
+TEST(OpsTest, RowReductions) {
+  Tensor a({3, 2}, {1, 4, 2, 5, 3, 6});
+  EXPECT_TRUE(SumRows(a).AllClose(Tensor({2}, {6, 15})));
+  EXPECT_TRUE(MeanRows(a).AllClose(Tensor({2}, {2, 5})));
+  EXPECT_TRUE(MaxRows(a).AllClose(Tensor({2}, {3, 6})));
+  EXPECT_TRUE(MinRows(a).AllClose(Tensor({2}, {1, 4})));
+}
+
+TEST(OpsTest, ElementwiseActivations) {
+  Tensor a({4}, {-2, -0.5, 0.5, 2});
+  Tensor r = Relu(a);
+  EXPECT_TRUE(r.AllClose(Tensor({4}, {0, 0, 0.5, 2})));
+  Tensor s = Sigmoid(Tensor({1}, {0}));
+  EXPECT_NEAR(s[0], 0.5f, 1e-6f);
+  Tensor t = TanhT(Tensor({1}, {0}));
+  EXPECT_NEAR(t[0], 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, MulElementwise) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_TRUE(Mul(a, b).AllClose(Tensor({3}, {4, 10, 18})));
+}
+
+TEST(ShapeTest, ShapeSizeAndString) {
+  EXPECT_EQ(ShapeSize({2, 3, 4}), 24u);
+  EXPECT_EQ(ShapeSize({}), 0u);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace prestroid

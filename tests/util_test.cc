@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace prestroid {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad value");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad value");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad value");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status status = Status::NotFound("missing");
+  Status copy = status;
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "missing");
+  // Original unchanged.
+  EXPECT_EQ(status.message(), "missing");
+  Status assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kParseError, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::OutOfRange("too big");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PRESTROID_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_EQ(Quarter(6).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(123);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ParetoHeavyTail) {
+  Rng rng(8);
+  const int n = 20000;
+  int above = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Pareto(1.0, 1.5);
+    EXPECT_GE(v, 1.0);
+    if (v > 10.0) ++above;
+  }
+  // P(X > 10) = 10^-1.5 ~ 3.16%.
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.0316, 0.01);
+}
+
+TEST(RngTest, ZipfSkewedTowardsLowRanks) {
+  Rng rng(9);
+  const size_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) {
+    size_t rank = rng.Zipf(n, 1.1);
+    ASSERT_LT(rank, n);
+    ++counts[rank];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 20);  // rank 0 dominates
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(10);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int c0 = 0, c2 = 0;
+  for (int i = 0; i < 8000; ++i) {
+    size_t idx = rng.WeightedIndex(weights);
+    ASSERT_NE(idx, 1u);  // zero weight never chosen
+    if (idx == 0) ++c0;
+    if (idx == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c2) / c0, 3.0, 0.5);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(13);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  hello   world \t x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "x");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToUpper("Select"), "SELECT");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("JOIN", "join"));
+  EXPECT_FALSE(EqualsIgnoreCase("JOIN", "joins"));
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("prestroid", "pre"));
+  EXPECT_FALSE(StartsWith("pre", "prestroid"));
+  EXPECT_TRUE(EndsWith("model.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("model.cc", ".h"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"Model", "MSE"});
+  printer.AddRow({"LogBins", "96.91"});
+  printer.AddRow({"Prestroid (32-11-200)", "46.09"});
+  std::ostringstream os;
+  printer.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Prestroid (32-11-200)"), std::string::npos);
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatting) {
+  TablePrinter printer({"w", "a", "b"});
+  printer.AddRow("r", {1.23456, 2.0}, 3);
+  std::ostringstream os;
+  printer.PrintCsv(os);
+  EXPECT_EQ(os.str(), "w,a,b\nr,1.235,2.000\n");
+}
+
+}  // namespace
+}  // namespace prestroid
