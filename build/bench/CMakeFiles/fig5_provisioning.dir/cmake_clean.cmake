@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_provisioning.dir/fig5_provisioning.cc.o"
+  "CMakeFiles/fig5_provisioning.dir/fig5_provisioning.cc.o.d"
+  "fig5_provisioning"
+  "fig5_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

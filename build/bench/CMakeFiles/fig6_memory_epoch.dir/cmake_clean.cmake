@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_memory_epoch.dir/fig6_memory_epoch.cc.o"
+  "CMakeFiles/fig6_memory_epoch.dir/fig6_memory_epoch.cc.o.d"
+  "fig6_memory_epoch"
+  "fig6_memory_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memory_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_training_cost.dir/fig7_training_cost.cc.o"
+  "CMakeFiles/fig7_training_cost.dir/fig7_training_cost.cc.o.d"
+  "fig7_training_cost"
+  "fig7_training_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_training_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

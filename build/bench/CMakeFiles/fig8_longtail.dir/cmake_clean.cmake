@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_longtail.dir/fig8_longtail.cc.o"
+  "CMakeFiles/fig8_longtail.dir/fig8_longtail.cc.o.d"
+  "fig8_longtail"
+  "fig8_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

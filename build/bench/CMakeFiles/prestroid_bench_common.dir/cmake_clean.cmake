@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/prestroid_bench_common.dir/bench_common.cc.o.d"
+  "libprestroid_bench_common.a"
+  "libprestroid_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

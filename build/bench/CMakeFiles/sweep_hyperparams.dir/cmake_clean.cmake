@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_hyperparams.dir/sweep_hyperparams.cc.o"
+  "CMakeFiles/sweep_hyperparams.dir/sweep_hyperparams.cc.o.d"
+  "sweep_hyperparams"
+  "sweep_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

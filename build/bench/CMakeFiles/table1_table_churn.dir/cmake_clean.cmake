@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_table_churn.dir/table1_table_churn.cc.o"
+  "CMakeFiles/table1_table_churn.dir/table1_table_churn.cc.o.d"
+  "table1_table_churn"
+  "table1_table_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_table_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mse_grab.dir/table2_mse_grab.cc.o"
+  "CMakeFiles/table2_mse_grab.dir/table2_mse_grab.cc.o.d"
+  "table2_mse_grab"
+  "table2_mse_grab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mse_grab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

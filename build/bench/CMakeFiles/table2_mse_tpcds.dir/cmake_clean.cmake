@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mse_tpcds.dir/table2_mse_tpcds.cc.o"
+  "CMakeFiles/table2_mse_tpcds.dir/table2_mse_tpcds.cc.o.d"
+  "table2_mse_tpcds"
+  "table2_mse_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mse_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

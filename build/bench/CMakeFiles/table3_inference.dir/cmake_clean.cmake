@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_inference.dir/table3_inference.cc.o"
+  "CMakeFiles/table3_inference.dir/table3_inference.cc.o.d"
+  "table3_inference"
+  "table3_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

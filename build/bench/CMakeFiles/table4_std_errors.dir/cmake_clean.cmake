@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_std_errors.dir/table4_std_errors.cc.o"
+  "CMakeFiles/table4_std_errors.dir/table4_std_errors.cc.o.d"
+  "table4_std_errors"
+  "table4_std_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_std_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_time_shift.dir/table5_time_shift.cc.o"
+  "CMakeFiles/table5_time_shift.dir/table5_time_shift.cc.o.d"
+  "table5_time_shift"
+  "table5_time_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_time_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_provisioning.dir/cluster_provisioning.cpp.o"
+  "CMakeFiles/cluster_provisioning.dir/cluster_provisioning.cpp.o.d"
+  "cluster_provisioning"
+  "cluster_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

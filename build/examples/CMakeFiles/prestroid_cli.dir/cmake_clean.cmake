@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_cli.dir/prestroid_cli.cpp.o"
+  "CMakeFiles/prestroid_cli.dir/prestroid_cli.cpp.o.d"
+  "prestroid_cli"
+  "prestroid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_forecasting.dir/workload_forecasting.cpp.o"
+  "CMakeFiles/workload_forecasting.dir/workload_forecasting.cpp.o.d"
+  "workload_forecasting"
+  "workload_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

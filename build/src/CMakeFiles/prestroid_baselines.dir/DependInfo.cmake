@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/kernels.cc" "src/CMakeFiles/prestroid_baselines.dir/baselines/kernels.cc.o" "gcc" "src/CMakeFiles/prestroid_baselines.dir/baselines/kernels.cc.o.d"
+  "/root/repo/src/baselines/log_binning.cc" "src/CMakeFiles/prestroid_baselines.dir/baselines/log_binning.cc.o" "gcc" "src/CMakeFiles/prestroid_baselines.dir/baselines/log_binning.cc.o.d"
+  "/root/repo/src/baselines/mscn.cc" "src/CMakeFiles/prestroid_baselines.dir/baselines/mscn.cc.o" "gcc" "src/CMakeFiles/prestroid_baselines.dir/baselines/mscn.cc.o.d"
+  "/root/repo/src/baselines/svr.cc" "src/CMakeFiles/prestroid_baselines.dir/baselines/svr.cc.o" "gcc" "src/CMakeFiles/prestroid_baselines.dir/baselines/svr.cc.o.d"
+  "/root/repo/src/baselines/wcnn.cc" "src/CMakeFiles/prestroid_baselines.dir/baselines/wcnn.cc.o" "gcc" "src/CMakeFiles/prestroid_baselines.dir/baselines/wcnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prestroid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_subtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_otp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

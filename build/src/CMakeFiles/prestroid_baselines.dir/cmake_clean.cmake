@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_baselines.dir/baselines/kernels.cc.o"
+  "CMakeFiles/prestroid_baselines.dir/baselines/kernels.cc.o.d"
+  "CMakeFiles/prestroid_baselines.dir/baselines/log_binning.cc.o"
+  "CMakeFiles/prestroid_baselines.dir/baselines/log_binning.cc.o.d"
+  "CMakeFiles/prestroid_baselines.dir/baselines/mscn.cc.o"
+  "CMakeFiles/prestroid_baselines.dir/baselines/mscn.cc.o.d"
+  "CMakeFiles/prestroid_baselines.dir/baselines/svr.cc.o"
+  "CMakeFiles/prestroid_baselines.dir/baselines/svr.cc.o.d"
+  "CMakeFiles/prestroid_baselines.dir/baselines/wcnn.cc.o"
+  "CMakeFiles/prestroid_baselines.dir/baselines/wcnn.cc.o.d"
+  "libprestroid_baselines.a"
+  "libprestroid_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

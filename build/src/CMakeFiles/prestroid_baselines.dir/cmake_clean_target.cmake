@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprestroid_baselines.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/azure_catalog.cc" "src/CMakeFiles/prestroid_cloud.dir/cloud/azure_catalog.cc.o" "gcc" "src/CMakeFiles/prestroid_cloud.dir/cloud/azure_catalog.cc.o.d"
+  "/root/repo/src/cloud/cost_optimizer.cc" "src/CMakeFiles/prestroid_cloud.dir/cloud/cost_optimizer.cc.o" "gcc" "src/CMakeFiles/prestroid_cloud.dir/cloud/cost_optimizer.cc.o.d"
+  "/root/repo/src/cloud/epoch_time_model.cc" "src/CMakeFiles/prestroid_cloud.dir/cloud/epoch_time_model.cc.o" "gcc" "src/CMakeFiles/prestroid_cloud.dir/cloud/epoch_time_model.cc.o.d"
+  "/root/repo/src/cloud/footprint.cc" "src/CMakeFiles/prestroid_cloud.dir/cloud/footprint.cc.o" "gcc" "src/CMakeFiles/prestroid_cloud.dir/cloud/footprint.cc.o.d"
+  "/root/repo/src/cloud/gpu_spec.cc" "src/CMakeFiles/prestroid_cloud.dir/cloud/gpu_spec.cc.o" "gcc" "src/CMakeFiles/prestroid_cloud.dir/cloud/gpu_spec.cc.o.d"
+  "/root/repo/src/cloud/scale_out_model.cc" "src/CMakeFiles/prestroid_cloud.dir/cloud/scale_out_model.cc.o" "gcc" "src/CMakeFiles/prestroid_cloud.dir/cloud/scale_out_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prestroid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_subtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_otp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

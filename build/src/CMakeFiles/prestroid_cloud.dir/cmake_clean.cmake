@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_cloud.dir/cloud/azure_catalog.cc.o"
+  "CMakeFiles/prestroid_cloud.dir/cloud/azure_catalog.cc.o.d"
+  "CMakeFiles/prestroid_cloud.dir/cloud/cost_optimizer.cc.o"
+  "CMakeFiles/prestroid_cloud.dir/cloud/cost_optimizer.cc.o.d"
+  "CMakeFiles/prestroid_cloud.dir/cloud/epoch_time_model.cc.o"
+  "CMakeFiles/prestroid_cloud.dir/cloud/epoch_time_model.cc.o.d"
+  "CMakeFiles/prestroid_cloud.dir/cloud/footprint.cc.o"
+  "CMakeFiles/prestroid_cloud.dir/cloud/footprint.cc.o.d"
+  "CMakeFiles/prestroid_cloud.dir/cloud/gpu_spec.cc.o"
+  "CMakeFiles/prestroid_cloud.dir/cloud/gpu_spec.cc.o.d"
+  "CMakeFiles/prestroid_cloud.dir/cloud/scale_out_model.cc.o"
+  "CMakeFiles/prestroid_cloud.dir/cloud/scale_out_model.cc.o.d"
+  "libprestroid_cloud.a"
+  "libprestroid_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

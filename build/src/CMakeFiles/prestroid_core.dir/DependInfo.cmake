@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/featurizer.cc" "src/CMakeFiles/prestroid_core.dir/core/featurizer.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/featurizer.cc.o.d"
+  "/root/repo/src/core/full_tree_model.cc" "src/CMakeFiles/prestroid_core.dir/core/full_tree_model.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/full_tree_model.cc.o.d"
+  "/root/repo/src/core/label_transform.cc" "src/CMakeFiles/prestroid_core.dir/core/label_transform.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/label_transform.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/prestroid_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/model_blocks.cc" "src/CMakeFiles/prestroid_core.dir/core/model_blocks.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/model_blocks.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/prestroid_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/pipeline_io.cc" "src/CMakeFiles/prestroid_core.dir/core/pipeline_io.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/pipeline_io.cc.o.d"
+  "/root/repo/src/core/subtree_model.cc" "src/CMakeFiles/prestroid_core.dir/core/subtree_model.cc.o" "gcc" "src/CMakeFiles/prestroid_core.dir/core/subtree_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prestroid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_otp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_subtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

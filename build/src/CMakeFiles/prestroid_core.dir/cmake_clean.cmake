@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_core.dir/core/featurizer.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/featurizer.cc.o.d"
+  "CMakeFiles/prestroid_core.dir/core/full_tree_model.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/full_tree_model.cc.o.d"
+  "CMakeFiles/prestroid_core.dir/core/label_transform.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/label_transform.cc.o.d"
+  "CMakeFiles/prestroid_core.dir/core/metrics.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/prestroid_core.dir/core/model_blocks.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/model_blocks.cc.o.d"
+  "CMakeFiles/prestroid_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/prestroid_core.dir/core/pipeline_io.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/pipeline_io.cc.o.d"
+  "CMakeFiles/prestroid_core.dir/core/subtree_model.cc.o"
+  "CMakeFiles/prestroid_core.dir/core/subtree_model.cc.o.d"
+  "libprestroid_core.a"
+  "libprestroid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

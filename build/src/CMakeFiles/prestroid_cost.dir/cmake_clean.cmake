@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_cost.dir/cost/cost_model.cc.o"
+  "CMakeFiles/prestroid_cost.dir/cost/cost_model.cc.o.d"
+  "libprestroid_cost.a"
+  "libprestroid_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_embed.dir/embed/predicate_encoder.cc.o"
+  "CMakeFiles/prestroid_embed.dir/embed/predicate_encoder.cc.o.d"
+  "CMakeFiles/prestroid_embed.dir/embed/predicate_tokenizer.cc.o"
+  "CMakeFiles/prestroid_embed.dir/embed/predicate_tokenizer.cc.o.d"
+  "CMakeFiles/prestroid_embed.dir/embed/vocabulary.cc.o"
+  "CMakeFiles/prestroid_embed.dir/embed/vocabulary.cc.o.d"
+  "CMakeFiles/prestroid_embed.dir/embed/word2vec.cc.o"
+  "CMakeFiles/prestroid_embed.dir/embed/word2vec.cc.o.d"
+  "libprestroid_embed.a"
+  "libprestroid_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/prestroid_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/batch_norm.cc" "src/CMakeFiles/prestroid_nn.dir/nn/batch_norm.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/batch_norm.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/prestroid_nn.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/conv1d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/prestroid_nn.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/prestroid_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding_layer.cc" "src/CMakeFiles/prestroid_nn.dir/nn/embedding_layer.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/embedding_layer.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/prestroid_nn.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/prestroid_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/prestroid_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/CMakeFiles/prestroid_nn.dir/nn/trainer.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/trainer.cc.o.d"
+  "/root/repo/src/nn/tree_conv.cc" "src/CMakeFiles/prestroid_nn.dir/nn/tree_conv.cc.o" "gcc" "src/CMakeFiles/prestroid_nn.dir/nn/tree_conv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prestroid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

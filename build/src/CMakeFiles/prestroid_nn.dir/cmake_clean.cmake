@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_nn.dir/nn/activations.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/activations.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/batch_norm.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/batch_norm.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/conv1d.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/conv1d.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/dense.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/dense.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/embedding_layer.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/embedding_layer.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/layer.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/layer.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/trainer.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/trainer.cc.o.d"
+  "CMakeFiles/prestroid_nn.dir/nn/tree_conv.cc.o"
+  "CMakeFiles/prestroid_nn.dir/nn/tree_conv.cc.o.d"
+  "libprestroid_nn.a"
+  "libprestroid_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

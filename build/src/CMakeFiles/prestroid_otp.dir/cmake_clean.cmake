@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_otp.dir/otp/otp_encoder.cc.o"
+  "CMakeFiles/prestroid_otp.dir/otp/otp_encoder.cc.o.d"
+  "CMakeFiles/prestroid_otp.dir/otp/otp_tree.cc.o"
+  "CMakeFiles/prestroid_otp.dir/otp/otp_tree.cc.o.d"
+  "libprestroid_otp.a"
+  "libprestroid_otp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_otp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

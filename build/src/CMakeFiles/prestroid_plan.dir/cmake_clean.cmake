@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_plan.dir/plan/catalog.cc.o"
+  "CMakeFiles/prestroid_plan.dir/plan/catalog.cc.o.d"
+  "CMakeFiles/prestroid_plan.dir/plan/plan_node.cc.o"
+  "CMakeFiles/prestroid_plan.dir/plan/plan_node.cc.o.d"
+  "CMakeFiles/prestroid_plan.dir/plan/plan_stats.cc.o"
+  "CMakeFiles/prestroid_plan.dir/plan/plan_stats.cc.o.d"
+  "CMakeFiles/prestroid_plan.dir/plan/plan_text.cc.o"
+  "CMakeFiles/prestroid_plan.dir/plan/plan_text.cc.o.d"
+  "CMakeFiles/prestroid_plan.dir/plan/planner.cc.o"
+  "CMakeFiles/prestroid_plan.dir/plan/planner.cc.o.d"
+  "libprestroid_plan.a"
+  "libprestroid_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

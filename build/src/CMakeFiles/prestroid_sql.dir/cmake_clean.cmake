@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/prestroid_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/prestroid_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/prestroid_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/prestroid_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/prestroid_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/prestroid_sql.dir/sql/token.cc.o"
+  "CMakeFiles/prestroid_sql.dir/sql/token.cc.o.d"
+  "libprestroid_sql.a"
+  "libprestroid_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

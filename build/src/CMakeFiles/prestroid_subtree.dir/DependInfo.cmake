@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subtree/naive_pruning.cc" "src/CMakeFiles/prestroid_subtree.dir/subtree/naive_pruning.cc.o" "gcc" "src/CMakeFiles/prestroid_subtree.dir/subtree/naive_pruning.cc.o.d"
+  "/root/repo/src/subtree/subtree_sampler.cc" "src/CMakeFiles/prestroid_subtree.dir/subtree/subtree_sampler.cc.o" "gcc" "src/CMakeFiles/prestroid_subtree.dir/subtree/subtree_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prestroid_otp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

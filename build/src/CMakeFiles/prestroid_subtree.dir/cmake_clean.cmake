@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_subtree.dir/subtree/naive_pruning.cc.o"
+  "CMakeFiles/prestroid_subtree.dir/subtree/naive_pruning.cc.o.d"
+  "CMakeFiles/prestroid_subtree.dir/subtree/subtree_sampler.cc.o"
+  "CMakeFiles/prestroid_subtree.dir/subtree/subtree_sampler.cc.o.d"
+  "libprestroid_subtree.a"
+  "libprestroid_subtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

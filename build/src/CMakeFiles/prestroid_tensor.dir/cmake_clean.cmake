@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/prestroid_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/prestroid_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/prestroid_tensor.dir/tensor/tensor.cc.o.d"
+  "libprestroid_tensor.a"
+  "libprestroid_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_util.dir/util/logging.cc.o"
+  "CMakeFiles/prestroid_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/prestroid_util.dir/util/random.cc.o"
+  "CMakeFiles/prestroid_util.dir/util/random.cc.o.d"
+  "CMakeFiles/prestroid_util.dir/util/status.cc.o"
+  "CMakeFiles/prestroid_util.dir/util/status.cc.o.d"
+  "CMakeFiles/prestroid_util.dir/util/string_util.cc.o"
+  "CMakeFiles/prestroid_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/prestroid_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/prestroid_util.dir/util/table_printer.cc.o.d"
+  "libprestroid_util.a"
+  "libprestroid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

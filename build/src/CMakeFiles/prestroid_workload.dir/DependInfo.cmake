@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/prestroid_workload.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/prestroid_workload.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/CMakeFiles/prestroid_workload.dir/workload/query_generator.cc.o" "gcc" "src/CMakeFiles/prestroid_workload.dir/workload/query_generator.cc.o.d"
+  "/root/repo/src/workload/schema_generator.cc" "src/CMakeFiles/prestroid_workload.dir/workload/schema_generator.cc.o" "gcc" "src/CMakeFiles/prestroid_workload.dir/workload/schema_generator.cc.o.d"
+  "/root/repo/src/workload/tpcds_templates.cc" "src/CMakeFiles/prestroid_workload.dir/workload/tpcds_templates.cc.o" "gcc" "src/CMakeFiles/prestroid_workload.dir/workload/tpcds_templates.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/prestroid_workload.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/prestroid_workload.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prestroid_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

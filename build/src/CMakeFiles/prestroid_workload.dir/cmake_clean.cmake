@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestroid_workload.dir/workload/dataset.cc.o"
+  "CMakeFiles/prestroid_workload.dir/workload/dataset.cc.o.d"
+  "CMakeFiles/prestroid_workload.dir/workload/query_generator.cc.o"
+  "CMakeFiles/prestroid_workload.dir/workload/query_generator.cc.o.d"
+  "CMakeFiles/prestroid_workload.dir/workload/schema_generator.cc.o"
+  "CMakeFiles/prestroid_workload.dir/workload/schema_generator.cc.o.d"
+  "CMakeFiles/prestroid_workload.dir/workload/tpcds_templates.cc.o"
+  "CMakeFiles/prestroid_workload.dir/workload/tpcds_templates.cc.o.d"
+  "CMakeFiles/prestroid_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/prestroid_workload.dir/workload/trace.cc.o.d"
+  "libprestroid_workload.a"
+  "libprestroid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestroid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

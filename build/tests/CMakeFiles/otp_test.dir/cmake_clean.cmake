@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otp_test.dir/otp_test.cc.o"
+  "CMakeFiles/otp_test.dir/otp_test.cc.o.d"
+  "otp_test"
+  "otp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/plan_test.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/plan_test.dir/plan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prestroid_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_subtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_otp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prestroid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
