@@ -5,13 +5,21 @@
 //                 --seed 7 --out /tmp/trace.txt
 //   prestroid_cli train     --trace /tmp/trace.txt --out /tmp/model.ppl
 //                 [--full] [--n 15] [--k 9] [--pf 32] [--epochs 25]
+//                 [--snapshot-every 5] [--snapshot /tmp/train.ckpt] [--resume]
 //   prestroid_cli predict   --model /tmp/model.ppl --trace /tmp/new.txt
 //                 [--limit 10]
+//   prestroid_cli serve     --model /tmp/model.ppl --trace /tmp/new.txt
+//                 [--deadline-ms 50] [--no-model] [--limit 20]
 //   prestroid_cli explain   --trace /tmp/trace.txt [--index 0]
 //
 // gen-trace writes the on-disk trace format (SQL + EXPLAIN text + profiler
-// metrics per query); train fits and serializes a pipeline; predict loads a
-// saved pipeline and scores a trace's plans without retraining; explain
+// metrics per query); train fits and serializes a pipeline (crash-safe: the
+// model artifact and the periodic training snapshots are written atomically,
+// and --resume continues an interrupted run from the last snapshot); predict
+// loads a saved pipeline and scores a trace's plans without retraining;
+// serve runs the fault-tolerant ServingEstimator — plan validation,
+// per-request deadline, and the model -> log-binning -> global-mean
+// degradation chain — and reports which tier answered each query; explain
 // pretty-prints one record's logical plan and O-T-P statistics.
 #include <cstdlib>
 #include <iostream>
@@ -20,6 +28,7 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "cost/serving_estimator.h"
 #include "otp/otp_tree.h"
 #include "plan/plan_stats.h"
 #include "plan/plan_text.h"
@@ -36,15 +45,17 @@ namespace {
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) continue;
-      values_[key.substr(2)] = argv[i + 1];
-    }
-    // Boolean flags (no value) are handled separately.
+    // A flag followed by a non-flag token takes it as a value; otherwise it
+    // is boolean. This keeps `--resume --epochs 30` and `--epochs 30
+    // --resume` equivalent.
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) == 0) present_.insert(key.substr(2));
+      if (key.rfind("--", 0) != 0) continue;
+      present_.insert(key.substr(2));
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key.substr(2)] = argv[i + 1];
+        ++i;
+      }
     }
   }
 
@@ -120,7 +131,26 @@ int Train(const Flags& flags) {
   train_config.batch_size = static_cast<size_t>(flags.GetInt("batch", 32));
   train_config.max_epochs = static_cast<size_t>(flags.GetInt("epochs", 25));
   train_config.patience = 6;
+  // Crash-safe snapshots: default the checkpoint path next to --out so
+  // `--resume` after an interruption needs no extra flags.
+  train_config.snapshot_every =
+      static_cast<size_t>(flags.GetInt("snapshot-every", 0));
+  train_config.resume = flags.Has("resume");
+  if (train_config.snapshot_every > 0 || train_config.resume) {
+    train_config.snapshot_path =
+        flags.Get("snapshot", flags.Get("out", "model.ppl") + ".ckpt");
+    if (train_config.snapshot_every == 0) train_config.snapshot_every = 5;
+  }
   TrainResult result = (*pipeline)->Train(splits, train_config);
+  if (result.start_epoch > 1) {
+    std::cout << "resumed training at epoch " << result.start_epoch << "\n";
+  }
+  if (result.nan_rollbacks > 0) {
+    std::cout << "recovered from " << result.nan_rollbacks
+              << " non-finite epoch(s)"
+              << (result.diverged ? " (diverged; kept best checkpoint)" : "")
+              << "\n";
+  }
   std::cout << (*pipeline)->ModelName() << ": " << result.epochs_run
             << " epochs (best " << result.best_epoch << "), test MSE "
             << StrFormat("%.2f",
@@ -165,6 +195,58 @@ int Predict(const Flags& flags) {
   return 0;
 }
 
+int Serve(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "");
+  const std::string trace_path = flags.Get("trace", "");
+  if (trace_path.empty()) {
+    std::cerr << "serve requires --trace <file> (and ideally --model <file>)\n";
+    return 2;
+  }
+  auto records = workload::ReadTraceFile(trace_path);
+  if (!records.ok()) return Fail(records.status());
+
+  cost::ServingLimits limits;
+  limits.default_deadline_ms =
+      static_cast<double>(flags.GetInt("deadline-ms", 50));
+  cost::ServingEstimator estimator(limits);
+  Status fitted = estimator.FitFallbacks(*records);
+  if (!fitted.ok()) return Fail(fitted);
+
+  // A broken or missing model artifact degrades serving instead of killing
+  // it: the estimator keeps answering from the fallback tiers.
+  if (!model_path.empty() && !flags.Has("no-model")) {
+    auto pipeline = core::PrestroidPipeline::LoadFile(model_path);
+    if (pipeline.ok()) {
+      estimator.AttachPipeline(std::move(*pipeline));
+    } else {
+      std::cerr << "warning: model tier unavailable ("
+                << pipeline.status().ToString() << "); serving degraded\n";
+    }
+  }
+
+  const size_t limit = std::min<size_t>(
+      records->size(), static_cast<size_t>(flags.GetInt("limit", 20)));
+  TablePrinter table({"query", "estimate (min)", "actual (min)", "tier",
+                      "latency (ms)"});
+  for (size_t i = 0; i < limit; ++i) {
+    cost::ServingEstimate estimate =
+        estimator.EstimateWithFallback(*(*records)[i].plan);
+    table.AddRow({StrFormat("q%zu", i), StrFormat("%.2f", estimate.cpu_minutes),
+                  StrFormat("%.2f", (*records)[i].metrics.total_cpu_minutes),
+                  cost::ServingTierToString(estimate.tier),
+                  StrFormat("%.3f", estimate.latency_ms)});
+  }
+  table.Print(std::cout);
+  const cost::ServingStats& stats = estimator.stats();
+  std::cout << StrFormat(
+      "tiers: model=%zu log-binning=%zu global-mean=%zu | "
+      "rejects=%zu deadline-skips=%zu deadline-misses=%zu model-errors=%zu\n",
+      stats.by_tier[0], stats.by_tier[1], stats.by_tier[2],
+      stats.validation_rejects, stats.deadline_skips, stats.deadline_misses,
+      stats.model_errors);
+  return 0;
+}
+
 int Explain(const Flags& flags) {
   const std::string trace_path = flags.Get("trace", "");
   if (trace_path.empty()) {
@@ -202,7 +284,10 @@ int Usage() {
          "  gen-trace --queries N --tables T --days D --seed S --out FILE\n"
          "  train     --trace FILE --out FILE [--full] [--n N] [--k K]\n"
          "            [--pf P] [--conv C] [--epochs E] [--batch B]\n"
+         "            [--snapshot-every N] [--snapshot FILE] [--resume]\n"
          "  predict   --model FILE --trace FILE [--limit N]\n"
+         "  serve     --model FILE --trace FILE [--deadline-ms MS]\n"
+         "            [--no-model] [--limit N]\n"
          "  explain   --trace FILE [--index I]\n";
   return 2;
 }
@@ -216,6 +301,7 @@ int main(int argc, char** argv) {
   if (command == "gen-trace") return GenTrace(flags);
   if (command == "train") return Train(flags);
   if (command == "predict") return Predict(flags);
+  if (command == "serve") return Serve(flags);
   if (command == "explain") return Explain(flags);
   return Usage();
 }

@@ -96,6 +96,8 @@ class PrestroidPipeline {
   size_t InputBytesPerBatch(size_t batch_size) const;
 
  private:
+  friend struct PipelineSerde;  // serialization internals (pipeline_io.cc)
+
   PrestroidPipeline() = default;
 
   PipelineConfig config_;

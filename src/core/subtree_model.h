@@ -66,6 +66,15 @@ class SubtreeModel : public CostModel {
   size_t NumParameters() const override;
   std::vector<ParamRef> Params() override { return optimizer_->params(); }
   std::vector<ParamRef> State() override { return head_->State(); }
+  void ScaleLearningRate(float factor) override {
+    optimizer_->set_lr(optimizer_->lr() * factor);
+  }
+  void SerializeOptimizerState(std::ostream& os) const override {
+    optimizer_->SerializeState(os);
+  }
+  Status DeserializeOptimizerState(std::istream& is) override {
+    return optimizer_->DeserializeState(is);
+  }
 
   /// Exact bytes of the padded input tensor for one batch (Figure 6 top):
   /// batch * K * N * F * sizeof(float).

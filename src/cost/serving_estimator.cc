@@ -1,0 +1,138 @@
+#include "cost/serving_estimator.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "plan/plan_stats.h"
+#include "util/logging.h"
+#include "workload/dataset.h"
+
+namespace prestroid::cost {
+
+namespace {
+
+constexpr double kLatencyEwmaAlpha = 0.2;
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+const char* ServingTierToString(ServingTier tier) {
+  switch (tier) {
+    case ServingTier::kModel:
+      return "model";
+    case ServingTier::kLogBinning:
+      return "log-binning";
+    case ServingTier::kGlobalMean:
+      return "global-mean";
+  }
+  return "unknown";
+}
+
+ServingEstimator::ServingEstimator(ServingLimits limits)
+    : limits_(limits), bins_(limits.log_bins) {}
+
+void ServingEstimator::AttachPipeline(
+    std::unique_ptr<core::PrestroidPipeline> pipeline) {
+  pipeline_ = std::move(pipeline);
+}
+
+Status ServingEstimator::FitFallbacks(
+    const std::vector<workload::QueryRecord>& records) {
+  if (records.empty()) {
+    return Status::InvalidArgument("cannot fit fallbacks on an empty trace");
+  }
+  std::vector<double> node_counts;
+  std::vector<double> minutes;
+  node_counts.reserve(records.size());
+  minutes.reserve(records.size());
+  for (const workload::QueryRecord& record : records) {
+    node_counts.push_back(static_cast<double>(
+        plan::ComputePlanStats(*record.plan).node_count));
+    minutes.push_back(record.metrics.total_cpu_minutes);
+  }
+  PRESTROID_RETURN_NOT_OK(transform_.Fit(minutes));
+  PRESTROID_RETURN_NOT_OK(bins_.Fit(node_counts, transform_.NormalizeAll(minutes)));
+  double total = 0.0;
+  for (double m : minutes) total += m;
+  global_mean_minutes_ = total / static_cast<double>(minutes.size());
+  fallbacks_fitted_ = true;
+  return Status::OK();
+}
+
+ServingEstimate ServingEstimator::EstimateWithFallback(
+    const plan::PlanNode& plan, double deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  if (deadline_ms <= 0.0) deadline_ms = limits_.default_deadline_ms;
+  ++stats_.requests;
+
+  ServingEstimate estimate;
+  const plan::PlanStats plan_stats = plan::ComputePlanStats(plan);
+
+  // --- Tier 0: the learned model, gated by validation and deadline -------
+  Status skip_reason;
+  if (pipeline_ == nullptr || !model_enabled_) {
+    skip_reason = Status::Unimplemented("model tier unavailable or disabled");
+  } else if (plan_stats.node_count > limits_.max_plan_nodes ||
+             plan_stats.max_depth > limits_.max_plan_depth) {
+    ++stats_.validation_rejects;
+    skip_reason = Status::InvalidArgument(
+        "plan exceeds serving limits (" +
+        std::to_string(plan_stats.node_count) + " nodes, depth " +
+        std::to_string(plan_stats.max_depth) + ")");
+  } else if (model_latency_ewma_ms_ > deadline_ms) {
+    ++stats_.deadline_skips;
+    skip_reason = Status::OutOfRange(
+        "model latency EWMA exceeds deadline; degraded pre-emptively");
+  }
+
+  if (skip_reason.ok()) {
+    Result<double> predicted = pipeline_->PredictPlan(plan);
+    const double model_ms = ElapsedMs(start);
+    model_latency_ewma_ms_ =
+        model_latency_ewma_ms_ == 0.0
+            ? model_ms
+            : (1.0 - kLatencyEwmaAlpha) * model_latency_ewma_ms_ +
+                  kLatencyEwmaAlpha * model_ms;
+    if (model_ms > deadline_ms) ++stats_.deadline_misses;
+    if (predicted.ok() && std::isfinite(*predicted)) {
+      estimate.cpu_minutes = *predicted;
+      estimate.tier = ServingTier::kModel;
+      estimate.latency_ms = ElapsedMs(start);
+      ++stats_.by_tier[static_cast<size_t>(ServingTier::kModel)];
+      return estimate;
+    }
+    ++stats_.model_errors;
+    skip_reason = predicted.ok()
+                      ? Status::Internal("model returned a non-finite estimate")
+                      : predicted.status();
+  }
+  estimate.degradation_reason = skip_reason;
+
+  // --- Tier 1: log-binning over plan node count ---------------------------
+  if (fallbacks_fitted_) {
+    const float normalized =
+        bins_.Predict(static_cast<double>(plan_stats.node_count));
+    const double minutes = transform_.Denormalize(normalized);
+    if (std::isfinite(minutes)) {
+      estimate.cpu_minutes = minutes;
+      estimate.tier = ServingTier::kLogBinning;
+      estimate.latency_ms = ElapsedMs(start);
+      ++stats_.by_tier[static_cast<size_t>(ServingTier::kLogBinning)];
+      return estimate;
+    }
+  }
+
+  // --- Tier 2: global mean — a constant, so it always answers -------------
+  estimate.cpu_minutes = global_mean_minutes_;
+  estimate.tier = ServingTier::kGlobalMean;
+  estimate.latency_ms = ElapsedMs(start);
+  ++stats_.by_tier[static_cast<size_t>(ServingTier::kGlobalMean)];
+  return estimate;
+}
+
+}  // namespace prestroid::cost

@@ -1,0 +1,110 @@
+#ifndef PRESTROID_COST_SERVING_ESTIMATOR_H_
+#define PRESTROID_COST_SERVING_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/log_binning.h"
+#include "core/label_transform.h"
+#include "core/pipeline.h"
+#include "plan/plan_node.h"
+#include "util/status.h"
+#include "workload/trace.h"
+
+namespace prestroid::cost {
+
+/// Which rung of the degradation chain produced an estimate.
+enum class ServingTier {
+  kModel = 0,      // the trained Prestroid pipeline
+  kLogBinning,     // node-count log-binning baseline
+  kGlobalMean,     // mean training cost — always available, always finite
+};
+inline constexpr size_t kNumServingTiers = 3;
+
+const char* ServingTierToString(ServingTier tier);
+
+/// Input-validation and latency limits enforced per request.
+struct ServingLimits {
+  /// Plans larger/deeper than this skip the model tier (featurization cost
+  /// grows with plan size, and such plans are out-of-distribution anyway).
+  size_t max_plan_nodes = 4096;
+  size_t max_plan_depth = 512;
+  /// Deadline applied when EstimateWithFallback is called with
+  /// deadline_ms <= 0.
+  double default_deadline_ms = 50.0;
+  /// Bins for the log-binning fallback (paper: B=1000 for Grab-Traces).
+  size_t log_bins = 1000;
+};
+
+/// One answered request.
+struct ServingEstimate {
+  double cpu_minutes = 0.0;
+  ServingTier tier = ServingTier::kGlobalMean;
+  double latency_ms = 0.0;
+  /// OK when the model tier answered; otherwise why serving degraded
+  /// (validation reject, deadline skip, model error, non-finite output).
+  Status degradation_reason;
+};
+
+/// Monotonic per-process serving counters.
+struct ServingStats {
+  size_t requests = 0;
+  size_t by_tier[kNumServingTiers] = {0, 0, 0};
+  size_t validation_rejects = 0;  // plans too large/deep for the model tier
+  size_t deadline_skips = 0;      // model skipped: EWMA latency > budget
+  size_t deadline_misses = 0;     // model answered but blew the deadline
+  size_t model_errors = 0;        // model tier failed or returned non-finite
+};
+
+/// Fault-tolerant serving front end: wraps the learned pipeline with input
+/// validation, a per-request deadline, and the degradation chain
+/// model -> log-binning -> global mean (CONCERTO-style graceful
+/// degradation). EstimateWithFallback never fails: the global-mean tier is
+/// a constant and always answers.
+class ServingEstimator {
+ public:
+  explicit ServingEstimator(ServingLimits limits = {});
+
+  /// Attaches the model tier (a fitted/loaded pipeline). Passing nullptr
+  /// detaches it.
+  void AttachPipeline(std::unique_ptr<core::PrestroidPipeline> pipeline);
+  bool has_pipeline() const { return pipeline_ != nullptr; }
+
+  /// Administratively enables/disables the model tier (e.g. while a new
+  /// artifact is validated). The fallback chain keeps serving.
+  void set_model_enabled(bool enabled) { model_enabled_ = enabled; }
+  bool model_enabled() const { return model_enabled_; }
+
+  /// Fits the log-binning and global-mean fallback tiers from a trace.
+  Status FitFallbacks(const std::vector<workload::QueryRecord>& records);
+
+  /// Walks the degradation chain and returns the first finite estimate,
+  /// recording which tier answered. deadline_ms <= 0 uses the configured
+  /// default. Never fails.
+  ServingEstimate EstimateWithFallback(const plan::PlanNode& plan,
+                                       double deadline_ms = 0.0);
+
+  const ServingStats& stats() const { return stats_; }
+  const ServingLimits& limits() const { return limits_; }
+
+ private:
+  ServingLimits limits_;
+  std::unique_ptr<core::PrestroidPipeline> pipeline_;
+  bool model_enabled_ = true;
+
+  baselines::LogBinningModel bins_;
+  core::LabelTransform transform_;
+  bool fallbacks_fitted_ = false;
+  double global_mean_minutes_ = 1.0;
+
+  /// Exponentially-weighted model-tier latency, used to decide whether the
+  /// model can answer within a request's deadline.
+  double model_latency_ewma_ms_ = 0.0;
+
+  ServingStats stats_;
+};
+
+}  // namespace prestroid::cost
+
+#endif  // PRESTROID_COST_SERVING_ESTIMATOR_H_

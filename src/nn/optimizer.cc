@@ -1,6 +1,9 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "util/logging.h"
 
@@ -90,6 +93,57 @@ void AdamOptimizer::Step() {
       value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
+}
+
+void AdamOptimizer::SerializeState(std::ostream& os) const {
+  os << "adam " << t_ << " " << lr_ << " " << m_.size() << "\n";
+  auto dump = [&os](const std::vector<Tensor>& tensors) {
+    for (const Tensor& t : tensors) {
+      os << t.size();
+      for (size_t i = 0; i < t.size(); ++i) os << " " << t[i];
+      os << "\n";
+    }
+  };
+  dump(m_);
+  dump(v_);
+}
+
+Status AdamOptimizer::DeserializeState(std::istream& is) {
+  std::string tag;
+  int64_t t = 0;
+  float lr = 0.0f;
+  size_t count = 0;
+  is >> tag >> t >> lr >> count;
+  if (is.fail() || tag != "adam") {
+    return Status::ParseError("bad adam state record");
+  }
+  if (count != 0 && count != params_.size()) {
+    return Status::ParseError(
+        "adam moment count does not match registered parameters");
+  }
+  std::vector<Tensor> m, v;
+  auto read = [&](std::vector<Tensor>* out) -> Status {
+    out->reserve(count);
+    for (size_t k = 0; k < count; ++k) {
+      size_t numel = 0;
+      is >> numel;
+      if (is.fail() || numel != params_[k].value->size()) {
+        return Status::ParseError("adam moment shape mismatch");
+      }
+      Tensor tensor(params_[k].value->shape());
+      for (size_t i = 0; i < numel; ++i) is >> tensor[i];
+      out->push_back(std::move(tensor));
+    }
+    if (is.fail()) return Status::ParseError("truncated adam state");
+    return Status::OK();
+  };
+  PRESTROID_RETURN_NOT_OK(read(&m));
+  PRESTROID_RETURN_NOT_OK(read(&v));
+  t_ = t;
+  lr_ = lr;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 }  // namespace prestroid

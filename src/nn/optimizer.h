@@ -1,9 +1,11 @@
 #ifndef PRESTROID_NN_OPTIMIZER_H_
 #define PRESTROID_NN_OPTIMIZER_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/layer.h"
+#include "util/status.h"
 
 namespace prestroid {
 
@@ -64,6 +66,14 @@ class AdamOptimizer : public Optimizer {
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
+
+  /// Writes the full optimizer state — step counter, learning rate, and the
+  /// first/second moment tensors — as one text record, so a training
+  /// checkpoint resumes with identical update dynamics.
+  void SerializeState(std::ostream& os) const;
+  /// Restores a record written by SerializeState. The moment tensors must
+  /// match the registered parameter shapes; ParseError otherwise.
+  Status DeserializeState(std::istream& is);
 
  private:
   float lr_, beta1_, beta2_, epsilon_;

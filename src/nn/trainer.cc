@@ -1,11 +1,92 @@
 #include "nn/trainer.h"
 
 #include <chrono>
+#include <cmath>
 #include <limits>
+#include <sstream>
 
+#include "util/artifact_io.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace prestroid {
+
+namespace {
+
+std::string DumpTensorList(const std::vector<ParamRef>& refs) {
+  std::ostringstream os;
+  os.precision(9);
+  os << refs.size() << "\n";
+  for (const ParamRef& ref : refs) {
+    os << ref.name << " " << ref.value->size();
+    for (size_t i = 0; i < ref.value->size(); ++i) os << " " << (*ref.value)[i];
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status RestoreTensorList(const std::string& payload,
+                         std::vector<ParamRef> refs) {
+  std::istringstream is(payload);
+  size_t count = 0;
+  is >> count;
+  if (is.fail() || count != refs.size()) {
+    return Status::ParseError("snapshot tensor count mismatch");
+  }
+  for (ParamRef& ref : refs) {
+    std::string name;
+    size_t numel = 0;
+    is >> name >> numel;
+    if (is.fail() || numel != ref.value->size()) {
+      return Status::ParseError("snapshot tensor shape mismatch for " +
+                                ref.name);
+    }
+    for (size_t i = 0; i < numel; ++i) is >> (*ref.value)[i];
+  }
+  if (is.fail()) return Status::ParseError("truncated snapshot tensors");
+  return Status::OK();
+}
+
+/// Best-weight buffers have no names; they mirror the Params() shapes.
+std::string DumpBestWeights(const std::vector<Tensor>& best) {
+  std::ostringstream os;
+  os.precision(9);
+  os << best.size() << "\n";
+  for (const Tensor& t : best) {
+    os << t.size();
+    for (size_t i = 0; i < t.size(); ++i) os << " " << t[i];
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status RestoreBestWeights(const std::string& payload,
+                          const std::vector<ParamRef>& params,
+                          std::vector<Tensor>* best) {
+  std::istringstream is(payload);
+  size_t count = 0;
+  is >> count;
+  if (is.fail() || (count != 0 && count != params.size())) {
+    return Status::ParseError("snapshot best-weight count mismatch");
+  }
+  std::vector<Tensor> restored;
+  restored.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    size_t numel = 0;
+    is >> numel;
+    if (is.fail() || numel != params[k].value->size()) {
+      return Status::ParseError("snapshot best-weight shape mismatch");
+    }
+    Tensor tensor(params[k].value->shape());
+    for (size_t i = 0; i < numel; ++i) is >> tensor[i];
+    restored.push_back(std::move(tensor));
+  }
+  if (is.fail()) return Status::ParseError("truncated snapshot best weights");
+  *best = std::move(restored);
+  return Status::OK();
+}
+
+}  // namespace
 
 CostModel::~CostModel() = default;
 
@@ -19,6 +100,83 @@ double MeanSquaredError(const std::vector<float>& pred,
     total += d * d;
   }
   return total / static_cast<double>(pred.size());
+}
+
+Status SaveTrainingSnapshot(const std::string& path, CostModel* model,
+                            const TrainSnapshotMeta& meta,
+                            const Rng& shuffle_rng,
+                            const std::vector<Tensor>& best_weights) {
+  PRESTROID_CHECK(model != nullptr);
+  std::ostringstream meta_os;
+  meta_os.precision(17);
+  meta_os << "epoch " << meta.epoch << " best_epoch " << meta.best_epoch
+          << " best_val_mse " << meta.best_val_mse << " since_best "
+          << meta.since_best << "\n";
+
+  std::ostringstream rng_os;
+  shuffle_rng.SerializeState(rng_os);
+
+  std::ostringstream optimizer_os;
+  optimizer_os.precision(9);
+  model->SerializeOptimizerState(optimizer_os);
+
+  return WriteArtifactFile(path,
+                           {{"trainer", meta_os.str()},
+                            {"rng", rng_os.str()},
+                            {"weights", DumpTensorList(model->Params())},
+                            {"best", DumpBestWeights(best_weights)},
+                            {"state", DumpTensorList(model->State())},
+                            {"optimizer", optimizer_os.str()}});
+}
+
+Result<TrainSnapshotMeta> LoadTrainingSnapshot(
+    const std::string& path, CostModel* model, Rng* shuffle_rng,
+    std::vector<Tensor>* best_weights) {
+  PRESTROID_CHECK(model != nullptr);
+  PRESTROID_ASSIGN_OR_RETURN(std::vector<ArtifactSection> sections,
+                             ReadArtifactFile(path));
+  auto payload = [&sections](const std::string& name) -> Result<std::string> {
+    PRESTROID_ASSIGN_OR_RETURN(const ArtifactSection* section,
+                               FindSection(sections, name));
+    return section->payload;
+  };
+
+  TrainSnapshotMeta meta;
+  {
+    PRESTROID_ASSIGN_OR_RETURN(std::string text, payload("trainer"));
+    std::istringstream is(text);
+    std::string t1, t2, t3, t4;
+    is >> t1 >> meta.epoch >> t2 >> meta.best_epoch >> t3 >>
+        meta.best_val_mse >> t4 >> meta.since_best;
+    if (is.fail() || t1 != "epoch" || t2 != "best_epoch" ||
+        t3 != "best_val_mse" || t4 != "since_best") {
+      return Status::ParseError("bad snapshot trainer record");
+    }
+  }
+  {
+    PRESTROID_ASSIGN_OR_RETURN(std::string text, payload("weights"));
+    PRESTROID_RETURN_NOT_OK(RestoreTensorList(text, model->Params()));
+  }
+  {
+    PRESTROID_ASSIGN_OR_RETURN(std::string text, payload("state"));
+    PRESTROID_RETURN_NOT_OK(RestoreTensorList(text, model->State()));
+  }
+  {
+    PRESTROID_ASSIGN_OR_RETURN(std::string text, payload("optimizer"));
+    std::istringstream is(text);
+    PRESTROID_RETURN_NOT_OK(model->DeserializeOptimizerState(is));
+  }
+  if (best_weights != nullptr) {
+    PRESTROID_ASSIGN_OR_RETURN(std::string text, payload("best"));
+    PRESTROID_RETURN_NOT_OK(
+        RestoreBestWeights(text, model->Params(), best_weights));
+  }
+  if (shuffle_rng != nullptr) {
+    PRESTROID_ASSIGN_OR_RETURN(std::string text, payload("rng"));
+    std::istringstream is(text);
+    PRESTROID_RETURN_NOT_OK(shuffle_rng->DeserializeState(is));
+  }
+  return meta;
 }
 
 TrainResult TrainWithEarlyStopping(CostModel* model,
@@ -40,17 +198,68 @@ TrainResult TrainWithEarlyStopping(CostModel* model,
   // scores taken from the best performing iterations").
   std::vector<ParamRef> params = model->Params();
   std::vector<Tensor> best_weights;
+  // Pre-training weights: the rollback target if divergence strikes before
+  // any best checkpoint exists.
+  std::vector<Tensor> initial_weights;
+  initial_weights.reserve(params.size());
+  for (const ParamRef& p : params) initial_weights.push_back(*p.value);
 
+  size_t epoch = 1;
+  if (config.resume && !config.snapshot_path.empty()) {
+    auto snapshot = LoadTrainingSnapshot(config.snapshot_path, model,
+                                         &shuffle_rng, &best_weights);
+    if (snapshot.ok()) {
+      epoch = snapshot->epoch + 1;
+      best = snapshot->best_val_mse;
+      result.best_epoch = snapshot->best_epoch;
+      since_best = snapshot->since_best;
+      PRESTROID_LOG(Info) << model->name() << " resumed from "
+                          << config.snapshot_path << " at epoch "
+                          << snapshot->epoch;
+    } else {
+      PRESTROID_LOG(Warning)
+          << model->name() << " cannot resume from " << config.snapshot_path
+          << " (" << snapshot.status().ToString() << "); starting fresh";
+    }
+  }
+  result.start_epoch = epoch;
+
+  size_t nan_retries_left = config.nan_retry_limit;
   const auto start = std::chrono::steady_clock::now();
-  for (size_t epoch = 1; epoch <= config.max_epochs; ++epoch) {
+  while (epoch <= config.max_epochs) {
     shuffle_rng.Shuffle(&order);
     double train_loss = model->TrainEpoch(order, config.batch_size);
-    result.train_loss_history.push_back(train_loss);
-
+    if (FaultInjector::Global().ShouldFail(FaultSite::kTrainEpochLoss)) {
+      train_loss = std::numeric_limits<double>::quiet_NaN();
+    }
     double val_mse = val_indices.empty()
                          ? train_loss
                          : MeanSquaredError(model->Predict(val_indices),
                                             val_targets);
+
+    if (!std::isfinite(train_loss) || !std::isfinite(val_mse)) {
+      // Divergence: roll back to the last good weights, shrink the step
+      // size, and retry the same epoch. Bounded so a hopeless run ends.
+      ++result.nan_rollbacks;
+      if (nan_retries_left == 0) {
+        result.diverged = true;
+        PRESTROID_LOG(Warning)
+            << model->name() << " diverged at epoch " << epoch
+            << " with retries exhausted; keeping best checkpoint";
+        break;
+      }
+      --nan_retries_left;
+      const std::vector<Tensor>& rollback =
+          best_weights.empty() ? initial_weights : best_weights;
+      for (size_t i = 0; i < params.size(); ++i) *params[i].value = rollback[i];
+      model->ScaleLearningRate(config.nan_lr_backoff);
+      PRESTROID_LOG(Warning)
+          << model->name() << " non-finite loss at epoch " << epoch
+          << "; rolled back and scaled LR by " << config.nan_lr_backoff;
+      continue;
+    }
+
+    result.train_loss_history.push_back(train_loss);
     result.val_mse_history.push_back(val_mse);
     result.epochs_run = epoch;
 
@@ -60,6 +269,7 @@ TrainResult TrainWithEarlyStopping(CostModel* model,
                           << " val_mse=" << val_mse;
     }
 
+    bool stop = false;
     if (val_mse < best - config.min_delta) {
       best = val_mse;
       result.best_epoch = epoch;
@@ -69,8 +279,27 @@ TrainResult TrainWithEarlyStopping(CostModel* model,
       for (const ParamRef& p : params) best_weights.push_back(*p.value);
     } else {
       ++since_best;
-      if (since_best >= config.patience) break;
+      if (since_best >= config.patience) stop = true;
     }
+
+    if (!config.snapshot_path.empty() && config.snapshot_every > 0 &&
+        epoch % config.snapshot_every == 0) {
+      TrainSnapshotMeta meta;
+      meta.epoch = epoch;
+      meta.best_epoch = result.best_epoch;
+      meta.best_val_mse = best;
+      meta.since_best = since_best;
+      Status saved = SaveTrainingSnapshot(config.snapshot_path, model, meta,
+                                          shuffle_rng, best_weights);
+      if (!saved.ok()) {
+        // Snapshotting is best-effort: a full disk must not kill training.
+        PRESTROID_LOG(Warning) << model->name() << " snapshot failed: "
+                               << saved.ToString();
+      }
+    }
+
+    if (stop) break;
+    ++epoch;
   }
   // Restore the best-validation checkpoint so Predict() serves it.
   if (!best_weights.empty()) {
@@ -82,10 +311,11 @@ TrainResult TrainWithEarlyStopping(CostModel* model,
   result.best_val_mse = best;
   result.total_train_seconds =
       std::chrono::duration<double>(end - start).count();
+  const size_t epochs_this_run = result.train_loss_history.size();
   result.mean_epoch_seconds =
-      result.epochs_run == 0
+      epochs_this_run == 0
           ? 0.0
-          : result.total_train_seconds / static_cast<double>(result.epochs_run);
+          : result.total_train_seconds / static_cast<double>(epochs_this_run);
   return result;
 }
 

@@ -1,0 +1,259 @@
+#include "util/artifact_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/fault_injection.h"
+
+namespace prestroid {
+
+namespace {
+
+constexpr char kMagic[] = "PRESTROID_ARTIFACT";
+constexpr char kVersion[] = "v2";
+// Chunked writes keep the short-write fault site meaningful and bound the
+// largest single write(2) the kernel must accept.
+constexpr size_t kWriteChunk = 1 << 20;
+
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+/// Removes the temp file and reports `status`; used on every failure path of
+/// AtomicWriteFile so a failed save never leaves stray temp files around.
+Status CleanupAndFail(const std::string& tmp_path, Status status) {
+  ::unlink(tmp_path.c_str());
+  return status;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename that
+/// published an artifact survives a power loss. Failure is ignored: the data
+/// file itself is already durable and some filesystems reject dir fsync.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& payload) {
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::FromErrno("open " + tmp_path, errno);
+
+  FaultInjector& faults = FaultInjector::Global();
+  size_t offset = 0;
+  while (offset < payload.size()) {
+    const size_t chunk = std::min(payload.size() - offset, kWriteChunk);
+    if (faults.ShouldFail(FaultSite::kArtifactWrite)) {
+      if (faults.short_write_bytes() != static_cast<size_t>(-1)) {
+        // Simulate a torn write that partially reached the disk before the
+        // process died: leave the truncated temp file behind, exactly as a
+        // real crash would. The destination is untouched either way.
+        const size_t partial = std::min(chunk, faults.short_write_bytes());
+        if (partial > 0) {
+          [[maybe_unused]] ssize_t ignored =
+              ::write(fd, payload.data() + offset, partial);
+        }
+        ::close(fd);
+        return Status::IoError("injected short write: " + tmp_path);
+      }
+      ::close(fd);
+      return CleanupAndFail(tmp_path,
+                            Status::IoError("injected write failure: " + tmp_path));
+    }
+    const ssize_t written = ::write(fd, payload.data() + offset, chunk);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      const int saved_errno = errno;
+      ::close(fd);
+      return CleanupAndFail(tmp_path,
+                            Status::FromErrno("write " + tmp_path, saved_errno));
+    }
+    offset += static_cast<size_t>(written);
+  }
+
+  if (faults.ShouldFail(FaultSite::kArtifactSync)) {
+    ::close(fd);
+    return CleanupAndFail(tmp_path,
+                          Status::IoError("injected fsync failure: " + tmp_path));
+  }
+  if (::fsync(fd) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    return CleanupAndFail(tmp_path,
+                          Status::FromErrno("fsync " + tmp_path, saved_errno));
+  }
+  if (::close(fd) != 0) {
+    return CleanupAndFail(tmp_path,
+                          Status::FromErrno("close " + tmp_path, errno));
+  }
+
+  if (faults.ShouldFail(FaultSite::kArtifactRename)) {
+    return CleanupAndFail(tmp_path,
+                          Status::IoError("injected rename failure: " + path));
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return CleanupAndFail(
+        tmp_path, Status::FromErrno("rename " + tmp_path + " -> " + path, errno));
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) return Status::IoError("read failed: " + path);
+  return buffer.str();
+}
+
+std::string EncodeArtifact(const std::vector<ArtifactSection>& sections) {
+  std::ostringstream os;
+  os << kMagic << " " << kVersion << " " << sections.size() << "\n";
+  for (const ArtifactSection& section : sections) {
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(section.payload));
+    os << "section " << section.name << " " << section.payload.size() << " "
+       << crc_hex << "\n";
+    os << section.payload << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Result<std::vector<ArtifactSection>> DecodeArtifact(const std::string& bytes) {
+  size_t pos = 0;
+  // Pulls the next '\n'-terminated line; empty optional-style failure is
+  // reported as corruption (header lines never legitimately run out).
+  auto next_line = [&bytes, &pos](std::string* line) -> bool {
+    const size_t end = bytes.find('\n', pos);
+    if (end == std::string::npos) return false;
+    line->assign(bytes, pos, end - pos);
+    pos = end + 1;
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(&line)) {
+    return Status::DataCorruption("artifact truncated before header");
+  }
+  std::istringstream header(line);
+  std::string magic, version;
+  size_t num_sections = 0;
+  header >> magic >> version >> num_sections;
+  if (header.fail() || magic != kMagic) {
+    return Status::DataCorruption("not a Prestroid artifact (bad magic)");
+  }
+  if (version != kVersion) {
+    return Status::DataCorruption("unsupported artifact version: " + version);
+  }
+
+  std::vector<ArtifactSection> sections;
+  sections.reserve(num_sections);
+  for (size_t i = 0; i < num_sections; ++i) {
+    if (!next_line(&line)) {
+      return Status::DataCorruption("artifact truncated in section table");
+    }
+    std::istringstream section_header(line);
+    std::string tag, name, crc_hex;
+    size_t length = 0;
+    section_header >> tag >> name >> length >> crc_hex;
+    if (section_header.fail() || tag != "section" || crc_hex.size() != 8) {
+      return Status::DataCorruption("malformed section header: " + line);
+    }
+    // strtoul would silently stop at the first bad character (and accepts
+    // uppercase aliases of the lowercase digits the writer emits), so a
+    // flipped checksum byte could still "match" — require strict lowercase
+    // hex.
+    for (char c : crc_hex) {
+      if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+        return Status::DataCorruption("malformed section checksum: " + line);
+      }
+    }
+    if (pos + length + 1 > bytes.size()) {
+      return Status::DataCorruption("artifact truncated inside section " + name);
+    }
+    ArtifactSection section;
+    section.name = name;
+    section.payload.assign(bytes, pos, length);
+    pos += length;
+    if (bytes[pos] != '\n') {
+      return Status::DataCorruption("missing section terminator: " + name);
+    }
+    ++pos;
+    const uint32_t expected =
+        static_cast<uint32_t>(std::strtoul(crc_hex.c_str(), nullptr, 16));
+    const uint32_t actual = Crc32(section.payload);
+    if (actual != expected) {
+      return Status::DataCorruption("CRC mismatch in section " + name);
+    }
+    sections.push_back(std::move(section));
+  }
+  if (!next_line(&line) || line != "end") {
+    return Status::DataCorruption("artifact missing end marker");
+  }
+  if (pos != bytes.size()) {
+    return Status::DataCorruption("trailing bytes after artifact end marker");
+  }
+  return sections;
+}
+
+Status WriteArtifactFile(const std::string& path,
+                         const std::vector<ArtifactSection>& sections) {
+  return AtomicWriteFile(path, EncodeArtifact(sections));
+}
+
+Result<std::vector<ArtifactSection>> ReadArtifactFile(const std::string& path) {
+  PRESTROID_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return DecodeArtifact(bytes);
+}
+
+Result<const ArtifactSection*> FindSection(
+    const std::vector<ArtifactSection>& sections, const std::string& name) {
+  for (const ArtifactSection& section : sections) {
+    if (section.name == name) return &section;
+  }
+  return Status::DataCorruption("artifact missing required section: " + name);
+}
+
+}  // namespace prestroid

@@ -1,6 +1,10 @@
 #include "util/random.h"
 
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "util/logging.h"
 
@@ -138,5 +142,30 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(Next()); }
+
+void Rng::SerializeState(std::ostream& os) const {
+  // The Gaussian cache is a double; round-trip its exact bit pattern.
+  uint64_t cached_bits = 0;
+  std::memcpy(&cached_bits, &cached_gaussian_, sizeof(cached_bits));
+  os << "rng " << state_[0] << " " << state_[1] << " " << state_[2] << " "
+     << state_[3] << " " << (has_cached_gaussian_ ? 1 : 0) << " "
+     << cached_bits << "\n";
+}
+
+Status Rng::DeserializeState(std::istream& is) {
+  std::string tag;
+  uint64_t words[4] = {0, 0, 0, 0};
+  int has_cached = 0;
+  uint64_t cached_bits = 0;
+  is >> tag >> words[0] >> words[1] >> words[2] >> words[3] >> has_cached >>
+      cached_bits;
+  if (is.fail() || tag != "rng") {
+    return Status::ParseError("bad rng state record");
+  }
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_gaussian_ = has_cached != 0;
+  std::memcpy(&cached_gaussian_, &cached_bits, sizeof(cached_gaussian_));
+  return Status::OK();
+}
 
 }  // namespace prestroid

@@ -3,8 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <utility>
 #include <vector>
+
+#include "util/status.h"
 
 namespace prestroid {
 
@@ -62,6 +65,13 @@ class Rng {
 
   /// Derives an independent child generator (for per-worker determinism).
   Rng Fork();
+
+  /// Writes the full generator state (xoshiro words + Gaussian cache) as one
+  /// text record, so training checkpoints can resume the exact stream.
+  void SerializeState(std::ostream& os) const;
+  /// Restores a state written by SerializeState. ParseError on malformed
+  /// input; the generator is unchanged on failure.
+  Status DeserializeState(std::istream& is);
 
  private:
   uint64_t state_[4];

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace prestroid {
 
@@ -25,8 +26,20 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDataCorruption:
+      return "DataCorruption";
   }
   return "Unknown";
+}
+
+Status Status::FromErrno(const std::string& context, int errno_value) {
+  std::string message = context;
+  message += ": ";
+  message += std::strerror(errno_value);
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), " [errno %d]", errno_value);
+  message += suffix;
+  return Status(StatusCode::kIoError, std::move(message));
 }
 
 Status::Status(StatusCode code, std::string message) {

@@ -20,6 +20,10 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  /// A stored artifact failed integrity validation (bad magic, version
+  /// mismatch, CRC failure, truncation). Distinct from kIoError so callers
+  /// can tell "the disk said no" apart from "the bytes are wrong".
+  kDataCorruption,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -66,6 +70,13 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
+
+  /// Builds an IoError from the current C `errno`, formatted as
+  /// "<context>: <strerror(errno_value)> [errno <n>]".
+  static Status FromErrno(const std::string& context, int errno_value);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }

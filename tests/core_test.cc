@@ -281,7 +281,8 @@ TEST(PipelineIoTest, LoadRejectsGarbage) {
   }
   auto loaded = PrestroidPipeline::LoadFile(path);
   EXPECT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  // Unrecognized magic bytes are an integrity failure, not a parse failure.
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataCorruption);
   EXPECT_FALSE(PrestroidPipeline::LoadFile("/nonexistent/file").ok());
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "nn/activations.h"
 #include "nn/batch_norm.h"
@@ -12,6 +13,7 @@
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
 #include "nn/tree_conv.h"
+#include "util/fault_injection.h"
 
 namespace prestroid {
 namespace {
@@ -404,6 +406,171 @@ TEST(TrainerTest, RestoresBestValidationWeights) {
 
 TEST(TrainerTest, MeanSquaredError) {
   EXPECT_NEAR(MeanSquaredError({1.0f, 2.0f}, {0.0f, 0.0f}), 2.5, 1e-6);
+}
+
+TEST(TrainerTest, EmptyValidationSetFallsBackToTrainLoss) {
+  ConstantModel model({0.5f, 0.5f, 0.5f, 0.5f});
+  TrainConfig config;
+  config.max_epochs = 20;
+  config.patience = 3;
+  TrainResult result = TrainWithEarlyStopping(&model, {0, 1, 2, 3}, {}, {},
+                                              config);
+  EXPECT_GE(result.epochs_run, 1u);
+  // Validation history mirrors the train loss when no val set exists.
+  ASSERT_FALSE(result.val_mse_history.empty());
+  EXPECT_EQ(result.val_mse_history[0], result.train_loss_history[0]);
+}
+
+TEST(TrainerTest, ZeroPatienceStopsAtFirstPlateau) {
+  DriftModel model;  // val MSE improves until epoch 3, then worsens
+  TrainConfig config;
+  config.max_epochs = 30;
+  config.patience = 0;
+  TrainResult result =
+      TrainWithEarlyStopping(&model, {0, 1}, {2, 3}, {0.0f, 0.0f}, config);
+  // Stops at the first epoch without improvement (epoch 4) and restores
+  // the epoch-3 optimum.
+  EXPECT_EQ(result.epochs_run, 4u);
+  EXPECT_EQ(result.best_epoch, 3u);
+  EXPECT_FLOAT_EQ(model.value(), 3.0f);
+}
+
+TEST(TrainerTest, ZeroMaxEpochsRunsNothing) {
+  ConstantModel model({0.5f, 0.5f});
+  TrainConfig config;
+  config.max_epochs = 0;
+  TrainResult result =
+      TrainWithEarlyStopping(&model, {0, 1}, {}, {}, config);
+  EXPECT_EQ(result.epochs_run, 0u);
+  EXPECT_TRUE(result.train_loss_history.empty());
+  EXPECT_EQ(result.nan_rollbacks, 0u);
+  EXPECT_FALSE(result.diverged);
+}
+
+// DriftModel variant that reports learning-rate backoff calls.
+class BackoffDriftModel : public DriftModel {
+ public:
+  void ScaleLearningRate(float factor) override {
+    lr_scale_ *= factor;
+    ++backoff_calls_;
+  }
+  float lr_scale() const { return lr_scale_; }
+  size_t backoff_calls() const { return backoff_calls_; }
+
+ private:
+  float lr_scale_ = 1.0f;
+  size_t backoff_calls_ = 0;
+};
+
+TEST(TrainerTest, NanLossRollsBackAndBacksOffLearningRate) {
+  ScopedFaultInjection faults;
+  // Poison the 4th computed epoch loss (epochs 1-3 train normally, so a
+  // best checkpoint exists at the optimum).
+  FaultInjector::Global().ArmFailure(FaultSite::kTrainEpochLoss, 3);
+
+  BackoffDriftModel model;
+  TrainConfig config;
+  config.max_epochs = 30;
+  config.patience = 3;
+  TrainResult result =
+      TrainWithEarlyStopping(&model, {0, 1}, {2, 3}, {0.0f, 0.0f}, config);
+
+  EXPECT_EQ(result.nan_rollbacks, 1u);
+  EXPECT_FALSE(result.diverged);
+  EXPECT_EQ(model.backoff_calls(), 1u);
+  EXPECT_FLOAT_EQ(model.lr_scale(), 0.5f);
+  // Training recovered, completed, and still restored the best weights.
+  EXPECT_EQ(result.best_epoch, 3u);
+  EXPECT_FLOAT_EQ(model.value(), 3.0f);
+  // The poisoned epoch never entered the histories.
+  for (double loss : result.train_loss_history) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST(TrainerTest, PersistentNanExhaustsRetriesAndKeepsBestWeights) {
+  ScopedFaultInjection faults;
+  FaultInjector::Global().ArmFailure(FaultSite::kTrainEpochLoss, 3,
+                                     /*repeat=*/true);
+
+  BackoffDriftModel model;
+  TrainConfig config;
+  config.max_epochs = 30;
+  config.patience = 5;
+  config.nan_retry_limit = 2;
+  TrainResult result =
+      TrainWithEarlyStopping(&model, {0, 1}, {2, 3}, {0.0f, 0.0f}, config);
+
+  EXPECT_TRUE(result.diverged);
+  EXPECT_EQ(result.nan_rollbacks, 3u);  // 2 retries + the final give-up
+  EXPECT_EQ(model.backoff_calls(), 2u);
+  // The epoch-3 best checkpoint survived the divergent tail.
+  EXPECT_EQ(result.best_epoch, 3u);
+  EXPECT_FLOAT_EQ(model.value(), 3.0f);
+}
+
+TEST(TrainerTest, NanBeforeAnyCheckpointRollsBackToInitialWeights) {
+  ScopedFaultInjection faults;
+  // Every epoch is poisoned: no best checkpoint ever forms.
+  FaultInjector::Global().ArmFailure(FaultSite::kTrainEpochLoss, 0,
+                                     /*repeat=*/true);
+
+  BackoffDriftModel model;
+  const float initial_value = model.value();
+  TrainConfig config;
+  config.max_epochs = 30;
+  config.nan_retry_limit = 3;
+  TrainResult result =
+      TrainWithEarlyStopping(&model, {0, 1}, {2, 3}, {0.0f, 0.0f}, config);
+
+  EXPECT_TRUE(result.diverged);
+  EXPECT_EQ(result.epochs_run, 0u);
+  // Each retry rolled the drifted weight back to its pre-training value.
+  // After the final (non-rolled-back) attempt it has drifted exactly once.
+  EXPECT_FLOAT_EQ(model.value(), initial_value + 1.0f);
+}
+
+TEST(TrainerTest, SnapshotResumeContinuesEpochCount) {
+  const std::string path = ::testing::TempDir() + "/trainer_resume.ckpt";
+  TrainConfig config;
+  config.max_epochs = 2;  // interrupted run: stops after epoch 2
+  config.patience = 10;
+  config.snapshot_path = path;
+  config.snapshot_every = 1;
+  {
+    DriftModel model;
+    TrainResult result =
+        TrainWithEarlyStopping(&model, {0, 1}, {2, 3}, {0.0f, 0.0f}, config);
+    EXPECT_EQ(result.epochs_run, 2u);
+  }
+
+  // A fresh model resumes from the snapshot and continues at epoch 3.
+  DriftModel resumed;
+  config.max_epochs = 8;
+  config.resume = true;
+  TrainResult result = TrainWithEarlyStopping(&resumed, {0, 1}, {2, 3},
+                                              {0.0f, 0.0f}, config);
+  EXPECT_EQ(result.start_epoch, 3u);
+  EXPECT_EQ(result.epochs_run, 8u);
+  // Histories cover only the resumed epochs (3..8).
+  EXPECT_EQ(result.train_loss_history.size(), 6u);
+  // Epoch numbering is continuous across the interruption, so the restored
+  // optimum matches an uninterrupted run: best at epoch 3, value 3.0.
+  EXPECT_EQ(result.best_epoch, 3u);
+  EXPECT_FLOAT_EQ(resumed.value(), 3.0f);
+}
+
+TEST(TrainerTest, ResumeFromMissingSnapshotStartsFresh) {
+  DriftModel model;
+  TrainConfig config;
+  config.max_epochs = 5;
+  config.patience = 10;
+  config.snapshot_path = ::testing::TempDir() + "/does_not_exist.ckpt";
+  config.resume = true;
+  TrainResult result =
+      TrainWithEarlyStopping(&model, {0, 1}, {2, 3}, {0.0f, 0.0f}, config);
+  EXPECT_EQ(result.start_epoch, 1u);
+  EXPECT_EQ(result.epochs_run, 5u);
 }
 
 }  // namespace

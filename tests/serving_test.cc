@@ -1,0 +1,191 @@
+/// Degradation-chain tests for ServingEstimator: the model tier answers when
+/// healthy, and validation rejects, deadline pressure, or a missing/disabled
+/// model degrade to log-binning and finally to the global mean — every
+/// request gets a finite estimate and reports which tier produced it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "cost/serving_estimator.h"
+#include "workload/dataset.h"
+
+namespace prestroid::cost {
+namespace {
+
+class ServingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::SchemaGenConfig schema_config;
+    schema_config.num_tables = 25;
+    schema_config.num_days = 20;
+    schema_config.seed = 1;
+    workload::GeneratedSchema schema = GenerateSchema(schema_config);
+    workload::TraceConfig trace_config;
+    trace_config.num_queries = 60;
+    trace_config.num_days = 20;
+    trace_config.seed = 2;
+    records_ = new std::vector<workload::QueryRecord>(
+        GenerateGrabTrace(schema, trace_config).ValueOrDie());
+
+    core::PipelineConfig config;
+    config.word2vec.dim = 16;
+    config.word2vec.min_count = 2;
+    config.word2vec.epochs = 2;
+    config.sampler.node_limit = 16;
+    config.sampler.conv_layers = 3;
+    config.num_subtrees = 3;
+    config.use_subtrees = true;
+    config.conv_channels = {8, 8, 8};
+    config.dense_units = {8};
+    std::vector<size_t> train_indices(records_->size());
+    for (size_t i = 0; i < train_indices.size(); ++i) train_indices[i] = i;
+    auto pipeline =
+        core::PrestroidPipeline::Fit(*records_, train_indices, config)
+            .ValueOrDie();
+    artifact_path_ = new std::string(::testing::TempDir() + "/serving_model.bin");
+    ASSERT_TRUE(pipeline->SaveFile(*artifact_path_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    delete artifact_path_;
+  }
+
+  static std::unique_ptr<core::PrestroidPipeline> LoadPipeline() {
+    return core::PrestroidPipeline::LoadFile(*artifact_path_).ValueOrDie();
+  }
+
+  static const plan::PlanNode& SamplePlan(size_t i = 0) {
+    return *(*records_)[i].plan;
+  }
+
+  static std::vector<workload::QueryRecord>* records_;
+  static std::string* artifact_path_;
+};
+
+std::vector<workload::QueryRecord>* ServingFixture::records_ = nullptr;
+std::string* ServingFixture::artifact_path_ = nullptr;
+
+TEST(ServingTierTest, AllTiersHaveNames) {
+  EXPECT_STREQ(ServingTierToString(ServingTier::kModel), "model");
+  EXPECT_STREQ(ServingTierToString(ServingTier::kLogBinning), "log-binning");
+  EXPECT_STREQ(ServingTierToString(ServingTier::kGlobalMean), "global-mean");
+}
+
+TEST_F(ServingFixture, UnfittedEstimatorStillAnswersWithGlobalMean) {
+  // Worst case: no model, no fitted fallbacks. The constant tier answers.
+  ServingEstimator estimator;
+  ServingEstimate estimate = estimator.EstimateWithFallback(SamplePlan());
+  EXPECT_EQ(estimate.tier, ServingTier::kGlobalMean);
+  EXPECT_TRUE(std::isfinite(estimate.cpu_minutes));
+  EXPECT_DOUBLE_EQ(estimate.cpu_minutes, 1.0);  // documented default
+  EXPECT_FALSE(estimate.degradation_reason.ok());
+  EXPECT_EQ(estimator.stats().requests, 1u);
+  EXPECT_EQ(estimator.stats().by_tier[2], 1u);
+}
+
+TEST_F(ServingFixture, FitFallbacksRejectsEmptyTrace) {
+  ServingEstimator estimator;
+  Status status = estimator.FitFallbacks({});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServingFixture, NoModelDegradesToLogBinning) {
+  // Acceptance criterion (c): with the model tier unavailable the estimator
+  // still returns a finite estimate and reports the answering tier.
+  ServingEstimator estimator;
+  ASSERT_TRUE(estimator.FitFallbacks(*records_).ok());
+  for (size_t i = 0; i < 5; ++i) {
+    ServingEstimate estimate = estimator.EstimateWithFallback(SamplePlan(i));
+    EXPECT_EQ(estimate.tier, ServingTier::kLogBinning);
+    EXPECT_TRUE(std::isfinite(estimate.cpu_minutes));
+    EXPECT_GT(estimate.cpu_minutes, 0.0);
+    EXPECT_FALSE(estimate.degradation_reason.ok());
+  }
+  EXPECT_EQ(estimator.stats().by_tier[1], 5u);
+}
+
+TEST_F(ServingFixture, ModelTierAnswersWhenHealthy) {
+  ServingEstimator estimator;
+  ASSERT_TRUE(estimator.FitFallbacks(*records_).ok());
+  estimator.AttachPipeline(LoadPipeline());
+  // A generous deadline so EWMA gating cannot interfere on slow machines.
+  ServingEstimate estimate =
+      estimator.EstimateWithFallback(SamplePlan(), /*deadline_ms=*/60000.0);
+  EXPECT_EQ(estimate.tier, ServingTier::kModel);
+  EXPECT_TRUE(std::isfinite(estimate.cpu_minutes));
+  EXPECT_TRUE(estimate.degradation_reason.ok());
+  EXPECT_GT(estimate.latency_ms, 0.0);
+  EXPECT_EQ(estimator.stats().by_tier[0], 1u);
+}
+
+TEST_F(ServingFixture, DisabledModelDegradesButKeepsServing) {
+  ServingEstimator estimator;
+  ASSERT_TRUE(estimator.FitFallbacks(*records_).ok());
+  estimator.AttachPipeline(LoadPipeline());
+  estimator.set_model_enabled(false);
+  ServingEstimate estimate =
+      estimator.EstimateWithFallback(SamplePlan(), 60000.0);
+  EXPECT_NE(estimate.tier, ServingTier::kModel);
+  EXPECT_TRUE(std::isfinite(estimate.cpu_minutes));
+  EXPECT_FALSE(estimate.degradation_reason.ok());
+
+  // Re-enabling restores the model tier without refitting anything.
+  estimator.set_model_enabled(true);
+  estimate = estimator.EstimateWithFallback(SamplePlan(), 60000.0);
+  EXPECT_EQ(estimate.tier, ServingTier::kModel);
+}
+
+TEST_F(ServingFixture, OversizedPlanIsRejectedFromModelTier) {
+  ServingLimits limits;
+  limits.max_plan_nodes = 1;  // every real plan exceeds this
+  ServingEstimator estimator(limits);
+  ASSERT_TRUE(estimator.FitFallbacks(*records_).ok());
+  estimator.AttachPipeline(LoadPipeline());
+  ServingEstimate estimate =
+      estimator.EstimateWithFallback(SamplePlan(), 60000.0);
+  EXPECT_NE(estimate.tier, ServingTier::kModel);
+  EXPECT_TRUE(std::isfinite(estimate.cpu_minutes));
+  EXPECT_EQ(estimate.degradation_reason.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(estimator.stats().validation_rejects, 1u);
+}
+
+TEST_F(ServingFixture, TightDeadlineSkipsModelPreemptively) {
+  ServingEstimator estimator;
+  ASSERT_TRUE(estimator.FitFallbacks(*records_).ok());
+  estimator.AttachPipeline(LoadPipeline());
+  // Seed the latency EWMA with one normally-served request.
+  ServingEstimate first =
+      estimator.EstimateWithFallback(SamplePlan(), 60000.0);
+  ASSERT_EQ(first.tier, ServingTier::kModel);
+  // Any real model latency dwarfs a nanosecond budget, so the estimator
+  // degrades pre-emptively instead of blowing the deadline.
+  ServingEstimate rushed =
+      estimator.EstimateWithFallback(SamplePlan(), /*deadline_ms=*/1e-6);
+  EXPECT_NE(rushed.tier, ServingTier::kModel);
+  EXPECT_TRUE(std::isfinite(rushed.cpu_minutes));
+  EXPECT_EQ(rushed.degradation_reason.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(estimator.stats().deadline_skips, 1u);
+}
+
+TEST_F(ServingFixture, TierCountsAddUpToRequests) {
+  ServingEstimator estimator;
+  ASSERT_TRUE(estimator.FitFallbacks(*records_).ok());
+  estimator.AttachPipeline(LoadPipeline());
+  for (size_t i = 0; i < 10; ++i) {
+    estimator.set_model_enabled(i % 2 == 0);
+    ServingEstimate estimate =
+        estimator.EstimateWithFallback(SamplePlan(i), 60000.0);
+    EXPECT_TRUE(std::isfinite(estimate.cpu_minutes));
+  }
+  const ServingStats& stats = estimator.stats();
+  EXPECT_EQ(stats.requests, 10u);
+  EXPECT_EQ(stats.by_tier[0] + stats.by_tier[1] + stats.by_tier[2], 10u);
+}
+
+}  // namespace
+}  // namespace prestroid::cost

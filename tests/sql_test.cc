@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "sql/lexer.h"
 #include "sql/parser.h"
+#include "util/random.h"
 
 namespace prestroid::sql {
 namespace {
@@ -181,6 +184,79 @@ TEST(ExprTest, CloneIsDeep) {
   auto copy = expr->Clone();
   expr->children[0]->children[1]->number = 99;
   EXPECT_EQ(copy->children[0]->children[1]->number, 1.0);
+}
+
+// --- Fuzz-style robustness: the parser must return a Status on arbitrary
+// byte garbage, never crash, hang, or abort. -------------------------------
+
+TEST(ParserFuzzTest, RandomByteStringsNeverCrash) {
+  Rng rng(20260806);
+  for (int round = 0; round < 2000; ++round) {
+    const size_t length = static_cast<size_t>(rng.UniformInt(0, 120));
+    std::string input;
+    input.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    auto select = ParseSelect(input);
+    if (!select.ok()) {
+      EXPECT_EQ(select.status().code(), StatusCode::kParseError) << input;
+    }
+    auto expr = ParseExpression(input);
+    if (!expr.ok()) {
+      EXPECT_EQ(expr.status().code(), StatusCode::kParseError) << input;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, PrintableGarbageIsRejectedNotCrashed) {
+  Rng rng(7);
+  const std::string alphabet =
+      "SELECTFROMWHEREJOINGROUPBYORDER()*,.<>=!'\"%+-/ 0123456789abcxyz_";
+  for (int round = 0; round < 2000; ++round) {
+    const size_t length = static_cast<size_t>(rng.UniformInt(1, 80));
+    std::string input;
+    input.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(
+          alphabet[static_cast<size_t>(rng.UniformInt(0, alphabet.size() - 1))]);
+    }
+    auto select = ParseSelect(input);
+    if (!select.ok()) {
+      EXPECT_EQ(select.status().code(), StatusCode::kParseError) << input;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, TruncatedValidQueriesReturnStatus) {
+  const std::string queries[] = {
+      "SELECT t1.a FROM t1 JOIN t2 ON t1.id = t2.id WHERE t2.v IN (1, 2)",
+      "SELECT COUNT(*) AS n FROM t GROUP BY c HAVING COUNT(*) > 3 LIMIT 7",
+      "SELECT s.c FROM (SELECT a AS c FROM u WHERE a BETWEEN 0 AND 5) AS s",
+      "SELECT a FROM t WHERE NOT (x = 1 OR y LIKE '%z%') AND w IS NULL"};
+  for (const std::string& query : queries) {
+    for (size_t cut = 0; cut < query.size(); ++cut) {
+      // A truncated prefix may still be valid SQL; what it must never do is
+      // crash, and every failure must be a typed ParseError.
+      auto result = ParseSelect(query.substr(0, cut));
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+            << query.substr(0, cut);
+      }
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedInputDoesNotOverflow) {
+  // 200 levels of parenthesis nesting: either parses or errors cleanly.
+  std::string deep = "SELECT a FROM t WHERE ";
+  for (int i = 0; i < 200; ++i) deep += "(";
+  deep += "x = 1";
+  for (int i = 0; i < 200; ++i) deep += ")";
+  auto result = ParseSelect(deep);
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
 }
 
 }  // namespace
