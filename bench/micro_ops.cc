@@ -1,7 +1,18 @@
 // google-benchmark microbenchmarks for the performance-critical kernels:
 // matmul, tree convolution, sub-tree sampling, Word2Vec training steps, and
 // plan parsing/featurization throughput.
+//
+// Invoked with --sweep, runs a serial-vs-parallel scaling sweep instead:
+// the destination-passing matmul and tree-convolution kernels at
+// threads in {1, 2, 4, hardware}, reporting per-shape speedup over the
+// single-thread baseline (which is bit-identical to the historical serial
+// kernels).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
 
 #include "core/featurizer.h"
 #include "embed/word2vec.h"
@@ -10,7 +21,11 @@
 #include "plan/planner.h"
 #include "sql/parser.h"
 #include "subtree/subtree_sampler.h"
+#include "tensor/execution_context.h"
 #include "tensor/ops.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
 #include "workload/query_generator.h"
 #include "workload/schema_generator.h"
 
@@ -152,6 +167,122 @@ void BM_RecastPlan(benchmark::State& state) {
 BENCHMARK(BM_RecastPlan);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// --sweep: serial-vs-parallel scaling of the ExecutionContext kernels.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Best-of-`reps` wall time of `fn` in milliseconds (one untimed warm-up).
+template <typename Fn>
+double BestMs(const Fn& fn, int reps = 3) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+/// The sweep's thread ladder: 1, 2, 4, and the machine, deduplicated.
+std::vector<size_t> ThreadLadder() {
+  std::vector<size_t> ladder = {1, 2, 4, ThreadPool::HardwareConcurrency()};
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  return ladder;
+}
+
+}  // namespace
+
+void RunScalingSweep() {
+  const std::vector<size_t> ladder = ThreadLadder();
+  TablePrinter table({"kernel", "shape", "threads", "best ms", "speedup"});
+
+  // Matmul at pipeline-realistic shapes: [batch*K, N*C] x [N*C, units] style
+  // products from the dense head plus one deliberately large shape.
+  const size_t matmul_shapes[][3] = {
+      {128, 256, 256}, {256, 512, 512}, {512, 512, 512}};
+  for (const auto& s : matmul_shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Rng rng(1);
+    const Tensor a = Tensor::Random({m, k}, &rng);
+    const Tensor b = Tensor::Random({k, n}, &rng);
+    Tensor out;
+    double serial_ms = 0.0;
+    for (size_t threads : ladder) {
+      ExecutionContext ctx(threads);
+      const double ms = BestMs([&] { MatMulInto(&out, a, b, &ctx); });
+      if (threads == 1) serial_ms = ms;
+      table.AddRow({"matmul", StrFormat("%zux%zux%zu", m, k, n),
+                    StrFormat("%zu", threads), StrFormat("%.2f", ms),
+                    StrFormat("%.2fx", serial_ms / ms)});
+    }
+  }
+
+  // Tree convolution, forward + backward, at the sub-tree pipeline's shape
+  // regime (node_limit 15) and a full-tree-sized variant.
+  const size_t conv_shapes[][3] = {{256, 15, 128}, {64, 255, 64}};
+  for (const auto& s : conv_shapes) {
+    const size_t batch = s[0], nodes = s[1], dim = s[2];
+    Rng rng(2);
+    TreeConvLayer conv(dim, dim, &rng);
+    TreeStructure structure;
+    structure.left.assign(batch, std::vector<int>(nodes, -1));
+    structure.right.assign(batch, std::vector<int>(nodes, -1));
+    structure.mask.assign(batch, std::vector<float>(nodes, 1.0f));
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t i = 0; 2 * i + 2 < nodes; ++i) {
+        structure.left[b][i] = static_cast<int>(2 * i + 1);
+        structure.right[b][i] = static_cast<int>(2 * i + 2);
+      }
+    }
+    const Tensor features = Tensor::Random({batch, nodes, dim}, &rng);
+    const Tensor grad = Tensor::Random({batch, nodes, dim}, &rng);
+    double serial_ms = 0.0;
+    for (size_t threads : ladder) {
+      ExecutionContext ctx(threads);
+      conv.set_context(&ctx);
+      const double ms = BestMs([&] {
+        conv.Forward(features, structure);
+        conv.Backward(grad);
+      });
+      if (threads == 1) serial_ms = ms;
+      table.AddRow({"tree-conv fwd+bwd",
+                    StrFormat("%zux%zux%zu", batch, nodes, dim),
+                    StrFormat("%zu", threads), StrFormat("%.2f", ms),
+                    StrFormat("%.2fx", serial_ms / ms)});
+    }
+    conv.set_context(nullptr);
+  }
+
+  table.Print(std::cout);
+  std::cout << "hardware threads: " << ThreadPool::HardwareConcurrency()
+            << "\n";
+  if (ThreadPool::HardwareConcurrency() == 1) {
+    std::cout << "NOTE: single hardware thread — all thread counts time-share "
+                 "one core, so speedups are bounded at ~1.0x; ratios near "
+                 "1.0x measure the pool's overhead, not its scaling.\n";
+  }
+}
+
 }  // namespace prestroid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--sweep") {
+      prestroid::RunScalingSweep();
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -124,6 +124,9 @@ int Train(const Flags& flags) {
   config.conv_channels.assign(3, static_cast<size_t>(flags.GetInt("conv", 32)));
   config.dense_units = {static_cast<size_t>(flags.GetInt("conv", 32)), 16};
   config.learning_rate = 3e-3f;
+  // --threads 1 (default) reproduces the single-threaded results exactly;
+  // --threads 0 uses all hardware threads.
+  config.threads = static_cast<size_t>(flags.GetInt("threads", 1));
   auto pipeline = core::PrestroidPipeline::Fit(*records, splits.train, config);
   if (!pipeline.ok()) return Fail(pipeline.status());
 
@@ -156,6 +159,14 @@ int Train(const Flags& flags) {
             << StrFormat("%.2f",
                          (*pipeline)->EvaluateMseMinutes(splits.test))
             << " min^2\n";
+  const ExecStats& exec_stats = (*pipeline)->execution_context()->stats();
+  std::cout << StrFormat(
+      "exec: threads=%zu flops=%llu op_invocations=%llu "
+      "peak_scratch_bytes=%llu\n",
+      (*pipeline)->execution_context()->num_threads(),
+      static_cast<unsigned long long>(exec_stats.flops),
+      static_cast<unsigned long long>(exec_stats.op_invocations),
+      static_cast<unsigned long long>(exec_stats.peak_scratch_bytes));
 
   const std::string out = flags.Get("out", "model.ppl");
   Status saved = (*pipeline)->SaveFile(out);
@@ -284,6 +295,7 @@ int Usage() {
          "  gen-trace --queries N --tables T --days D --seed S --out FILE\n"
          "  train     --trace FILE --out FILE [--full] [--n N] [--k K]\n"
          "            [--pf P] [--conv C] [--epochs E] [--batch B]\n"
+         "            [--threads T (1=serial, 0=all cores)]\n"
          "            [--snapshot-every N] [--snapshot FILE] [--resume]\n"
          "  predict   --model FILE --trace FILE [--limit N]\n"
          "  serve     --model FILE --trace FILE [--deadline-ms MS]\n"

@@ -151,7 +151,8 @@ struct MscnModel::SetBranch {
         ++row;
       }
     }
-    Tensor hidden = relu2.Forward(fc2.Forward(relu1.Forward(fc1.Forward(packed))));
+    const Tensor& hidden =
+        relu2.Forward(fc2.Forward(relu1.Forward(fc1.Forward(packed))));
     const size_t h = hidden.dim(1);
     Tensor pooled({batch.size(), h});
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -185,6 +186,13 @@ struct MscnModel::SetBranch {
     std::vector<ParamRef> params = fc1.Params();
     for (ParamRef& p : fc2.Params()) params.push_back(p);
     return params;
+  }
+
+  void BindContext(ExecutionContext* ctx) {
+    fc1.set_context(ctx);
+    relu1.set_context(ctx);
+    fc2.set_context(ctx);
+    relu2.set_context(ctx);
   }
 };
 
@@ -298,16 +306,31 @@ Status MscnModel::Fit(const std::vector<workload::QueryRecord>& records,
   optimizer_->Register(pred_branch_->Params());
   optimizer_->Register(out1_->Params());
   optimizer_->Register(out2_->Params());
+  // Re-bind a context installed before Fit() built the layers.
+  if (ctx_ != nullptr) SetExecutionContext(ctx_);
   fitted_ = true;
   return Status::OK();
 }
 
-Tensor MscnModel::ForwardBatch(const std::vector<size_t>& batch) {
+void MscnModel::SetExecutionContext(ExecutionContext* ctx) {
+  ctx_ = ctx;
+  if (table_branch_ != nullptr) table_branch_->BindContext(ctx);
+  if (join_branch_ != nullptr) join_branch_->BindContext(ctx);
+  if (pred_branch_ != nullptr) pred_branch_->BindContext(ctx);
+  if (out1_ != nullptr) out1_->set_context(ctx);
+  if (out1_relu_ != nullptr) out1_relu_->set_context(ctx);
+  if (out_dropout_ != nullptr) out_dropout_->set_context(ctx);
+  if (out2_ != nullptr) out2_->set_context(ctx);
+  if (out_sigmoid_ != nullptr) out_sigmoid_->set_context(ctx);
+}
+
+const Tensor& MscnModel::ForwardBatch(const std::vector<size_t>& batch) {
   Tensor t_pool = table_branch_->Forward(table_sets_, batch, table_dim_);
   Tensor j_pool = join_branch_->Forward(join_sets_, batch, join_dim_);
   Tensor p_pool = pred_branch_->Forward(pred_sets_, batch, pred_dim_);
   const size_t h = config_.hidden_units;
-  Tensor concat({batch.size(), 3 * h});
+  concat_ws_.ResetShape({batch.size(), 3 * h});
+  Tensor& concat = concat_ws_;
   for (size_t i = 0; i < batch.size(); ++i) {
     float* dst = concat.data() + i * 3 * h;
     std::copy(t_pool.data() + i * h, t_pool.data() + (i + 1) * h, dst);
@@ -319,7 +342,7 @@ Tensor MscnModel::ForwardBatch(const std::vector<size_t>& batch) {
 }
 
 void MscnModel::BackwardBatch(const Tensor& grad_output) {
-  Tensor grad = out1_->Backward(out1_relu_->Backward(
+  const Tensor& grad = out1_->Backward(out1_relu_->Backward(
       out_dropout_->Backward(out2_->Backward(out_sigmoid_->Backward(grad_output)))));
   const size_t h = config_.hidden_units;
   const size_t b = grad.dim(0);
@@ -345,13 +368,16 @@ double MscnModel::TrainEpoch(const std::vector<size_t>& indices,
     const size_t end = std::min(indices.size(), start + batch_size);
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
-    Tensor pred = ForwardBatch(batch);
-    Tensor target({batch.size(), 1});
-    for (size_t i = 0; i < batch.size(); ++i) target[i] = targets_[batch[i]];
+    const Tensor& pred = ForwardBatch(batch);
+    target_ws_.ResetShape({batch.size(), 1});
+    for (size_t i = 0; i < batch.size(); ++i) {
+      target_ws_[i] = targets_[batch[i]];
+    }
     optimizer_->ZeroGrad();
-    total_loss += loss_.Compute(pred, target);
+    total_loss += loss_.Compute(pred, target_ws_);
     ++num_batches;
-    BackwardBatch(loss_.Gradient());
+    loss_.GradientInto(&grad_ws_);
+    BackwardBatch(grad_ws_);
     optimizer_->Step();
   }
   return num_batches == 0 ? 0.0 : total_loss / static_cast<double>(num_batches);
@@ -367,7 +393,7 @@ std::vector<float> MscnModel::Predict(const std::vector<size_t>& indices) {
     const size_t end = std::min(indices.size(), start + kEvalBatch);
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
-    Tensor pred = ForwardBatch(batch);
+    const Tensor& pred = ForwardBatch(batch);
     for (size_t i = 0; i < batch.size(); ++i) out.push_back(pred[i]);
   }
   out_dropout_->SetTraining(true);

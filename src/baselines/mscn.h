@@ -54,6 +54,9 @@ class MscnModel : public CostModel {
   std::vector<float> Predict(const std::vector<size_t>& indices) override;
   size_t NumParameters() const override;
   std::vector<ParamRef> Params() override { return optimizer_->params(); }
+  /// Binds `ctx` on every layer of the three set branches and the output MLP.
+  void SetExecutionContext(ExecutionContext* ctx) override;
+  ExecutionContext* execution_context() override { return ctx_; }
 
   /// Bytes of the padded per-batch input (all three sets padded to their
   /// dataset-wide maximum set sizes — the regime that makes M-MSCN batches
@@ -67,12 +70,14 @@ class MscnModel : public CostModel {
  private:
   struct SetBranch;
 
-  /// Forward over one batch; caches what Backward needs.
-  Tensor ForwardBatch(const std::vector<size_t>& batch);
+  /// Forward over one batch; caches what Backward needs. Returns a reference
+  /// into the sigmoid layer's workspace.
+  const Tensor& ForwardBatch(const std::vector<size_t>& batch);
   void BackwardBatch(const Tensor& grad_output);
 
   MscnConfig config_;
   Rng rng_;
+  ExecutionContext* ctx_ = nullptr;
 
   // Vocabularies (fitted on train).
   std::map<std::string, size_t> table_ids_;
@@ -98,6 +103,10 @@ class MscnModel : public CostModel {
   std::unique_ptr<AdamOptimizer> optimizer_;
   HuberLoss loss_;
   bool fitted_ = false;
+  // Per-batch workspaces reused across batches.
+  Tensor concat_ws_;  // [B, 3h]
+  Tensor target_ws_;  // [B, 1]
+  Tensor grad_ws_;    // [B, 1]
 };
 
 }  // namespace prestroid::baselines

@@ -99,11 +99,24 @@ Status WcnnModel::Fit(const std::vector<workload::QueryRecord>& records,
   optimizer_->Register(embedding_->Params());
   for (auto& conv : convs_) optimizer_->Register(conv->Params());
   optimizer_->Register(head_->Params());
+  // Re-bind a context installed before Fit() built the layers.
+  if (ctx_ != nullptr) SetExecutionContext(ctx_);
   fitted_ = true;
   return Status::OK();
 }
 
-Tensor WcnnModel::ForwardBatch(const std::vector<size_t>& batch) {
+void WcnnModel::SetExecutionContext(ExecutionContext* ctx) {
+  ctx_ = ctx;
+  if (embedding_ != nullptr) embedding_->set_context(ctx);
+  for (auto& conv : convs_) conv->set_context(ctx);
+  for (auto& relu : conv_relus_) relu->set_context(ctx);
+  for (auto& pool : pools_) pool->set_context(ctx);
+  if (dropout_ != nullptr) dropout_->set_context(ctx);
+  if (head_ != nullptr) head_->set_context(ctx);
+  if (sigmoid_ != nullptr) sigmoid_->set_context(ctx);
+}
+
+const Tensor& WcnnModel::ForwardBatch(const std::vector<size_t>& batch) {
   // Pad to the batch's longest sequence.
   size_t max_len = 1;
   for (size_t idx : batch) max_len = std::max(max_len, sequences_[idx].size());
@@ -113,42 +126,42 @@ Tensor WcnnModel::ForwardBatch(const std::vector<size_t>& batch) {
     const std::vector<int>& seq = sequences_[batch[i]];
     std::copy(seq.begin(), seq.end(), ids[i].begin());
   }
-  Tensor embedded = embedding_->ForwardIds(ids);  // [B, T, E]
+  const Tensor& embedded = embedding_->ForwardIds(ids);  // [B, T, E]
 
   const size_t f = config_.filters_per_window;
-  Tensor concat({batch.size(), convs_.size() * f});
+  concat_ws_.ResetShape({batch.size(), convs_.size() * f});
   for (size_t w = 0; w < convs_.size(); ++w) {
-    Tensor conv_out = conv_relus_[w]->Forward(convs_[w]->Forward(embedded));
-    Tensor pooled = pools_[w]->Forward(conv_out);  // [B, F]
+    const Tensor& conv_out =
+        conv_relus_[w]->Forward(convs_[w]->Forward(embedded));
+    const Tensor& pooled = pools_[w]->Forward(conv_out);  // [B, F]
     for (size_t i = 0; i < batch.size(); ++i) {
       std::copy(pooled.data() + i * f, pooled.data() + (i + 1) * f,
-                concat.data() + i * convs_.size() * f + w * f);
+                concat_ws_.data() + i * convs_.size() * f + w * f);
     }
   }
-  return sigmoid_->Forward(head_->Forward(dropout_->Forward(concat)));
+  return sigmoid_->Forward(head_->Forward(dropout_->Forward(concat_ws_)));
 }
 
 void WcnnModel::BackwardBatch(const Tensor& grad_output) {
-  Tensor grad = dropout_->Backward(
+  const Tensor& grad = dropout_->Backward(
       head_->Backward(sigmoid_->Backward(grad_output)));
   const size_t f = config_.filters_per_window;
   const size_t b = grad.dim(0);
-  Tensor grad_embedded;  // accumulated below
   for (size_t w = 0; w < convs_.size(); ++w) {
-    Tensor slice({b, f});
+    slice_ws_.ResetShape({b, f});
     for (size_t i = 0; i < b; ++i) {
       const float* src = grad.data() + i * convs_.size() * f + w * f;
-      std::copy(src, src + f, slice.data() + i * f);
+      std::copy(src, src + f, slice_ws_.data() + i * f);
     }
-    Tensor g = convs_[w]->Backward(
-        conv_relus_[w]->Backward(pools_[w]->Backward(slice)));
-    if (grad_embedded.empty()) {
-      grad_embedded = g;
+    const Tensor& g = convs_[w]->Backward(
+        conv_relus_[w]->Backward(pools_[w]->Backward(slice_ws_)));
+    if (w == 0) {
+      grad_embedded_ws_.CopyFrom(g);
     } else {
-      grad_embedded += g;
+      grad_embedded_ws_ += g;
     }
   }
-  embedding_->Backward(grad_embedded);
+  embedding_->Backward(grad_embedded_ws_);
 }
 
 double WcnnModel::TrainEpoch(const std::vector<size_t>& indices,
@@ -161,13 +174,16 @@ double WcnnModel::TrainEpoch(const std::vector<size_t>& indices,
     const size_t end = std::min(indices.size(), start + batch_size);
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
-    Tensor pred = ForwardBatch(batch);
-    Tensor target({batch.size(), 1});
-    for (size_t i = 0; i < batch.size(); ++i) target[i] = targets_[batch[i]];
+    const Tensor& pred = ForwardBatch(batch);
+    target_ws_.ResetShape({batch.size(), 1});
+    for (size_t i = 0; i < batch.size(); ++i) {
+      target_ws_[i] = targets_[batch[i]];
+    }
     optimizer_->ZeroGrad();
-    total_loss += loss_.Compute(pred, target);
+    total_loss += loss_.Compute(pred, target_ws_);
     ++num_batches;
-    BackwardBatch(loss_.Gradient());
+    loss_.GradientInto(&grad_ws_);
+    BackwardBatch(grad_ws_);
     optimizer_->Step();
   }
   return num_batches == 0 ? 0.0 : total_loss / static_cast<double>(num_batches);
@@ -183,7 +199,7 @@ std::vector<float> WcnnModel::Predict(const std::vector<size_t>& indices) {
     const size_t end = std::min(indices.size(), start + kEvalBatch);
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
-    Tensor pred = ForwardBatch(batch);
+    const Tensor& pred = ForwardBatch(batch);
     for (size_t i = 0; i < batch.size(); ++i) out.push_back(pred[i]);
   }
   dropout_->SetTraining(true);

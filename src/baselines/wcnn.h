@@ -56,6 +56,9 @@ class WcnnModel : public CostModel {
   std::vector<float> Predict(const std::vector<size_t>& indices) override;
   size_t NumParameters() const override;
   std::vector<ParamRef> Params() override { return optimizer_->params(); }
+  /// Binds `ctx` on the embedding, all conv banks, and the head.
+  void SetExecutionContext(ExecutionContext* ctx) override;
+  ExecutionContext* execution_context() override { return ctx_; }
 
   /// Bytes of one batch's token-id matrix (WCNN's compact 1-D inputs;
   /// Figure 6 shows this as the smallest footprint of all models).
@@ -68,11 +71,12 @@ class WcnnModel : public CostModel {
   static std::vector<std::string> TokenizeSql(const std::string& sql);
 
  private:
-  Tensor ForwardBatch(const std::vector<size_t>& batch);
+  const Tensor& ForwardBatch(const std::vector<size_t>& batch);
   void BackwardBatch(const Tensor& grad_output);
 
   WcnnConfig config_;
   Rng rng_;
+  ExecutionContext* ctx_ = nullptr;
   std::map<std::string, int> vocab_;  // token -> id (>= 2; 0 pad, 1 unk)
 
   std::vector<std::vector<int>> sequences_;
@@ -88,6 +92,12 @@ class WcnnModel : public CostModel {
   std::unique_ptr<AdamOptimizer> optimizer_;
   HuberLoss loss_;
   bool fitted_ = false;
+  // Per-batch workspaces reused across batches.
+  Tensor concat_ws_;         // [B, W*F]
+  Tensor slice_ws_;          // [B, F]
+  Tensor grad_embedded_ws_;  // [B, T, E]
+  Tensor target_ws_;         // [B, 1]
+  Tensor grad_ws_;           // [B, 1]
 };
 
 }  // namespace prestroid::baselines

@@ -48,15 +48,25 @@ void FullTreeModel::PopSample() {
   targets_.pop_back();
 }
 
-Tensor FullTreeModel::AssembleBatch(const std::vector<size_t>& batch,
-                                    TreeStructure* structure) const {
+void FullTreeModel::SetExecutionContext(ExecutionContext* ctx) {
+  ctx_ = ctx;
+  conv_->BindContext(ctx);
+  pooling_.set_context(ctx);
+  head_->BindContext(ctx);
+}
+
+void FullTreeModel::AssembleBatch(const std::vector<size_t>& batch,
+                                  TreeStructure* structure,
+                                  Tensor* features_out) const {
   PRESTROID_CHECK(finalized_);
   const size_t b = batch.size();
   // The dataset-wide padding size; staged inference samples may exceed it.
   size_t n = max_nodes_;
   for (size_t idx : batch) n = std::max(n, samples_[idx].num_nodes());
   const size_t f = config_.feature_dim;
-  Tensor features({b, n, f});
+  Tensor& features = *features_out;
+  features.ResetShape({b, n, f});
+  features.Fill(0.0f);  // padding slots must stay zero
   structure->left.assign(b, std::vector<int>(n, -1));
   structure->right.assign(b, std::vector<int>(n, -1));
   structure->mask.assign(b, std::vector<float>(n, 0.0f));
@@ -71,13 +81,12 @@ Tensor FullTreeModel::AssembleBatch(const std::vector<size_t>& batch,
       structure->mask[i][node] = tree.votes[node];
     }
   }
-  return features;
 }
 
-Tensor FullTreeModel::ForwardBatch(const Tensor& features,
-                                   const TreeStructure& structure) {
-  Tensor conv_out = conv_->Forward(features, structure);
-  Tensor pooled = pooling_.Forward(conv_out, structure);  // [B, C]
+const Tensor& FullTreeModel::ForwardBatch(const Tensor& features,
+                                          const TreeStructure& structure) {
+  const Tensor& conv_out = conv_->Forward(features, structure);
+  const Tensor& pooled = pooling_.Forward(conv_out, structure);  // [B, C]
   return head_->Forward(pooled);
 }
 
@@ -93,19 +102,19 @@ double FullTreeModel::TrainEpoch(const std::vector<size_t>& indices,
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
     TreeStructure structure;
-    Tensor features = AssembleBatch(batch, &structure);
-    Tensor pred = ForwardBatch(features, structure);
+    AssembleBatch(batch, &structure, &features_ws_);
+    const Tensor& pred = ForwardBatch(features_ws_, structure);
 
-    Tensor target({batch.size(), 1});
-    for (size_t i = 0; i < batch.size(); ++i) target[i] = targets_[batch[i]];
+    target_ws_.ResetShape({batch.size(), 1});
+    for (size_t i = 0; i < batch.size(); ++i) target_ws_[i] = targets_[batch[i]];
 
     optimizer_->ZeroGrad();
-    total_loss += loss_.Compute(pred, target);
+    total_loss += loss_.Compute(pred, target_ws_);
     ++num_batches;
 
-    Tensor grad = loss_.Gradient();
-    grad = head_->Backward(grad);
-    Tensor grad_conv = pooling_.Backward(grad);
+    loss_.GradientInto(&grad_ws_);
+    const Tensor& grad_head = head_->Backward(grad_ws_);
+    const Tensor& grad_conv = pooling_.Backward(grad_head);
     conv_->Backward(grad_conv);
     optimizer_->Step();
   }
@@ -123,8 +132,8 @@ std::vector<float> FullTreeModel::Predict(const std::vector<size_t>& indices) {
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
     TreeStructure structure;
-    Tensor features = AssembleBatch(batch, &structure);
-    Tensor pred = ForwardBatch(features, structure);
+    AssembleBatch(batch, &structure, &features_ws_);
+    const Tensor& pred = ForwardBatch(features_ws_, structure);
     for (size_t i = 0; i < batch.size(); ++i) out.push_back(pred[i]);
   }
   head_->SetTraining(true);

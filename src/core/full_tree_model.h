@@ -72,6 +72,9 @@ class FullTreeModel : public CostModel {
   Status DeserializeOptimizerState(std::istream& is) override {
     return optimizer_->DeserializeState(is);
   }
+  /// Binds `ctx` on every layer of the trunk, pooling and head.
+  void SetExecutionContext(ExecutionContext* ctx) override;
+  ExecutionContext* execution_context() override { return ctx_; }
 
   /// Exact bytes of the padded input tensor for one batch (Figure 6 top):
   /// batch * max_nodes * F * sizeof(float).
@@ -81,9 +84,10 @@ class FullTreeModel : public CostModel {
   const FullTreeModelConfig& config() const { return config_; }
 
  private:
-  Tensor AssembleBatch(const std::vector<size_t>& batch,
-                       TreeStructure* structure) const;
-  Tensor ForwardBatch(const Tensor& features, const TreeStructure& structure);
+  void AssembleBatch(const std::vector<size_t>& batch, TreeStructure* structure,
+                     Tensor* features) const;
+  const Tensor& ForwardBatch(const Tensor& features,
+                             const TreeStructure& structure);
 
   FullTreeModelConfig config_;
   Rng rng_;
@@ -92,11 +96,16 @@ class FullTreeModel : public CostModel {
   std::unique_ptr<DenseHead> head_;
   std::unique_ptr<AdamOptimizer> optimizer_;
   HuberLoss loss_;
+  ExecutionContext* ctx_ = nullptr;
 
   std::vector<TreeFeatures> samples_;
   std::vector<float> targets_;
   size_t max_nodes_ = 0;
   bool finalized_ = false;
+  // Per-batch workspaces reused across batches.
+  Tensor features_ws_;  // [B, N, F]
+  Tensor target_ws_;    // [B, 1]
+  Tensor grad_ws_;      // [B, 1]
 };
 
 }  // namespace prestroid::core

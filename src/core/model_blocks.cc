@@ -16,23 +16,28 @@ TreeConvStack::TreeConvStack(size_t input_dim,
   output_dim_ = in;
 }
 
-Tensor TreeConvStack::Forward(const Tensor& features,
-                              const TreeStructure& structure) {
-  Tensor x = features;
+const Tensor& TreeConvStack::Forward(const Tensor& features,
+                                     const TreeStructure& structure) {
+  const Tensor* x = &features;
   for (size_t i = 0; i < convs_.size(); ++i) {
-    x = convs_[i]->Forward(x, structure);
-    x = relus_[i]->Forward(x);
+    x = &convs_[i]->Forward(*x, structure);
+    x = &relus_[i]->Forward(*x);
   }
-  return x;
+  return *x;
 }
 
-Tensor TreeConvStack::Backward(const Tensor& grad_output) {
-  Tensor grad = grad_output;
+const Tensor& TreeConvStack::Backward(const Tensor& grad_output) {
+  const Tensor* grad = &grad_output;
   for (size_t i = convs_.size(); i-- > 0;) {
-    grad = relus_[i]->Backward(grad);
-    grad = convs_[i]->Backward(grad);
+    grad = &relus_[i]->Backward(*grad);
+    grad = &convs_[i]->Backward(*grad);
   }
-  return grad;
+  return *grad;
+}
+
+void TreeConvStack::BindContext(ExecutionContext* ctx) {
+  for (auto& conv : convs_) conv->set_context(ctx);
+  for (auto& relu : relus_) relu->set_context(ctx);
 }
 
 std::vector<ParamRef> TreeConvStack::Params() {
@@ -68,22 +73,26 @@ DenseHead::DenseHead(const DenseHeadConfig& config, Rng* rng) {
   layers_.push_back(std::make_unique<SigmoidLayer>());
 }
 
-Tensor DenseHead::Forward(const Tensor& input) {
-  Tensor x = input;
-  for (auto& layer : layers_) x = layer->Forward(x);
-  return x;
+const Tensor& DenseHead::Forward(const Tensor& input) {
+  const Tensor* x = &input;
+  for (auto& layer : layers_) x = &layer->Forward(*x);
+  return *x;
 }
 
-Tensor DenseHead::Backward(const Tensor& grad_output) {
-  Tensor grad = grad_output;
+const Tensor& DenseHead::Backward(const Tensor& grad_output) {
+  const Tensor* grad = &grad_output;
   for (size_t i = layers_.size(); i-- > 0;) {
-    grad = layers_[i]->Backward(grad);
+    grad = &layers_[i]->Backward(*grad);
   }
-  return grad;
+  return *grad;
 }
 
 void DenseHead::SetTraining(bool training) {
   for (auto& layer : layers_) layer->SetTraining(training);
+}
+
+void DenseHead::BindContext(ExecutionContext* ctx) {
+  for (auto& layer : layers_) layer->set_context(ctx);
 }
 
 std::vector<ParamRef> DenseHead::Params() {

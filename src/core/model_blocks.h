@@ -16,6 +16,10 @@ namespace prestroid::core {
 /// Stack of tree-convolution layers with ReLU between them — the shared
 /// convolution trunk of the Prestroid sub-tree and full-tree models
 /// (3 x 512 kernels for Grab-Traces, 3 x 128 for TPC-DS; Section 5.2).
+///
+/// Forward/Backward return references into the last layer's workspace (see
+/// Layer); intermediate activations flow between layers by reference with no
+/// copies.
 class TreeConvStack {
  public:
   TreeConvStack(size_t input_dim, const std::vector<size_t>& channels,
@@ -25,8 +29,11 @@ class TreeConvStack {
   TreeConvStack& operator=(const TreeConvStack&) = delete;
 
   /// [batch, nodes, input_dim] -> [batch, nodes, channels.back()].
-  Tensor Forward(const Tensor& features, const TreeStructure& structure);
-  Tensor Backward(const Tensor& grad_output);
+  const Tensor& Forward(const Tensor& features, const TreeStructure& structure);
+  const Tensor& Backward(const Tensor& grad_output);
+
+  /// Binds the execution context on every layer of the stack.
+  void BindContext(ExecutionContext* ctx);
 
   std::vector<ParamRef> Params();
   size_t NumParameters();
@@ -62,9 +69,12 @@ class DenseHead {
   DenseHead& operator=(const DenseHead&) = delete;
 
   /// [batch, input_dim] -> [batch, outputs], each in (0, 1).
-  Tensor Forward(const Tensor& input);
-  Tensor Backward(const Tensor& grad_output);
+  const Tensor& Forward(const Tensor& input);
+  const Tensor& Backward(const Tensor& grad_output);
   void SetTraining(bool training);
+
+  /// Binds the execution context on every layer of the head.
+  void BindContext(ExecutionContext* ctx);
 
   std::vector<ParamRef> Params();
   /// Non-trainable buffers (batch-norm running statistics).

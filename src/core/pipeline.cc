@@ -31,6 +31,8 @@ Result<std::unique_ptr<PrestroidPipeline>> PrestroidPipeline::Fit(
   }
   auto pipeline = std::unique_ptr<PrestroidPipeline>(new PrestroidPipeline());
   pipeline->config_ = config;
+  pipeline->exec_ctx_ = std::make_unique<ExecutionContext>(config.threads);
+  ExecutionContext* ctx = pipeline->exec_ctx_.get();
 
   // 1. Label transform over the whole corpus (paper Section 5.1).
   pipeline->cpu_minutes_ = workload::CpuMinutesOf(records);
@@ -39,12 +41,24 @@ Result<std::unique_ptr<PrestroidPipeline>> PrestroidPipeline::Fit(
       pipeline->transform_.NormalizeAll(pipeline->cpu_minutes_);
 
   // 2. Re-cast every plan once (train trees also feed the vocabularies).
-  std::vector<otp::OtpTree> trees;
-  trees.reserve(records.size());
-  for (const workload::QueryRecord& record : records) {
-    PRESTROID_ASSIGN_OR_RETURN(otp::OtpTree tree,
-                               otp::RecastPlan(*record.plan));
-    trees.push_back(std::move(tree));
+  // Record i's tree lands in slot i regardless of thread count; errors are
+  // reported for the lowest failing index, matching the serial loop.
+  std::vector<otp::OtpTree> trees(records.size());
+  std::vector<Status> recast_errors(records.size());
+  ctx->ParallelFor(0, records.size(), /*grain=*/8,
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       Result<otp::OtpTree> tree =
+                           otp::RecastPlan(*records[i].plan);
+                       if (!tree.ok()) {
+                         recast_errors[i] = tree.status();
+                         continue;
+                       }
+                       trees[i] = std::move(tree).value();
+                     }
+                   });
+  for (const Status& status : recast_errors) {
+    PRESTROID_RETURN_NOT_OK(status);
   }
 
   // 3. Word2Vec over the TRAIN predicates (values and conjunctions
@@ -101,13 +115,36 @@ Result<std::unique_ptr<PrestroidPipeline>> PrestroidPipeline::Fit(
           StrFormat(" [%s]", subtree::PruningStrategyToString(config.pruning));
     }
     pipeline->subtree_model_ = std::make_unique<SubtreeModel>(model_config);
+    // Featurize all records in parallel. The predicate encoder carries
+    // mutable per-query OOV context, so each chunk featurizes through its
+    // own encoder clone; results land in index-keyed slots and samples are
+    // added serially in record order afterwards.
+    std::vector<std::vector<TreeFeatures>> all_subtrees(records.size());
+    std::vector<Status> feat_errors(records.size());
+    ctx->ParallelFor(
+        0, records.size(), /*grain=*/4, [&](size_t begin, size_t end) {
+          embed::PredicateEncoder pred_clone(*pipeline->predicate_encoder_);
+          otp::OtpEncoder enc_clone(&pred_clone);
+          enc_clone.RestoreVocabulary(pipeline->encoder_->operator_ids(),
+                                      pipeline->encoder_->table_ids());
+          Featurizer featurizer(&enc_clone, &pred_clone);
+          for (size_t i = begin; i < end; ++i) {
+            Result<std::vector<TreeFeatures>> subtrees =
+                featurizer.FeaturizeSubtrees(*records[i].plan, config.sampler,
+                                             config.num_subtrees,
+                                             config.pruning);
+            if (!subtrees.ok()) {
+              feat_errors[i] = subtrees.status();
+              continue;
+            }
+            all_subtrees[i] = std::move(subtrees).value();
+          }
+        });
+    for (const Status& status : feat_errors) {
+      PRESTROID_RETURN_NOT_OK(status);
+    }
     for (size_t i = 0; i < records.size(); ++i) {
-      PRESTROID_ASSIGN_OR_RETURN(
-          std::vector<TreeFeatures> subtrees,
-          pipeline->featurizer_->FeaturizeSubtrees(
-              *records[i].plan, config.sampler, config.num_subtrees,
-              config.pruning));
-      pipeline->subtree_model_->AddSample(std::move(subtrees),
+      pipeline->subtree_model_->AddSample(std::move(all_subtrees[i]),
                                           pipeline->targets_[i]);
     }
   } else {
@@ -121,15 +158,35 @@ Result<std::unique_ptr<PrestroidPipeline>> PrestroidPipeline::Fit(
     model_config.seed = config.seed;
     model_config.name = StrFormat("Full-%zu", config.word2vec.dim);
     pipeline->full_model_ = std::make_unique<FullTreeModel>(model_config);
+    std::vector<TreeFeatures> all_features(records.size());
+    std::vector<Status> feat_errors(records.size());
+    ctx->ParallelFor(
+        0, records.size(), /*grain=*/4, [&](size_t begin, size_t end) {
+          embed::PredicateEncoder pred_clone(*pipeline->predicate_encoder_);
+          otp::OtpEncoder enc_clone(&pred_clone);
+          enc_clone.RestoreVocabulary(pipeline->encoder_->operator_ids(),
+                                      pipeline->encoder_->table_ids());
+          Featurizer featurizer(&enc_clone, &pred_clone);
+          for (size_t i = begin; i < end; ++i) {
+            Result<TreeFeatures> features =
+                featurizer.FeaturizeFullPlan(*records[i].plan);
+            if (!features.ok()) {
+              feat_errors[i] = features.status();
+              continue;
+            }
+            all_features[i] = std::move(features).value();
+          }
+        });
+    for (const Status& status : feat_errors) {
+      PRESTROID_RETURN_NOT_OK(status);
+    }
     for (size_t i = 0; i < records.size(); ++i) {
-      PRESTROID_ASSIGN_OR_RETURN(
-          TreeFeatures features,
-          pipeline->featurizer_->FeaturizeFullPlan(*records[i].plan));
-      pipeline->full_model_->AddSample(std::move(features),
+      pipeline->full_model_->AddSample(std::move(all_features[i]),
                                        pipeline->targets_[i]);
     }
     pipeline->full_model_->Finalize();
   }
+  pipeline->model()->SetExecutionContext(ctx);
   return pipeline;
 }
 

@@ -12,6 +12,7 @@
 #include "core/subtree_model.h"
 #include "embed/word2vec.h"
 #include "nn/trainer.h"
+#include "tensor/execution_context.h"
 #include "workload/dataset.h"
 #include "workload/trace.h"
 
@@ -37,6 +38,11 @@ struct PipelineConfig {
   bool batch_norm = true;
   float learning_rate = 1e-4f;
   uint64_t seed = 1;
+  /// Worker threads for featurization and the numeric kernels. 1 (the
+  /// default) reproduces the historical single-threaded results bit-for-bit;
+  /// 0 means all hardware threads. Runtime knob only — never serialized, so
+  /// a loaded pipeline always starts at the serving default of 1.
+  size_t threads = 1;
 };
 
 /// The full Prestroid data-science pipeline of Figure 3: plan re-casting,
@@ -70,6 +76,9 @@ class PrestroidPipeline {
   Result<double> PredictPlan(const plan::PlanNode& plan);
 
   CostModel* model();
+  /// The pipeline-owned execution context (thread pool + scratch arena +
+  /// counters) bound to the model. Never null after Fit()/LoadFile().
+  ExecutionContext* execution_context() { return exec_ctx_.get(); }
   const LabelTransform& label_transform() const { return transform_; }
   const embed::Word2Vec& word2vec() const { return *word2vec_; }
   const otp::OtpEncoder& encoder() const { return *encoder_; }
@@ -102,6 +111,7 @@ class PrestroidPipeline {
 
   PipelineConfig config_;
   LabelTransform transform_;
+  std::unique_ptr<ExecutionContext> exec_ctx_;
   std::unique_ptr<embed::Word2Vec> word2vec_;
   std::unique_ptr<embed::PredicateEncoder> predicate_encoder_;
   std::unique_ptr<otp::OtpEncoder> encoder_;

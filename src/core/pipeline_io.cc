@@ -189,6 +189,10 @@ struct PipelineSerde {
       p->full_model_ = std::make_unique<FullTreeModel>(model_config);
       p->full_model_->FinalizeEmpty(full_max_nodes);
     }
+    // Serving default: loaded pipelines run single-threaded. The `threads`
+    // knob is runtime-only and never serialized, so config_.threads == 1.
+    p->exec_ctx_ = std::make_unique<ExecutionContext>(1);
+    p->model()->SetExecutionContext(p->exec_ctx_.get());
     return Status::OK();
   }
 

@@ -55,14 +55,24 @@ void SubtreeModel::PopSample() {
   for (size_t i = 0; i < config_.output_dim; ++i) targets_.pop_back();
 }
 
-Tensor SubtreeModel::AssembleBatch(const std::vector<size_t>& batch,
-                                   TreeStructure* structure) const {
+void SubtreeModel::SetExecutionContext(ExecutionContext* ctx) {
+  ctx_ = ctx;
+  conv_->BindContext(ctx);
+  pooling_.set_context(ctx);
+  head_->BindContext(ctx);
+}
+
+void SubtreeModel::AssembleBatch(const std::vector<size_t>& batch,
+                                 TreeStructure* structure,
+                                 Tensor* features_out) const {
   const size_t b = batch.size();
   const size_t k = config_.num_subtrees;
   const size_t n = config_.node_limit;
   const size_t f = config_.feature_dim;
 
-  Tensor features({b * k, n, f});
+  Tensor& features = *features_out;
+  features.ResetShape({b * k, n, f});
+  features.Fill(0.0f);  // padding slots must stay zero
   structure->left.assign(b * k, std::vector<int>(n, -1));
   structure->right.assign(b * k, std::vector<int>(n, -1));
   structure->mask.assign(b * k, std::vector<float>(n, 0.0f));
@@ -84,19 +94,18 @@ Tensor SubtreeModel::AssembleBatch(const std::vector<size_t>& batch,
     // Missing sub-trees (trees.size() < K) keep all-zero masks: they pool to
     // the zero vector, exactly like a fully 0-padded sub-tree slot.
   }
-  return features;
 }
 
-Tensor SubtreeModel::ForwardBatch(const Tensor& features,
-                                  const TreeStructure& structure) {
+const Tensor& SubtreeModel::ForwardBatch(const Tensor& features,
+                                         const TreeStructure& structure) {
   const size_t bk = features.dim(0);
   const size_t b = bk / config_.num_subtrees;
-  Tensor conv_out = conv_->Forward(features, structure);
-  Tensor pooled = pooling_.Forward(conv_out, structure);  // [B*K, C]
+  const Tensor& conv_out = conv_->Forward(features, structure);
+  Tensor& pooled = pooling_.Forward(conv_out, structure);  // [B*K, C]
   // Row-major [B*K, C] is bitwise identical to [B, K*C]: flattening across
-  // sub-trees is a pure reshape.
-  Tensor flat = pooled.Reshape({b, config_.num_subtrees * conv_->output_dim()});
-  return head_->Forward(flat);
+  // sub-trees is a pure relabeling of the pooling workspace.
+  pooled.ReshapeInPlace({b, config_.num_subtrees * conv_->output_dim()});
+  return head_->Forward(pooled);
 }
 
 double SubtreeModel::TrainEpoch(const std::vector<size_t>& indices,
@@ -110,26 +119,27 @@ double SubtreeModel::TrainEpoch(const std::vector<size_t>& indices,
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
     TreeStructure structure;
-    Tensor features = AssembleBatch(batch, &structure);
-    Tensor pred = ForwardBatch(features, structure);
+    AssembleBatch(batch, &structure, &features_ws_);
+    const Tensor& pred = ForwardBatch(features_ws_, structure);
 
     const size_t out = config_.output_dim;
-    Tensor target({batch.size(), out});
+    target_ws_.ResetShape({batch.size(), out});
     for (size_t i = 0; i < batch.size(); ++i) {
       for (size_t j = 0; j < out; ++j) {
-        target[i * out + j] = targets_[batch[i] * out + j];
+        target_ws_[i * out + j] = targets_[batch[i] * out + j];
       }
     }
 
     optimizer_->ZeroGrad();
-    total_loss += loss_.Compute(pred, target);
+    total_loss += loss_.Compute(pred, target_ws_);
     ++num_batches;
 
-    Tensor grad = loss_.Gradient();
-    grad = head_->Backward(grad);  // [B, K*C]
-    Tensor grad_pooled = grad.Reshape(
+    loss_.GradientInto(&grad_ws_);
+    const Tensor& grad_head = head_->Backward(grad_ws_);  // [B, K*C]
+    grad_pooled_ws_.CopyFrom(grad_head);
+    grad_pooled_ws_.ReshapeInPlace(
         {batch.size() * config_.num_subtrees, conv_->output_dim()});
-    Tensor grad_conv = pooling_.Backward(grad_pooled);
+    const Tensor& grad_conv = pooling_.Backward(grad_pooled_ws_);
     conv_->Backward(grad_conv);
     optimizer_->Step();
   }
@@ -146,8 +156,8 @@ Tensor SubtreeModel::PredictMulti(const std::vector<size_t>& indices) {
     std::vector<size_t> batch(indices.begin() + static_cast<long>(start),
                               indices.begin() + static_cast<long>(end));
     TreeStructure structure;
-    Tensor features = AssembleBatch(batch, &structure);
-    Tensor pred = ForwardBatch(features, structure);
+    AssembleBatch(batch, &structure, &features_ws_);
+    const Tensor& pred = ForwardBatch(features_ws_, structure);
     for (size_t i = 0; i < batch.size(); ++i) {
       for (size_t j = 0; j < out_dim; ++j) {
         out.At(start + i, j) = pred.At(i, j);

@@ -75,6 +75,9 @@ class SubtreeModel : public CostModel {
   Status DeserializeOptimizerState(std::istream& is) override {
     return optimizer_->DeserializeState(is);
   }
+  /// Binds `ctx` on every layer of the trunk, pooling and head.
+  void SetExecutionContext(ExecutionContext* ctx) override;
+  ExecutionContext* execution_context() override { return ctx_; }
 
   /// Exact bytes of the padded input tensor for one batch (Figure 6 top):
   /// batch * K * N * F * sizeof(float).
@@ -84,10 +87,12 @@ class SubtreeModel : public CostModel {
   const std::vector<float>& targets() const { return targets_; }
 
  private:
-  /// Assembles the padded [B*K, N, F] batch and its structure.
-  Tensor AssembleBatch(const std::vector<size_t>& batch,
-                       TreeStructure* structure) const;
-  Tensor ForwardBatch(const Tensor& features, const TreeStructure& structure);
+  /// Assembles the padded [B*K, N, F] batch and its structure into the given
+  /// workspace tensor (allocation-free once warm).
+  void AssembleBatch(const std::vector<size_t>& batch, TreeStructure* structure,
+                     Tensor* features) const;
+  const Tensor& ForwardBatch(const Tensor& features,
+                             const TreeStructure& structure);
 
   SubtreeModelConfig config_;
   Rng rng_;
@@ -96,9 +101,15 @@ class SubtreeModel : public CostModel {
   std::unique_ptr<DenseHead> head_;
   std::unique_ptr<AdamOptimizer> optimizer_;
   HuberLoss loss_;
+  ExecutionContext* ctx_ = nullptr;
 
   std::vector<std::vector<TreeFeatures>> samples_;
   std::vector<float> targets_;
+  // Per-batch workspaces reused across batches.
+  Tensor features_ws_;     // [B*K, N, F]
+  Tensor target_ws_;       // [B, output_dim]
+  Tensor grad_ws_;         // [B, output_dim]
+  Tensor grad_pooled_ws_;  // [B*K, C]
 };
 
 }  // namespace prestroid::core

@@ -67,9 +67,17 @@ class ServingEstimator {
   explicit ServingEstimator(ServingLimits limits = {});
 
   /// Attaches the model tier (a fitted/loaded pipeline). Passing nullptr
-  /// detaches it.
+  /// detaches it. Pipelines restored with LoadFile() carry a single-thread
+  /// ExecutionContext — the serving default, keeping per-request latency
+  /// predictable and the process thread-count flat.
   void AttachPipeline(std::unique_ptr<core::PrestroidPipeline> pipeline);
   bool has_pipeline() const { return pipeline_ != nullptr; }
+
+  /// The attached pipeline's execution context (flops / scratch counters for
+  /// observability); nullptr when no pipeline is attached.
+  ExecutionContext* execution_context() {
+    return pipeline_ == nullptr ? nullptr : pipeline_->execution_context();
+  }
 
   /// Administratively enables/disables the model tier (e.g. while a new
   /// artifact is validated). The fallback chain keeps serving.

@@ -7,69 +7,94 @@
 
 namespace prestroid {
 
-Tensor ReluLayer::Forward(const Tensor& input) {
-  input_cache_ = input;
-  return Relu(input);
+Tensor& ReluLayer::Forward(const Tensor& input) {
+  input_cache_.CopyFrom(input);
+  ReluInto(&output_, input, ctx_);
+  return output_;
 }
 
-Tensor ReluLayer::Backward(const Tensor& grad_output) {
+Tensor& ReluLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.size(), input_cache_.size());
-  Tensor grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    if (input_cache_[i] <= 0.0f) grad[i] = 0.0f;
-  }
-  return grad;
+  grad_input_.ResetShape(grad_output.shape());
+  const float* go = grad_output.data();
+  const float* x = input_cache_.data();
+  float* gi = grad_input_.data();
+  ctx_->ParallelFor(0, grad_output.size(), 4096, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) gi[i] = x[i] <= 0.0f ? 0.0f : go[i];
+  });
+  return grad_input_;
 }
 
-Tensor SigmoidLayer::Forward(const Tensor& input) {
-  output_cache_ = Sigmoid(input);
+Tensor& SigmoidLayer::Forward(const Tensor& input) {
+  SigmoidInto(&output_cache_, input, ctx_);
   return output_cache_;
 }
 
-Tensor SigmoidLayer::Backward(const Tensor& grad_output) {
+Tensor& SigmoidLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.size(), output_cache_.size());
-  Tensor grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    float y = output_cache_[i];
-    grad[i] *= y * (1.0f - y);
-  }
-  return grad;
+  grad_input_.ResetShape(grad_output.shape());
+  const float* go = grad_output.data();
+  const float* yv = output_cache_.data();
+  float* gi = grad_input_.data();
+  ctx_->ParallelFor(0, grad_output.size(), 4096, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float y = yv[i];
+      gi[i] = go[i] * (y * (1.0f - y));
+    }
+  });
+  return grad_input_;
 }
 
-Tensor TanhLayer::Forward(const Tensor& input) {
-  output_cache_ = TanhT(input);
+Tensor& TanhLayer::Forward(const Tensor& input) {
+  TanhInto(&output_cache_, input, ctx_);
   return output_cache_;
 }
 
-Tensor TanhLayer::Backward(const Tensor& grad_output) {
+Tensor& TanhLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.size(), output_cache_.size());
-  Tensor grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    float y = output_cache_[i];
-    grad[i] *= 1.0f - y * y;
-  }
-  return grad;
+  grad_input_.ResetShape(grad_output.shape());
+  const float* go = grad_output.data();
+  const float* yv = output_cache_.data();
+  float* gi = grad_input_.data();
+  ctx_->ParallelFor(0, grad_output.size(), 4096, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float y = yv[i];
+      gi[i] = go[i] * (1.0f - y * y);
+    }
+  });
+  return grad_input_;
 }
 
 LeakyReluLayer::LeakyReluLayer(float negative_slope)
     : negative_slope_(negative_slope) {}
 
-Tensor LeakyReluLayer::Forward(const Tensor& input) {
-  input_cache_ = input;
-  Tensor out = input;
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out[i] < 0.0f) out[i] *= negative_slope_;
-  }
-  return out;
+Tensor& LeakyReluLayer::Forward(const Tensor& input) {
+  input_cache_.CopyFrom(input);
+  output_.ResetShape(input.shape());
+  const float* x = input.data();
+  float* out = output_.data();
+  const float slope = negative_slope_;
+  ctx_->ParallelFor(0, input.size(), 4096, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      out[i] = x[i] < 0.0f ? x[i] * slope : x[i];
+    }
+  });
+  return output_;
 }
 
-Tensor LeakyReluLayer::Backward(const Tensor& grad_output) {
+Tensor& LeakyReluLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.size(), input_cache_.size());
-  Tensor grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    if (input_cache_[i] < 0.0f) grad[i] *= negative_slope_;
-  }
-  return grad;
+  grad_input_.ResetShape(grad_output.shape());
+  const float* go = grad_output.data();
+  const float* x = input_cache_.data();
+  float* gi = grad_input_.data();
+  const float slope = negative_slope_;
+  ctx_->ParallelFor(0, grad_output.size(), 4096, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      gi[i] = x[i] < 0.0f ? go[i] * slope : go[i];
+    }
+  });
+  return grad_input_;
 }
 
 }  // namespace prestroid

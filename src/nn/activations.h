@@ -8,32 +8,36 @@ namespace prestroid {
 /// Elementwise max(0, x).
 class ReluLayer : public Layer {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
 
  private:
   Tensor input_cache_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 /// Elementwise logistic sigmoid. The paper uses a single sigmoid output unit
 /// because labels are min-max normalized into [0, 1].
 class SigmoidLayer : public Layer {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
 
  private:
   Tensor output_cache_;
+  Tensor grad_input_;
 };
 
 /// Elementwise tanh.
 class TanhLayer : public Layer {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
 
  private:
   Tensor output_cache_;
+  Tensor grad_input_;
 };
 
 /// Leaky ReLU with configurable negative slope (used by tree-conv stacks in
@@ -41,12 +45,14 @@ class TanhLayer : public Layer {
 class LeakyReluLayer : public Layer {
  public:
   explicit LeakyReluLayer(float negative_slope = 0.01f);
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
 
  private:
   float negative_slope_;
   Tensor input_cache_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace prestroid

@@ -17,55 +17,58 @@ BatchNorm1d::BatchNorm1d(size_t features, float momentum, float epsilon)
       running_mean_({features}),
       running_var_(Tensor::Ones({features})) {}
 
-Tensor BatchNorm1d::Forward(const Tensor& input) {
+Tensor& BatchNorm1d::Forward(const Tensor& input) {
   PRESTROID_CHECK_EQ(input.rank(), 2u);
   PRESTROID_CHECK_EQ(input.dim(1), features_);
   const size_t batch = input.dim(0);
-  Tensor out(input.shape());
+  output_.ResetShape(input.shape());
 
-  Tensor mean({features_}), var({features_});
   if (training_ && batch > 1) {
+    mean_.ResetShape({features_});
+    mean_.Fill(0.0f);
+    var_.ResetShape({features_});
+    var_.Fill(0.0f);
     for (size_t i = 0; i < batch; ++i) {
-      for (size_t j = 0; j < features_; ++j) mean[j] += input.At(i, j);
+      for (size_t j = 0; j < features_; ++j) mean_[j] += input.At(i, j);
     }
-    mean *= 1.0f / static_cast<float>(batch);
+    mean_ *= 1.0f / static_cast<float>(batch);
     for (size_t i = 0; i < batch; ++i) {
       for (size_t j = 0; j < features_; ++j) {
-        float d = input.At(i, j) - mean[j];
-        var[j] += d * d;
+        float d = input.At(i, j) - mean_[j];
+        var_[j] += d * d;
       }
     }
-    var *= 1.0f / static_cast<float>(batch);
+    var_ *= 1.0f / static_cast<float>(batch);
     // Update running statistics (exponential moving average).
     for (size_t j = 0; j < features_; ++j) {
-      running_mean_[j] = (1.0f - momentum_) * running_mean_[j] + momentum_ * mean[j];
-      running_var_[j] = (1.0f - momentum_) * running_var_[j] + momentum_ * var[j];
+      running_mean_[j] = (1.0f - momentum_) * running_mean_[j] + momentum_ * mean_[j];
+      running_var_[j] = (1.0f - momentum_) * running_var_[j] + momentum_ * var_[j];
     }
   } else {
-    mean = running_mean_;
-    var = running_var_;
+    mean_.CopyFrom(running_mean_);
+    var_.CopyFrom(running_var_);
   }
 
-  batch_std_inv_ = Tensor({features_});
+  batch_std_inv_.ResetShape({features_});
   for (size_t j = 0; j < features_; ++j) {
-    batch_std_inv_[j] = 1.0f / std::sqrt(var[j] + epsilon_);
+    batch_std_inv_[j] = 1.0f / std::sqrt(var_[j] + epsilon_);
   }
-  centered_ = Tensor(input.shape());
-  x_hat_ = Tensor(input.shape());
+  centered_.ResetShape(input.shape());
+  x_hat_.ResetShape(input.shape());
   for (size_t i = 0; i < batch; ++i) {
     for (size_t j = 0; j < features_; ++j) {
-      centered_.At(i, j) = input.At(i, j) - mean[j];
+      centered_.At(i, j) = input.At(i, j) - mean_[j];
       x_hat_.At(i, j) = centered_.At(i, j) * batch_std_inv_[j];
-      out.At(i, j) = gamma_[j] * x_hat_.At(i, j) + beta_[j];
+      output_.At(i, j) = gamma_[j] * x_hat_.At(i, j) + beta_[j];
     }
   }
-  return out;
+  return output_;
 }
 
-Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
+Tensor& BatchNorm1d::Backward(const Tensor& grad_output) {
   const size_t batch = grad_output.dim(0);
   PRESTROID_CHECK_EQ(grad_output.dim(1), features_);
-  Tensor grad_in(grad_output.shape());
+  grad_input_.ResetShape(grad_output.shape());
 
   if (!training_ || batch <= 1) {
     // Eval mode: y = gamma * (x - mu) * inv_std + beta with constant stats.
@@ -73,10 +76,11 @@ Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
       for (size_t j = 0; j < features_; ++j) {
         gamma_grad_[j] += grad_output.At(i, j) * x_hat_.At(i, j);
         beta_grad_[j] += grad_output.At(i, j);
-        grad_in.At(i, j) = grad_output.At(i, j) * gamma_[j] * batch_std_inv_[j];
+        grad_input_.At(i, j) =
+            grad_output.At(i, j) * gamma_[j] * batch_std_inv_[j];
       }
     }
-    return grad_in;
+    return grad_input_;
   }
 
   const float inv_b = 1.0f / static_cast<float>(batch);
@@ -92,12 +96,12 @@ Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
     for (size_t i = 0; i < batch; ++i) {
       float dy = grad_output.At(i, j);
       // Standard batch-norm backward with batch statistics.
-      grad_in.At(i, j) =
+      grad_input_.At(i, j) =
           gamma_[j] * batch_std_inv_[j] *
           (dy - inv_b * sum_dy - inv_b * x_hat_.At(i, j) * sum_dy_xhat);
     }
   }
-  return grad_in;
+  return grad_input_;
 }
 
 std::vector<ParamRef> BatchNorm1d::Params() {

@@ -7,13 +7,17 @@ namespace prestroid {
 
 /// 1-D batch normalization over [batch, features]. The paper uses batch
 /// normalization between dense layers of the sub-tree model (Section 5.2).
+///
+/// The kernels stay serial regardless of the bound context: the per-feature
+/// reductions are tiny at pipeline batch sizes, and keeping one accumulation
+/// order makes the running-statistics update reproducible by construction.
 class BatchNorm1d : public Layer {
  public:
   explicit BatchNorm1d(size_t features, float momentum = 0.1f,
                        float epsilon = 1e-5f);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
   std::vector<ParamRef> Params() override;
   std::vector<ParamRef> State() override;
 
@@ -31,6 +35,10 @@ class BatchNorm1d : public Layer {
   Tensor x_hat_;
   Tensor batch_std_inv_;  // 1/sqrt(var + eps), per feature
   Tensor centered_;
+  // Workspaces reused across batches.
+  Tensor output_;
+  Tensor grad_input_;
+  Tensor mean_, var_;
 };
 
 }  // namespace prestroid

@@ -19,32 +19,36 @@ Conv1d::Conv1d(size_t embed_dim, size_t window, size_t filters, Rng* rng)
   PRESTROID_CHECK_GT(filters, 0u);
 }
 
-Tensor Conv1d::Forward(const Tensor& input) {
+Tensor& Conv1d::Forward(const Tensor& input) {
   PRESTROID_CHECK_EQ(input.rank(), 3u);
   PRESTROID_CHECK_EQ(input.dim(2), embed_dim_);
   PRESTROID_CHECK_GE(input.dim(1), window_);
-  input_cache_ = input;
+  input_cache_.CopyFrom(input);
   const size_t batch = input.dim(0);
   const size_t time = input.dim(1);
   const size_t out_time = time - window_ + 1;
-  Tensor out({batch, out_time, filters_});
+  output_.ResetShape({batch, out_time, filters_});
   const size_t patch = window_ * embed_dim_;
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t t = 0; t < out_time; ++t) {
-      // Patch is contiguous in a row-major [batch, time, embed] layout.
-      const float* x = input.data() + (b * time + t) * embed_dim_;
-      for (size_t f = 0; f < filters_; ++f) {
-        const float* w = weight_.data() + f * patch;
-        float acc = bias_[f];
-        for (size_t p = 0; p < patch; ++p) acc += x[p] * w[p];
-        out.At(b, t, f) = acc;
+  ctx_->AddOp();
+  ctx_->AddFlops(2ull * batch * out_time * filters_ * patch);
+  ctx_->ParallelFor(0, batch, 1, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t t = 0; t < out_time; ++t) {
+        // Patch is contiguous in a row-major [batch, time, embed] layout.
+        const float* x = input_cache_.data() + (b * time + t) * embed_dim_;
+        for (size_t f = 0; f < filters_; ++f) {
+          const float* w = weight_.data() + f * patch;
+          float acc = bias_[f];
+          for (size_t p = 0; p < patch; ++p) acc += x[p] * w[p];
+          output_.At(b, t, f) = acc;
+        }
       }
     }
-  }
-  return out;
+  });
+  return output_;
 }
 
-Tensor Conv1d::Backward(const Tensor& grad_output) {
+Tensor& Conv1d::Backward(const Tensor& grad_output) {
   const size_t batch = input_cache_.dim(0);
   const size_t time = input_cache_.dim(1);
   const size_t out_time = time - window_ + 1;
@@ -52,68 +56,106 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.dim(1), out_time);
   PRESTROID_CHECK_EQ(grad_output.dim(2), filters_);
 
-  Tensor grad_in(input_cache_.shape());
+  grad_input_.ResetShape(input_cache_.shape());
+  grad_input_.Fill(0.0f);
   const size_t patch = window_ * embed_dim_;
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t t = 0; t < out_time; ++t) {
-      const float* x = input_cache_.data() + (b * time + t) * embed_dim_;
-      float* gx = grad_in.data() + (b * time + t) * embed_dim_;
-      for (size_t f = 0; f < filters_; ++f) {
-        const float gy = grad_output.At(b, t, f);
-        if (gy == 0.0f) continue;
-        const float* w = weight_.data() + f * patch;
-        float* gw = weight_grad_.data() + f * patch;
-        bias_grad_[f] += gy;
-        for (size_t p = 0; p < patch; ++p) {
-          gw[p] += gy * x[p];
-          gx[p] += gy * w[p];
+  ctx_->AddOp();
+  ctx_->AddFlops(4ull * batch * out_time * filters_ * patch);
+
+  // Runs the historical serial loop for batch rows [b0, b1), accumulating
+  // weight/bias gradients into the given tensors.
+  auto backward_range = [&](size_t b0, size_t b1, Tensor* wg, Tensor* bg) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t t = 0; t < out_time; ++t) {
+        const float* x = input_cache_.data() + (b * time + t) * embed_dim_;
+        float* gx = grad_input_.data() + (b * time + t) * embed_dim_;
+        for (size_t f = 0; f < filters_; ++f) {
+          const float gy = grad_output.At(b, t, f);
+          if (gy == 0.0f) continue;
+          const float* w = weight_.data() + f * patch;
+          float* gw = wg->data() + f * patch;
+          (*bg)[f] += gy;
+          for (size_t p = 0; p < patch; ++p) {
+            gw[p] += gy * x[p];
+            gx[p] += gy * w[p];
+          }
         }
       }
     }
+  };
+
+  const auto parts = ctx_->Partition(0, batch, 1);
+  if (parts.size() <= 1) {
+    backward_range(0, batch, &weight_grad_, &bias_grad_);
+    return grad_input_;
   }
-  return grad_in;
+  // Parallel path: each chunk owns disjoint grad_input_ rows but shares the
+  // weight/bias accumulators, so those go through per-chunk scratch reduced
+  // in ascending chunk order.
+  std::vector<Tensor> wg_scratch, bg_scratch;
+  wg_scratch.reserve(parts.size());
+  bg_scratch.reserve(parts.size());
+  for (size_t c = 0; c < parts.size(); ++c) {
+    wg_scratch.push_back(ctx_->AcquireScratch({filters_, patch}));
+    bg_scratch.push_back(ctx_->AcquireScratch({filters_}));
+  }
+  ctx_->ParallelFor(0, batch, 1, [&](size_t b0, size_t b1) {
+    size_t c = 0;
+    while (parts[c].first != b0) ++c;
+    backward_range(b0, b1, &wg_scratch[c], &bg_scratch[c]);
+  });
+  for (size_t c = 0; c < parts.size(); ++c) {
+    weight_grad_ += wg_scratch[c];
+    bias_grad_ += bg_scratch[c];
+    ctx_->ReleaseScratch(std::move(wg_scratch[c]));
+    ctx_->ReleaseScratch(std::move(bg_scratch[c]));
+  }
+  return grad_input_;
 }
 
 std::vector<ParamRef> Conv1d::Params() {
   return {{"weight", &weight_, &weight_grad_}, {"bias", &bias_, &bias_grad_}};
 }
 
-Tensor GlobalMaxPool1d::Forward(const Tensor& input) {
+Tensor& GlobalMaxPool1d::Forward(const Tensor& input) {
   PRESTROID_CHECK_EQ(input.rank(), 3u);
   const size_t batch = input.dim(0), time = input.dim(1), ch = input.dim(2);
   PRESTROID_CHECK_GT(time, 0u);
   input_shape_ = input.shape();
   argmax_.assign(batch * ch, 0);
-  Tensor out({batch, ch});
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t c = 0; c < ch; ++c) {
-      float best = input.At(b, 0, c);
-      size_t best_t = 0;
-      for (size_t t = 1; t < time; ++t) {
-        float v = input.At(b, t, c);
-        if (v > best) {
-          best = v;
-          best_t = t;
+  output_.ResetShape({batch, ch});
+  ctx_->ParallelFor(0, batch, 8, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t c = 0; c < ch; ++c) {
+        float best = input.At(b, 0, c);
+        size_t best_t = 0;
+        for (size_t t = 1; t < time; ++t) {
+          float v = input.At(b, t, c);
+          if (v > best) {
+            best = v;
+            best_t = t;
+          }
         }
+        output_.At(b, c) = best;
+        argmax_[b * ch + c] = best_t;
       }
-      out.At(b, c) = best;
-      argmax_[b * ch + c] = best_t;
     }
-  }
-  return out;
+  });
+  return output_;
 }
 
-Tensor GlobalMaxPool1d::Backward(const Tensor& grad_output) {
+Tensor& GlobalMaxPool1d::Backward(const Tensor& grad_output) {
   const size_t batch = input_shape_[0], ch = input_shape_[2];
   PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
   PRESTROID_CHECK_EQ(grad_output.dim(1), ch);
-  Tensor grad_in(input_shape_);
+  grad_input_.ResetShape(input_shape_);
+  grad_input_.Fill(0.0f);
   for (size_t b = 0; b < batch; ++b) {
     for (size_t c = 0; c < ch; ++c) {
-      grad_in.At(b, argmax_[b * ch + c], c) = grad_output.At(b, c);
+      grad_input_.At(b, argmax_[b * ch + c], c) = grad_output.At(b, c);
     }
   }
-  return grad_in;
+  return grad_input_;
 }
 
 }  // namespace prestroid

@@ -10,12 +10,19 @@ namespace prestroid {
 /// baseline: input [batch, time, embed] is convolved by `filters` kernels of
 /// width `window` producing [batch, time - window + 1, filters] ("valid"
 /// padding). Sequences shorter than `window` must be padded by the caller.
+///
+/// Forward parallelizes over the batch axis (disjoint outputs, per-element
+/// float order unchanged). Backward shares the weight-gradient accumulators
+/// across positions, so the parallel path accumulates into per-chunk scratch
+/// tensors and reduces them in ascending chunk order — deterministic at a
+/// fixed thread count; with one thread (or one chunk) the historical serial
+/// loop runs unchanged.
 class Conv1d : public Layer {
  public:
   Conv1d(size_t embed_dim, size_t window, size_t filters, Rng* rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
   std::vector<ParamRef> Params() override;
 
   size_t window() const { return window_; }
@@ -30,18 +37,22 @@ class Conv1d : public Layer {
   Tensor weight_grad_;
   Tensor bias_grad_;
   Tensor input_cache_;  // [batch, time, embed]
+  Tensor output_;       // [batch, out_time, filters]
+  Tensor grad_input_;   // [batch, time, embed]
 };
 
 /// Max-pool over the time axis: [batch, time, channels] -> [batch, channels].
 /// Remembers argmax positions for backward.
 class GlobalMaxPool1d : public Layer {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
 
  private:
   std::vector<size_t> argmax_;  // [batch * channels] time index of the max
   std::vector<size_t> input_shape_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace prestroid

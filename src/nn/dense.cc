@@ -13,19 +13,29 @@ Dense::Dense(size_t in_features, size_t out_features, Rng* rng)
       weight_grad_({in_features, out_features}),
       bias_grad_({out_features}) {}
 
-Tensor Dense::Forward(const Tensor& input) {
+Tensor& Dense::Forward(const Tensor& input) {
   PRESTROID_CHECK_EQ(input.rank(), 2u);
   PRESTROID_CHECK_EQ(input.dim(1), in_features_);
-  input_cache_ = input;
-  return AddRowBroadcast(MatMul(input, weight_), bias_);
+  input_cache_.CopyFrom(input);
+  MatMulInto(&output_, input, weight_, ctx_);
+  AddRowBroadcastInPlace(&output_, bias_, ctx_);
+  return output_;
 }
 
-Tensor Dense::Backward(const Tensor& grad_output) {
+Tensor& Dense::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.dim(0), input_cache_.dim(0));
   PRESTROID_CHECK_EQ(grad_output.dim(1), out_features_);
-  weight_grad_ += MatMulTransposeA(input_cache_, grad_output);
-  bias_grad_ += SumRows(grad_output);
-  return MatMulTransposeB(grad_output, weight_);
+  // Each gradient term is materialized in a workspace and then added with a
+  // single +=, matching the historical temp-then-accumulate float order even
+  // when gradients accumulate across multiple Backward calls.
+  MatMulTransposeAInto(&weight_grad_tmp_, input_cache_, grad_output, ctx_);
+  weight_grad_ += weight_grad_tmp_;
+  bias_grad_tmp_.ResetShape({out_features_});
+  bias_grad_tmp_.Fill(0.0f);
+  SumRowsAccumulate(&bias_grad_tmp_, grad_output, ctx_);
+  bias_grad_ += bias_grad_tmp_;
+  MatMulTransposeBInto(&grad_input_, grad_output, weight_, ctx_);
+  return grad_input_;
 }
 
 std::vector<ParamRef> Dense::Params() {

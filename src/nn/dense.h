@@ -11,8 +11,8 @@ class Dense : public Layer {
  public:
   Dense(size_t in_features, size_t out_features, Rng* rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
   std::vector<ParamRef> Params() override;
 
   size_t in_features() const { return in_features_; }
@@ -30,6 +30,11 @@ class Dense : public Layer {
   Tensor weight_grad_;  // [in, out]
   Tensor bias_grad_;    // [out]
   Tensor input_cache_;  // [batch, in]
+  // Workspaces reused across batches (see Layer docs).
+  Tensor output_;           // [batch, out]
+  Tensor grad_input_;       // [batch, in]
+  Tensor weight_grad_tmp_;  // [in, out] per-batch term, then += into grads
+  Tensor bias_grad_tmp_;    // [out]
 };
 
 }  // namespace prestroid

@@ -11,30 +11,36 @@ Dropout::Dropout(float rate, Rng* rng) : rate_(rate), rng_(rng) {
   PRESTROID_CHECK(rng != nullptr);
 }
 
-Tensor Dropout::Forward(const Tensor& input) {
+Tensor& Dropout::Forward(const Tensor& input) {
   if (!training_ || rate_ == 0.0f) {
-    mask_ = Tensor();
-    return input;
+    has_mask_ = false;
+    output_.CopyFrom(input);
+    return output_;
   }
   const float keep = 1.0f - rate_;
   const float scale = 1.0f / keep;
-  mask_ = Tensor(input.shape());
-  Tensor out = input;
-  for (size_t i = 0; i < out.size(); ++i) {
+  has_mask_ = true;
+  mask_.ResetShape(input.shape());
+  output_.ResetShape(input.shape());
+  for (size_t i = 0; i < input.size(); ++i) {
     if (rng_->Bernoulli(keep)) {
       mask_[i] = scale;
-      out[i] *= scale;
+      output_[i] = input[i] * scale;
     } else {
       mask_[i] = 0.0f;
-      out[i] = 0.0f;
+      output_[i] = 0.0f;
     }
   }
-  return out;
+  return output_;
 }
 
-Tensor Dropout::Backward(const Tensor& grad_output) {
-  if (mask_.empty()) return grad_output;
-  return Mul(grad_output, mask_);
+Tensor& Dropout::Backward(const Tensor& grad_output) {
+  if (!has_mask_) {
+    grad_input_.CopyFrom(grad_output);
+    return grad_input_;
+  }
+  MulInto(&grad_input_, grad_output, mask_, ctx_);
+  return grad_input_;
 }
 
 }  // namespace prestroid

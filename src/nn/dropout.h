@@ -8,20 +8,27 @@ namespace prestroid {
 
 /// Inverted dropout: during training each element is zeroed with probability
 /// `rate` and survivors are scaled by 1/(1-rate); identity at eval time.
+///
+/// The mask draw consumes the RNG stream element-by-element in row-major
+/// order, so Forward always runs serially regardless of the bound context —
+/// parallelizing it would change which elements drop at a fixed seed.
 class Dropout : public Layer {
  public:
   /// `rng` must outlive the layer. rate in [0, 1).
   Dropout(float rate, Rng* rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Forward(const Tensor& input) override;
+  Tensor& Backward(const Tensor& grad_output) override;
 
   float rate() const { return rate_; }
 
  private:
   float rate_;
   Rng* rng_;
+  bool has_mask_ = false;
   Tensor mask_;
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace prestroid

@@ -14,27 +14,32 @@ EmbeddingLayer::EmbeddingLayer(size_t vocab_size, size_t embed_dim, Rng* rng)
   for (size_t j = 0; j < embed_dim_; ++j) table_.At(0, j) = 0.0f;
 }
 
-Tensor EmbeddingLayer::ForwardIds(const std::vector<std::vector<int>>& ids) {
+Tensor& EmbeddingLayer::ForwardIds(const std::vector<std::vector<int>>& ids) {
   PRESTROID_CHECK(!ids.empty());
   const size_t batch = ids.size();
   const size_t time = ids[0].size();
-  ids_cache_ = ids;
-  Tensor out({batch, time, embed_dim_});
   for (size_t b = 0; b < batch; ++b) {
     PRESTROID_CHECK_EQ(ids[b].size(), time);
-    for (size_t t = 0; t < time; ++t) {
-      int id = ids[b][t];
-      PRESTROID_CHECK_GE(id, 0);
-      PRESTROID_CHECK_LT(static_cast<size_t>(id), vocab_size_);
-      const float* row = table_.data() + static_cast<size_t>(id) * embed_dim_;
-      float* dst = out.data() + (b * time + t) * embed_dim_;
-      for (size_t j = 0; j < embed_dim_; ++j) dst[j] = row[j];
-    }
   }
-  return out;
+  ids_cache_ = ids;
+  output_.ResetShape({batch, time, embed_dim_});
+  ctx_->AddOp();
+  ctx_->ParallelFor(0, batch, 4, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t t = 0; t < time; ++t) {
+        int id = ids_cache_[b][t];
+        PRESTROID_CHECK_GE(id, 0);
+        PRESTROID_CHECK_LT(static_cast<size_t>(id), vocab_size_);
+        const float* row = table_.data() + static_cast<size_t>(id) * embed_dim_;
+        float* dst = output_.data() + (b * time + t) * embed_dim_;
+        for (size_t j = 0; j < embed_dim_; ++j) dst[j] = row[j];
+      }
+    }
+  });
+  return output_;
 }
 
-Tensor EmbeddingLayer::Backward(const Tensor& grad_output) {
+Tensor& EmbeddingLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK(!ids_cache_.empty());
   const size_t batch = ids_cache_.size();
   const size_t time = ids_cache_[0].size();
@@ -50,12 +55,13 @@ Tensor EmbeddingLayer::Backward(const Tensor& grad_output) {
       for (size_t j = 0; j < embed_dim_; ++j) grow[j] += src[j];
     }
   }
-  return Tensor();
+  empty_grad_ = Tensor();
+  return empty_grad_;
 }
 
-Tensor EmbeddingLayer::Forward(const Tensor& /*input*/) {
+Tensor& EmbeddingLayer::Forward(const Tensor& /*input*/) {
   PRESTROID_CHECK(false) << "EmbeddingLayer requires ForwardIds()";
-  return Tensor();
+  return empty_grad_;
 }
 
 std::vector<ParamRef> EmbeddingLayer::Params() {

@@ -10,20 +10,24 @@ namespace prestroid {
 
 /// Trainable token-embedding lookup (WCNN's embedding layer). Token id 0 is
 /// reserved as padding and always maps to the zero vector with no gradient.
+///
+/// The lookup parallelizes over the batch axis; the backward scatter-add
+/// stays serial because distinct rows can share a token id (racy writes into
+/// the same table row otherwise).
 class EmbeddingLayer : public Layer {
  public:
   EmbeddingLayer(size_t vocab_size, size_t embed_dim, Rng* rng);
 
   /// Looks up a [batch, time] id matrix -> [batch, time, embed] tensor.
   /// Ids must be < vocab_size.
-  Tensor ForwardIds(const std::vector<std::vector<int>>& ids);
+  Tensor& ForwardIds(const std::vector<std::vector<int>>& ids);
 
   /// Accumulates gradients for the ids passed to the last ForwardIds call.
   /// Returns an empty tensor (embeddings are the input boundary).
-  Tensor Backward(const Tensor& grad_output) override;
+  Tensor& Backward(const Tensor& grad_output) override;
 
   /// Layer interface: not usable with a float input; use ForwardIds.
-  Tensor Forward(const Tensor& input) override;
+  Tensor& Forward(const Tensor& input) override;
 
   std::vector<ParamRef> Params() override;
 
@@ -37,6 +41,8 @@ class EmbeddingLayer : public Layer {
   Tensor table_;       // [vocab, embed]
   Tensor table_grad_;  // [vocab, embed]
   std::vector<std::vector<int>> ids_cache_;
+  Tensor output_;      // [batch, time, embed]
+  Tensor empty_grad_;  // returned from Backward (input boundary)
 };
 
 }  // namespace prestroid

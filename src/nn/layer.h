@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/execution_context.h"
 #include "tensor/tensor.h"
 
 namespace prestroid {
@@ -21,6 +22,13 @@ struct ParamRef {
 /// Layers cache whatever they need from Forward() to compute Backward(), so a
 /// layer instance processes one batch at a time (standard for this style of
 /// hand-rolled NN substrate).
+///
+/// Forward/Backward return references to layer-owned workspace tensors that
+/// stay valid until the next call on the same layer: once warm, a training
+/// step performs no per-call tensor allocation. Callers that need to keep a
+/// result must copy it. Kernels run through the bound ExecutionContext
+/// (set_context); the default is the process-wide serial context, so
+/// unbound layers behave exactly like the pre-context substrate.
 class Layer {
  public:
   virtual ~Layer();
@@ -29,12 +37,21 @@ class Layer {
   Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
 
-  /// Computes the layer output for `input`.
-  virtual Tensor Forward(const Tensor& input) = 0;
+  /// Computes the layer output for `input`. The reference is to an internal
+  /// workspace, invalidated by the next Forward call.
+  virtual Tensor& Forward(const Tensor& input) = 0;
 
   /// Given dL/d(output), accumulates parameter gradients and returns
-  /// dL/d(input). Must be called after Forward on the same batch.
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  /// dL/d(input) (internal workspace, invalidated by the next Backward).
+  /// Must be called after Forward on the same batch.
+  virtual Tensor& Backward(const Tensor& grad_output) = 0;
+
+  /// Binds the execution context used by this layer's kernels. Passing null
+  /// rebinds the serial default. The context must outlive the layer's use.
+  void set_context(ExecutionContext* ctx) {
+    ctx_ = ctx != nullptr ? ctx : ExecutionContext::Serial();
+  }
+  ExecutionContext* context() const { return ctx_; }
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> Params() { return {}; }
@@ -56,6 +73,7 @@ class Layer {
 
  protected:
   bool training_ = true;
+  ExecutionContext* ctx_ = ExecutionContext::Serial();
 };
 
 /// Sums parameter counts across a set of layers.

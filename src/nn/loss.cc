@@ -8,6 +8,12 @@ namespace prestroid {
 
 Loss::~Loss() = default;
 
+Tensor Loss::Gradient() const {
+  Tensor grad;
+  GradientInto(&grad);
+  return grad;
+}
+
 double MseLoss::Compute(const Tensor& pred, const Tensor& target) {
   PRESTROID_CHECK_EQ(pred.size(), target.size());
   PRESTROID_CHECK_GT(pred.size(), 0u);
@@ -20,10 +26,9 @@ double MseLoss::Compute(const Tensor& pred, const Tensor& target) {
   return total / static_cast<double>(diff_.size());
 }
 
-Tensor MseLoss::Gradient() const {
-  Tensor grad = diff_;
-  grad *= 2.0f / static_cast<float>(diff_.size());
-  return grad;
+void MseLoss::GradientInto(Tensor* grad) const {
+  grad->CopyFrom(diff_);
+  *grad *= 2.0f / static_cast<float>(diff_.size());
 }
 
 HuberLoss::HuberLoss(float delta) : delta_(delta) {
@@ -47,19 +52,18 @@ double HuberLoss::Compute(const Tensor& pred, const Tensor& target) {
   return total / static_cast<double>(diff_.size());
 }
 
-Tensor HuberLoss::Gradient() const {
-  Tensor grad = diff_;
+void HuberLoss::GradientInto(Tensor* grad) const {
+  grad->CopyFrom(diff_);
   const float scale = 1.0f / static_cast<float>(diff_.size());
-  for (size_t i = 0; i < grad.size(); ++i) {
-    float e = grad[i];
+  for (size_t i = 0; i < grad->size(); ++i) {
+    float e = (*grad)[i];
     if (e > delta_) {
-      grad[i] = delta_;
+      (*grad)[i] = delta_;
     } else if (e < -delta_) {
-      grad[i] = -delta_;
+      (*grad)[i] = -delta_;
     }
-    grad[i] *= scale;
+    (*grad)[i] *= scale;
   }
-  return grad;
 }
 
 }  // namespace prestroid

@@ -6,23 +6,26 @@
 namespace prestroid {
 
 /// Loss functions return the scalar batch loss from Compute() and expose the
-/// gradient of that loss with respect to the predictions via Gradient().
-/// Both tensors must have identical shapes; the loss is averaged over all
-/// elements.
+/// gradient of that loss with respect to the predictions via Gradient() or,
+/// allocation-free, GradientInto(). Both tensors must have identical shapes;
+/// the loss is averaged over all elements.
 class Loss {
  public:
   virtual ~Loss();
   /// Computes and caches the loss for this (pred, target) pair.
   virtual double Compute(const Tensor& pred, const Tensor& target) = 0;
-  /// dL/d(pred) for the pair given to the last Compute() call.
-  virtual Tensor Gradient() const = 0;
+  /// Writes dL/d(pred) for the pair given to the last Compute() call into
+  /// `grad` (resized as needed; allocation-free once warm).
+  virtual void GradientInto(Tensor* grad) const = 0;
+  /// dL/d(pred) by value (convenience wrapper over GradientInto).
+  Tensor Gradient() const;
 };
 
 /// Mean squared error: mean((pred - target)^2).
 class MseLoss : public Loss {
  public:
   double Compute(const Tensor& pred, const Tensor& target) override;
-  Tensor Gradient() const override;
+  void GradientInto(Tensor* grad) const override;
 
  private:
   Tensor diff_;
@@ -34,7 +37,7 @@ class HuberLoss : public Loss {
  public:
   explicit HuberLoss(float delta = 1.0f);
   double Compute(const Tensor& pred, const Tensor& target) override;
-  Tensor Gradient() const override;
+  void GradientInto(Tensor* grad) const override;
 
  private:
   float delta_;

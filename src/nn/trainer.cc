@@ -225,9 +225,12 @@ TrainResult TrainWithEarlyStopping(CostModel* model,
   result.start_epoch = epoch;
 
   size_t nan_retries_left = config.nan_retry_limit;
+  ExecutionContext* exec_ctx = model->execution_context();
   const auto start = std::chrono::steady_clock::now();
   while (epoch <= config.max_epochs) {
     shuffle_rng.Shuffle(&order);
+    const uint64_t flops_before =
+        exec_ctx != nullptr ? exec_ctx->stats().flops : 0;
     double train_loss = model->TrainEpoch(order, config.batch_size);
     if (FaultInjector::Global().ShouldFail(FaultSite::kTrainEpochLoss)) {
       train_loss = std::numeric_limits<double>::quiet_NaN();
@@ -264,9 +267,17 @@ TrainResult TrainWithEarlyStopping(CostModel* model,
     result.epochs_run = epoch;
 
     if (config.verbose) {
-      PRESTROID_LOG(Info) << model->name() << " epoch " << epoch
-                          << " train_loss=" << train_loss
-                          << " val_mse=" << val_mse;
+      if (exec_ctx != nullptr) {
+        PRESTROID_LOG(Info)
+            << model->name() << " epoch " << epoch
+            << " train_loss=" << train_loss << " val_mse=" << val_mse
+            << " flops=" << (exec_ctx->stats().flops - flops_before)
+            << " peak_scratch_bytes=" << exec_ctx->stats().peak_scratch_bytes;
+      } else {
+        PRESTROID_LOG(Info) << model->name() << " epoch " << epoch
+                            << " train_loss=" << train_loss
+                            << " val_mse=" << val_mse;
+      }
     }
 
     bool stop = false;

@@ -51,6 +51,15 @@ class CostModel {
   /// tunable optimizer ignore it.
   virtual void ScaleLearningRate(float factor) { (void)factor; }
 
+  /// Binds the execution context (thread pool + scratch arena + counters)
+  /// that the model's kernels run through. Passing null rebinds the serial
+  /// default. Default no-op for models without tensor kernels (e.g. SVR).
+  virtual void SetExecutionContext(ExecutionContext* ctx) { (void)ctx; }
+
+  /// The bound context, or null for models that don't track one. The trainer
+  /// uses it to report per-epoch flop counts in verbose logs.
+  virtual ExecutionContext* execution_context() { return nullptr; }
+
   /// Optimizer state (e.g. Adam moments + step counter) for crash-safe
   /// training snapshots. Default: stateless (nothing written, restore is a
   /// no-op on an empty record).

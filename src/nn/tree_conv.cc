@@ -1,6 +1,7 @@
 #include "nn/tree_conv.h"
 
 #include <limits>
+#include <utility>
 
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -19,8 +20,8 @@ TreeConvLayer::TreeConvLayer(size_t in_features, size_t out_features, Rng* rng)
       w_right_grad_({in_features, out_features}),
       bias_grad_({out_features}) {}
 
-Tensor TreeConvLayer::Forward(const Tensor& features,
-                              const TreeStructure& structure) {
+Tensor& TreeConvLayer::Forward(const Tensor& features,
+                               const TreeStructure& structure) {
   PRESTROID_CHECK_EQ(features.rank(), 3u);
   const size_t batch = features.dim(0);
   const size_t nodes = features.dim(1);
@@ -28,10 +29,13 @@ Tensor TreeConvLayer::Forward(const Tensor& features,
   PRESTROID_CHECK_EQ(structure.batch_size(), batch);
   PRESTROID_CHECK_EQ(structure.max_nodes(), nodes);
 
-  input_cache_ = features;
+  input_cache_.CopyFrom(features);
   structure_cache_ = &structure;
 
-  Tensor out({batch, nodes, out_features_});
+  output_.ResetShape({batch, nodes, out_features_});
+  ctx_->AddOp();
+  // 3 child positions x multiply-add per (node, in, out) triple.
+  ctx_->AddFlops(6ull * batch * nodes * in_features_ * out_features_);
   // Helper: out_row += x_row * W, with x_row [in], W [in, out].
   auto accumulate = [&](const float* x_row, const Tensor& w, float* out_row) {
     for (size_t i = 0; i < in_features_; ++i) {
@@ -42,28 +46,33 @@ Tensor TreeConvLayer::Forward(const Tensor& features,
     }
   };
 
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t n = 0; n < nodes; ++n) {
-      float* out_row = out.data() + (b * nodes + n) * out_features_;
-      for (size_t o = 0; o < out_features_; ++o) out_row[o] = bias_[o];
-      const float* self_row = features.data() + (b * nodes + n) * in_features_;
-      accumulate(self_row, w_self_, out_row);
-      int l = structure.left[b][n];
-      if (l >= 0) {
-        accumulate(features.data() + (b * nodes + static_cast<size_t>(l)) * in_features_,
-                   w_left_, out_row);
-      }
-      int r = structure.right[b][n];
-      if (r >= 0) {
-        accumulate(features.data() + (b * nodes + static_cast<size_t>(r)) * in_features_,
-                   w_right_, out_row);
+  ctx_->ParallelFor(0, batch, 1, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t n = 0; n < nodes; ++n) {
+        float* out_row = output_.data() + (b * nodes + n) * out_features_;
+        for (size_t o = 0; o < out_features_; ++o) out_row[o] = bias_[o];
+        const float* self_row =
+            input_cache_.data() + (b * nodes + n) * in_features_;
+        accumulate(self_row, w_self_, out_row);
+        int l = structure.left[b][n];
+        if (l >= 0) {
+          accumulate(input_cache_.data() +
+                         (b * nodes + static_cast<size_t>(l)) * in_features_,
+                     w_left_, out_row);
+        }
+        int r = structure.right[b][n];
+        if (r >= 0) {
+          accumulate(input_cache_.data() +
+                         (b * nodes + static_cast<size_t>(r)) * in_features_,
+                     w_right_, out_row);
+        }
       }
     }
-  }
-  return out;
+  });
+  return output_;
 }
 
-Tensor TreeConvLayer::Backward(const Tensor& grad_output) {
+Tensor& TreeConvLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK(structure_cache_ != nullptr);
   const TreeStructure& structure = *structure_cache_;
   const size_t batch = input_cache_.dim(0);
@@ -72,14 +81,17 @@ Tensor TreeConvLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.dim(1), nodes);
   PRESTROID_CHECK_EQ(grad_output.dim(2), out_features_);
 
-  Tensor grad_in(input_cache_.shape());
+  grad_input_.ResetShape(input_cache_.shape());
+  grad_input_.Fill(0.0f);
+  ctx_->AddOp();
+  ctx_->AddFlops(12ull * batch * nodes * in_features_ * out_features_);
 
   // For each position: dW += x^T gy; dx += gy W^T.
-  auto backprop_one = [&](const float* x_row, const float* gy_row, Tensor& w,
-                          Tensor& w_grad, float* gx_row) {
+  auto backprop_one = [&](const float* x_row, const float* gy_row,
+                          const Tensor& w, Tensor* w_grad, float* gx_row) {
     for (size_t i = 0; i < in_features_; ++i) {
       const float* w_row = w.data() + i * out_features_;
-      float* gw_row = w_grad.data() + i * out_features_;
+      float* gw_row = w_grad->data() + i * out_features_;
       const float xv = x_row[i];
       float acc = 0.0f;
       for (size_t o = 0; o < out_features_; ++o) {
@@ -91,28 +103,63 @@ Tensor TreeConvLayer::Backward(const Tensor& grad_output) {
     }
   };
 
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t n = 0; n < nodes; ++n) {
-      const float* gy = grad_output.data() + (b * nodes + n) * out_features_;
-      for (size_t o = 0; o < out_features_; ++o) bias_grad_[o] += gy[o];
-      const size_t self_off = (b * nodes + n) * in_features_;
-      backprop_one(input_cache_.data() + self_off, gy, w_self_, w_self_grad_,
-                   grad_in.data() + self_off);
-      int l = structure.left[b][n];
-      if (l >= 0) {
-        const size_t off = (b * nodes + static_cast<size_t>(l)) * in_features_;
-        backprop_one(input_cache_.data() + off, gy, w_left_, w_left_grad_,
-                     grad_in.data() + off);
-      }
-      int r = structure.right[b][n];
-      if (r >= 0) {
-        const size_t off = (b * nodes + static_cast<size_t>(r)) * in_features_;
-        backprop_one(input_cache_.data() + off, gy, w_right_, w_right_grad_,
-                     grad_in.data() + off);
+  // Historical serial loop for trees [b0, b1), accumulating weight/bias
+  // gradients into the given tensors.
+  auto backward_range = [&](size_t b0, size_t b1, Tensor* gws, Tensor* gwl,
+                            Tensor* gwr, Tensor* gb) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t n = 0; n < nodes; ++n) {
+        const float* gy = grad_output.data() + (b * nodes + n) * out_features_;
+        for (size_t o = 0; o < out_features_; ++o) (*gb)[o] += gy[o];
+        const size_t self_off = (b * nodes + n) * in_features_;
+        backprop_one(input_cache_.data() + self_off, gy, w_self_, gws,
+                     grad_input_.data() + self_off);
+        int l = structure.left[b][n];
+        if (l >= 0) {
+          const size_t off = (b * nodes + static_cast<size_t>(l)) * in_features_;
+          backprop_one(input_cache_.data() + off, gy, w_left_, gwl,
+                       grad_input_.data() + off);
+        }
+        int r = structure.right[b][n];
+        if (r >= 0) {
+          const size_t off = (b * nodes + static_cast<size_t>(r)) * in_features_;
+          backprop_one(input_cache_.data() + off, gy, w_right_, gwr,
+                       grad_input_.data() + off);
+        }
       }
     }
+  };
+
+  const auto parts = ctx_->Partition(0, batch, 1);
+  if (parts.size() <= 1) {
+    backward_range(0, batch, &w_self_grad_, &w_left_grad_, &w_right_grad_,
+                   &bias_grad_);
+    return grad_input_;
   }
-  return grad_in;
+  // Parallel path: grad_input_ rows are disjoint per tree, but the four
+  // weight-gradient accumulators are shared — per-chunk scratch, reduced in
+  // ascending chunk order (deterministic at a fixed thread count).
+  std::vector<std::vector<Tensor>> scratch(parts.size());
+  for (size_t c = 0; c < parts.size(); ++c) {
+    scratch[c].push_back(ctx_->AcquireScratch({in_features_, out_features_}));
+    scratch[c].push_back(ctx_->AcquireScratch({in_features_, out_features_}));
+    scratch[c].push_back(ctx_->AcquireScratch({in_features_, out_features_}));
+    scratch[c].push_back(ctx_->AcquireScratch({out_features_}));
+  }
+  ctx_->ParallelFor(0, batch, 1, [&](size_t b0, size_t b1) {
+    size_t c = 0;
+    while (parts[c].first != b0) ++c;
+    backward_range(b0, b1, &scratch[c][0], &scratch[c][1], &scratch[c][2],
+                   &scratch[c][3]);
+  });
+  for (size_t c = 0; c < parts.size(); ++c) {
+    w_self_grad_ += scratch[c][0];
+    w_left_grad_ += scratch[c][1];
+    w_right_grad_ += scratch[c][2];
+    bias_grad_ += scratch[c][3];
+    for (Tensor& t : scratch[c]) ctx_->ReleaseScratch(std::move(t));
+  }
+  return grad_input_;
 }
 
 std::vector<ParamRef> TreeConvLayer::Params() {
@@ -128,8 +175,8 @@ size_t TreeConvLayer::NumParameters() {
   return total;
 }
 
-Tensor MaskedDynamicPooling::Forward(const Tensor& features,
-                                     const TreeStructure& structure) {
+Tensor& MaskedDynamicPooling::Forward(const Tensor& features,
+                                      const TreeStructure& structure) {
   PRESTROID_CHECK_EQ(features.rank(), 3u);
   const size_t batch = features.dim(0);
   const size_t nodes = features.dim(1);
@@ -138,43 +185,49 @@ Tensor MaskedDynamicPooling::Forward(const Tensor& features,
   input_shape_ = features.shape();
   argmax_.assign(batch * dims, -1);
 
-  Tensor out({batch, dims});
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t d = 0; d < dims; ++d) {
-      float best = -std::numeric_limits<float>::infinity();
-      int best_n = -1;
-      for (size_t n = 0; n < nodes; ++n) {
-        if (structure.mask[b][n] == 0.0f) continue;
-        float v = features.At(b, n, d);
-        if (v > best) {
-          best = v;
-          best_n = static_cast<int>(n);
+  output_.ResetShape({batch, dims});
+  output_.Fill(0.0f);
+  ctx_->ParallelFor(0, batch, 8, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t d = 0; d < dims; ++d) {
+        float best = -std::numeric_limits<float>::infinity();
+        int best_n = -1;
+        for (size_t n = 0; n < nodes; ++n) {
+          if (structure.mask[b][n] == 0.0f) continue;
+          float v = features.At(b, n, d);
+          if (v > best) {
+            best = v;
+            best_n = static_cast<int>(n);
+          }
         }
+        if (best_n >= 0) {
+          output_.At(b, d) = best;
+          argmax_[b * dims + d] = best_n;
+        }  // else: fully-masked tree pools to zero.
       }
-      if (best_n >= 0) {
-        out.At(b, d) = best;
-        argmax_[b * dims + d] = best_n;
-      }  // else: fully-masked tree pools to zero.
     }
-  }
-  return out;
+  });
+  return output_;
 }
 
-Tensor MaskedDynamicPooling::Backward(const Tensor& grad_output) {
+Tensor& MaskedDynamicPooling::Backward(const Tensor& grad_output) {
   const size_t batch = input_shape_[0];
   const size_t dims = input_shape_[2];
   PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
   PRESTROID_CHECK_EQ(grad_output.dim(1), dims);
-  Tensor grad_in(input_shape_);
-  for (size_t b = 0; b < batch; ++b) {
-    for (size_t d = 0; d < dims; ++d) {
-      int n = argmax_[b * dims + d];
-      if (n >= 0) {
-        grad_in.At(b, static_cast<size_t>(n), d) = grad_output.At(b, d);
+  grad_input_.ResetShape(input_shape_);
+  grad_input_.Fill(0.0f);
+  ctx_->ParallelFor(0, batch, 8, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t d = 0; d < dims; ++d) {
+        int n = argmax_[b * dims + d];
+        if (n >= 0) {
+          grad_input_.At(b, static_cast<size_t>(n), d) = grad_output.At(b, d);
+        }
       }
     }
-  }
-  return grad_in;
+  });
+  return grad_input_;
 }
 
 }  // namespace prestroid

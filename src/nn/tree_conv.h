@@ -36,6 +36,11 @@ struct TreeStructure {
 /// Null children contribute zero. Input [batch, max_nodes, in] ->
 /// output [batch, max_nodes, out]. The structure is passed per batch and must
 /// stay alive until Backward() completes.
+///
+/// Forward parallelizes over trees (disjoint output rows, per-element float
+/// order unchanged); Backward parallelizes over trees with per-chunk scratch
+/// weight-gradient accumulators reduced in ascending chunk order, falling
+/// back to the historical serial loop when the context yields one chunk.
 class TreeConvLayer {
  public:
   TreeConvLayer(size_t in_features, size_t out_features, Rng* rng);
@@ -43,9 +48,14 @@ class TreeConvLayer {
   TreeConvLayer(const TreeConvLayer&) = delete;
   TreeConvLayer& operator=(const TreeConvLayer&) = delete;
 
-  Tensor Forward(const Tensor& features, const TreeStructure& structure);
+  Tensor& Forward(const Tensor& features, const TreeStructure& structure);
   /// Returns dL/d(features). Accumulates weight gradients.
-  Tensor Backward(const Tensor& grad_output);
+  Tensor& Backward(const Tensor& grad_output);
+
+  /// Binds the execution context (null rebinds the serial default).
+  void set_context(ExecutionContext* ctx) {
+    ctx_ = ctx != nullptr ? ctx : ExecutionContext::Serial();
+  }
 
   std::vector<ParamRef> Params();
   size_t NumParameters();
@@ -62,6 +72,9 @@ class TreeConvLayer {
   Tensor bias_grad_;
   Tensor input_cache_;
   const TreeStructure* structure_cache_ = nullptr;
+  ExecutionContext* ctx_ = ExecutionContext::Serial();
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 /// One-way dynamic pooling with vote bit-masking (paper Section 4.1):
@@ -70,12 +83,19 @@ class TreeConvLayer {
 /// mask is entirely zero pool to the zero vector.
 class MaskedDynamicPooling {
  public:
-  Tensor Forward(const Tensor& features, const TreeStructure& structure);
-  Tensor Backward(const Tensor& grad_output);
+  Tensor& Forward(const Tensor& features, const TreeStructure& structure);
+  Tensor& Backward(const Tensor& grad_output);
+
+  void set_context(ExecutionContext* ctx) {
+    ctx_ = ctx != nullptr ? ctx : ExecutionContext::Serial();
+  }
 
  private:
   std::vector<int> argmax_;  // [batch*features] node index of max, -1 if none
   std::vector<size_t> input_shape_;
+  ExecutionContext* ctx_ = ExecutionContext::Serial();
+  Tensor output_;
+  Tensor grad_input_;
 };
 
 }  // namespace prestroid

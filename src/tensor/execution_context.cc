@@ -1,0 +1,75 @@
+#include "tensor/execution_context.h"
+
+#include <algorithm>
+
+namespace prestroid {
+
+ExecutionContext::ExecutionContext(size_t num_threads) {
+  if (num_threads == 0) num_threads = ThreadPool::HardwareConcurrency();
+  if (num_threads > 1) pool_ = std::make_unique<ThreadPool>(num_threads);
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+std::vector<std::pair<size_t, size_t>> ExecutionContext::Partition(
+    size_t begin, size_t end, size_t grain) const {
+  if (pool_) return pool_->Partition(begin, end, grain);
+  std::vector<std::pair<size_t, size_t>> one;
+  if (end > begin) one.emplace_back(begin, end);
+  return one;
+}
+
+void ExecutionContext::ParallelFor(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (pool_) {
+    pool_->ParallelFor(begin, end, grain, fn);
+  } else {
+    fn(begin, end);
+  }
+}
+
+Tensor ExecutionContext::AcquireScratch(const std::vector<size_t>& shape) {
+  const size_t needed = ShapeSize(shape);
+  // Best fit among recycled buffers: smallest capacity that still holds
+  // `needed`, so big buffers stay available for big requests.
+  size_t best = free_scratch_.size();
+  for (size_t i = 0; i < free_scratch_.size(); ++i) {
+    if (free_scratch_[i].capacity() < needed) continue;
+    if (best == free_scratch_.size() ||
+        free_scratch_[i].capacity() < free_scratch_[best].capacity()) {
+      best = i;
+    }
+  }
+  Tensor out;
+  if (best < free_scratch_.size()) {
+    out = std::move(free_scratch_[best]);
+    free_scratch_.erase(free_scratch_.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+    out.ResetShape(shape);
+  } else {
+    out.ResetShape(shape);
+    stats_.scratch_bytes_allocated += needed * sizeof(float);
+  }
+  out.Fill(0.0f);
+  live_scratch_bytes_ += needed * sizeof(float);
+  stats_.peak_scratch_bytes =
+      std::max<uint64_t>(stats_.peak_scratch_bytes, live_scratch_bytes_);
+  return out;
+}
+
+void ExecutionContext::ReleaseScratch(Tensor tensor) {
+  const uint64_t bytes = static_cast<uint64_t>(tensor.size()) * sizeof(float);
+  live_scratch_bytes_ = bytes > live_scratch_bytes_
+                            ? 0
+                            : live_scratch_bytes_ - bytes;
+  free_scratch_.push_back(std::move(tensor));
+}
+
+ExecutionContext* ExecutionContext::Serial() {
+  static ExecutionContext* serial = new ExecutionContext(1);
+  return serial;
+}
+
+}  // namespace prestroid

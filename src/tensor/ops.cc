@@ -7,78 +7,337 @@
 
 namespace prestroid {
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+namespace {
+
+/// Rows-per-chunk floor so ParallelFor never splits work finer than roughly
+/// this many flops per chunk — tiny shapes stay inline on the caller.
+constexpr size_t kGrainFlops = 1u << 15;
+
+size_t RowGrain(size_t row_cost_flops) {
+  return std::max<size_t>(1, kGrainFlops / std::max<size_t>(1, row_cost_flops));
+}
+
+/// Reduction-dim tile for the blocked matmul: 256 rows of b at n<=1024
+/// floats stay within L2 while every row of the chunk streams over them.
+constexpr size_t kMatMulKBlock = 256;
+
+constexpr size_t kTransposeBlock = 64;
+
+}  // namespace
+
+// --- Destination-passing kernels -------------------------------------------
+
+void MatMulInto(Tensor* out, const Tensor& a, const Tensor& b,
+                ExecutionContext* ctx) {
   PRESTROID_CHECK_EQ(a.rank(), 2u);
   PRESTROID_CHECK_EQ(b.rank(), 2u);
   PRESTROID_CHECK_EQ(a.dim(1), b.dim(0));
   const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor out({m, n});
+  out->ResetShape({m, n});
   const float* ap = a.data();
   const float* bp = b.data();
-  float* op = out.data();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float aik = ap[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = bp + kk * n;
-      float* orow = op + i * n;
-      for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(2ull * m * k * n);
   }
-  return out;
+  auto kernel = [&](size_t i0, size_t i1) {
+    std::fill(op + i0 * n, op + i1 * n, 0.0f);
+    // Tiling the reduction dim keeps the touched rows of b hot across every
+    // row of the chunk; per output element the k-accumulation order is still
+    // strictly ascending, so tiling does not change a single bit.
+    for (size_t kk0 = 0; kk0 < k; kk0 += kMatMulKBlock) {
+      const size_t kk1 = std::min(k, kk0 + kMatMulKBlock);
+      for (size_t i = i0; i < i1; ++i) {
+        const float* arow = ap + i * k;
+        float* orow = op + i * n;
+        for (size_t kk = kk0; kk < kk1; ++kk) {
+          const float aik = arow[kk];
+          if (aik == 0.0f) continue;
+          const float* brow = bp + kk * n;
+          for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+        }
+      }
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, m, RowGrain(2 * k * n), kernel);
+  } else {
+    kernel(0, m);
+  }
 }
 
-Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+void MatMulTransposeAAccumulate(Tensor* out, const Tensor& a, const Tensor& b,
+                                ExecutionContext* ctx) {
   PRESTROID_CHECK_EQ(a.rank(), 2u);
   PRESTROID_CHECK_EQ(b.rank(), 2u);
   PRESTROID_CHECK_EQ(a.dim(0), b.dim(0));
   const size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor out({m, n});
+  PRESTROID_CHECK_EQ(out->rank(), 2u);
+  PRESTROID_CHECK_EQ(out->dim(0), m);
+  PRESTROID_CHECK_EQ(out->dim(1), n);
   const float* ap = a.data();
   const float* bp = b.data();
-  float* op = out.data();
-  for (size_t kk = 0; kk < k; ++kk) {
-    const float* arow = ap + kk * m;
-    const float* brow = bp + kk * n;
-    for (size_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* orow = op + i * n;
-      for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(2ull * k * m * n);
   }
-  return out;
+  // Parallel over the rows of `out` (columns of `a`); within each chunk the
+  // reduction runs kk-outer, matching the historical serial loop exactly.
+  auto kernel = [&](size_t i0, size_t i1) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* arow = ap + kk * m;
+      const float* brow = bp + kk * n;
+      for (size_t i = i0; i < i1; ++i) {
+        const float aik = arow[i];
+        if (aik == 0.0f) continue;
+        float* orow = op + i * n;
+        for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, m, RowGrain(2 * k * n), kernel);
+  } else {
+    kernel(0, m);
+  }
 }
 
-Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+void MatMulTransposeAInto(Tensor* out, const Tensor& a, const Tensor& b,
+                          ExecutionContext* ctx) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  const size_t m = a.dim(1);
+  const size_t n = b.dim(1);
+  out->ResetShape({m, n});
+  out->Fill(0.0f);
+  MatMulTransposeAAccumulate(out, a, b, ctx);
+}
+
+void MatMulTransposeBInto(Tensor* out, const Tensor& a, const Tensor& b,
+                          ExecutionContext* ctx) {
   PRESTROID_CHECK_EQ(a.rank(), 2u);
   PRESTROID_CHECK_EQ(b.rank(), 2u);
   PRESTROID_CHECK_EQ(a.dim(1), b.dim(1));
   const size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  Tensor out({m, n});
+  out->ResetShape({m, n});
   const float* ap = a.data();
   const float* bp = b.data();
-  float* op = out.data();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = bp + j * k;
-      float acc = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      op[i * n + j] = acc;
-    }
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(2ull * m * k * n);
   }
+  auto kernel = [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = ap + i * k;
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = bp + j * k;
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        op[i * n + j] = acc;
+      }
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, m, RowGrain(2 * k * n), kernel);
+  } else {
+    kernel(0, m);
+  }
+}
+
+void TransposeInto(Tensor* out, const Tensor& a, ExecutionContext* ctx) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  const size_t m = a.dim(0), n = a.dim(1);
+  out->ResetShape({n, m});
+  const float* ap = a.data();
+  float* op = out->data();
+  if (ctx != nullptr) ctx->AddOp();
+  auto kernel = [&](size_t i0, size_t i1) {
+    for (size_t j0 = 0; j0 < n; j0 += kTransposeBlock) {
+      const size_t j1 = std::min(n, j0 + kTransposeBlock);
+      for (size_t i = i0; i < i1; ++i) {
+        for (size_t j = j0; j < j1; ++j) op[j * m + i] = ap[i * n + j];
+      }
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, m, RowGrain(n), kernel);
+  } else {
+    kernel(0, m);
+  }
+}
+
+void AddInto(Tensor* out, const Tensor& a, const Tensor& b,
+             ExecutionContext* ctx) {
+  PRESTROID_CHECK_EQ(a.size(), b.size());
+  out->ResetShape(a.shape());
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(a.size());
+  }
+  auto kernel = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) op[i] = ap[i] + bp[i];
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, a.size(), kGrainFlops, kernel);
+  } else {
+    kernel(0, a.size());
+  }
+}
+
+void MulInto(Tensor* out, const Tensor& a, const Tensor& b,
+             ExecutionContext* ctx) {
+  PRESTROID_CHECK_EQ(a.size(), b.size());
+  out->ResetShape(a.shape());
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(a.size());
+  }
+  auto kernel = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) op[i] = ap[i] * bp[i];
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, a.size(), kGrainFlops, kernel);
+  } else {
+    kernel(0, a.size());
+  }
+}
+
+void AddRowBroadcastInPlace(Tensor* a, const Tensor& bias,
+                            ExecutionContext* ctx) {
+  PRESTROID_CHECK_EQ(a->rank(), 2u);
+  PRESTROID_CHECK_EQ(bias.size(), a->dim(1));
+  const size_t m = a->dim(0), n = a->dim(1);
+  float* ap = a->data();
+  const float* bp = bias.data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(static_cast<uint64_t>(m) * n);
+  }
+  auto kernel = [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      float* row = ap + i * n;
+      for (size_t j = 0; j < n; ++j) row[j] += bp[j];
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, m, RowGrain(n), kernel);
+  } else {
+    kernel(0, m);
+  }
+}
+
+void SumRowsAccumulate(Tensor* out, const Tensor& a, ExecutionContext* ctx) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  const size_t m = a.dim(0), n = a.dim(1);
+  PRESTROID_CHECK_EQ(out->size(), n);
+  const float* ap = a.data();
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(static_cast<uint64_t>(m) * n);
+  }
+  // Each chunk owns a disjoint column range; every column still accumulates
+  // its rows in ascending order, so this matches the serial result exactly.
+  auto kernel = [&](size_t j0, size_t j1) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* row = ap + i * n;
+      for (size_t j = j0; j < j1; ++j) op[j] += row[j];
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, n, RowGrain(m), kernel);
+  } else {
+    kernel(0, n);
+  }
+}
+
+void ReluInto(Tensor* out, const Tensor& a, ExecutionContext* ctx) {
+  if (out != &a) out->ResetShape(a.shape());
+  const float* ap = a.data();
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(a.size());
+  }
+  auto kernel = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) op[i] = std::max(0.0f, ap[i]);
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, a.size(), kGrainFlops, kernel);
+  } else {
+    kernel(0, a.size());
+  }
+}
+
+void SigmoidInto(Tensor* out, const Tensor& a, ExecutionContext* ctx) {
+  if (out != &a) out->ResetShape(a.shape());
+  const float* ap = a.data();
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(4ull * a.size());
+  }
+  auto kernel = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      op[i] = 1.0f / (1.0f + std::exp(-ap[i]));
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, a.size(), kGrainFlops / 4, kernel);
+  } else {
+    kernel(0, a.size());
+  }
+}
+
+void TanhInto(Tensor* out, const Tensor& a, ExecutionContext* ctx) {
+  if (out != &a) out->ResetShape(a.shape());
+  const float* ap = a.data();
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    ctx->AddFlops(4ull * a.size());
+  }
+  auto kernel = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) op[i] = std::tanh(ap[i]);
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, a.size(), kGrainFlops / 4, kernel);
+  } else {
+    kernel(0, a.size());
+  }
+}
+
+// --- Return-by-value wrappers ----------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  MatMulInto(&out, a, b, nullptr);
+  return out;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  MatMulTransposeAInto(&out, a, b, nullptr);
+  return out;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  MatMulTransposeBInto(&out, a, b, nullptr);
   return out;
 }
 
 Tensor Transpose(const Tensor& a) {
-  PRESTROID_CHECK_EQ(a.rank(), 2u);
-  const size_t m = a.dim(0), n = a.dim(1);
-  Tensor out({n, m});
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t j = 0; j < n; ++j) out.At(j, i) = a.At(i, j);
-  }
+  Tensor out;
+  TransposeInto(&out, a, nullptr);
   return out;
 }
 
@@ -108,25 +367,15 @@ Tensor Scale(const Tensor& a, float s) {
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
-  PRESTROID_CHECK_EQ(a.rank(), 2u);
-  PRESTROID_CHECK_EQ(bias.size(), a.dim(1));
   Tensor out = a;
-  const size_t m = a.dim(0), n = a.dim(1);
-  for (size_t i = 0; i < m; ++i) {
-    float* row = out.data() + i * n;
-    for (size_t j = 0; j < n; ++j) row[j] += bias[j];
-  }
+  AddRowBroadcastInPlace(&out, bias, nullptr);
   return out;
 }
 
 Tensor SumRows(const Tensor& a) {
   PRESTROID_CHECK_EQ(a.rank(), 2u);
-  const size_t m = a.dim(0), n = a.dim(1);
-  Tensor out({n});
-  for (size_t i = 0; i < m; ++i) {
-    const float* row = a.data() + i * n;
-    for (size_t j = 0; j < n; ++j) out[j] += row[j];
-  }
+  Tensor out({a.dim(1)});
+  SumRowsAccumulate(&out, a, nullptr);
   return out;
 }
 
@@ -162,22 +411,20 @@ Tensor MinRows(const Tensor& a) {
 }
 
 Tensor Relu(const Tensor& a) {
-  Tensor out = a;
-  for (size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  Tensor out;
+  ReluInto(&out, a, nullptr);
   return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  Tensor out = a;
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
-  }
+  Tensor out;
+  SigmoidInto(&out, a, nullptr);
   return out;
 }
 
 Tensor TanhT(const Tensor& a) {
-  Tensor out = a;
-  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  Tensor out;
+  TanhInto(&out, a, nullptr);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef PRESTROID_TENSOR_OPS_H_
 #define PRESTROID_TENSOR_OPS_H_
 
+#include "tensor/execution_context.h"
 #include "tensor/tensor.h"
 
 namespace prestroid {
@@ -42,6 +43,61 @@ Tensor MinRows(const Tensor& a);
 Tensor Relu(const Tensor& a);
 Tensor Sigmoid(const Tensor& a);
 Tensor TanhT(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Destination-passing variants.
+//
+// Each *Into op writes its result into `out`, resizing it via ResetShape
+// (allocation-free once the workspace is warm), and routes work through
+// `ctx`: kernels parallelize over independent output rows with the context's
+// ParallelFor, and the context's flop/op counters are updated. `ctx` may be
+// null, which means serial execution with no counters.
+//
+// Determinism contract: every parallel kernel preserves the per-element
+// floating-point accumulation order of its serial counterpart (reductions
+// always run k-ascending for each output element), so results are
+// bit-identical to serial at ANY thread count, not merely close. The
+// return-by-value ops above are thin wrappers over these.
+// ---------------------------------------------------------------------------
+
+/// out = a @ b. Cache-blocked over the reduction dim, parallel over rows.
+void MatMulInto(Tensor* out, const Tensor& a, const Tensor& b,
+                ExecutionContext* ctx);
+
+/// out = a^T @ b (a is [k, m], b is [k, n]).
+void MatMulTransposeAInto(Tensor* out, const Tensor& a, const Tensor& b,
+                          ExecutionContext* ctx);
+
+/// out += a^T @ b. `out` must already be [m, n]; used for gradient
+/// accumulation across subtrees/timesteps without a temp tensor.
+void MatMulTransposeAAccumulate(Tensor* out, const Tensor& a, const Tensor& b,
+                                ExecutionContext* ctx);
+
+/// out = a @ b^T (a is [m, k], b is [n, k]).
+void MatMulTransposeBInto(Tensor* out, const Tensor& a, const Tensor& b,
+                          ExecutionContext* ctx);
+
+/// out = a^T, blocked for cache locality, parallel over source rows.
+void TransposeInto(Tensor* out, const Tensor& a, ExecutionContext* ctx);
+
+/// Elementwise into-variants; `out` may not alias the inputs except where
+/// noted. AddRowBroadcastInPlace mutates `a` directly (the common case after
+/// a MatMulInto).
+void AddInto(Tensor* out, const Tensor& a, const Tensor& b,
+             ExecutionContext* ctx);
+void MulInto(Tensor* out, const Tensor& a, const Tensor& b,
+             ExecutionContext* ctx);
+void AddRowBroadcastInPlace(Tensor* a, const Tensor& bias,
+                            ExecutionContext* ctx);
+
+/// out += column-wise sum of `a` ([m, n] -> [n]); parallel over columns, row
+/// order preserved per column. `out` must already be [n].
+void SumRowsAccumulate(Tensor* out, const Tensor& a, ExecutionContext* ctx);
+
+/// Elementwise activations into a workspace; `out` may alias `a`.
+void ReluInto(Tensor* out, const Tensor& a, ExecutionContext* ctx);
+void SigmoidInto(Tensor* out, const Tensor& a, ExecutionContext* ctx);
+void TanhInto(Tensor* out, const Tensor& a, ExecutionContext* ctx);
 
 }  // namespace prestroid
 

@@ -101,6 +101,21 @@ Tensor Tensor::Reshape(std::vector<size_t> new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+void Tensor::ReshapeInPlace(std::vector<size_t> new_shape) {
+  PRESTROID_CHECK_EQ(ShapeSize(new_shape), size());
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::ResetShape(const std::vector<size_t>& new_shape) {
+  shape_ = new_shape;
+  data_.resize(ShapeSize(shape_));
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  shape_ = other.shape_;
+  data_.assign(other.data_.begin(), other.data_.end());
+}
+
 void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }

@@ -61,9 +61,26 @@ class Tensor {
   float& At(size_t i, size_t j, size_t k);
   float At(size_t i, size_t j, size_t k) const;
 
-  /// Returns a reshaped deep view (same data, new shape); total size must
-  /// be preserved.
+  /// Returns a reshaped deep COPY of this tensor (the data is duplicated,
+  /// not aliased); total size must be preserved. Hot paths that only need to
+  /// relabel the shape should use ReshapeInPlace instead.
   Tensor Reshape(std::vector<size_t> new_shape) const;
+
+  /// Relabels the shape without touching the data. No allocation, no copy;
+  /// total size must be preserved.
+  void ReshapeInPlace(std::vector<size_t> new_shape);
+
+  /// Resizes to `new_shape`, reusing existing capacity when possible.
+  /// Element values are unspecified afterwards (workspace semantics); use
+  /// Fill(0) if zeros are required.
+  void ResetShape(const std::vector<size_t>& new_shape);
+
+  /// Makes this tensor an exact copy of `other`, reusing existing capacity
+  /// when possible (allocation-free once warm).
+  void CopyFrom(const Tensor& other);
+
+  /// Elements the underlying buffer can hold without reallocating.
+  size_t capacity() const { return data_.capacity(); }
 
   /// Sets every element to `value`.
   void Fill(float value);
