@@ -5,12 +5,16 @@
 // The timings use the analytic V100 device model at the paper's exact model
 // dimensions; a measured-on-CPU column from the bench-scale fitted models is
 // appended for the Prestroid variants.
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "cloud/epoch_time_model.h"
+#include "cost/serving_estimator.h"
+#include "tensor/kernels/kernel_registry.h"
 #include "util/table_printer.h"
 
 namespace prestroid::bench {
@@ -111,6 +115,7 @@ int Run() {
   std::cout << "\n-- measured CPU inference at bench scale --\n";
   BenchScale scale = GetBenchScale();
   BenchDataset data = BuildGrabDataset(scale);
+  std::unique_ptr<core::PrestroidPipeline> serving_pipeline;
   TablePrinter measured({"Model", "test queries", "measured (s)"});
   for (bool subtree : {true, false}) {
     ModelRun run = RunPrestroid(data, scale, true, 15, 9,
@@ -123,8 +128,67 @@ int Run() {
                      StrFormat("%.3f",
                                std::chrono::duration<double>(end - start)
                                    .count())});
+    if (subtree) serving_pipeline = std::move(run.pipeline);
   }
   measured.Print(std::cout);
+
+  // Per-tier serving latency through the fault-tolerant front end: the model
+  // tier answers via the kernel dispatch; disabling it forces the
+  // log-binning tier; an estimator with no fitted fallbacks isolates the
+  // constant global-mean tier.
+  std::cout << "\n-- per-tier serving latency (fault-tolerant front end) --\n";
+  {
+    ExecutionContext* ctx = serving_pipeline->execution_context();
+    std::cout << StrFormat(
+        "active kernel backend: %s, threads: %zu\n",
+        KernelRegistry::BackendName(ctx->kernels().backend(KernelOp::kGemm)),
+        ctx->num_threads());
+
+    std::vector<std::vector<double>> latencies_ms(cost::kNumServingTiers);
+    cost::ServingEstimator estimator;
+    if (Status st = estimator.FitFallbacks(data.records); !st.ok()) {
+      std::cerr << "fallback fit failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    estimator.AttachPipeline(std::move(serving_pipeline));
+    // A deadline far above any CPU latency so every request reaches the
+    // deepest enabled tier rather than being EWMA-skipped.
+    const double kNoDeadlineMs = 1e9;
+    for (bool model_enabled : {true, false}) {
+      estimator.set_model_enabled(model_enabled);
+      for (size_t idx : data.splits.test) {
+        cost::ServingEstimate est = estimator.EstimateWithFallback(
+            *data.records[idx].plan, kNoDeadlineMs);
+        latencies_ms[static_cast<size_t>(est.tier)].push_back(est.latency_ms);
+      }
+    }
+    cost::ServingEstimator bare;  // nothing fitted -> global mean answers
+    for (size_t idx : data.splits.test) {
+      cost::ServingEstimate est =
+          bare.EstimateWithFallback(*data.records[idx].plan, kNoDeadlineMs);
+      latencies_ms[static_cast<size_t>(est.tier)].push_back(est.latency_ms);
+    }
+
+    TablePrinter tiers({"tier", "requests", "mean ms", "p95 ms"});
+    for (size_t t = 0; t < cost::kNumServingTiers; ++t) {
+      std::vector<double>& lat = latencies_ms[t];
+      const char* name =
+          cost::ServingTierToString(static_cast<cost::ServingTier>(t));
+      if (lat.empty()) {
+        tiers.AddRow({name, "0", "-", "-"});
+        continue;
+      }
+      std::sort(lat.begin(), lat.end());
+      double sum = 0.0;
+      for (double v : lat) sum += v;
+      const double p95 = lat[std::min(lat.size() - 1,
+                                      static_cast<size_t>(0.95 * lat.size()))];
+      tiers.AddRow({name, std::to_string(lat.size()),
+                    StrFormat("%.3f", sum / lat.size()),
+                    StrFormat("%.3f", p95)});
+    }
+    tiers.Print(std::cout);
+  }
   std::cout << "\nFindings to reproduce: WCNN infers fastest (tiny 1-D "
                "inputs); full-tree models\nare capped at small batches by "
                "memory; sub-trees scale to batch 512 but pay\nthe sequential "

@@ -127,6 +127,10 @@ int Train(const Flags& flags) {
   // --threads 1 (default) reproduces the single-threaded results exactly;
   // --threads 0 uses all hardware threads.
   config.threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  // --kernel scalar|blocked selects the numeric backend (default: blocked,
+  // or env PRESTROID_KERNEL). `--kernel scalar --threads 1` reproduces the
+  // historical results bit-for-bit.
+  config.kernel = flags.Get("kernel", "");
   auto pipeline = core::PrestroidPipeline::Fit(*records, splits.train, config);
   if (!pipeline.ok()) return Fail(pipeline.status());
 
@@ -159,11 +163,13 @@ int Train(const Flags& flags) {
             << StrFormat("%.2f",
                          (*pipeline)->EvaluateMseMinutes(splits.test))
             << " min^2\n";
-  const ExecStats& exec_stats = (*pipeline)->execution_context()->stats();
+  const ExecutionContext* exec_ctx = (*pipeline)->execution_context();
+  const ExecStats& exec_stats = exec_ctx->stats();
   std::cout << StrFormat(
-      "exec: threads=%zu flops=%llu op_invocations=%llu "
+      "exec: threads=%zu kernel=%s flops=%llu op_invocations=%llu "
       "peak_scratch_bytes=%llu\n",
-      (*pipeline)->execution_context()->num_threads(),
+      exec_ctx->num_threads(),
+      KernelRegistry::BackendName(exec_ctx->kernels().backend(KernelOp::kGemm)),
       static_cast<unsigned long long>(exec_stats.flops),
       static_cast<unsigned long long>(exec_stats.op_invocations),
       static_cast<unsigned long long>(exec_stats.peak_scratch_bytes));
@@ -296,6 +302,8 @@ int Usage() {
          "  train     --trace FILE --out FILE [--full] [--n N] [--k K]\n"
          "            [--pf P] [--conv C] [--epochs E] [--batch B]\n"
          "            [--threads T (1=serial, 0=all cores)]\n"
+         "            [--kernel scalar|blocked (default blocked; scalar\n"
+         "             reproduces historical bits at --threads 1)]\n"
          "            [--snapshot-every N] [--snapshot FILE] [--resume]\n"
          "  predict   --model FILE --trace FILE [--limit N]\n"
          "  serve     --model FILE --trace FILE [--deadline-ms MS]\n"

@@ -33,6 +33,15 @@ Result<std::unique_ptr<PrestroidPipeline>> PrestroidPipeline::Fit(
   pipeline->config_ = config;
   pipeline->exec_ctx_ = std::make_unique<ExecutionContext>(config.threads);
   ExecutionContext* ctx = pipeline->exec_ctx_.get();
+  if (!config.kernel.empty()) {
+    std::optional<KernelBackend> backend =
+        KernelRegistry::ParseBackend(config.kernel);
+    if (!backend.has_value()) {
+      return Status::InvalidArgument("unknown kernel backend: " +
+                                     config.kernel);
+    }
+    ctx->mutable_kernels()->SetAllBackends(*backend);
+  }
 
   // 1. Label transform over the whole corpus (paper Section 5.1).
   pipeline->cpu_minutes_ = workload::CpuMinutesOf(records);

@@ -43,6 +43,11 @@ struct PipelineConfig {
   /// 0 means all hardware threads. Runtime knob only — never serialized, so
   /// a loaded pipeline always starts at the serving default of 1.
   size_t threads = 1;
+  /// Kernel backend for the numeric ops ("scalar" | "blocked"). Empty picks
+  /// the process default (env PRESTROID_KERNEL, else blocked). "scalar" with
+  /// threads=1 reproduces the pre-kernel-layer results bit-for-bit. Runtime
+  /// knob only — never serialized.
+  std::string kernel;
 };
 
 /// The full Prestroid data-science pipeline of Figure 3: plan re-casting,

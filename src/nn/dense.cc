@@ -17,8 +17,9 @@ Tensor& Dense::Forward(const Tensor& input) {
   PRESTROID_CHECK_EQ(input.rank(), 2u);
   PRESTROID_CHECK_EQ(input.dim(1), in_features_);
   input_cache_.CopyFrom(input);
-  MatMulInto(&output_, input, weight_, ctx_);
-  AddRowBroadcastInPlace(&output_, bias_, ctx_);
+  // Fused-bias GEMM: on the scalar backend this is bit-identical to the
+  // historical MatMul-then-AddRowBroadcast pair (same per-element order).
+  MatMulBiasInto(&output_, input, weight_, bias_, ctx_);
   return output_;
 }
 

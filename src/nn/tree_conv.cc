@@ -1,8 +1,10 @@
 #include "nn/tree_conv.h"
 
+#include <cstring>
 #include <limits>
 #include <utility>
 
+#include "tensor/kernels/kernel_registry.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -31,6 +33,10 @@ Tensor& TreeConvLayer::Forward(const Tensor& features,
 
   input_cache_.CopyFrom(features);
   structure_cache_ = &structure;
+
+  if (ctx_->kernels().backend(KernelOp::kTreeConv) == KernelBackend::kBlocked) {
+    return ForwardBlocked(structure);
+  }
 
   output_.ResetShape({batch, nodes, out_features_});
   ctx_->AddOp();
@@ -80,6 +86,10 @@ Tensor& TreeConvLayer::Backward(const Tensor& grad_output) {
   PRESTROID_CHECK_EQ(grad_output.dim(0), batch);
   PRESTROID_CHECK_EQ(grad_output.dim(1), nodes);
   PRESTROID_CHECK_EQ(grad_output.dim(2), out_features_);
+
+  if (ctx_->kernels().backend(KernelOp::kTreeConv) == KernelBackend::kBlocked) {
+    return BackwardBlocked(grad_output, structure);
+  }
 
   grad_input_.ResetShape(input_cache_.shape());
   grad_input_.Fill(0.0f);
@@ -159,6 +169,129 @@ Tensor& TreeConvLayer::Backward(const Tensor& grad_output) {
     bias_grad_ += scratch[c][3];
     for (Tensor& t : scratch[c]) ctx_->ReleaseScratch(std::move(t));
   }
+  return grad_input_;
+}
+
+void TreeConvLayer::GatherWindows(const TreeStructure& structure) {
+  const size_t batch = input_cache_.dim(0);
+  const size_t nodes = input_cache_.dim(1);
+  const size_t in = in_features_;
+  const size_t kc = 3 * in;
+  packed_input_.ResetShape({batch * nodes, kc});
+  const float* src = input_cache_.data();
+  float* dst_base = packed_input_.data();
+  // Trees own disjoint row ranges of the packed matrix, so the gather
+  // parallelizes freely; null children pack as zero slices, which makes the
+  // GEMM below contribute exactly nothing for them (no branches downstream).
+  ctx_->ParallelFor(0, batch, 1, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t n = 0; n < nodes; ++n) {
+        float* dst = dst_base + (b * nodes + n) * kc;
+        std::memcpy(dst, src + (b * nodes + n) * in, in * sizeof(float));
+        const int l = structure.left[b][n];
+        if (l >= 0) {
+          std::memcpy(dst + in,
+                      src + (b * nodes + static_cast<size_t>(l)) * in,
+                      in * sizeof(float));
+        } else {
+          std::memset(dst + in, 0, in * sizeof(float));
+        }
+        const int r = structure.right[b][n];
+        if (r >= 0) {
+          std::memcpy(dst + 2 * in,
+                      src + (b * nodes + static_cast<size_t>(r)) * in,
+                      in * sizeof(float));
+        } else {
+          std::memset(dst + 2 * in, 0, in * sizeof(float));
+        }
+      }
+    }
+  });
+}
+
+void TreeConvLayer::StackWeights() {
+  const size_t wsz = in_features_ * out_features_;
+  wcat_.ResetShape({3 * in_features_, out_features_});
+  std::memcpy(wcat_.data(), w_self_.data(), wsz * sizeof(float));
+  std::memcpy(wcat_.data() + wsz, w_left_.data(), wsz * sizeof(float));
+  std::memcpy(wcat_.data() + 2 * wsz, w_right_.data(), wsz * sizeof(float));
+}
+
+Tensor& TreeConvLayer::ForwardBlocked(const TreeStructure& structure) {
+  const size_t batch = input_cache_.dim(0);
+  const size_t nodes = input_cache_.dim(1);
+  GatherWindows(structure);
+  StackWeights();
+  // One fused-bias GEMM covers every (node, position) pair:
+  //   out[row] = [x_self | x_left | x_right] @ [W_self; W_left; W_right] + b
+  // The GEMM op does its own flop/op accounting (2*rows*3in*out + rows*out).
+  MatMulBiasInto(&output_, packed_input_, wcat_, bias_, ctx_);
+  output_.ReshapeInPlace({batch, nodes, out_features_});
+  return output_;
+}
+
+Tensor& TreeConvLayer::BackwardBlocked(const Tensor& grad_output,
+                                       const TreeStructure& structure) {
+  const size_t batch = input_cache_.dim(0);
+  const size_t nodes = input_cache_.dim(1);
+  const size_t rows = batch * nodes;
+  const size_t in = in_features_;
+  const size_t kc = 3 * in;
+  PRESTROID_CHECK_EQ(packed_input_.dim(0), rows);
+  PRESTROID_CHECK_EQ(packed_input_.dim(1), kc);
+
+  // grad_output is a const rank-3 view; the GEMMs want [rows, out].
+  gy2d_.CopyFrom(grad_output);
+  gy2d_.ReshapeInPlace({rows, out_features_});
+
+  // Weight gradients: d[W_self; W_left; W_right] = packed^T @ gy, then
+  // split-added into the per-position accumulators. Weights are unchanged
+  // since Forward, so restacking wcat_ here keeps the pair self-contained.
+  StackWeights();
+  MatMulTransposeAInto(&wgcat_, packed_input_, gy2d_, ctx_);
+  const size_t wsz = in_features_ * out_features_;
+  const float* wg = wgcat_.data();
+  float* gs = w_self_grad_.data();
+  float* gl = w_left_grad_.data();
+  float* gr = w_right_grad_.data();
+  for (size_t i = 0; i < wsz; ++i) gs[i] += wg[i];
+  for (size_t i = 0; i < wsz; ++i) gl[i] += wg[wsz + i];
+  for (size_t i = 0; i < wsz; ++i) gr[i] += wg[2 * wsz + i];
+
+  bias_tmp_.ResetShape({out_features_});
+  bias_tmp_.Fill(0.0f);
+  SumRowsAccumulate(&bias_tmp_, gy2d_, ctx_);
+  bias_grad_ += bias_tmp_;
+
+  // Input gradients in window space: gxp = gy @ wcat^T, then scatter-added
+  // back through the window map. Trees own disjoint slices of grad_input_
+  // (children always live in their own tree), so the scatter parallelizes
+  // over trees with a fixed within-tree node order — deterministic at any
+  // thread count.
+  MatMulTransposeBInto(&gxp_, gy2d_, wcat_, ctx_);
+  grad_input_.ResetShape(input_cache_.shape());
+  grad_input_.Fill(0.0f);
+  const float* gxp = gxp_.data();
+  float* gx_base = grad_input_.data();
+  ctx_->ParallelFor(0, batch, 1, [&](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t n = 0; n < nodes; ++n) {
+        const float* g = gxp + (b * nodes + n) * kc;
+        float* gx_self = gx_base + (b * nodes + n) * in;
+        for (size_t i = 0; i < in; ++i) gx_self[i] += g[i];
+        const int l = structure.left[b][n];
+        if (l >= 0) {
+          float* gx = gx_base + (b * nodes + static_cast<size_t>(l)) * in;
+          for (size_t i = 0; i < in; ++i) gx[i] += g[in + i];
+        }
+        const int r = structure.right[b][n];
+        if (r >= 0) {
+          float* gx = gx_base + (b * nodes + static_cast<size_t>(r)) * in;
+          for (size_t i = 0; i < in; ++i) gx[i] += g[2 * in + i];
+        }
+      }
+    }
+  });
   return grad_input_;
 }
 

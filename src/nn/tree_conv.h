@@ -37,10 +37,21 @@ struct TreeStructure {
 /// output [batch, max_nodes, out]. The structure is passed per batch and must
 /// stay alive until Backward() completes.
 ///
-/// Forward parallelizes over trees (disjoint output rows, per-element float
-/// order unchanged); Backward parallelizes over trees with per-chunk scratch
-/// weight-gradient accumulators reduced in ascending chunk order, falling
-/// back to the historical serial loop when the context yields one chunk.
+/// Two implementations, selected by the context's KernelRegistry (kTreeConv):
+///
+///  - scalar: the historical per-node loops, kept verbatim as the bit-exact
+///    reproducibility baseline. Forward parallelizes over trees (disjoint
+///    output rows, per-element float order unchanged); Backward parallelizes
+///    over trees with per-chunk scratch weight-gradient accumulators reduced
+///    in ascending chunk order.
+///  - blocked: an im2col-style lowering. Each node's (self, left, right)
+///    window is gathered into a packed [batch*nodes, 3*in] matrix (zeros for
+///    null children), the three position kernels are stacked into one
+///    [3*in, out] operand, and the whole convolution becomes a single
+///    fused-bias GEMM; Backward likewise reduces to two GEMMs (weight
+///    gradients via A^T B over the packed windows, input gradients via
+///    g W^T scattered back through the window map). Agrees with scalar to
+///    ~1e-5 relative (DESIGN.md §5.3).
 class TreeConvLayer {
  public:
   TreeConvLayer(size_t in_features, size_t out_features, Rng* rng);
@@ -64,6 +75,15 @@ class TreeConvLayer {
   size_t out_features() const { return out_features_; }
 
  private:
+  /// Blocked-path helpers: gather (self, left, right) windows into
+  /// packed_input_ and stack the position kernels into wcat_.
+  void GatherWindows(const TreeStructure& structure);
+  void StackWeights();
+
+  Tensor& ForwardBlocked(const TreeStructure& structure);
+  Tensor& BackwardBlocked(const Tensor& grad_output,
+                          const TreeStructure& structure);
+
   size_t in_features_;
   size_t out_features_;
   Tensor w_self_, w_left_, w_right_;  // each [in, out]
@@ -75,6 +95,14 @@ class TreeConvLayer {
   ExecutionContext* ctx_ = ExecutionContext::Serial();
   Tensor output_;
   Tensor grad_input_;
+  // Blocked-path workspaces (empty until the blocked backend runs; reused
+  // across batches once warm).
+  Tensor packed_input_;  // [batch*nodes, 3*in] gathered windows
+  Tensor wcat_;          // [3*in, out] stacked (self, left, right) kernels
+  Tensor gy2d_;          // [batch*nodes, out] 2-D copy of grad_output
+  Tensor wgcat_;         // [3*in, out] stacked weight gradients
+  Tensor gxp_;           // [batch*nodes, 3*in] window-space input gradients
+  Tensor bias_tmp_;      // [out] per-call bias-gradient accumulator
 };
 
 /// One-way dynamic pooling with vote bit-masking (paper Section 4.1):

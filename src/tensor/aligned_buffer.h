@@ -1,0 +1,127 @@
+#ifndef PRESTROID_TENSOR_ALIGNED_BUFFER_H_
+#define PRESTROID_TENSOR_ALIGNED_BUFFER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace prestroid {
+
+/// Float storage with 64-byte-aligned allocation — the substrate Tensor sits
+/// on so the kernel layer (tensor/kernels/) can assume every tensor's row 0
+/// starts on a cache-line/SIMD boundary.
+///
+/// Semantics deliberately mirror the std::vector<float> it replaced:
+/// value-initialized (zeroed) growth, deep copies, moved-from buffers empty.
+/// Capacity is always rounded up to kPadFloats elements, so a buffer's usable
+/// backing store never ends mid-SIMD-vector; kernels still must not write
+/// past size() (the padding is an alignment guarantee, not scratch space).
+class AlignedBuffer {
+ public:
+  /// Allocation alignment in bytes (one x86 cache line, holds an AVX-512
+  /// vector).
+  static constexpr size_t kAlignment = 64;
+  /// Capacity granularity in floats (kAlignment / sizeof(float)).
+  static constexpr size_t kPadFloats = kAlignment / sizeof(float);
+
+  AlignedBuffer() = default;
+  /// Zero-filled buffer of n floats.
+  explicit AlignedBuffer(size_t n) { resize(n); }
+
+  AlignedBuffer(const AlignedBuffer& other) { assign(other.begin(), other.end()); }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Free(); }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  float* begin() { return data_; }
+  float* end() { return data_ + size_; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+
+  /// Grows or shrinks to n elements, preserving the common prefix and
+  /// zero-filling any newly exposed tail (std::vector::resize semantics).
+  void resize(size_t n) {
+    if (n > capacity_) Reallocate(n);
+    if (n > size_) std::fill(data_ + size_, data_ + n, 0.0f);
+    size_ = n;
+  }
+
+  /// Replaces the contents with the range [first, last).
+  void assign(const float* first, const float* last) {
+    const size_t n = static_cast<size_t>(last - first);
+    if (n > capacity_) {
+      Free();
+      AllocateExactly(n);
+    }
+    std::copy(first, last, data_);
+    size_ = n;
+  }
+
+ private:
+  static size_t PaddedCount(size_t n) {
+    return (n + kPadFloats - 1) / kPadFloats * kPadFloats;
+  }
+
+  void AllocateExactly(size_t n) {
+    capacity_ = PaddedCount(n);
+    data_ = capacity_ == 0
+                ? nullptr
+                : static_cast<float*>(::operator new(
+                      capacity_ * sizeof(float), std::align_val_t(kAlignment)));
+  }
+
+  /// Grows the backing store, copying the live prefix.
+  void Reallocate(size_t n) {
+    float* old = data_;
+    const size_t old_size = size_;
+    AllocateExactly(n);
+    if (old != nullptr) {
+      std::copy(old, old + old_size, data_);
+      ::operator delete(old, std::align_val_t(kAlignment));
+    }
+  }
+
+  void Free() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(kAlignment));
+      data_ = nullptr;
+    }
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  float* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_TENSOR_ALIGNED_BUFFER_H_

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/kernels/kernel_registry.h"
 #include "tensor/tensor.h"
 #include "util/thread_pool.h"
 
@@ -69,6 +70,12 @@ class ExecutionContext {
   /// Returns a scratch tensor to the arena for reuse.
   void ReleaseScratch(Tensor tensor);
 
+  /// Per-op kernel-backend choices for ops routed through this context
+  /// (scalar reference vs blocked SIMD; see tensor/kernels/). Ops called
+  /// with a null context always take the scalar path.
+  const KernelRegistry& kernels() const { return kernels_; }
+  KernelRegistry* mutable_kernels() { return &kernels_; }
+
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecStats{}; }
   void AddFlops(uint64_t flops) { stats_.flops += flops; }
@@ -81,6 +88,7 @@ class ExecutionContext {
 
  private:
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  KernelRegistry kernels_;
   std::vector<Tensor> free_scratch_;
   uint64_t live_scratch_bytes_ = 0;
   ExecStats stats_;

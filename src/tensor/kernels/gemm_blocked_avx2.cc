@@ -1,0 +1,7 @@
+// AVX2+FMA instantiation of the blocked GEMM kernel (4x24 ymm micro-tile).
+// Compiled with -O3 -mavx2 -mfma on x86-64 builds only (src/CMakeLists.txt);
+// nothing here executes unless gemm_blocked.cc's CPUID dispatch selects it,
+// so shipping this TU in a baseline build is safe on pre-AVX2 hardware.
+#define PRESTROID_GEMM_ISA_NS gemm_avx2
+#include "tensor/kernels/gemm_blocked_impl.inc"
+#undef PRESTROID_GEMM_ISA_NS

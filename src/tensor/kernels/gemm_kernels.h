@@ -1,0 +1,90 @@
+#ifndef PRESTROID_TENSOR_KERNELS_GEMM_KERNELS_H_
+#define PRESTROID_TENSOR_KERNELS_GEMM_KERNELS_H_
+
+#include <cstddef>
+
+namespace prestroid {
+
+/// Fused tail applied while the accumulators are still in registers, saving a
+/// second pass over the output matrix.
+enum class GemmEpilogue {
+  kNone,      // C = A @ B
+  kBias,      // C = A @ B + bias (row broadcast)
+  kBiasRelu,  // C = max(0, A @ B + bias)
+};
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (gemm_scalar.cc).
+//
+// These are the historical ops.cc loop bodies, hoisted verbatim so the
+// "scalar" backend stays bit-for-bit identical to every pre-kernel-layer
+// release: same zero-skip fast path, same k-tiling, same per-element
+// accumulation order. Row/column ranges mirror the ParallelFor chunking the
+// ops layer has always used. Do not "optimize" these — they are the
+// reproducibility baseline (DESIGN.md §5.2).
+// ---------------------------------------------------------------------------
+
+/// Rows [i0, i1) of C = A @ B (+ epilogue). A is [m, k] row-major, B is
+/// [k, n] row-major, C is [m, n]. `bias` ([n]) may be null when `epilogue`
+/// is kNone. The bias is added in a separate pass after the accumulation,
+/// exactly matching the historical MatMul-then-AddRowBroadcast float order.
+void GemmScalarRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                    const float* b, float* c, const float* bias,
+                    GemmEpilogue epilogue);
+
+/// Columns-of-A rows-of-C [i0, i1) of C += A^T @ B. A is [k, m], B is
+/// [k, n], C is [m, n]. Accumulates (caller zeroes C for the non-accumulate
+/// form). kk-outer loop order, as always.
+void GemmTransposeAScalarCols(size_t i0, size_t i1, size_t k, size_t m,
+                              size_t n, const float* a, const float* b,
+                              float* c);
+
+/// Rows [i0, i1) of C = A @ B^T. A is [m, k], B is [n, k], C is [m, n].
+/// Dot-product reduction per output element.
+void GemmTransposeBScalarRows(size_t i0, size_t i1, size_t k, size_t n,
+                              const float* a, const float* b, float* c);
+
+// ---------------------------------------------------------------------------
+// Blocked kernels (gemm_blocked.cc).
+//
+// Register-tiled MR x NR micro-kernel over panels of B packed column-strip
+// by column-strip ([strip][kk][jj] with jj contiguous, zero-padded to NR) and
+// per-tile packed A ([kk][ii], zero-padded to MR). The micro-kernel keeps an
+// MR x NR accumulator block in registers across the full reduction, so every
+// output element accumulates k-ascending — results are bit-identical across
+// thread counts and chunk boundaries (only scalar-vs-blocked differs, at
+// ~1e-5 relative; DESIGN.md §5.3).
+//
+// Strides (`rs*` = stride between reduction steps, `cs*` = stride between
+// rows/columns) let the same kernel serve A, A^T and B^T operand layouts
+// without materializing transposes. No data-dependent branches: zeros get
+// multiplied like any other value, so measured GFLOP/s reflect true work.
+// ---------------------------------------------------------------------------
+
+/// Row-tile height MR of the blocked micro-kernel (ISA-dependent).
+size_t GemmBlockedRowTile();
+
+/// Floats needed for a packed image of B ([k, n] logical): n rounded up to
+/// the panel width NR.
+size_t GemmPackedBSize(size_t k, size_t n);
+
+/// Packs logical B ([k, n], element (kk, j) at b[kk * rsb + j * csb]) into
+/// `packed` (size >= GemmPackedBSize(k, n)). Pass (rsb=ldb, csb=1) for
+/// row-major B and (rsb=1, csb=ldb) for B^T. Padding columns are zeroed.
+void GemmPackB(size_t k, size_t n, const float* b, size_t rsb, size_t csb,
+               float* packed);
+
+/// Rows [i0, i1) of C (+)= A @ B_packed (+ epilogue). Logical A is [m, k]
+/// with element (i, kk) at a[i * rsa + kk * csa]; pass (rsa=lda, csa=1) for
+/// row-major A and (rsa=1, csa=lda) for A^T. C is row-major with leading
+/// dimension `ldc`. With `accumulate` the k-complete register block is added
+/// onto C (epilogue must be kNone). Safe to call concurrently on disjoint
+/// row ranges; uses a thread-local pack buffer for A tiles.
+void GemmBlockedRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                     size_t rsa, size_t csa, const float* packed_b, float* c,
+                     size_t ldc, const float* bias, GemmEpilogue epilogue,
+                     bool accumulate);
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_TENSOR_KERNELS_GEMM_KERNELS_H_

@@ -1,0 +1,81 @@
+#include <algorithm>
+
+#include "tensor/kernels/gemm_kernels.h"
+
+namespace prestroid {
+
+namespace {
+
+/// Reduction-dim tile, unchanged from the historical ops.cc value: 256 rows
+/// of b at n<=1024 floats stay within L2 while every row of the chunk
+/// streams over them.
+constexpr size_t kMatMulKBlock = 256;
+
+}  // namespace
+
+void GemmScalarRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                    const float* b, float* c, const float* bias,
+                    GemmEpilogue epilogue) {
+  std::fill(c + i0 * n, c + i1 * n, 0.0f);
+  // Tiling the reduction dim keeps the touched rows of b hot across every
+  // row of the chunk; per output element the k-accumulation order is still
+  // strictly ascending, so tiling does not change a single bit.
+  for (size_t kk0 = 0; kk0 < k; kk0 += kMatMulKBlock) {
+    const size_t kk1 = std::min(k, kk0 + kMatMulKBlock);
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (size_t kk = kk0; kk < kk1; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+  if (epilogue == GemmEpilogue::kNone) return;
+  // Bias lands after the full reduction, per element, exactly like the
+  // separate AddRowBroadcastInPlace pass it fuses away.
+  for (size_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    if (epilogue == GemmEpilogue::kBias) {
+      for (size_t j = 0; j < n; ++j) crow[j] += bias[j];
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] = std::max(0.0f, crow[j] + bias[j]);
+      }
+    }
+  }
+}
+
+void GemmTransposeAScalarCols(size_t i0, size_t i1, size_t k, size_t m,
+                              size_t n, const float* a, const float* b,
+                              float* c) {
+  // kk-outer: streams a row of A and a row of B per reduction step, matching
+  // the historical serial loop exactly.
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (size_t i = i0; i < i1; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void GemmTransposeBScalarRows(size_t i0, size_t i1, size_t k, size_t n,
+                              const float* a, const float* b, float* c) {
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace prestroid

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels/gemm_kernels.h"
 #include "util/logging.h"
 
 namespace prestroid {
@@ -17,11 +18,59 @@ size_t RowGrain(size_t row_cost_flops) {
   return std::max<size_t>(1, kGrainFlops / std::max<size_t>(1, row_cost_flops));
 }
 
-/// Reduction-dim tile for the blocked matmul: 256 rows of b at n<=1024
-/// floats stay within L2 while every row of the chunk streams over them.
-constexpr size_t kMatMulKBlock = 256;
-
 constexpr size_t kTransposeBlock = 64;
+
+/// True when `ctx` routes this op family to the blocked kernel backend.
+/// Ops invoked without a context always take the scalar reference path.
+bool UseBlocked(const ExecutionContext* ctx, KernelOp op) {
+  return ctx != nullptr &&
+         ctx->kernels().backend(op) == KernelBackend::kBlocked;
+}
+
+/// Shared body of MatMul / MatMulBias / MatMulBiasRelu: out = a @ b with the
+/// requested fused epilogue, routed to the backend `ctx` selects for kGemm.
+void MatMulEpilogueInto(Tensor* out, const Tensor& a, const Tensor& b,
+                        const Tensor* bias, GemmEpilogue epilogue,
+                        ExecutionContext* ctx) {
+  PRESTROID_CHECK_EQ(a.rank(), 2u);
+  PRESTROID_CHECK_EQ(b.rank(), 2u);
+  PRESTROID_CHECK_EQ(a.dim(1), b.dim(0));
+  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (bias != nullptr) PRESTROID_CHECK_EQ(bias->size(), n);
+  out->ResetShape({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  const float* biasp = bias != nullptr ? bias->data() : nullptr;
+  float* op = out->data();
+  if (ctx != nullptr) {
+    ctx->AddOp();
+    uint64_t flops = 2ull * m * k * n;
+    // The epilogue flops match the separate broadcast/relu passes they fuse.
+    if (epilogue == GemmEpilogue::kBias) flops += 1ull * m * n;
+    if (epilogue == GemmEpilogue::kBiasRelu) flops += 2ull * m * n;
+    ctx->AddFlops(flops);
+  }
+  const size_t grain = RowGrain(2 * k * n);
+  if (UseBlocked(ctx, KernelOp::kGemm)) {
+    Tensor packed = ctx->AcquireScratch({GemmPackedBSize(k, n)});
+    GemmPackB(k, n, bp, /*rsb=*/n, /*csb=*/1, packed.data());
+    const float* pb = packed.data();
+    ctx->ParallelFor(0, m, grain, [&](size_t i0, size_t i1) {
+      GemmBlockedRows(i0, i1, k, n, ap, /*rsa=*/k, /*csa=*/1, pb, op, n, biasp,
+                      epilogue, /*accumulate=*/false);
+    });
+    ctx->ReleaseScratch(std::move(packed));
+    return;
+  }
+  auto kernel = [&](size_t i0, size_t i1) {
+    GemmScalarRows(i0, i1, k, n, ap, bp, op, biasp, epilogue);
+  };
+  if (ctx != nullptr) {
+    ctx->ParallelFor(0, m, grain, kernel);
+  } else {
+    kernel(0, m);
+  }
+}
 
 }  // namespace
 
@@ -29,42 +78,17 @@ constexpr size_t kTransposeBlock = 64;
 
 void MatMulInto(Tensor* out, const Tensor& a, const Tensor& b,
                 ExecutionContext* ctx) {
-  PRESTROID_CHECK_EQ(a.rank(), 2u);
-  PRESTROID_CHECK_EQ(b.rank(), 2u);
-  PRESTROID_CHECK_EQ(a.dim(1), b.dim(0));
-  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  out->ResetShape({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* op = out->data();
-  if (ctx != nullptr) {
-    ctx->AddOp();
-    ctx->AddFlops(2ull * m * k * n);
-  }
-  auto kernel = [&](size_t i0, size_t i1) {
-    std::fill(op + i0 * n, op + i1 * n, 0.0f);
-    // Tiling the reduction dim keeps the touched rows of b hot across every
-    // row of the chunk; per output element the k-accumulation order is still
-    // strictly ascending, so tiling does not change a single bit.
-    for (size_t kk0 = 0; kk0 < k; kk0 += kMatMulKBlock) {
-      const size_t kk1 = std::min(k, kk0 + kMatMulKBlock);
-      for (size_t i = i0; i < i1; ++i) {
-        const float* arow = ap + i * k;
-        float* orow = op + i * n;
-        for (size_t kk = kk0; kk < kk1; ++kk) {
-          const float aik = arow[kk];
-          if (aik == 0.0f) continue;
-          const float* brow = bp + kk * n;
-          for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-        }
-      }
-    }
-  };
-  if (ctx != nullptr) {
-    ctx->ParallelFor(0, m, RowGrain(2 * k * n), kernel);
-  } else {
-    kernel(0, m);
-  }
+  MatMulEpilogueInto(out, a, b, nullptr, GemmEpilogue::kNone, ctx);
+}
+
+void MatMulBiasInto(Tensor* out, const Tensor& a, const Tensor& b,
+                    const Tensor& bias, ExecutionContext* ctx) {
+  MatMulEpilogueInto(out, a, b, &bias, GemmEpilogue::kBias, ctx);
+}
+
+void MatMulBiasReluInto(Tensor* out, const Tensor& a, const Tensor& b,
+                        const Tensor& bias, ExecutionContext* ctx) {
+  MatMulEpilogueInto(out, a, b, &bias, GemmEpilogue::kBiasRelu, ctx);
 }
 
 void MatMulTransposeAAccumulate(Tensor* out, const Tensor& a, const Tensor& b,
@@ -83,22 +107,28 @@ void MatMulTransposeAAccumulate(Tensor* out, const Tensor& a, const Tensor& b,
     ctx->AddOp();
     ctx->AddFlops(2ull * k * m * n);
   }
+  const size_t grain = RowGrain(2 * k * n);
+  if (UseBlocked(ctx, KernelOp::kGemmTransposeA)) {
+    // a is [k, m]; logical operand row i is column i of a, i.e. strides
+    // (rsa=1, csa=m). The k-complete register block is added onto out in one
+    // pass, so parallel chunks stay deterministic at any thread count.
+    Tensor packed = ctx->AcquireScratch({GemmPackedBSize(k, n)});
+    GemmPackB(k, n, bp, /*rsb=*/n, /*csb=*/1, packed.data());
+    const float* pb = packed.data();
+    ctx->ParallelFor(0, m, grain, [&](size_t i0, size_t i1) {
+      GemmBlockedRows(i0, i1, k, n, ap, /*rsa=*/1, /*csa=*/m, pb, op, n,
+                      nullptr, GemmEpilogue::kNone, /*accumulate=*/true);
+    });
+    ctx->ReleaseScratch(std::move(packed));
+    return;
+  }
   // Parallel over the rows of `out` (columns of `a`); within each chunk the
   // reduction runs kk-outer, matching the historical serial loop exactly.
   auto kernel = [&](size_t i0, size_t i1) {
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float* arow = ap + kk * m;
-      const float* brow = bp + kk * n;
-      for (size_t i = i0; i < i1; ++i) {
-        const float aik = arow[i];
-        if (aik == 0.0f) continue;
-        float* orow = op + i * n;
-        for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
-    }
+    GemmTransposeAScalarCols(i0, i1, k, m, n, ap, bp, op);
   };
   if (ctx != nullptr) {
-    ctx->ParallelFor(0, m, RowGrain(2 * k * n), kernel);
+    ctx->ParallelFor(0, m, grain, kernel);
   } else {
     kernel(0, m);
   }
@@ -128,19 +158,25 @@ void MatMulTransposeBInto(Tensor* out, const Tensor& a, const Tensor& b,
     ctx->AddOp();
     ctx->AddFlops(2ull * m * k * n);
   }
+  const size_t grain = RowGrain(2 * k * n);
+  if (UseBlocked(ctx, KernelOp::kGemmTransposeB)) {
+    // b is [n, k]; the packed image of the logical [k, n] right operand
+    // reads element (kk, j) from b[j * k + kk], i.e. strides (rsb=1, csb=k).
+    Tensor packed = ctx->AcquireScratch({GemmPackedBSize(k, n)});
+    GemmPackB(k, n, bp, /*rsb=*/1, /*csb=*/k, packed.data());
+    const float* pb = packed.data();
+    ctx->ParallelFor(0, m, grain, [&](size_t i0, size_t i1) {
+      GemmBlockedRows(i0, i1, k, n, ap, /*rsa=*/k, /*csa=*/1, pb, op, n,
+                      nullptr, GemmEpilogue::kNone, /*accumulate=*/false);
+    });
+    ctx->ReleaseScratch(std::move(packed));
+    return;
+  }
   auto kernel = [&](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) {
-      const float* arow = ap + i * k;
-      for (size_t j = 0; j < n; ++j) {
-        const float* brow = bp + j * k;
-        float acc = 0.0f;
-        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        op[i * n + j] = acc;
-      }
-    }
+    GemmTransposeBScalarRows(i0, i1, k, n, ap, bp, op);
   };
   if (ctx != nullptr) {
-    ctx->ParallelFor(0, m, RowGrain(2 * k * n), kernel);
+    ctx->ParallelFor(0, m, grain, kernel);
   } else {
     kernel(0, m);
   }

@@ -53,16 +53,35 @@ Tensor TanhT(const Tensor& a);
 // ParallelFor, and the context's flop/op counters are updated. `ctx` may be
 // null, which means serial execution with no counters.
 //
-// Determinism contract: every parallel kernel preserves the per-element
-// floating-point accumulation order of its serial counterpart (reductions
-// always run k-ascending for each output element), so results are
-// bit-identical to serial at ANY thread count, not merely close. The
-// return-by-value ops above are thin wrappers over these.
+// The GEMM-family ops dispatch through the context's KernelRegistry to one
+// of two backends (tensor/kernels/): the historical `scalar` loops or the
+// register-tiled `blocked` micro-kernels. A null ctx always runs scalar.
+//
+// Determinism contract (DESIGN.md §5.2-§5.3): within EITHER backend, every
+// parallel kernel preserves the per-element floating-point accumulation
+// order of its serial counterpart (reductions always run k-ascending for
+// each output element), so results are bit-identical to serial at ANY
+// thread count, not merely close. Across backends the accumulation order
+// differs (register blocking vs zero-skip scalar), so scalar and blocked
+// agree to ~1e-5 relative, with `scalar` reproducing the pre-kernel-layer
+// releases bit-for-bit. The return-by-value ops above are thin wrappers
+// over these.
 // ---------------------------------------------------------------------------
 
 /// out = a @ b. Cache-blocked over the reduction dim, parallel over rows.
 void MatMulInto(Tensor* out, const Tensor& a, const Tensor& b,
                 ExecutionContext* ctx);
+
+/// out = a @ b + bias (row broadcast), fused into the GEMM epilogue. On the
+/// scalar backend this is bit-identical to MatMulInto followed by
+/// AddRowBroadcastInPlace (same per-element float order), with one pass
+/// fewer over `out`.
+void MatMulBiasInto(Tensor* out, const Tensor& a, const Tensor& b,
+                    const Tensor& bias, ExecutionContext* ctx);
+
+/// out = max(0, a @ b + bias): the bias+ReLU epilogue fused likewise.
+void MatMulBiasReluInto(Tensor* out, const Tensor& a, const Tensor& b,
+                        const Tensor& bias, ExecutionContext* ctx);
 
 /// out = a^T @ b (a is [k, m], b is [k, n]).
 void MatMulTransposeAInto(Tensor* out, const Tensor& a, const Tensor& b,

@@ -27,14 +27,15 @@ std::string ShapeToString(const std::vector<size_t>& shape) {
 }
 
 Tensor::Tensor(std::vector<size_t> shape)
-    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(ShapeSize(shape_)) {}
 
 Tensor::Tensor(std::initializer_list<size_t> shape)
     : Tensor(std::vector<size_t>(shape)) {}
 
 Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  PRESTROID_CHECK_EQ(data_.size(), ShapeSize(shape_));
+    : shape_(std::move(shape)) {
+  PRESTROID_CHECK_EQ(data.size(), ShapeSize(shape_));
+  data_.assign(data.data(), data.data() + data.size());
 }
 
 Tensor Tensor::Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
@@ -98,7 +99,10 @@ float Tensor::At(size_t i, size_t j, size_t k) const {
 
 Tensor Tensor::Reshape(std::vector<size_t> new_shape) const {
   PRESTROID_CHECK_EQ(ShapeSize(new_shape), size());
-  return Tensor(std::move(new_shape), data_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
 }
 
 void Tensor::ReshapeInPlace(std::vector<size_t> new_shape) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned_buffer.h"
 #include "util/random.h"
 
 namespace prestroid {
@@ -14,6 +15,9 @@ namespace prestroid {
 /// Dense, row-major float32 tensor. This is the numeric substrate for the
 /// from-scratch neural-network library (the paper used TensorFlow; we build
 /// the equivalent math on CPU — see DESIGN.md substitution table).
+///
+/// Storage is 64-byte aligned (AlignedBuffer), so data() of every tensor is
+/// a valid SIMD-aligned base pointer for the blocked kernels.
 ///
 /// Copyable and movable; copies are deep.
 class Tensor {
@@ -104,7 +108,7 @@ class Tensor {
 
  private:
   std::vector<size_t> shape_;
-  std::vector<float> data_;
+  AlignedBuffer data_;
 };
 
 /// Number of elements implied by a shape.

@@ -188,6 +188,10 @@ TEST(ParallelParityTest, MatMulBitIdenticalAcrossThreadCounts) {
   const Tensor serial = MatMul(a, b);
   for (size_t threads : {2u, 4u}) {
     ExecutionContext ctx(threads);
+    // The serial reference (null ctx) runs the scalar backend; pin the
+    // context to scalar too so the comparison isolates thread-count effects
+    // from backend choice.
+    ctx.mutable_kernels()->SetAllBackends(KernelBackend::kScalar);
     Tensor parallel;
     MatMulInto(&parallel, a, b, &ctx);
     ASSERT_EQ(parallel.size(), serial.size());
@@ -310,13 +314,25 @@ TEST(ParallelParityTest, Conv1dMatchesSerialWithin1e6) {
 }
 
 // ---------------------------------------------------------------------------
-// Golden regression: threads=1 training is bit-identical to the pre-refactor
-// serial substrate. The constants below were captured (at %.17g) from the
-// historical implementation with this exact fixed-seed setup; any FP-order
-// change in the single-thread path fails this test.
+// Golden regression: threads=1 training on the scalar backend is
+// bit-identical to the pre-refactor serial substrate. The constants below
+// were captured (at %.17g) from the historical implementation with this
+// exact fixed-seed setup; any FP-order change in the single-thread scalar
+// path fails the bit-for-bit variant. The blocked backend reorders bias and
+// gradient-split accumulation, so it reproduces the same run within 1e-5
+// relative instead (DESIGN.md §5.3).
 // ---------------------------------------------------------------------------
 
-TEST(GoldenRegressionTest, SingleThreadTrainingMatchesPreRefactorBitForBit) {
+constexpr double kGoldenLosses[3] = {0.064611684694643665,
+                                     0.039771022257837581,
+                                     0.046904540164086544};
+constexpr float kGoldenPred0 = 0.273728698f;
+constexpr float kGoldenPred11 = 0.224260077f;
+
+/// Runs the fixed-seed 3-epoch training workload on `ctx` and returns the
+/// per-epoch losses plus two probe predictions.
+void RunGoldenWorkload(ExecutionContext* ctx, double losses[3], float* pred0,
+                       float* pred11) {
   core::SubtreeModelConfig config;
   config.feature_dim = 8;
   config.node_limit = 4;
@@ -328,10 +344,7 @@ TEST(GoldenRegressionTest, SingleThreadTrainingMatchesPreRefactorBitForBit) {
   config.learning_rate = 1e-3f;
   config.seed = 42;
   core::SubtreeModel model(config);
-  // Explicit 1-thread context: must be indistinguishable from the default
-  // serial path.
-  ExecutionContext ctx(1);
-  model.SetExecutionContext(&ctx);
+  model.SetExecutionContext(ctx);
 
   Rng data_rng(7);
   for (int s = 0; s < 12; ++s) {
@@ -353,18 +366,50 @@ TEST(GoldenRegressionTest, SingleThreadTrainingMatchesPreRefactorBitForBit) {
 
   std::vector<size_t> indices(12);
   std::iota(indices.begin(), indices.end(), 0);
-  const double golden_losses[3] = {0.064611684694643665, 0.039771022257837581,
-                                   0.046904540164086544};
   for (int epoch = 0; epoch < 3; ++epoch) {
-    EXPECT_DOUBLE_EQ(model.TrainEpoch(indices, 4), golden_losses[epoch])
-        << "epoch " << epoch;
+    losses[epoch] = model.TrainEpoch(indices, 4);
   }
   std::vector<float> preds = model.Predict(indices);
-  EXPECT_FLOAT_EQ(preds[0], 0.273728698f);
-  EXPECT_FLOAT_EQ(preds[11], 0.224260077f);
+  *pred0 = preds[0];
+  *pred11 = preds[11];
+}
+
+TEST(GoldenRegressionTest, SingleThreadTrainingMatchesPreRefactorBitForBit) {
+  // Explicit 1-thread context pinned to the scalar backend: must be
+  // indistinguishable from the historical serial substrate.
+  ExecutionContext ctx(1);
+  ctx.mutable_kernels()->SetAllBackends(KernelBackend::kScalar);
+  double losses[3];
+  float pred0 = 0.0f, pred11 = 0.0f;
+  RunGoldenWorkload(&ctx, losses, &pred0, &pred11);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    EXPECT_DOUBLE_EQ(losses[epoch], kGoldenLosses[epoch]) << "epoch " << epoch;
+  }
+  EXPECT_FLOAT_EQ(pred0, kGoldenPred0);
+  EXPECT_FLOAT_EQ(pred11, kGoldenPred11);
   // The bound context observed the whole run.
   EXPECT_GT(ctx.stats().flops, 0u);
   EXPECT_GT(ctx.stats().op_invocations, 0u);
+}
+
+TEST(GoldenRegressionTest, BlockedBackendReproducesGoldenWithin1e5Relative) {
+  ExecutionContext ctx(1);
+  ctx.mutable_kernels()->SetAllBackends(KernelBackend::kBlocked);
+  double losses[3];
+  float pred0 = 0.0f, pred11 = 0.0f;
+  RunGoldenWorkload(&ctx, losses, &pred0, &pred11);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const double tol = 1e-5 * std::max(1.0, std::abs(kGoldenLosses[epoch]));
+    EXPECT_NEAR(losses[epoch], kGoldenLosses[epoch], tol) << "epoch " << epoch;
+  }
+  // Per-op scalar/blocked parity is 1e-5 (enforced in kernel_test); three
+  // epochs of Adam steps amplify that through the weight trajectory, so the
+  // post-training probe predictions carry a wider documented 1e-3 envelope.
+  EXPECT_NEAR(pred0, kGoldenPred0,
+              1e-3 * std::max(1.0f, std::abs(kGoldenPred0)));
+  EXPECT_NEAR(pred11, kGoldenPred11,
+              1e-3 * std::max(1.0f, std::abs(kGoldenPred11)));
+  EXPECT_GT(ctx.stats().flops, 0u);
 }
 
 TEST(ParallelParityTest, SameThreadCountIsRunToRunDeterministic) {
