@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/featurizer.h"
 #include "embed/word2vec.h"
 #include "nn/tree_conv.h"
@@ -426,29 +427,34 @@ int RunJsonBench(const std::string& path) {
     std::cerr << "cannot open " << path << " for writing\n";
     return 1;
   }
-  out << "{\n";
-  out << "  \"generated_by\": \"bench/micro_ops --json\",\n";
-  out << "  \"reps\": " << kJsonReps << ",\n";
-  out << "  \"warmup\": " << kJsonWarmup << ",\n";
-  out << "  \"hardware_threads\": " << ThreadPool::HardwareConcurrency()
-      << ",\n";
-  out << "  \"records\": [\n";
-  for (size_t i = 0; i < records.size(); ++i) {
-    const KernelBenchRecord& r = records[i];
-    out << "    {\"op\": \"" << r.op << "\", \"shape\": \"" << r.shape
-        << "\", \"kernel\": \"" << r.kernel << "\", \"threads\": " << r.threads
-        << ", \"gflops\": " << StrFormat("%.4f", r.gflops)
-        << ", \"ns_per_iter\": " << StrFormat("%.1f", r.ns_per_iter) << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
+  {
+    bench::JsonWriter json(out);
+    json.BeginObject();
+    json.Field("generated_by", "bench/micro_ops --json");
+    json.Field("reps", kJsonReps);
+    json.Field("warmup", kJsonWarmup);
+    json.Field("hardware_threads", ThreadPool::HardwareConcurrency());
+    json.Key("records");
+    json.BeginArray();
+    for (const KernelBenchRecord& r : records) {
+      json.BeginObject();
+      json.Field("op", r.op);
+      json.Field("shape", r.shape);
+      json.Field("kernel", r.kernel);
+      json.Field("threads", r.threads);
+      json.FieldDouble("gflops", r.gflops);
+      json.FieldDouble("ns_per_iter", r.ns_per_iter, "%.1f");
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("summary");
+    json.BeginObject();
+    json.FieldDouble("gemm_geomean_speedup_blocked_over_scalar", gemm_speedup);
+    json.FieldDouble("tree_conv_geomean_speedup_blocked_over_scalar",
+                     conv_speedup);
+    json.EndObject();
+    json.EndObject();
   }
-  out << "  ],\n";
-  out << "  \"summary\": {\n";
-  out << "    \"gemm_geomean_speedup_blocked_over_scalar\": "
-      << StrFormat("%.4f", gemm_speedup) << ",\n";
-  out << "    \"tree_conv_geomean_speedup_blocked_over_scalar\": "
-      << StrFormat("%.4f", conv_speedup) << "\n";
-  out << "  }\n";
-  out << "}\n";
 
   std::cout << "\ngemm geomean speedup (blocked/scalar): "
             << StrFormat("%.2fx", gemm_speedup) << "\n";

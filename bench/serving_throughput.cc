@@ -1,0 +1,287 @@
+// serving_throughput — closed-loop load generator for the concurrent batched
+// serving runtime (serve/ServingRuntime).
+//
+// Fits a Prestroid pipeline over a generated Grab-like trace, then drives the
+// runtime with multiple producer threads cycling a fixed pool of distinct
+// plans (a recurring workload, so the plan-fingerprint cache converges to a
+// high hit rate). One scenario per max-batch in {1, 8, 32, 128}; each reports
+// QPS, end-to-end latency percentiles, cache hit rate, and per-tier counts,
+// and every model-tier answer is checked against the single-query
+// PredictPlan reference (batched-vs-single parity).
+//
+// Writes BENCH_serving.json (path = argv[1], default ./BENCH_serving.json)
+// via the shared bench JSON writer. PRESTROID_BENCH_SCALE=full scales up the
+// request count.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "cost/serving_estimator.h"
+#include "serve/serving_runtime.h"
+#include "util/histogram.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace prestroid {
+namespace {
+
+constexpr size_t kProducers = 4;
+/// Outstanding requests each producer keeps in flight. Large enough that the
+/// biggest scenario's batches can actually fill.
+constexpr size_t kWindow = 64;
+/// Effectively-infinite deadline: the bench measures throughput, not
+/// deadline-induced degradation, so queue wait must not trigger skips.
+constexpr double kDeadlineMs = 1e9;
+
+struct ScenarioResult {
+  size_t max_batch = 0;
+  size_t requests = 0;
+  double elapsed_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  cost::ServingStats stats;
+  size_t parity_violations = 0;
+  double max_abs_err = 0.0;
+};
+
+/// One producer's share of the closed loop: claim global request indices,
+/// submit with overflow backpressure, and parity-check resolved answers.
+struct ProducerOutcome {
+  size_t parity_violations = 0;
+  double max_abs_err = 0.0;
+};
+
+ProducerOutcome RunProducer(serve::ServingRuntime& runtime,
+                            const std::vector<const plan::PlanNode*>& plans,
+                            const std::vector<double>& reference,
+                            std::atomic<size_t>& next, size_t total_requests) {
+  ProducerOutcome outcome;
+  std::deque<std::pair<size_t, std::future<cost::ServingEstimate>>> window;
+  auto settle = [&](size_t plan_index,
+                    std::future<cost::ServingEstimate> future) {
+    const cost::ServingEstimate estimate = future.get();
+    if (estimate.tier != cost::ServingTier::kModel) return;
+    const double err = std::abs(estimate.cpu_minutes - reference[plan_index]);
+    outcome.max_abs_err = std::max(outcome.max_abs_err, err);
+    if (err > 1e-5) ++outcome.parity_violations;
+  };
+  for (;;) {
+    const size_t i = next.fetch_add(1);
+    if (i >= total_requests) break;
+    const size_t plan_index = i % plans.size();
+    for (;;) {
+      auto submitted = runtime.Submit(*plans[plan_index], kDeadlineMs);
+      if (submitted.ok()) {
+        window.emplace_back(plan_index, std::move(*submitted));
+        break;
+      }
+      if (submitted.status().code() != StatusCode::kResourceExhausted ||
+          window.empty()) {
+        std::cerr << "submit failed: " << submitted.status().ToString() << "\n";
+        std::abort();
+      }
+      settle(window.front().first, std::move(window.front().second));
+      window.pop_front();
+    }
+    while (window.size() >= kWindow) {
+      settle(window.front().first, std::move(window.front().second));
+      window.pop_front();
+    }
+  }
+  while (!window.empty()) {
+    settle(window.front().first, std::move(window.front().second));
+    window.pop_front();
+  }
+  return outcome;
+}
+
+ScenarioResult RunScenario(cost::ServingEstimator& estimator,
+                           const std::vector<const plan::PlanNode*>& plans,
+                           const std::vector<double>& reference,
+                           size_t max_batch, size_t total_requests) {
+  estimator.ResetStats();
+  serve::ServingRuntimeConfig config;
+  config.max_batch = max_batch;
+  config.queue_depth = std::max<size_t>(256, 4 * max_batch);
+  config.batch_window_us = 100;
+  config.cache_entries = 2 * plans.size();
+  serve::ServingRuntime runtime(&estimator, config);
+  PRESTROID_CHECK(runtime.Start().ok());
+
+  std::atomic<size_t> next{0};
+  std::vector<ProducerOutcome> outcomes(kProducers);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      outcomes[p] =
+          RunProducer(runtime, plans, reference, next, total_requests);
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ScenarioResult result;
+  result.max_batch = max_batch;
+  result.requests = total_requests;
+  result.elapsed_s = elapsed_s;
+  result.qps = static_cast<double>(total_requests) / elapsed_s;
+  const LatencyHistogram latency = runtime.LatencySnapshot();
+  result.p50_ms = latency.Percentile(50.0);
+  result.p95_ms = latency.Percentile(95.0);
+  result.p99_ms = latency.Percentile(99.0);
+  result.stats = runtime.StatsSnapshot();
+  const size_t lookups = result.stats.cache_hits + result.stats.cache_misses;
+  result.cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(result.stats.cache_hits) /
+                         static_cast<double>(lookups);
+  for (const ProducerOutcome& outcome : outcomes) {
+    result.parity_violations += outcome.parity_violations;
+    result.max_abs_err = std::max(result.max_abs_err, outcome.max_abs_err);
+  }
+  runtime.Shutdown();
+  return result;
+}
+
+int Run(const std::string& out_path) {
+  const bench::BenchScale scale = bench::GetBenchScale();
+  bench::BenchDataset data = bench::BuildGrabDataset(scale, 4242);
+  const size_t total_requests = scale.full ? 20000 : 1200;
+
+  core::PipelineConfig config;
+  config.sampler.node_limit = 15;
+  config.num_subtrees = 4;
+  config.word2vec.dim = scale.pf_small;
+  config.word2vec.min_count = 2;
+  config.conv_channels = scale.tpcds_conv;
+  config.dense_units = scale.tpcds_dense;
+  auto pipeline =
+      core::PrestroidPipeline::Fit(data.records, data.splits.train, config);
+  PRESTROID_CHECK(pipeline.ok());
+
+  cost::ServingEstimator estimator;
+  PRESTROID_CHECK(estimator.FitFallbacks(data.records).ok());
+  estimator.AttachPipeline(std::move(*pipeline));
+
+  // Recurring workload: a fixed pool of distinct plans, cycled by every
+  // producer. The first cycle populates the cache; the steady state is hits.
+  // The pool is the trace's LARGEST plans — recurring heavy analytic queries
+  // are exactly what the fingerprint cache targets, since featurization cost
+  // grows with plan size while the sampled-sub-tree forward pass does not.
+  const size_t num_distinct = std::min<size_t>(24, data.records.size());
+  std::vector<size_t> by_size(data.records.size());
+  for (size_t i = 0; i < by_size.size(); ++i) by_size[i] = i;
+  std::sort(by_size.begin(), by_size.end(), [&](size_t a, size_t b) {
+    return plan::ComputePlanStats(*data.records[a].plan).node_count >
+           plan::ComputePlanStats(*data.records[b].plan).node_count;
+  });
+  std::vector<const plan::PlanNode*> plans;
+  std::vector<double> reference;
+  plans.reserve(num_distinct);
+  reference.reserve(num_distinct);
+  for (size_t i = 0; i < num_distinct; ++i) {
+    plans.push_back(data.records[by_size[i]].plan.get());
+    auto single = estimator.pipeline()->PredictPlan(*plans.back());
+    PRESTROID_CHECK(single.ok());
+    reference.push_back(*single);
+  }
+
+  const size_t batch_sizes[] = {1, 8, 32, 128};
+  std::vector<ScenarioResult> results;
+  for (size_t max_batch : batch_sizes) {
+    results.push_back(RunScenario(estimator, plans, reference, max_batch,
+                                  total_requests));
+    const ScenarioResult& r = results.back();
+    std::cout << StrFormat(
+        "max-batch %zu: %.0f qps, p50=%.3fms p95=%.3fms p99=%.3fms, "
+        "cache-hit=%.1f%%, model=%zu parity-violations=%zu\n",
+        r.max_batch, r.qps, r.p50_ms, r.p95_ms, r.p99_ms,
+        100.0 * r.cache_hit_rate, r.stats.by_tier[0], r.parity_violations);
+  }
+
+  double speedup_32_over_1 = 0.0;
+  for (const ScenarioResult& r : results) {
+    if (r.max_batch == 32 && results.front().max_batch == 1) {
+      speedup_32_over_1 = r.qps / results.front().qps;
+    }
+  }
+  std::cout << StrFormat("qps speedup (max-batch 32 over 1): %.2fx\n",
+                         speedup_32_over_1);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.Field("generated_by", "bench/serving_throughput");
+  json.Field("scale", scale.full ? "full" : "small");
+  json.Field("hardware_threads", ThreadPool::HardwareConcurrency());
+  json.Field("producers", kProducers);
+  json.Field("producer_window", kWindow);
+  json.Field("distinct_plans", num_distinct);
+  json.Field("requests_per_scenario", total_requests);
+  json.Key("scenarios");
+  json.BeginArray();
+  for (const ScenarioResult& r : results) {
+    json.BeginObject();
+    json.Field("max_batch", r.max_batch);
+    json.FieldDouble("elapsed_s", r.elapsed_s);
+    json.FieldDouble("qps", r.qps, "%.1f");
+    json.FieldDouble("p50_ms", r.p50_ms);
+    json.FieldDouble("p95_ms", r.p95_ms);
+    json.FieldDouble("p99_ms", r.p99_ms);
+    json.FieldDouble("cache_hit_rate", r.cache_hit_rate);
+    json.Field("cache_hits", r.stats.cache_hits);
+    json.Field("cache_misses", r.stats.cache_misses);
+    json.Field("cache_evictions", r.stats.cache_evictions);
+    json.Field("rejected_requests", r.stats.rejected_requests);
+    json.Field("queue_high_watermark", r.stats.queue_high_watermark);
+    json.Key("tiers");
+    json.BeginObject();
+    json.Field("model", r.stats.by_tier[0]);
+    json.Field("log_binning", r.stats.by_tier[1]);
+    json.Field("global_mean", r.stats.by_tier[2]);
+    json.EndObject();
+    json.Field("parity_violations", r.parity_violations);
+    json.FieldDouble("max_abs_err_minutes", r.max_abs_err, "%.8f");
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("summary");
+  json.BeginObject();
+  json.FieldDouble("qps_speedup_batch32_over_1", speedup_32_over_1);
+  json.EndObject();
+  json.EndObject();
+  std::cout << "wrote " << out_path << "\n";
+
+  size_t total_violations = 0;
+  for (const ScenarioResult& r : results) total_violations += r.parity_violations;
+  return total_violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace prestroid
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  return prestroid::Run(out_path);
+}

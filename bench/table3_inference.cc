@@ -15,6 +15,7 @@
 #include "cloud/epoch_time_model.h"
 #include "cost/serving_estimator.h"
 #include "tensor/kernels/kernel_registry.h"
+#include "util/histogram.h"
 #include "util/table_printer.h"
 
 namespace prestroid::bench {
@@ -144,7 +145,7 @@ int Run() {
         KernelRegistry::BackendName(ctx->kernels().backend(KernelOp::kGemm)),
         ctx->num_threads());
 
-    std::vector<std::vector<double>> latencies_ms(cost::kNumServingTiers);
+    std::vector<LatencyHistogram> latencies_ms(cost::kNumServingTiers);
     cost::ServingEstimator estimator;
     if (Status st = estimator.FitFallbacks(data.records); !st.ok()) {
       std::cerr << "fallback fit failed: " << st.ToString() << "\n";
@@ -159,33 +160,29 @@ int Run() {
       for (size_t idx : data.splits.test) {
         cost::ServingEstimate est = estimator.EstimateWithFallback(
             *data.records[idx].plan, kNoDeadlineMs);
-        latencies_ms[static_cast<size_t>(est.tier)].push_back(est.latency_ms);
+        latencies_ms[static_cast<size_t>(est.tier)].Record(est.latency_ms);
       }
     }
     cost::ServingEstimator bare;  // nothing fitted -> global mean answers
     for (size_t idx : data.splits.test) {
       cost::ServingEstimate est =
           bare.EstimateWithFallback(*data.records[idx].plan, kNoDeadlineMs);
-      latencies_ms[static_cast<size_t>(est.tier)].push_back(est.latency_ms);
+      latencies_ms[static_cast<size_t>(est.tier)].Record(est.latency_ms);
     }
 
-    TablePrinter tiers({"tier", "requests", "mean ms", "p95 ms"});
+    TablePrinter tiers({"tier", "requests", "mean ms", "p95 ms", "p99 ms"});
     for (size_t t = 0; t < cost::kNumServingTiers; ++t) {
-      std::vector<double>& lat = latencies_ms[t];
+      const LatencyHistogram& lat = latencies_ms[t];
       const char* name =
           cost::ServingTierToString(static_cast<cost::ServingTier>(t));
-      if (lat.empty()) {
-        tiers.AddRow({name, "0", "-", "-"});
+      if (lat.count() == 0) {
+        tiers.AddRow({name, "0", "-", "-", "-"});
         continue;
       }
-      std::sort(lat.begin(), lat.end());
-      double sum = 0.0;
-      for (double v : lat) sum += v;
-      const double p95 = lat[std::min(lat.size() - 1,
-                                      static_cast<size_t>(0.95 * lat.size()))];
-      tiers.AddRow({name, std::to_string(lat.size()),
-                    StrFormat("%.3f", sum / lat.size()),
-                    StrFormat("%.3f", p95)});
+      tiers.AddRow({name, std::to_string(lat.count()),
+                    StrFormat("%.3f", lat.mean()),
+                    StrFormat("%.3f", lat.Percentile(95.0)),
+                    StrFormat("%.3f", lat.Percentile(99.0))});
     }
     tiers.Print(std::cout);
   }

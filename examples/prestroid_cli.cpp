@@ -10,6 +10,8 @@
 //                 [--limit 10]
 //   prestroid_cli serve     --model /tmp/model.ppl --trace /tmp/new.txt
 //                 [--deadline-ms 50] [--no-model] [--limit 20]
+//                 [--batch-window-us 200] [--max-batch 32]
+//                 [--queue-depth 256] [--cache-entries 1024]
 //   prestroid_cli explain   --trace /tmp/trace.txt [--index 0]
 //
 // gen-trace writes the on-disk trace format (SQL + EXPLAIN text + profiler
@@ -17,18 +19,25 @@
 // model artifact and the periodic training snapshots are written atomically,
 // and --resume continues an interrupted run from the last snapshot); predict
 // loads a saved pipeline and scores a trace's plans without retraining;
-// serve runs the fault-tolerant ServingEstimator — plan validation,
-// per-request deadline, and the model -> log-binning -> global-mean
-// degradation chain — and reports which tier answered each query; explain
+// serve runs the concurrent batched ServingRuntime over the fault-tolerant
+// ServingEstimator — bounded admission queue, dynamic micro-batching,
+// plan-fingerprint feature caching, plan validation, per-request deadline,
+// and the model -> log-binning -> global-mean degradation chain — and
+// reports which tier answered each query; explain
 // pretty-prints one record's logical plan and O-T-P statistics.
 #include <cstdlib>
+#include <deque>
+#include <future>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "core/pipeline.h"
 #include "cost/serving_estimator.h"
+#include "serve/serving_runtime.h"
+#include "util/histogram.h"
 #include "otp/otp_tree.h"
 #include "plan/plan_stats.h"
 #include "plan/plan_text.h"
@@ -241,26 +250,79 @@ int Serve(const Flags& flags) {
     }
   }
 
+  serve::ServingRuntimeConfig runtime_config;
+  runtime_config.queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 256));
+  runtime_config.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 32));
+  runtime_config.batch_window_us =
+      static_cast<size_t>(flags.GetInt("batch-window-us", 200));
+  runtime_config.cache_entries =
+      static_cast<size_t>(flags.GetInt("cache-entries", 1024));
+  serve::ServingRuntime runtime(&estimator, runtime_config);
+  Status started = runtime.Start();
+  if (!started.ok()) return Fail(started);
+
   const size_t limit = std::min<size_t>(
       records->size(), static_cast<size_t>(flags.GetInt("limit", 20)));
+  // Submit everything up front so the micro-batcher actually sees batches;
+  // on queue overflow, wait for the oldest outstanding request to resolve
+  // and retry (closed-loop backpressure instead of dropping queries).
+  std::deque<std::pair<size_t, std::future<cost::ServingEstimate>>> in_flight;
+  std::vector<cost::ServingEstimate> estimates(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    for (;;) {
+      auto submitted = runtime.Submit(*(*records)[i].plan);
+      if (submitted.ok()) {
+        in_flight.emplace_back(i, std::move(*submitted));
+        break;
+      }
+      if (submitted.status().code() != StatusCode::kResourceExhausted ||
+          in_flight.empty()) {
+        return Fail(submitted.status());
+      }
+      estimates[in_flight.front().first] = in_flight.front().second.get();
+      in_flight.pop_front();
+    }
+  }
+  while (!in_flight.empty()) {
+    estimates[in_flight.front().first] = in_flight.front().second.get();
+    in_flight.pop_front();
+  }
+
   TablePrinter table({"query", "estimate (min)", "actual (min)", "tier",
                       "latency (ms)"});
   for (size_t i = 0; i < limit; ++i) {
-    cost::ServingEstimate estimate =
-        estimator.EstimateWithFallback(*(*records)[i].plan);
-    table.AddRow({StrFormat("q%zu", i), StrFormat("%.2f", estimate.cpu_minutes),
+    table.AddRow({StrFormat("q%zu", i),
+                  StrFormat("%.2f", estimates[i].cpu_minutes),
                   StrFormat("%.2f", (*records)[i].metrics.total_cpu_minutes),
-                  cost::ServingTierToString(estimate.tier),
-                  StrFormat("%.3f", estimate.latency_ms)});
+                  cost::ServingTierToString(estimates[i].tier),
+                  StrFormat("%.3f", estimates[i].latency_ms)});
   }
   table.Print(std::cout);
-  const cost::ServingStats& stats = estimator.stats();
+
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  const LatencyHistogram latency = runtime.LatencySnapshot();
+  runtime.Shutdown();
   std::cout << StrFormat(
       "tiers: model=%zu log-binning=%zu global-mean=%zu | "
       "rejects=%zu deadline-skips=%zu deadline-misses=%zu model-errors=%zu\n",
       stats.by_tier[0], stats.by_tier[1], stats.by_tier[2],
       stats.validation_rejects, stats.deadline_skips, stats.deadline_misses,
       stats.model_errors);
+  const size_t cache_lookups = stats.cache_hits + stats.cache_misses;
+  std::cout << StrFormat(
+      "queue: high-watermark=%zu rejected=%zu | cache: hits=%zu misses=%zu "
+      "evictions=%zu hit-rate=%.1f%%\n",
+      stats.queue_high_watermark, stats.rejected_requests, stats.cache_hits,
+      stats.cache_misses, stats.cache_evictions,
+      cache_lookups == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.cache_hits) /
+                static_cast<double>(cache_lookups));
+  std::cout << StrFormat(
+      "latency: p50=%.3fms p95=%.3fms p99=%.3fms (n=%zu)\n",
+      latency.Percentile(50.0), latency.Percentile(95.0),
+      latency.Percentile(99.0), latency.count());
   return 0;
 }
 
@@ -307,7 +369,8 @@ int Usage() {
          "            [--snapshot-every N] [--snapshot FILE] [--resume]\n"
          "  predict   --model FILE --trace FILE [--limit N]\n"
          "  serve     --model FILE --trace FILE [--deadline-ms MS]\n"
-         "            [--no-model] [--limit N]\n"
+         "            [--no-model] [--limit N] [--batch-window-us US]\n"
+         "            [--max-batch B] [--queue-depth Q] [--cache-entries C]\n"
          "  explain   --trace FILE [--index I]\n";
   return 2;
 }

@@ -83,6 +83,55 @@ void FullTreeModel::AssembleBatch(const std::vector<size_t>& batch,
   }
 }
 
+void FullTreeModel::AssembleBorrowed(
+    const std::vector<const TreeFeatures*>& samples, size_t start, size_t end,
+    TreeStructure* structure, Tensor* features_out) const {
+  PRESTROID_CHECK(finalized_);
+  const size_t b = end - start;
+  // The dataset-wide padding size; borrowed inference trees may exceed it.
+  size_t n = max_nodes_;
+  for (size_t i = start; i < end; ++i) {
+    n = std::max(n, samples[i]->num_nodes());
+  }
+  const size_t f = config_.feature_dim;
+  Tensor& features = *features_out;
+  features.ResetShape({b, n, f});
+  features.Fill(0.0f);  // padding slots must stay zero
+  structure->left.assign(b, std::vector<int>(n, -1));
+  structure->right.assign(b, std::vector<int>(n, -1));
+  structure->mask.assign(b, std::vector<float>(n, 0.0f));
+  for (size_t i = 0; i < b; ++i) {
+    const TreeFeatures& tree = *samples[start + i];
+    PRESTROID_CHECK_EQ(tree.features.dim(1), f);
+    const size_t count = tree.num_nodes();
+    std::memcpy(features.data() + i * n * f, tree.features.data(),
+                sizeof(float) * count * f);
+    for (size_t node = 0; node < count; ++node) {
+      structure->left[i][node] = tree.left[node];
+      structure->right[i][node] = tree.right[node];
+      structure->mask[i][node] = tree.votes[node];
+    }
+  }
+}
+
+std::vector<float> FullTreeModel::PredictBorrowed(
+    const std::vector<const TreeFeatures*>& samples) {
+  PRESTROID_CHECK(finalized_);
+  head_->SetTraining(false);
+  std::vector<float> out;
+  out.reserve(samples.size());
+  constexpr size_t kEvalBatch = 32;
+  for (size_t start = 0; start < samples.size(); start += kEvalBatch) {
+    const size_t end = std::min(samples.size(), start + kEvalBatch);
+    TreeStructure structure;
+    AssembleBorrowed(samples, start, end, &structure, &features_ws_);
+    const Tensor& pred = ForwardBatch(features_ws_, structure);
+    for (size_t i = 0; i < end - start; ++i) out.push_back(pred[i]);
+  }
+  head_->SetTraining(true);
+  return out;
+}
+
 const Tensor& FullTreeModel::ForwardBatch(const Tensor& features,
                                           const TreeStructure& structure) {
   const Tensor& conv_out = conv_->Forward(features, structure);

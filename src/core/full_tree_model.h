@@ -54,6 +54,13 @@ class FullTreeModel : public CostModel {
   /// Removes the most recently added/staged sample.
   void PopSample();
 
+  /// Fused eval-mode forward over borrowed trees, read in place with no
+  /// staging copies and no mutation of the sample store. Identical results
+  /// to StageSample + Predict + PopSample (masked pooling makes padding
+  /// inert). This is the batched-serving hot path.
+  std::vector<float> PredictBorrowed(
+      const std::vector<const TreeFeatures*>& samples);
+
   // CostModel:
   std::string name() const override { return config_.name; }
   size_t num_samples() const override { return samples_.size(); }
@@ -86,6 +93,10 @@ class FullTreeModel : public CostModel {
  private:
   void AssembleBatch(const std::vector<size_t>& batch, TreeStructure* structure,
                      Tensor* features) const;
+  /// AssembleBatch over borrowed trees instead of stored samples.
+  void AssembleBorrowed(const std::vector<const TreeFeatures*>& samples,
+                        size_t start, size_t end, TreeStructure* structure,
+                        Tensor* features) const;
   const Tensor& ForwardBatch(const Tensor& features,
                              const TreeStructure& structure);
 

@@ -232,27 +232,49 @@ double PrestroidPipeline::EvaluateMseMinutes(
 }
 
 Result<double> PrestroidPipeline::PredictPlan(const plan::PlanNode& plan) {
-  float norm = 0.0f;
+  PRESTROID_ASSIGN_OR_RETURN(PlanFeatures features, FeaturizePlan(plan));
+  return PredictFeaturized({&features})[0];
+}
+
+Result<PlanFeatures> PrestroidPipeline::FeaturizePlan(
+    const plan::PlanNode& plan) {
+  PlanFeatures features;
   if (config_.use_subtrees) {
     PRESTROID_ASSIGN_OR_RETURN(
-        std::vector<TreeFeatures> subtrees,
+        features.trees,
         featurizer_->FeaturizeSubtrees(plan, config_.sampler,
-                                       config_.num_subtrees,
-                                       config_.pruning));
-    // Stage the sample, predict it, then drop it again.
-    const size_t idx = subtree_model_->num_samples();
-    subtree_model_->AddSample(std::move(subtrees), 0.0f);
-    norm = subtree_model_->Predict({idx})[0];
-    subtree_model_->PopSample();
+                                       config_.num_subtrees, config_.pruning));
   } else {
-    PRESTROID_ASSIGN_OR_RETURN(TreeFeatures features,
+    PRESTROID_ASSIGN_OR_RETURN(TreeFeatures tree,
                                featurizer_->FeaturizeFullPlan(plan));
-    const size_t idx = full_model_->num_samples();
-    full_model_->StageSample(std::move(features));
-    norm = full_model_->Predict({idx})[0];
-    full_model_->PopSample();
+    features.trees.push_back(std::move(tree));
   }
-  return transform_.Denormalize(norm);
+  return features;
+}
+
+std::vector<double> PrestroidPipeline::PredictFeaturized(
+    const std::vector<const PlanFeatures*>& batch) {
+  if (batch.empty()) return {};
+  // One fused eval-mode forward over the borrowed encodings — no staging
+  // copies, no mutation of the model's sample store.
+  std::vector<float> norm;
+  if (config_.use_subtrees) {
+    std::vector<const std::vector<TreeFeatures>*> samples;
+    samples.reserve(batch.size());
+    for (const PlanFeatures* features : batch) samples.push_back(&features->trees);
+    norm = subtree_model_->PredictBorrowed(samples);
+  } else {
+    std::vector<const TreeFeatures*> samples;
+    samples.reserve(batch.size());
+    for (const PlanFeatures* features : batch) {
+      samples.push_back(&features->trees.front());
+    }
+    norm = full_model_->PredictBorrowed(samples);
+  }
+  std::vector<double> minutes;
+  minutes.reserve(norm.size());
+  for (float n : norm) minutes.push_back(transform_.Denormalize(n));
+  return minutes;
 }
 
 std::string PrestroidPipeline::ModelName() const {

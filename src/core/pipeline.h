@@ -50,6 +50,13 @@ struct PipelineConfig {
   std::string kernel;
 };
 
+/// Featurized encoding of one plan in exactly the form the model consumes:
+/// K sub-trees for sub-tree pipelines, a single full tree otherwise. Copyable
+/// so a serving cache can hand out shared encodings.
+struct PlanFeatures {
+  std::vector<TreeFeatures> trees;
+};
+
 /// The full Prestroid data-science pipeline of Figure 3: plan re-casting,
 /// predicate Word2Vec, O-T-P encoding, sub-tree sampling, and the tree-CNN
 /// cost model, assembled over one trace dataset.
@@ -78,7 +85,21 @@ class PrestroidPipeline {
 
   /// Predicts CPU minutes for a previously unseen plan (deployment path:
   /// new query -> EXPLAIN -> predict; exercises the OOV fallbacks).
+  /// Equivalent to FeaturizePlan + a 1-element PredictFeaturized batch.
   Result<double> PredictPlan(const plan::PlanNode& plan);
+
+  /// Featurizes a previously unseen plan into the model's input encoding
+  /// (recast + OOV context + encode + sub-tree sampling). The result depends
+  /// only on the plan and the fitted encoder state, so it is cacheable for
+  /// recurring plans (see serve/plan_cache.h).
+  Result<PlanFeatures> FeaturizePlan(const plan::PlanNode& plan);
+
+  /// Predicts CPU minutes for a batch of featurized plans in one fused
+  /// forward pass (eval mode: dropout off, batch-norm running statistics,
+  /// per-tree pooling), so each row's prediction is independent of what else
+  /// shares the batch — batched results match PredictPlan per element.
+  std::vector<double> PredictFeaturized(
+      const std::vector<const PlanFeatures*>& batch);
 
   CostModel* model();
   /// The pipeline-owned execution context (thread pool + scratch arena +

@@ -96,6 +96,61 @@ void SubtreeModel::AssembleBatch(const std::vector<size_t>& batch,
   }
 }
 
+void SubtreeModel::AssembleBorrowed(
+    const std::vector<const std::vector<TreeFeatures>*>& samples, size_t start,
+    size_t end, TreeStructure* structure, Tensor* features_out) const {
+  const size_t b = end - start;
+  const size_t k = config_.num_subtrees;
+  const size_t n = config_.node_limit;
+  const size_t f = config_.feature_dim;
+
+  Tensor& features = *features_out;
+  features.ResetShape({b * k, n, f});
+  features.Fill(0.0f);  // padding slots must stay zero
+  structure->left.assign(b * k, std::vector<int>(n, -1));
+  structure->right.assign(b * k, std::vector<int>(n, -1));
+  structure->mask.assign(b * k, std::vector<float>(n, 0.0f));
+
+  for (size_t i = 0; i < b; ++i) {
+    const std::vector<TreeFeatures>& trees = *samples[start + i];
+    const size_t used = std::min(trees.size(), k);
+    for (size_t s = 0; s < used; ++s) {
+      const TreeFeatures& tree = trees[s];
+      PRESTROID_CHECK_LE(tree.num_nodes(), n);
+      PRESTROID_CHECK_EQ(tree.features.dim(1), f);
+      const size_t slot = i * k + s;
+      const size_t count = tree.num_nodes();
+      std::memcpy(features.data() + slot * n * f, tree.features.data(),
+                  sizeof(float) * count * f);
+      for (size_t node = 0; node < count; ++node) {
+        structure->left[slot][node] = tree.left[node];
+        structure->right[slot][node] = tree.right[node];
+        structure->mask[slot][node] = tree.votes[node];
+      }
+    }
+  }
+}
+
+std::vector<float> SubtreeModel::PredictBorrowed(
+    const std::vector<const std::vector<TreeFeatures>*>& samples) {
+  head_->SetTraining(false);
+  std::vector<float> out;
+  out.reserve(samples.size());
+  constexpr size_t kEvalBatch = 64;
+  for (size_t start = 0; start < samples.size(); start += kEvalBatch) {
+    const size_t end = std::min(samples.size(), start + kEvalBatch);
+    TreeStructure structure;
+    AssembleBorrowed(samples, start, end, &structure, &features_ws_);
+    const Tensor& pred = ForwardBatch(features_ws_, structure);
+    // CostModel convention: the first objective (total CPU time).
+    for (size_t i = 0; i < end - start; ++i) {
+      out.push_back(pred.At(i, 0));
+    }
+  }
+  head_->SetTraining(true);
+  return out;
+}
+
 const Tensor& SubtreeModel::ForwardBatch(const Tensor& features,
                                          const TreeStructure& structure) {
   const size_t bk = features.dim(0);

@@ -53,6 +53,14 @@ class SubtreeModel : public CostModel {
   /// Predicts all output_dim objectives: [indices.size(), output_dim].
   Tensor PredictMulti(const std::vector<size_t>& indices);
 
+  /// Fused eval-mode forward over borrowed samples — each element is one
+  /// query's sub-tree set, read in place with no staging copies and no
+  /// mutation of the training-sample store. Returns the first objective per
+  /// sample; results are identical to staging + Predict() (eval mode is
+  /// per-row independent). This is the batched-serving hot path.
+  std::vector<float> PredictBorrowed(
+      const std::vector<const std::vector<TreeFeatures>*>& samples);
+
   /// Removes the most recently added sample (used to stage transient
   /// inference-only samples).
   void PopSample();
@@ -91,6 +99,11 @@ class SubtreeModel : public CostModel {
   /// workspace tensor (allocation-free once warm).
   void AssembleBatch(const std::vector<size_t>& batch, TreeStructure* structure,
                      Tensor* features) const;
+  /// AssembleBatch over borrowed sub-tree sets instead of stored samples.
+  void AssembleBorrowed(
+      const std::vector<const std::vector<TreeFeatures>*>& samples,
+      size_t start, size_t end, TreeStructure* structure,
+      Tensor* features) const;
   const Tensor& ForwardBatch(const Tensor& features,
                              const TreeStructure& structure);
 

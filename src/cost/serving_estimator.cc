@@ -64,54 +64,56 @@ Status ServingEstimator::FitFallbacks(
   return Status::OK();
 }
 
-ServingEstimate ServingEstimator::EstimateWithFallback(
-    const plan::PlanNode& plan, double deadline_ms) {
-  const auto start = std::chrono::steady_clock::now();
-  if (deadline_ms <= 0.0) deadline_ms = limits_.default_deadline_ms;
-  ++stats_.requests;
-
-  ServingEstimate estimate;
-  const plan::PlanStats plan_stats = plan::ComputePlanStats(plan);
-
-  // --- Tier 0: the learned model, gated by validation and deadline -------
-  Status skip_reason;
+Status ServingEstimator::AdmitModelTier(const plan::PlanStats& plan_stats,
+                                        double deadline_ms) {
   if (pipeline_ == nullptr || !model_enabled_) {
-    skip_reason = Status::Unimplemented("model tier unavailable or disabled");
-  } else if (plan_stats.node_count > limits_.max_plan_nodes ||
-             plan_stats.max_depth > limits_.max_plan_depth) {
+    return Status::Unimplemented("model tier unavailable or disabled");
+  }
+  if (plan_stats.node_count > limits_.max_plan_nodes ||
+      plan_stats.max_depth > limits_.max_plan_depth) {
     ++stats_.validation_rejects;
-    skip_reason = Status::InvalidArgument(
+    return Status::InvalidArgument(
         "plan exceeds serving limits (" +
         std::to_string(plan_stats.node_count) + " nodes, depth " +
         std::to_string(plan_stats.max_depth) + ")");
-  } else if (model_latency_ewma_ms_ > deadline_ms) {
+  }
+  if (deadline_ms <= 0.0) {
     ++stats_.deadline_skips;
-    skip_reason = Status::OutOfRange(
+    return Status::OutOfRange(
+        "request deadline expired before the model tier could run");
+  }
+  if (model_latency_ewma_ms_ > deadline_ms) {
+    ++stats_.deadline_skips;
+    return Status::OutOfRange(
         "model latency EWMA exceeds deadline; degraded pre-emptively");
   }
+  return Status::OK();
+}
 
-  if (skip_reason.ok()) {
-    Result<double> predicted = pipeline_->PredictPlan(plan);
-    const double model_ms = ElapsedMs(start);
-    model_latency_ewma_ms_ =
-        model_latency_ewma_ms_ == 0.0
-            ? model_ms
-            : (1.0 - kLatencyEwmaAlpha) * model_latency_ewma_ms_ +
-                  kLatencyEwmaAlpha * model_ms;
-    if (model_ms > deadline_ms) ++stats_.deadline_misses;
-    if (predicted.ok() && std::isfinite(*predicted)) {
-      estimate.cpu_minutes = *predicted;
-      estimate.tier = ServingTier::kModel;
-      estimate.latency_ms = ElapsedMs(start);
-      ++stats_.by_tier[static_cast<size_t>(ServingTier::kModel)];
-      return estimate;
-    }
-    ++stats_.model_errors;
-    skip_reason = predicted.ok()
-                      ? Status::Internal("model returned a non-finite estimate")
-                      : predicted.status();
-  }
-  estimate.degradation_reason = skip_reason;
+void ServingEstimator::UpdateModelLatency(double model_ms, double deadline_ms) {
+  model_latency_ewma_ms_ =
+      model_latency_ewma_ms_ == 0.0
+          ? model_ms
+          : (1.0 - kLatencyEwmaAlpha) * model_latency_ewma_ms_ +
+                kLatencyEwmaAlpha * model_ms;
+  if (model_ms > deadline_ms) ++stats_.deadline_misses;
+}
+
+ServingEstimate ServingEstimator::FinishModelEstimate(double cpu_minutes,
+                                                      double latency_ms) {
+  ServingEstimate estimate;
+  estimate.cpu_minutes = cpu_minutes;
+  estimate.tier = ServingTier::kModel;
+  estimate.latency_ms = latency_ms;
+  ++stats_.by_tier[static_cast<size_t>(ServingTier::kModel)];
+  return estimate;
+}
+
+ServingEstimate ServingEstimator::EstimateFallback(
+    const plan::PlanStats& plan_stats, Status reason,
+    std::chrono::steady_clock::time_point start) {
+  ServingEstimate estimate;
+  estimate.degradation_reason = std::move(reason);
 
   // --- Tier 1: log-binning over plan node count ---------------------------
   if (fallbacks_fitted_) {
@@ -133,6 +135,30 @@ ServingEstimate ServingEstimator::EstimateWithFallback(
   estimate.latency_ms = ElapsedMs(start);
   ++stats_.by_tier[static_cast<size_t>(ServingTier::kGlobalMean)];
   return estimate;
+}
+
+ServingEstimate ServingEstimator::EstimateWithFallback(
+    const plan::PlanNode& plan, double deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  if (deadline_ms <= 0.0) deadline_ms = limits_.default_deadline_ms;
+  ++stats_.requests;
+
+  const plan::PlanStats plan_stats = plan::ComputePlanStats(plan);
+
+  // --- Tier 0: the learned model, gated by validation and deadline -------
+  Status skip_reason = AdmitModelTier(plan_stats, deadline_ms);
+  if (skip_reason.ok()) {
+    Result<double> predicted = pipeline_->PredictPlan(plan);
+    UpdateModelLatency(ElapsedMs(start), deadline_ms);
+    if (predicted.ok() && std::isfinite(*predicted)) {
+      return FinishModelEstimate(*predicted, ElapsedMs(start));
+    }
+    NoteModelFailure();
+    skip_reason = predicted.ok()
+                      ? Status::Internal("model returned a non-finite estimate")
+                      : predicted.status();
+  }
+  return EstimateFallback(plan_stats, std::move(skip_reason), start);
 }
 
 }  // namespace prestroid::cost

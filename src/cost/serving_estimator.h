@@ -1,6 +1,7 @@
 #ifndef PRESTROID_COST_SERVING_ESTIMATOR_H_
 #define PRESTROID_COST_SERVING_ESTIMATOR_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "core/label_transform.h"
 #include "core/pipeline.h"
 #include "plan/plan_node.h"
+#include "plan/plan_stats.h"
 #include "util/status.h"
 #include "workload/trace.h"
 
@@ -47,14 +49,25 @@ struct ServingEstimate {
   Status degradation_reason;
 };
 
-/// Monotonic per-process serving counters.
+/// Monotonic per-process serving counters. The estimator itself maintains
+/// the request/tier/degradation counters; the queue and cache fields are
+/// filled in by the batched serving runtime's snapshots (serve/
+/// serving_runtime.h) and stay zero on the direct single-query path.
 struct ServingStats {
   size_t requests = 0;
   size_t by_tier[kNumServingTiers] = {0, 0, 0};
   size_t validation_rejects = 0;  // plans too large/deep for the model tier
-  size_t deadline_skips = 0;      // model skipped: EWMA latency > budget
+  size_t deadline_skips = 0;      // model skipped: EWMA latency > budget,
+                                  // or the deadline expired while queued
   size_t deadline_misses = 0;     // model answered but blew the deadline
   size_t model_errors = 0;        // model tier failed or returned non-finite
+
+  // --- batched-runtime counters (serve::ServingRuntime snapshots) ---------
+  size_t rejected_requests = 0;     // queue-overflow admission rejections
+  size_t queue_high_watermark = 0;  // max simultaneously queued requests
+  size_t cache_hits = 0;            // plan-fingerprint cache hits
+  size_t cache_misses = 0;          // featurization re-runs
+  size_t cache_evictions = 0;       // LRU evictions
 };
 
 /// Fault-tolerant serving front end: wraps the learned pipeline with input
@@ -93,7 +106,48 @@ class ServingEstimator {
   ServingEstimate EstimateWithFallback(const plan::PlanNode& plan,
                                        double deadline_ms = 0.0);
 
+  // --- decomposed pieces for the batched serving runtime ------------------
+  // serve::ServingRuntime reuses the exact chain EstimateWithFallback walks,
+  // but needs the stages separately: the admission gate before batch
+  // assembly, the model-answer bookkeeping after one fused forward pass, and
+  // the fallback tiers per degraded item. None of these are thread-safe; the
+  // runtime serializes every call on its batch-worker thread.
+
+  /// The attached model pipeline (nullptr when detached). The batched
+  /// runtime featurizes and runs fused forward passes through it directly.
+  core::PrestroidPipeline* pipeline() { return pipeline_.get(); }
+
+  /// Model-tier admission gate: availability, validation limits, and the
+  /// latency-EWMA deadline check, with the matching stats tallied. A
+  /// deadline_ms <= 0 here means the request's deadline already expired
+  /// (e.g. while queued) and counts as a deadline skip. Returns OK when the
+  /// model tier may attempt the plan.
+  Status AdmitModelTier(const plan::PlanStats& plan_stats, double deadline_ms);
+
+  /// Folds one model-tier attempt's per-request compute time into the
+  /// latency EWMA and tallies a deadline miss when it overran the budget.
+  void UpdateModelLatency(double model_ms, double deadline_ms);
+
+  /// Records a finite model-tier answer (tier counter + estimate assembly).
+  /// `latency_ms` is the full request latency including any queue wait.
+  ServingEstimate FinishModelEstimate(double cpu_minutes, double latency_ms);
+
+  /// Tallies a model-tier failure (error status or non-finite output).
+  void NoteModelFailure() { ++stats_.model_errors; }
+
+  /// The tier-1 -> tier-2 degradation path with `reason` recorded; never
+  /// fails. Latency is measured from `start` (a queued request passes its
+  /// enqueue time so the estimate's latency includes the wait).
+  ServingEstimate EstimateFallback(const plan::PlanStats& plan_stats,
+                                   Status reason,
+                                   std::chrono::steady_clock::time_point start);
+
+  /// Counts one incoming request (EstimateWithFallback does this itself;
+  /// the batched runtime calls it once per dequeued request).
+  void CountRequest() { ++stats_.requests; }
+
   const ServingStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServingStats{}; }
   const ServingLimits& limits() const { return limits_; }
 
  private:

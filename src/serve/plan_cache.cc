@@ -1,0 +1,42 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+namespace prestroid::serve {
+
+std::shared_ptr<const core::PlanFeatures> PlanFeatureCache::Lookup(
+    uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->features;
+}
+
+void PlanFeatureCache::Insert(
+    uint64_t key, std::shared_ptr<const core::PlanFeatures> features) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->features = std::move(features);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(features)});
+  entries_.emplace(key, lru_.begin());
+}
+
+void PlanFeatureCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace prestroid::serve

@@ -1,0 +1,63 @@
+#ifndef PRESTROID_SERVE_PLAN_CACHE_H_
+#define PRESTROID_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+
+namespace prestroid::serve {
+
+/// Monotonic cache counters, merged into ServingStats snapshots.
+struct PlanCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+};
+
+/// LRU cache from plan fingerprint to featurized encoding. A hit skips the
+/// whole recast + OOV-context + encode + sub-tree-sampling path, which
+/// dominates per-request cost for recurring workloads. Entries are handed
+/// out as shared_ptr<const ...> so an encoding stays valid while a batch is
+/// using it even if it gets evicted mid-flight.
+///
+/// Not thread-safe: the serving runtime confines all access to its batch
+/// worker thread.
+class PlanFeatureCache {
+ public:
+  /// capacity == 0 disables caching (every Lookup misses, Insert is a no-op).
+  explicit PlanFeatureCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached encoding and refreshes recency, or nullptr on miss.
+  /// Counts a hit or miss either way.
+  std::shared_ptr<const core::PlanFeatures> Lookup(uint64_t key);
+
+  /// Inserts (or replaces) the encoding for `key`, evicting the least
+  /// recently used entry when full.
+  void Insert(uint64_t key, std::shared_ptr<const core::PlanFeatures> features);
+
+  /// Drops every entry. Counters are monotonic and survive the clear.
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const PlanCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::shared_ptr<const core::PlanFeatures> features;
+  };
+
+  size_t capacity_;
+  /// Recency list, most recent at the front; the map points into it.
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> entries_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace prestroid::serve
+
+#endif  // PRESTROID_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,130 @@
+#include "serve/plan_fingerprint.h"
+
+#include <cstring>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace prestroid::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashByte(uint64_t& h, uint8_t byte) {
+  h ^= byte;
+  h *= kFnvPrime;
+}
+
+void HashString(uint64_t& h, const std::string& s) {
+  // Length-prefix so "ab"+"c" and "a"+"bc" cannot collide across fields.
+  for (size_t len = s.size(); len != 0; len >>= 8) {
+    HashByte(h, static_cast<uint8_t>(len & 0xff));
+  }
+  HashByte(h, 0xfe);
+  for (char c : s) HashByte(h, static_cast<uint8_t>(c));
+}
+
+/// Hashes the expression tree structurally — the same information its
+/// round-trippable ToString() carries, without materializing the string.
+/// Equal structure implies equal text, so this keys at least as finely as
+/// the predicate text the recast consumes; it never falsely shares.
+void HashExpr(uint64_t& h, const sql::Expr& expr) {
+  HashByte(h, static_cast<uint8_t>(expr.kind));
+  switch (expr.kind) {
+    case sql::ExprKind::kColumn:
+      HashString(h, expr.table);
+      HashString(h, expr.name);
+      break;
+    case sql::ExprKind::kNumberLit: {
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(expr.number),
+                    "double must be 64-bit");
+      std::memcpy(&bits, &expr.number, sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        HashByte(h, static_cast<uint8_t>(bits >> (8 * i)));
+      }
+      break;
+    }
+    case sql::ExprKind::kStringLit:
+      HashString(h, expr.str);
+      break;
+    case sql::ExprKind::kBinary:
+    case sql::ExprKind::kCompare:
+      HashString(h, expr.op);
+      break;
+    case sql::ExprKind::kIsNull:
+      // The negation marker lives in `name`/`op` depending on the factory;
+      // hash both so negated and plain IS NULL never collide.
+      HashString(h, expr.name);
+      HashString(h, expr.op);
+      break;
+    case sql::ExprKind::kFuncCall:
+      HashString(h, expr.name);
+      break;
+    default:
+      // kNullLit/kStar/kAnd/kOr/kNot/kIn/kBetween/kLike carry no payload
+      // beyond their kind and children.
+      break;
+  }
+  HashByte(h, 0xf4);
+  for (const sql::ExprPtr& child : expr.children) {
+    HashExpr(h, *child);
+    HashByte(h, 0xf5);
+  }
+  HashByte(h, 0xf6);
+}
+
+void HashNode(uint64_t& h, const plan::PlanNode& node) {
+  HashByte(h, static_cast<uint8_t>(node.type));
+  switch (node.type) {
+    case plan::PlanNodeType::kTableScan:
+      HashString(h, node.table);
+      break;
+    case plan::PlanNodeType::kJoin:
+      // Recast rule R2 keeps only the flavour; the join condition is dropped.
+      HashByte(h, static_cast<uint8_t>(node.join_type));
+      break;
+    case plan::PlanNodeType::kExchange:
+      HashByte(h, static_cast<uint8_t>(node.exchange_kind));
+      break;
+    default:
+      // Recast rule R1: a non-join unary operator contributes its predicate
+      // (or the null marker) and nothing else.
+      if (node.predicate != nullptr) {
+        HashExpr(h, *node.predicate);
+      } else {
+        HashByte(h, 0xf0);
+      }
+      break;
+  }
+  // Delimit the child list so tree shape is part of the fingerprint.
+  HashByte(h, 0xf1);
+  for (const plan::PlanNodePtr& child : node.children) {
+    HashNode(h, *child);
+    HashByte(h, 0xf2);
+  }
+  HashByte(h, 0xf3);
+}
+
+}  // namespace
+
+uint64_t FingerprintPlan(const plan::PlanNode& plan) {
+  uint64_t h = kFnvOffsetBasis;
+  HashNode(h, plan);
+  return h;
+}
+
+uint64_t CombineFingerprint(uint64_t fingerprint, uint64_t generation) {
+  uint64_t h = kFnvOffsetBasis;
+  for (int i = 0; i < 8; ++i) {
+    HashByte(h, static_cast<uint8_t>(fingerprint >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    HashByte(h, static_cast<uint8_t>(generation >> (8 * i)));
+  }
+  return h;
+}
+
+}  // namespace prestroid::serve

@@ -1,0 +1,299 @@
+#include "serve/serving_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "plan/plan_stats.h"
+#include "serve/plan_fingerprint.h"
+
+namespace prestroid::serve {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(cost::ServingEstimator* estimator,
+                               ServingRuntimeConfig config)
+    : estimator_(estimator),
+      config_(config),
+      cache_(config.cache_entries) {
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+}
+
+ServingRuntime::~ServingRuntime() { Shutdown(); }
+
+Status ServingRuntime::Start() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      return Status::InvalidArgument("serving runtime is shut down");
+    }
+    if (started_) {
+      return Status::AlreadyExists("serving runtime already started");
+    }
+    started_ = true;
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+  return Status::OK();
+}
+
+void ServingRuntime::Shutdown() {
+  std::vector<PendingRequest> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+    if (!started_) {
+      // Never started: the calling thread drains, so accepted futures still
+      // resolve (the deterministic path the overflow tests rely on).
+      while (!queue_.empty()) {
+        leftover.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  for (size_t begin = 0; begin < leftover.size(); begin += config_.max_batch) {
+    const size_t end = std::min(begin + config_.max_batch, leftover.size());
+    std::vector<PendingRequest> batch;
+    batch.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      batch.push_back(std::move(leftover[i]));
+    }
+    ServeBatch(batch);
+  }
+}
+
+Result<std::future<cost::ServingEstimate>> ServingRuntime::Submit(
+    const plan::PlanNode& plan, double deadline_ms) {
+  std::future<cost::ServingEstimate> future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      return Status::InvalidArgument("serving runtime is shut down");
+    }
+    if (queue_.size() >= config_.queue_depth) {
+      ++rejected_requests_;
+      return Status::ResourceExhausted(
+          "serving queue is full (depth " +
+          std::to_string(config_.queue_depth) + ")");
+    }
+    PendingRequest request;
+    request.plan = &plan;
+    request.deadline_ms = deadline_ms;
+    request.enqueue_time = std::chrono::steady_clock::now();
+    future = request.promise.get_future();
+    queue_.push_back(std::move(request));
+    queue_high_watermark_ = std::max(queue_high_watermark_, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+cost::ServingEstimate ServingRuntime::Estimate(const plan::PlanNode& plan,
+                                               double deadline_ms) {
+  std::future<cost::ServingEstimate> future;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    space_cv_.wait(lock, [this] {
+      return stop_ || queue_.size() < config_.queue_depth;
+    });
+    if (stop_) {
+      // The worker is gone (or going), so serving inline is race-free.
+      lock.unlock();
+      std::lock_guard<std::mutex> serve_lock(serve_mu_);
+      return estimator_->EstimateWithFallback(plan, deadline_ms);
+    }
+    PendingRequest request;
+    request.plan = &plan;
+    request.deadline_ms = deadline_ms;
+    request.enqueue_time = std::chrono::steady_clock::now();
+    future = request.promise.get_future();
+    queue_.push_back(std::move(request));
+    queue_high_watermark_ = std::max(queue_high_watermark_, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return future.get();
+}
+
+void ServingRuntime::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  ++cache_generation_;
+  cache_.Clear();
+}
+
+cost::ServingStats ServingRuntime::StatsSnapshot() const {
+  cost::ServingStats stats;
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    stats = estimator_->stats();
+    stats.cache_hits = cache_.stats().hits;
+    stats.cache_misses = cache_.stats().misses;
+    stats.cache_evictions = cache_.stats().evictions;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.rejected_requests = rejected_requests_;
+    stats.queue_high_watermark = queue_high_watermark_;
+  }
+  return stats;
+}
+
+LatencyHistogram ServingRuntime::LatencySnapshot() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return latency_hist_;
+}
+
+void ServingRuntime::WorkerLoop() {
+  while (true) {
+    std::vector<PendingRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;  // drained and told to stop
+        continue;
+      }
+      // Batch window: give the batch a chance to fill before running a
+      // partial one. Skipped once stopping — drain as fast as possible.
+      if (!stop_ && config_.batch_window_us > 0 &&
+          queue_.size() < config_.max_batch) {
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::microseconds(config_.batch_window_us);
+        queue_cv_.wait_until(lock, until, [this] {
+          return stop_ || queue_.size() >= config_.max_batch;
+        });
+      }
+      const size_t take = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    space_cv_.notify_all();
+    ServeBatch(batch);
+  }
+}
+
+void ServingRuntime::ServeBatch(std::vector<PendingRequest>& batch) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  core::PrestroidPipeline* pipeline = estimator_->pipeline();
+
+  auto resolve = [this, &batch](size_t i, cost::ServingEstimate estimate) {
+    latency_hist_.Record(estimate.latency_ms);
+    batch[i].promise.set_value(std::move(estimate));
+  };
+
+  // max_batch == 1 preserves the legacy single-query serving path verbatim:
+  // per-request recast + featurize through EstimateWithFallback, no
+  // fingerprint cache, no fused staging. This keeps the degenerate
+  // configuration bit-compatible with pre-runtime serving and makes the
+  // batch-size sweep in bench/serving_throughput a true before/after
+  // comparison. Caching and batch fusion engage for max_batch >= 2.
+  if (config_.max_batch == 1) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      PendingRequest& request = batch[i];
+      const double deadline = request.deadline_ms > 0.0
+                                  ? request.deadline_ms
+                                  : estimator_->limits().default_deadline_ms;
+      const double remaining = deadline - ElapsedMs(request.enqueue_time);
+      cost::ServingEstimate estimate;
+      if (remaining <= 0.0) {
+        // Expired while queued: EstimateWithFallback would read a
+        // non-positive deadline as "use the default", so degrade explicitly.
+        estimator_->CountRequest();
+        const plan::PlanStats stats = plan::ComputePlanStats(*request.plan);
+        Status expired = estimator_->AdmitModelTier(stats, remaining);
+        estimate = estimator_->EstimateFallback(stats, std::move(expired),
+                                                request.enqueue_time);
+      } else {
+        estimate = estimator_->EstimateWithFallback(*request.plan, remaining);
+        estimate.latency_ms = ElapsedMs(request.enqueue_time);
+      }
+      resolve(i, std::move(estimate));
+    }
+    return;
+  }
+
+  struct AdmittedItem {
+    size_t index;  // into `batch`
+    std::shared_ptr<const core::PlanFeatures> features;
+  };
+  std::vector<AdmittedItem> admitted;
+  admitted.reserve(batch.size());
+  std::vector<plan::PlanStats> plan_stats(batch.size());
+  std::vector<double> remaining_ms(batch.size(), 0.0);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingRequest& request = batch[i];
+    estimator_->CountRequest();
+    const double deadline = request.deadline_ms > 0.0
+                                ? request.deadline_ms
+                                : estimator_->limits().default_deadline_ms;
+    remaining_ms[i] = deadline - ElapsedMs(request.enqueue_time);
+    plan_stats[i] = plan::ComputePlanStats(*request.plan);
+
+    Status admit = estimator_->AdmitModelTier(plan_stats[i], remaining_ms[i]);
+    if (!admit.ok()) {
+      resolve(i, estimator_->EstimateFallback(plan_stats[i], std::move(admit),
+                                              request.enqueue_time));
+      continue;
+    }
+    const uint64_t key = CombineFingerprint(FingerprintPlan(*request.plan),
+                                            cache_generation_);
+    std::shared_ptr<const core::PlanFeatures> features = cache_.Lookup(key);
+    if (features == nullptr) {
+      Result<core::PlanFeatures> fresh = pipeline->FeaturizePlan(*request.plan);
+      if (!fresh.ok()) {
+        estimator_->NoteModelFailure();
+        resolve(i, estimator_->EstimateFallback(
+                       plan_stats[i], fresh.status(), request.enqueue_time));
+        continue;
+      }
+      features = std::make_shared<core::PlanFeatures>(std::move(*fresh));
+      cache_.Insert(key, features);
+    }
+    admitted.push_back(AdmittedItem{i, std::move(features)});
+  }
+
+  if (admitted.empty()) return;
+
+  // One fused eval-mode forward pass for every admitted request.
+  std::vector<const core::PlanFeatures*> feature_ptrs;
+  feature_ptrs.reserve(admitted.size());
+  for (const AdmittedItem& item : admitted) {
+    feature_ptrs.push_back(item.features.get());
+  }
+  const auto forward_start = std::chrono::steady_clock::now();
+  const std::vector<double> predicted = pipeline->PredictFeaturized(feature_ptrs);
+  const double per_item_ms =
+      ElapsedMs(forward_start) / static_cast<double>(admitted.size());
+
+  for (size_t j = 0; j < admitted.size(); ++j) {
+    const size_t i = admitted[j].index;
+    estimator_->UpdateModelLatency(per_item_ms, remaining_ms[i]);
+    if (std::isfinite(predicted[j])) {
+      resolve(i, estimator_->FinishModelEstimate(
+                     predicted[j], ElapsedMs(batch[i].enqueue_time)));
+    } else {
+      estimator_->NoteModelFailure();
+      resolve(i, estimator_->EstimateFallback(
+                     plan_stats[i],
+                     Status::Internal("model returned a non-finite estimate"),
+                     batch[i].enqueue_time));
+    }
+  }
+}
+
+}  // namespace prestroid::serve

@@ -1,0 +1,124 @@
+#ifndef PRESTROID_UTIL_HISTOGRAM_H_
+#define PRESTROID_UTIL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace prestroid {
+
+/// Fixed log-spaced latency histogram.
+///
+/// Buckets are compile-time constants — `kBucketsPerDecade` geometric buckets
+/// per decade spanning [kMinValue, kMaxValue), plus one underflow and one
+/// overflow bucket — so two histograms recorded on different threads can be
+/// merged with a plain element-wise add and no coordination. Values are
+/// unit-agnostic; serving code records milliseconds.
+///
+/// Not thread-safe: each worker owns one instance and the owner merges them
+/// (the intended sharding pattern for per-thread latency accounting).
+class LatencyHistogram {
+ public:
+  /// Bucket geometry: 8 buckets per decade over [1e-3, 1e5) — 1 microsecond
+  /// to 100 seconds when values are milliseconds. Latencies outside the span
+  /// land in the underflow/overflow buckets and still count toward
+  /// percentiles (clamped to the span edge).
+  static constexpr double kMinValue = 1e-3;
+  static constexpr double kMaxValue = 1e5;
+  static constexpr size_t kBucketsPerDecade = 8;
+  static constexpr size_t kDecades = 8;
+  static constexpr size_t kNumBuckets = kBucketsPerDecade * kDecades + 2;
+
+  void Record(double value) {
+    ++buckets_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  /// Element-wise accumulation of `other` into this histogram.
+  void Merge(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  void Reset() { *this = LatencyHistogram(); }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Value at percentile `p` in [0, 100]: the geometric midpoint of the
+  /// bucket containing the p-th ranked sample, clamped to the observed
+  /// min/max so tiny sample counts do not over-report bucket width. Returns
+  /// 0 for an empty histogram.
+  double Percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the target sample (1-based, ceil), per the usual
+    // nearest-rank definition.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(p / 100.0 * static_cast<double>(count_))));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        return std::clamp(BucketMidpoint(i), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+
+  /// [lower, upper) bounds of bucket `i` (underflow: [0, kMinValue);
+  /// overflow: [kMaxValue, inf)).
+  static double BucketLowerBound(size_t i) {
+    if (i == 0) return 0.0;
+    return kMinValue * std::pow(10.0, static_cast<double>(i - 1) /
+                                          static_cast<double>(kBucketsPerDecade));
+  }
+  static double BucketUpperBound(size_t i) {
+    if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+    return BucketLowerBound(i + 1);
+  }
+
+ private:
+  static size_t BucketIndex(double value) {
+    if (!(value >= kMinValue)) return 0;  // underflow (also NaN)
+    if (value >= kMaxValue) return kNumBuckets - 1;
+    const double decades = std::log10(value / kMinValue);
+    size_t idx = 1 + static_cast<size_t>(decades *
+                                         static_cast<double>(kBucketsPerDecade));
+    return std::min(idx, kNumBuckets - 2);
+  }
+
+  static double BucketMidpoint(size_t i) {
+    const double lo = BucketLowerBound(i);
+    if (i == 0) return kMinValue / 2.0;
+    if (i + 1 >= kNumBuckets) return kMaxValue;
+    return std::sqrt(lo * BucketUpperBound(i));  // geometric midpoint
+  }
+
+  std::array<uint64_t, kNumBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_UTIL_HISTOGRAM_H_

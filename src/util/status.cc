@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kDataCorruption:
       return "DataCorruption";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

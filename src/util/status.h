@@ -24,6 +24,9 @@ enum class StatusCode {
   /// mismatch, CRC failure, truncation). Distinct from kIoError so callers
   /// can tell "the disk said no" apart from "the bytes are wrong".
   kDataCorruption,
+  /// A bounded resource (admission queue, pool, quota) is full. Callers are
+  /// expected to shed load or retry later; the request was never started.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +75,9 @@ class Status {
   }
   static Status DataCorruption(std::string msg) {
     return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// Builds an IoError from the current C `errno`, formatted as

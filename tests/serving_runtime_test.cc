@@ -1,0 +1,441 @@
+/// Tests for the concurrent batched serving runtime (serve/):
+///   - plan fingerprints cover exactly the recast-consumed fields;
+///   - the LRU feature cache counts hits/misses/evictions and retires
+///     generations on invalidation;
+///   - batched serving matches single-query serving to 1e-5;
+///   - deadline expiry while queued degrades per item instead of failing;
+///   - queue overflow rejects with kResourceExhausted without blocking;
+///   - multi-producer submission is safe (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "cost/serving_estimator.h"
+#include "plan/plan_node.h"
+#include "serve/plan_cache.h"
+#include "serve/plan_fingerprint.h"
+#include "serve/serving_runtime.h"
+#include "sql/ast.h"
+#include "workload/dataset.h"
+
+namespace prestroid::serve {
+namespace {
+
+// --------------------------------------------------------------------------
+// Plan fingerprints
+// --------------------------------------------------------------------------
+
+plan::PlanNodePtr ScanFilterPlan(const std::string& table, double threshold) {
+  return plan::MakeFilter(
+      sql::MakeCompare(">", sql::MakeColumn(table, "v"),
+                       sql::MakeNumber(threshold)),
+      plan::MakeTableScan(table));
+}
+
+TEST(PlanFingerprintTest, IdenticalPlansShareAFingerprint) {
+  plan::PlanNodePtr a = ScanFilterPlan("orders", 10.0);
+  plan::PlanNodePtr b = ScanFilterPlan("orders", 10.0);
+  EXPECT_EQ(FingerprintPlan(*a), FingerprintPlan(*b));
+}
+
+TEST(PlanFingerprintTest, RecastVisibleFieldsChangeTheFingerprint) {
+  plan::PlanNodePtr base = ScanFilterPlan("orders", 10.0);
+  // Different scan table.
+  plan::PlanNodePtr other_table = ScanFilterPlan("lineitem", 10.0);
+  EXPECT_NE(FingerprintPlan(*base), FingerprintPlan(*other_table));
+  // Different predicate literal.
+  plan::PlanNodePtr other_literal = ScanFilterPlan("orders", 11.0);
+  EXPECT_NE(FingerprintPlan(*base), FingerprintPlan(*other_literal));
+  // Different join flavour over the same inputs.
+  plan::PlanNodePtr inner = plan::MakeJoin(
+      sql::JoinType::kInner, nullptr, plan::MakeTableScan("a"),
+      plan::MakeTableScan("b"));
+  plan::PlanNodePtr left = plan::MakeJoin(
+      sql::JoinType::kLeft, nullptr, plan::MakeTableScan("a"),
+      plan::MakeTableScan("b"));
+  EXPECT_NE(FingerprintPlan(*inner), FingerprintPlan(*left));
+}
+
+TEST(PlanFingerprintTest, RecastDroppedFieldsDoNotChangeTheFingerprint) {
+  // Featurization can never observe limit values or cardinality annotations
+  // (the recast drops them), so plans differing only there share an entry.
+  plan::PlanNodePtr a = plan::MakeLimit(10, plan::MakeTableScan("orders"));
+  plan::PlanNodePtr b = plan::MakeLimit(99, plan::MakeTableScan("orders"));
+  b->cardinality = 1234.0;
+  EXPECT_EQ(FingerprintPlan(*a), FingerprintPlan(*b));
+}
+
+TEST(PlanFingerprintTest, TreeShapeIsPartOfTheFingerprint) {
+  // join(a, join(b, c)) vs join(join(a, b), c): same node multiset, nested
+  // differently.
+  plan::PlanNodePtr right_deep = plan::MakeJoin(
+      sql::JoinType::kInner, nullptr, plan::MakeTableScan("a"),
+      plan::MakeJoin(sql::JoinType::kInner, nullptr, plan::MakeTableScan("b"),
+                     plan::MakeTableScan("c")));
+  plan::PlanNodePtr left_deep = plan::MakeJoin(
+      sql::JoinType::kInner, nullptr,
+      plan::MakeJoin(sql::JoinType::kInner, nullptr, plan::MakeTableScan("a"),
+                     plan::MakeTableScan("b")),
+      plan::MakeTableScan("c"));
+  EXPECT_NE(FingerprintPlan(*right_deep), FingerprintPlan(*left_deep));
+}
+
+TEST(PlanFingerprintTest, GenerationMixChangesTheCacheKey) {
+  plan::PlanNodePtr p = ScanFilterPlan("orders", 10.0);
+  const uint64_t fp = FingerprintPlan(*p);
+  EXPECT_NE(CombineFingerprint(fp, 0), CombineFingerprint(fp, 1));
+  EXPECT_EQ(CombineFingerprint(fp, 3), CombineFingerprint(fp, 3));
+}
+
+// --------------------------------------------------------------------------
+// Plan-feature LRU cache
+// --------------------------------------------------------------------------
+
+std::shared_ptr<const core::PlanFeatures> DummyFeatures() {
+  return std::make_shared<core::PlanFeatures>();
+}
+
+TEST(PlanFeatureCacheTest, CountsHitsAndMisses) {
+  PlanFeatureCache cache(4);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  cache.Insert(1, DummyFeatures());
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PlanFeatureCacheTest, EvictsLeastRecentlyUsed) {
+  PlanFeatureCache cache(2);
+  cache.Insert(1, DummyFeatures());
+  cache.Insert(2, DummyFeatures());
+  ASSERT_NE(cache.Lookup(1), nullptr);  // 1 is now most recent
+  cache.Insert(3, DummyFeatures());     // evicts 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanFeatureCacheTest, ZeroCapacityDisablesCaching) {
+  PlanFeatureCache cache(0);
+  cache.Insert(1, DummyFeatures());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+TEST(PlanFeatureCacheTest, ClearDropsEntriesButKeepsCounters) {
+  PlanFeatureCache cache(4);
+  cache.Insert(1, DummyFeatures());
+  ASSERT_NE(cache.Lookup(1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PlanFeatureCacheTest, EntriesSurviveEvictionWhileHeld) {
+  PlanFeatureCache cache(1);
+  cache.Insert(1, DummyFeatures());
+  std::shared_ptr<const core::PlanFeatures> held = cache.Lookup(1);
+  ASSERT_NE(held, nullptr);
+  cache.Insert(2, DummyFeatures());  // evicts 1 while `held` is in flight
+  EXPECT_NE(held, nullptr);
+  EXPECT_EQ(held.use_count(), 1);
+}
+
+// --------------------------------------------------------------------------
+// Serving runtime (fixture with a fitted pipeline, mirroring serving_test)
+// --------------------------------------------------------------------------
+
+class ServingRuntimeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::SchemaGenConfig schema_config;
+    schema_config.num_tables = 25;
+    schema_config.num_days = 20;
+    schema_config.seed = 11;
+    workload::GeneratedSchema schema = GenerateSchema(schema_config);
+    workload::TraceConfig trace_config;
+    trace_config.num_queries = 60;
+    trace_config.num_days = 20;
+    trace_config.seed = 12;
+    records_ = new std::vector<workload::QueryRecord>(
+        GenerateGrabTrace(schema, trace_config).ValueOrDie());
+
+    core::PipelineConfig config;
+    config.word2vec.dim = 16;
+    config.word2vec.min_count = 2;
+    config.word2vec.epochs = 2;
+    config.sampler.node_limit = 16;
+    config.sampler.conv_layers = 3;
+    config.num_subtrees = 3;
+    config.use_subtrees = true;
+    config.conv_channels = {8, 8, 8};
+    config.dense_units = {8};
+    std::vector<size_t> train_indices(records_->size());
+    for (size_t i = 0; i < train_indices.size(); ++i) train_indices[i] = i;
+    auto pipeline =
+        core::PrestroidPipeline::Fit(*records_, train_indices, config)
+            .ValueOrDie();
+    artifact_path_ =
+        new std::string(::testing::TempDir() + "/serving_runtime_model.bin");
+    ASSERT_TRUE(pipeline->SaveFile(*artifact_path_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    delete artifact_path_;
+  }
+
+  /// A fully armed estimator: fitted fallbacks plus the model tier.
+  static std::unique_ptr<cost::ServingEstimator> MakeEstimator() {
+    auto estimator = std::make_unique<cost::ServingEstimator>();
+    EXPECT_TRUE(estimator->FitFallbacks(*records_).ok());
+    estimator->AttachPipeline(
+        core::PrestroidPipeline::LoadFile(*artifact_path_).ValueOrDie());
+    return estimator;
+  }
+
+  static const plan::PlanNode& SamplePlan(size_t i) {
+    return *(*records_)[i % records_->size()].plan;
+  }
+
+  static std::vector<workload::QueryRecord>* records_;
+  static std::string* artifact_path_;
+};
+
+std::vector<workload::QueryRecord>* ServingRuntimeFixture::records_ = nullptr;
+std::string* ServingRuntimeFixture::artifact_path_ = nullptr;
+
+TEST_F(ServingRuntimeFixture, BatchedMatchesSingleQueryServing) {
+  auto estimator = MakeEstimator();
+  // Single-query references through an independent instance of the same
+  // artifact (the runtime owns `estimator` while running).
+  auto reference_pipeline =
+      core::PrestroidPipeline::LoadFile(*artifact_path_).ValueOrDie();
+  constexpr size_t kPlans = 24;
+  std::vector<double> reference;
+  for (size_t i = 0; i < kPlans; ++i) {
+    reference.push_back(reference_pipeline->PredictPlan(SamplePlan(i))
+                            .ValueOrDie());
+  }
+
+  ServingRuntimeConfig config;
+  config.max_batch = 8;
+  config.batch_window_us = 100;
+  ServingRuntime runtime(estimator.get(), config);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  std::vector<std::future<cost::ServingEstimate>> futures;
+  for (size_t i = 0; i < kPlans; ++i) {
+    auto submitted = runtime.Submit(SamplePlan(i), /*deadline_ms=*/1e9);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  for (size_t i = 0; i < kPlans; ++i) {
+    const cost::ServingEstimate estimate = futures[i].get();
+    ASSERT_EQ(estimate.tier, cost::ServingTier::kModel)
+        << estimate.degradation_reason.ToString();
+    EXPECT_NEAR(estimate.cpu_minutes, reference[i], 1e-5);
+    EXPECT_TRUE(estimate.degradation_reason.ok());
+    EXPECT_GE(estimate.latency_ms, 0.0);
+  }
+  runtime.Shutdown();
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.requests, kPlans);
+  EXPECT_EQ(stats.by_tier[0], kPlans);
+  EXPECT_EQ(runtime.LatencySnapshot().count(), kPlans);
+}
+
+TEST_F(ServingRuntimeFixture, DeadlineExpiredWhileQueuedDegradesPerItem) {
+  auto estimator = MakeEstimator();
+  ServingRuntimeConfig config;
+  config.max_batch = 4;
+  ServingRuntime runtime(estimator.get(), config);
+
+  // Enqueue before Start so the deadline deterministically expires while the
+  // request is still queued.
+  auto expired = runtime.Submit(SamplePlan(0), /*deadline_ms=*/1e-6);
+  ASSERT_TRUE(expired.ok());
+  auto healthy = runtime.Submit(SamplePlan(1), /*deadline_ms=*/1e9);
+  ASSERT_TRUE(healthy.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(runtime.Start().ok());
+
+  const cost::ServingEstimate degraded = expired->get();
+  EXPECT_NE(degraded.tier, cost::ServingTier::kModel);
+  EXPECT_EQ(degraded.degradation_reason.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(std::isfinite(degraded.cpu_minutes));
+
+  const cost::ServingEstimate served = healthy->get();
+  EXPECT_EQ(served.tier, cost::ServingTier::kModel);
+
+  runtime.Shutdown();
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_GE(stats.deadline_skips, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+}
+
+TEST_F(ServingRuntimeFixture, QueueOverflowRejectsWithoutBlocking) {
+  // No Start(): nothing drains, so the overflow point is deterministic.
+  cost::ServingEstimator estimator;  // fallbacks only — plenty for a drain
+  ServingRuntimeConfig config;
+  config.queue_depth = 4;
+  config.max_batch = 2;
+  ServingRuntime runtime(&estimator, config);
+
+  std::vector<std::future<cost::ServingEstimate>> accepted;
+  for (size_t i = 0; i < config.queue_depth; ++i) {
+    auto submitted = runtime.Submit(SamplePlan(i));
+    ASSERT_TRUE(submitted.ok());
+    accepted.push_back(std::move(*submitted));
+  }
+  auto overflow = runtime.Submit(SamplePlan(4));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+
+  cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.rejected_requests, 1u);
+  EXPECT_EQ(stats.queue_high_watermark, config.queue_depth);
+
+  // Shutdown without Start drains inline: every accepted future resolves.
+  runtime.Shutdown();
+  for (auto& future : accepted) {
+    EXPECT_TRUE(std::isfinite(future.get().cpu_minutes));
+  }
+  // And the runtime no longer admits work.
+  auto after = runtime.Submit(SamplePlan(0));
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServingRuntimeFixture, CacheReusesFeaturesUntilInvalidated) {
+  auto estimator = MakeEstimator();
+  ServingRuntimeConfig config;
+  config.max_batch = 4;  // >= 2 so the fingerprint cache engages
+  ServingRuntime runtime(estimator.get(), config);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  const cost::ServingEstimate first = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate second = runtime.Estimate(SamplePlan(0), 1e9);
+  ASSERT_EQ(first.tier, cost::ServingTier::kModel);
+  ASSERT_EQ(second.tier, cost::ServingTier::kModel);
+  // Identical plan, identical features: bitwise-equal model answers.
+  EXPECT_EQ(first.cpu_minutes, second.cpu_minutes);
+  cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // Catalog churn / artifact swap: invalidation retires the cached encoding,
+  // so the same plan featurizes again under the new generation.
+  runtime.InvalidateCache();
+  const cost::ServingEstimate third = runtime.Estimate(SamplePlan(0), 1e9);
+  ASSERT_EQ(third.tier, cost::ServingTier::kModel);
+  EXPECT_EQ(third.cpu_minutes, first.cpu_minutes);  // same pipeline, same answer
+  stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  runtime.Shutdown();
+}
+
+TEST_F(ServingRuntimeFixture, LegacySingleQueryPathSkipsTheCache) {
+  auto estimator = MakeEstimator();
+  ServingRuntimeConfig config;
+  config.max_batch = 1;  // legacy per-request path
+  ServingRuntime runtime(estimator.get(), config);
+  ASSERT_TRUE(runtime.Start().ok());
+  const cost::ServingEstimate a = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate b = runtime.Estimate(SamplePlan(0), 1e9);
+  EXPECT_EQ(a.tier, cost::ServingTier::kModel);
+  EXPECT_EQ(a.cpu_minutes, b.cpu_minutes);
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+  runtime.Shutdown();
+}
+
+TEST_F(ServingRuntimeFixture, MultiProducerStressIsSafe) {
+  auto estimator = MakeEstimator();
+  ServingRuntimeConfig config;
+  config.queue_depth = 16;  // small: exercises overflow + backpressure
+  config.max_batch = 4;
+  config.batch_window_us = 50;
+  config.cache_entries = 8;  // smaller than the plan pool: exercises eviction
+  ServingRuntime runtime(estimator.get(), config);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 64;
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> non_finite{0};
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      std::deque<std::future<cost::ServingEstimate>> window;
+      auto settle = [&](std::future<cost::ServingEstimate> f) {
+        if (!std::isfinite(f.get().cpu_minutes)) ++non_finite;
+        ++served;
+      };
+      for (size_t i = 0; i < kPerThread; ++i) {
+        for (;;) {
+          auto submitted =
+              runtime.Submit(SamplePlan(t * kPerThread + i), /*deadline_ms=*/1e9);
+          if (submitted.ok()) {
+            window.push_back(std::move(*submitted));
+            break;
+          }
+          ASSERT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+          if (window.empty()) {
+            // The queue is full of OTHER producers' requests; let the worker
+            // drain before retrying.
+            std::this_thread::yield();
+            continue;
+          }
+          settle(std::move(window.front()));
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        settle(std::move(window.front()));
+        window.pop_front();
+      }
+    });
+  }
+  // Concurrent snapshot reader + one mid-flight invalidation.
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    bool invalidated = false;
+    while (!done.load()) {
+      const cost::ServingStats stats = runtime.StatsSnapshot();
+      (void)runtime.LatencySnapshot();
+      if (!invalidated && stats.requests > kThreads * kPerThread / 2) {
+        runtime.InvalidateCache();
+        invalidated = true;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  done = true;
+  reader.join();
+  runtime.Shutdown();
+
+  EXPECT_EQ(served.load(), kThreads * kPerThread);
+  EXPECT_EQ(non_finite.load(), 0u);
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_LE(stats.queue_high_watermark, config.queue_depth);
+  EXPECT_EQ(runtime.LatencySnapshot().count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace prestroid::serve

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -284,6 +285,82 @@ TEST(TablePrinterTest, AlignsColumns) {
   std::string out = os.str();
   EXPECT_NE(out.find("Prestroid (32-11-200)"), std::string::npos);
   EXPECT_NE(out.find("| Model"), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, RecordsCountSumAndExtremes) {
+  LatencyHistogram hist;
+  hist.Record(1.0);
+  hist.Record(2.0);
+  hist.Record(4.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 4.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesLandInTheRightBucket) {
+  LatencyHistogram hist;
+  // 90 fast samples around 1ms, 10 slow around 100ms: p50 must stay near
+  // the fast mode and p99 near the slow one (log-bucket resolution is
+  // ~1.33x, so a 2x envelope is a safe assertion).
+  for (int i = 0; i < 90; ++i) hist.Record(1.0);
+  for (int i = 0; i < 10; ++i) hist.Record(100.0);
+  const double p50 = hist.Percentile(50.0);
+  const double p99 = hist.Percentile(99.0);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_GE(p99, 50.0);
+  EXPECT_LE(p99, 200.0);
+  EXPECT_LE(hist.Percentile(0.0), p50);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100.0), hist.Percentile(99.9));
+}
+
+TEST(LatencyHistogramTest, OutOfRangeValuesAreClampedNotDropped) {
+  LatencyHistogram hist;
+  hist.Record(1e-9);  // under the 1us bucket floor
+  hist.Record(1e9);   // over the 100s bucket ceiling
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e9);
+  // Percentiles clamp to the observed extremes, never NaN/inf midpoints.
+  EXPECT_TRUE(std::isfinite(hist.Percentile(50.0)));
+  EXPECT_TRUE(std::isfinite(hist.Percentile(99.0)));
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleThreadedRecording) {
+  LatencyHistogram a, b, merged_ref;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const double v = 0.01 * static_cast<double>(1 + rng.NextUint64(10000));
+    (i % 2 == 0 ? a : b).Record(v);
+    merged_ref.Record(v);
+  }
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), merged_ref.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), merged_ref.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), merged_ref.min());
+  EXPECT_DOUBLE_EQ(merged.max(), merged_ref.max());
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), merged_ref.Percentile(p));
+  }
+}
+
+TEST(StatusTest, ResourceExhaustedCode) {
+  Status status = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.ToString(), "ResourceExhausted: queue full");
 }
 
 TEST(TablePrinterTest, DoubleRowFormatting) {
