@@ -29,6 +29,7 @@
 #include <deque>
 #include <future>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -74,7 +75,18 @@ class Flags {
   }
   long GetInt(const std::string& key, long fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) return fallback;
+    // Checked parse: `--epochs 2x` or an overflowing value is a usage error,
+    // not a silent strtol truncation.
+    int64_t value = 0;
+    if (!ParseInt64(it->second, &value) ||
+        value < std::numeric_limits<long>::min() ||
+        value > std::numeric_limits<long>::max()) {
+      std::cerr << "invalid integer for --" << key << ": '" << it->second
+                << "'\n";
+      std::exit(2);
+    }
+    return static_cast<long>(value);
   }
   bool Has(const std::string& key) const { return present_.count(key) > 0; }
 
@@ -86,6 +98,40 @@ class Flags {
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
   return 1;
+}
+
+/// Plan resource budget from --max-plan-nodes / --max-plan-depth.
+plan::PlanLimits PlanLimitsFromFlags(const Flags& flags) {
+  plan::PlanLimits limits;
+  limits.max_nodes = static_cast<size_t>(flags.GetInt(
+      "max-plan-nodes", static_cast<long>(limits.max_nodes)));
+  limits.max_depth = static_cast<size_t>(flags.GetInt(
+      "max-plan-depth", static_cast<long>(limits.max_depth)));
+  return limits;
+}
+
+/// Tolerant trace ingestion shared by train and serve: hostile records are
+/// quarantined (optionally to --quarantine-file) instead of failing the run.
+Result<workload::IngestResult> IngestTrace(const Flags& flags,
+                                           const std::string& trace_path) {
+  workload::IngestOptions options;
+  options.plan_limits = PlanLimitsFromFlags(flags);
+  options.quarantine_path = flags.Get("quarantine-file", "");
+  auto ingested = workload::ReadTraceFileTolerant(trace_path, options);
+  if (!ingested.ok()) return ingested.status();
+  if (ingested->stats.quarantined > 0) {
+    std::cout << "ingest: " << ingested->stats.Summary();
+    if (!options.quarantine_path.empty()) {
+      std::cout << " -> " << options.quarantine_path;
+    }
+    std::cout << "\n";
+  }
+  if (ingested->records.empty()) {
+    return Status::InvalidArgument(
+        "no usable records in " + trace_path +
+        " (all quarantined: " + ingested->stats.Summary() + ")");
+  }
+  return ingested;
 }
 
 int GenTrace(const Flags& flags) {
@@ -115,14 +161,15 @@ int Train(const Flags& flags) {
     std::cerr << "train requires --trace <file>\n";
     return 2;
   }
-  auto records = workload::ReadTraceFile(trace_path);
-  if (!records.ok()) return Fail(records.status());
-  std::cout << "loaded " << records->size() << " queries from " << trace_path
+  auto ingested = IngestTrace(flags, trace_path);
+  if (!ingested.ok()) return Fail(ingested.status());
+  std::vector<workload::QueryRecord>& records = ingested->records;
+  std::cout << "loaded " << records.size() << " queries from " << trace_path
             << "\n";
 
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 11)));
   workload::DatasetSplits splits =
-      workload::SplitRandom(records->size(), 0.8, 0.1, &rng);
+      workload::SplitRandom(records.size(), 0.8, 0.1, &rng);
 
   core::PipelineConfig config;
   config.use_subtrees = !flags.Has("full");
@@ -140,7 +187,8 @@ int Train(const Flags& flags) {
   // or env PRESTROID_KERNEL). `--kernel scalar --threads 1` reproduces the
   // historical results bit-for-bit.
   config.kernel = flags.Get("kernel", "");
-  auto pipeline = core::PrestroidPipeline::Fit(*records, splits.train, config);
+  config.plan_limits = PlanLimitsFromFlags(flags);
+  auto pipeline = core::PrestroidPipeline::Fit(records, splits.train, config);
   if (!pipeline.ok()) return Fail(pipeline.status());
 
   TrainConfig train_config;
@@ -187,6 +235,8 @@ int Train(const Flags& flags) {
   Status saved = (*pipeline)->SaveFile(out);
   if (!saved.ok()) return Fail(saved);
   std::cout << "saved pipeline to " << out << "\n";
+  std::cout << StrFormat("summary: trained=%zu quarantined=%zu\n",
+                         records.size(), ingested->stats.quarantined);
   return 0;
 }
 
@@ -228,14 +278,15 @@ int Serve(const Flags& flags) {
     std::cerr << "serve requires --trace <file> (and ideally --model <file>)\n";
     return 2;
   }
-  auto records = workload::ReadTraceFile(trace_path);
-  if (!records.ok()) return Fail(records.status());
+  auto ingested = IngestTrace(flags, trace_path);
+  if (!ingested.ok()) return Fail(ingested.status());
+  std::vector<workload::QueryRecord>& records = ingested->records;
 
   cost::ServingLimits limits;
   limits.default_deadline_ms =
       static_cast<double>(flags.GetInt("deadline-ms", 50));
   cost::ServingEstimator estimator(limits);
-  Status fitted = estimator.FitFallbacks(*records);
+  Status fitted = estimator.FitFallbacks(records);
   if (!fitted.ok()) return Fail(fitted);
 
   // A broken or missing model artifact degrades serving instead of killing
@@ -258,22 +309,32 @@ int Serve(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("batch-window-us", 200));
   runtime_config.cache_entries =
       static_cast<size_t>(flags.GetInt("cache-entries", 1024));
+  runtime_config.plan_limits = PlanLimitsFromFlags(flags);
   serve::ServingRuntime runtime(&estimator, runtime_config);
   Status started = runtime.Start();
   if (!started.ok()) return Fail(started);
 
   const size_t limit = std::min<size_t>(
-      records->size(), static_cast<size_t>(flags.GetInt("limit", 20)));
+      records.size(), static_cast<size_t>(flags.GetInt("limit", 20)));
   // Submit everything up front so the micro-batcher actually sees batches;
   // on queue overflow, wait for the oldest outstanding request to resolve
   // and retry (closed-loop backpressure instead of dropping queries).
+  // Governor rejects (kInvalidArgument) are terminal for that query, not for
+  // the run: the row is skipped and shows up in the limit-rejects counter.
   std::deque<std::pair<size_t, std::future<cost::ServingEstimate>>> in_flight;
   std::vector<cost::ServingEstimate> estimates(limit);
+  std::vector<bool> rejected(limit, false);
   for (size_t i = 0; i < limit; ++i) {
     for (;;) {
-      auto submitted = runtime.Submit(*(*records)[i].plan);
+      auto submitted = runtime.Submit(*records[i].plan);
       if (submitted.ok()) {
         in_flight.emplace_back(i, std::move(*submitted));
+        break;
+      }
+      if (submitted.status().code() == StatusCode::kInvalidArgument) {
+        std::cerr << "q" << i << " rejected: "
+                  << submitted.status().message() << "\n";
+        rejected[i] = true;
         break;
       }
       if (submitted.status().code() != StatusCode::kResourceExhausted ||
@@ -292,9 +353,15 @@ int Serve(const Flags& flags) {
   TablePrinter table({"query", "estimate (min)", "actual (min)", "tier",
                       "latency (ms)"});
   for (size_t i = 0; i < limit; ++i) {
+    if (rejected[i]) {
+      table.AddRow({StrFormat("q%zu", i), "-",
+                    StrFormat("%.2f", records[i].metrics.total_cpu_minutes),
+                    "rejected", "-"});
+      continue;
+    }
     table.AddRow({StrFormat("q%zu", i),
                   StrFormat("%.2f", estimates[i].cpu_minutes),
-                  StrFormat("%.2f", (*records)[i].metrics.total_cpu_minutes),
+                  StrFormat("%.2f", records[i].metrics.total_cpu_minutes),
                   cost::ServingTierToString(estimates[i].tier),
                   StrFormat("%.3f", estimates[i].latency_ms)});
   }
@@ -311,9 +378,11 @@ int Serve(const Flags& flags) {
       stats.model_errors);
   const size_t cache_lookups = stats.cache_hits + stats.cache_misses;
   std::cout << StrFormat(
-      "queue: high-watermark=%zu rejected=%zu | cache: hits=%zu misses=%zu "
+      "queue: high-watermark=%zu rejected=%zu limit-rejects=%zu "
+      "quarantined=%zu | cache: hits=%zu misses=%zu "
       "evictions=%zu hit-rate=%.1f%%\n",
-      stats.queue_high_watermark, stats.rejected_requests, stats.cache_hits,
+      stats.queue_high_watermark, stats.rejected_requests, stats.limit_rejects,
+      ingested->stats.quarantined, stats.cache_hits,
       stats.cache_misses, stats.cache_evictions,
       cache_lookups == 0
           ? 0.0
@@ -367,10 +436,14 @@ int Usage() {
          "            [--kernel scalar|blocked (default blocked; scalar\n"
          "             reproduces historical bits at --threads 1)]\n"
          "            [--snapshot-every N] [--snapshot FILE] [--resume]\n"
+         "            [--max-plan-nodes N] [--max-plan-depth D]\n"
+         "            [--quarantine-file FILE]\n"
          "  predict   --model FILE --trace FILE [--limit N]\n"
          "  serve     --model FILE --trace FILE [--deadline-ms MS]\n"
          "            [--no-model] [--limit N] [--batch-window-us US]\n"
          "            [--max-batch B] [--queue-depth Q] [--cache-entries C]\n"
+         "            [--max-plan-nodes N] [--max-plan-depth D]\n"
+         "            [--quarantine-file FILE]\n"
          "  explain   --trace FILE [--index I]\n";
   return 2;
 }

@@ -93,24 +93,30 @@ void CollectAtomicPreds(const sql::Expr& expr, std::vector<AtomicPred>* out) {
 }
 
 /// Walks a plan collecting scan tables, join-condition column pairs, and
-/// filter predicates.
-void WalkPlan(const plan::PlanNode& node, std::vector<std::string>* tables,
+/// filter predicates. Explicit-stack: plan depth is bounded only by the
+/// ingestion limits, not the thread stack.
+void WalkPlan(const plan::PlanNode& root, std::vector<std::string>* tables,
               std::vector<std::pair<std::string, std::string>>* joins,
               std::vector<AtomicPred>* preds) {
-  if (node.type == plan::PlanNodeType::kTableScan) {
-    tables->push_back(node.table);
-  } else if (node.type == plan::PlanNodeType::kJoin &&
-             node.predicate != nullptr) {
-    std::vector<std::pair<std::string, std::string>> refs;
-    plan::CollectColumnRefs(*node.predicate, &refs);
-    std::string left = refs.empty() ? "" : refs[0].second;
-    std::string right = refs.size() > 1 ? refs[1].second : left;
-    joins->emplace_back(left, right);
-  } else if (node.type == plan::PlanNodeType::kFilter) {
-    CollectAtomicPreds(*node.predicate, preds);
-  }
-  for (const plan::PlanNodePtr& child : node.children) {
-    WalkPlan(*child, tables, joins, preds);
+  std::vector<const plan::PlanNode*> stack = {&root};
+  while (!stack.empty()) {
+    const plan::PlanNode& node = *stack.back();
+    stack.pop_back();
+    if (node.type == plan::PlanNodeType::kTableScan) {
+      tables->push_back(node.table);
+    } else if (node.type == plan::PlanNodeType::kJoin &&
+               node.predicate != nullptr) {
+      std::vector<std::pair<std::string, std::string>> refs;
+      plan::CollectColumnRefs(*node.predicate, &refs);
+      std::string left = refs.empty() ? "" : refs[0].second;
+      std::string right = refs.size() > 1 ? refs[1].second : left;
+      joins->emplace_back(left, right);
+    } else if (node.type == plan::PlanNodeType::kFilter) {
+      CollectAtomicPreds(*node.predicate, preds);
+    }
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+      stack.push_back(it->get());
+    }
   }
 }
 

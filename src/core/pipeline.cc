@@ -8,14 +8,22 @@ namespace prestroid::core {
 
 namespace {
 
-/// Collects the PRED expressions of an O-T-P tree.
-void CollectPredicates(const otp::OtpNode& node,
+/// Collects the PRED expressions of an O-T-P tree. Explicit-stack: OTP
+/// trees mirror plan depth, which the ingestion limits allow to far exceed
+/// what recursion could survive on a default thread stack.
+void CollectPredicates(const otp::OtpNode& root,
                        std::vector<const sql::Expr*>* out) {
-  if (node.type == otp::OtpNodeType::kPredicate && node.predicate != nullptr) {
-    out->push_back(node.predicate.get());
+  std::vector<const otp::OtpNode*> stack = {&root};
+  while (!stack.empty()) {
+    const otp::OtpNode& node = *stack.back();
+    stack.pop_back();
+    if (node.type == otp::OtpNodeType::kPredicate &&
+        node.predicate != nullptr) {
+      out->push_back(node.predicate.get());
+    }
+    if (node.right != nullptr) stack.push_back(node.right.get());
+    if (node.left != nullptr) stack.push_back(node.left.get());
   }
-  if (node.left != nullptr) CollectPredicates(*node.left, out);
-  if (node.right != nullptr) CollectPredicates(*node.right, out);
 }
 
 }  // namespace
@@ -238,6 +246,7 @@ Result<double> PrestroidPipeline::PredictPlan(const plan::PlanNode& plan) {
 
 Result<PlanFeatures> PrestroidPipeline::FeaturizePlan(
     const plan::PlanNode& plan) {
+  PRESTROID_RETURN_NOT_OK(plan::CheckPlanLimits(plan, config_.plan_limits));
   PlanFeatures features;
   if (config_.use_subtrees) {
     PRESTROID_ASSIGN_OR_RETURN(

@@ -12,6 +12,7 @@
 #include "core/subtree_model.h"
 #include "embed/word2vec.h"
 #include "nn/trainer.h"
+#include "plan/plan_limits.h"
 #include "tensor/execution_context.h"
 #include "workload/dataset.h"
 #include "workload/trace.h"
@@ -48,6 +49,11 @@ struct PipelineConfig {
   /// threads=1 reproduces the pre-kernel-layer results bit-for-bit. Runtime
   /// knob only — never serialized.
   std::string kernel;
+  /// Resource budget for plans entering FeaturizePlan/PredictPlan (the
+  /// deployment path, which sees plans the trainer never vetted). Over-limit
+  /// plans get kResourceExhausted before any recast/encode work. Runtime
+  /// knob only — never serialized.
+  plan::PlanLimits plan_limits;
 };
 
 /// Featurized encoding of one plan in exactly the form the model consumes:

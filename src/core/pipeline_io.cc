@@ -36,6 +36,11 @@ void DumpSizeList(std::ostream& os, const char* tag,
   os << "\n";
 }
 
+// The legacy v1 body has no CRC, so counts read from it are attacker-ish
+// input: a corrupted count must not drive an allocation or a spin loop.
+// No real list or vocabulary comes anywhere near this bound.
+constexpr size_t kMaxSerializedEntries = 1u << 24;
+
 Status ReadSizeList(std::istream& is, const char* tag,
                     std::vector<size_t>* out) {
   std::string label;
@@ -43,6 +48,10 @@ Status ReadSizeList(std::istream& is, const char* tag,
   is >> label >> count;
   if (!is.good() || label != tag) {
     return Status::ParseError(std::string("expected list tag ") + tag);
+  }
+  if (count > kMaxSerializedEntries) {
+    return Status::DataCorruption(std::string("implausible length for list ") +
+                                  tag);
   }
   out->resize(count);
   for (size_t& v : *out) is >> v;
@@ -65,13 +74,19 @@ Status ReadVocab(std::istream& is, const char* tag,
   if (!is.good() || label != tag) {
     return Status::ParseError(std::string("expected vocab tag ") + tag);
   }
+  if (count > kMaxSerializedEntries) {
+    return Status::DataCorruption(std::string("implausible size for vocab ") +
+                                  tag);
+  }
   for (size_t i = 0; i < count; ++i) {
     std::string key;
     size_t id = 0;
     is >> key >> id;
+    // Fail per entry: a truncated stream must end the loop, not spin `count`
+    // times inserting empty keys.
+    if (is.fail()) return Status::ParseError("truncated vocabulary");
     out->emplace(std::move(key), id);
   }
-  if (is.fail()) return Status::ParseError("truncated vocabulary");
   return Status::OK();
 }
 

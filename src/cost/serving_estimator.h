@@ -64,6 +64,7 @@ struct ServingStats {
 
   // --- batched-runtime counters (serve::ServingRuntime snapshots) ---------
   size_t rejected_requests = 0;     // queue-overflow admission rejections
+  size_t limit_rejects = 0;         // plans over the PlanLimits governor
   size_t queue_high_watermark = 0;  // max simultaneously queued requests
   size_t cache_hits = 0;            // plan-fingerprint cache hits
   size_t cache_misses = 0;          // featurization re-runs

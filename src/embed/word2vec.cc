@@ -216,11 +216,25 @@ Status Word2Vec::Restore(std::istream& is) {
     return Status::ParseError("bad Word2Vec header");
   }
   config_.mode = static_cast<Word2VecMode>(mode);
+  // The header fields drive allocations below, so bound them before use: a
+  // corrupted dim or vocab count must fail cleanly, not request
+  // vocab_size * dim floats of memory or spin a SIZE_MAX loop.
+  constexpr size_t kMaxRestoreDim = 1u << 16;
+  constexpr size_t kMaxRestoreVocab = 1u << 24;
+  if (config_.dim == 0 || config_.dim > kMaxRestoreDim) {
+    return Status::DataCorruption("implausible Word2Vec dimension");
+  }
   size_t vocab_size = 0;
   is >> vocab_size;
+  if (!is.good() || vocab_size > kMaxRestoreVocab) {
+    return Status::DataCorruption("implausible Word2Vec vocabulary size");
+  }
   std::vector<std::string> tokens(vocab_size);
   std::vector<int64_t> counts(vocab_size);
-  for (size_t i = 0; i < vocab_size; ++i) is >> tokens[i] >> counts[i];
+  for (size_t i = 0; i < vocab_size; ++i) {
+    is >> tokens[i] >> counts[i];
+    if (is.fail()) return Status::ParseError("truncated Word2Vec vocabulary");
+  }
   if (!is.good()) return Status::ParseError("truncated Word2Vec vocabulary");
   vocab_.Restore(std::move(tokens), std::move(counts));
   input_vectors_.assign(vocab_size * config_.dim, 0.0f);

@@ -8,6 +8,18 @@
 
 namespace prestroid::otp {
 
+OtpNode::~OtpNode() {
+  std::vector<OtpNodePtr> pending;
+  if (left != nullptr) pending.push_back(std::move(left));
+  if (right != nullptr) pending.push_back(std::move(right));
+  while (!pending.empty()) {
+    OtpNodePtr node = std::move(pending.back());
+    pending.pop_back();
+    if (node->left != nullptr) pending.push_back(std::move(node->left));
+    if (node->right != nullptr) pending.push_back(std::move(node->right));
+  }
+}
+
 const char* OtpNodeTypeToString(OtpNodeType type) {
   switch (type) {
     case OtpNodeType::kOperator:
@@ -59,57 +71,87 @@ std::string OperatorLabel(const plan::PlanNode& node) {
   }
 }
 
-Result<OtpNodePtr> Recast(const plan::PlanNode& plan_node) {
-  auto node = std::make_unique<OtpNode>();
-  node->type = OtpNodeType::kOperator;
-  node->label = OperatorLabel(plan_node);
+/// Iterative re-cast: each pending entry is a plan node plus the OtpNodePtr
+/// slot its OPR node should land in. Slots point into heap-allocated parent
+/// nodes, so they stay valid as the stack grows. On error, the partially
+/// built tree tears down through the iterative ~OtpNode.
+Result<OtpNodePtr> Recast(const plan::PlanNode& plan_root) {
+  OtpNodePtr root;
+  std::vector<std::pair<const plan::PlanNode*, OtpNodePtr*>> stack;
+  stack.emplace_back(&plan_root, &root);
+  while (!stack.empty()) {
+    auto [plan_node, slot] = stack.back();
+    stack.pop_back();
+    auto node = std::make_unique<OtpNode>();
+    node->type = OtpNodeType::kOperator;
+    node->label = OperatorLabel(*plan_node);
+    OtpNode* raw = node.get();
+    *slot = std::move(node);
 
-  if (plan_node.type == plan::PlanNodeType::kTableScan) {
-    // R3: leaf -> OPR with left = TBL, right = Ø.
-    node->left = MakeTableNode(plan_node.table);
-    node->right = MakeNullNode();
-    return node;
-  }
-  if (plan_node.type == plan::PlanNodeType::kJoin) {
-    // R2: join children untouched.
-    if (plan_node.children.size() != 2) {
-      return Status::InvalidArgument("join node must have two children");
+    if (plan_node->type == plan::PlanNodeType::kTableScan) {
+      // R3: leaf -> OPR with left = TBL, right = Ø.
+      raw->left = MakeTableNode(plan_node->table);
+      raw->right = MakeNullNode();
+      continue;
     }
-    PRESTROID_ASSIGN_OR_RETURN(node->left, Recast(*plan_node.children[0]));
-    PRESTROID_ASSIGN_OR_RETURN(node->right, Recast(*plan_node.children[1]));
-    return node;
+    if (plan_node->type == plan::PlanNodeType::kJoin) {
+      // R2: join children untouched.
+      if (plan_node->children.size() != 2) {
+        return Status::InvalidArgument("join node must have two children");
+      }
+      stack.emplace_back(plan_node->children[0].get(), &raw->left);
+      stack.emplace_back(plan_node->children[1].get(), &raw->right);
+      continue;
+    }
+    // R1: non-join node -> left child untouched, right child is the
+    // predicate (or Ø when the operator carries none).
+    if (plan_node->children.size() != 1) {
+      return Status::InvalidArgument(
+          StrFormat("operator %s must have one child",
+                    plan::PlanNodeTypeToString(plan_node->type)));
+    }
+    stack.emplace_back(plan_node->children[0].get(), &raw->left);
+    if (plan_node->predicate != nullptr) {
+      raw->right = MakePredNode(*plan_node->predicate);
+    } else {
+      // R4 applied eagerly: binary-complete with Ø.
+      raw->right = MakeNullNode();
+    }
   }
-  // R1: non-join node -> left child untouched, right child is the predicate
-  // (or Ø when the operator carries none).
-  if (plan_node.children.size() != 1) {
-    return Status::InvalidArgument(
-        StrFormat("operator %s must have one child",
-                  plan::PlanNodeTypeToString(plan_node.type)));
-  }
-  PRESTROID_ASSIGN_OR_RETURN(node->left, Recast(*plan_node.children[0]));
-  if (plan_node.predicate != nullptr) {
-    node->right = MakePredNode(*plan_node.predicate);
-  } else {
-    // R4 applied eagerly: binary-complete with Ø.
-    node->right = MakeNullNode();
-  }
-  return node;
+  return root;
 }
 
 }  // namespace
 
 size_t CountNodes(const OtpNode& node) {
-  size_t count = 1;
-  if (node.left != nullptr) count += CountNodes(*node.left);
-  if (node.right != nullptr) count += CountNodes(*node.right);
+  size_t count = 0;
+  std::vector<const OtpNode*> stack{&node};
+  while (!stack.empty()) {
+    const OtpNode* current = stack.back();
+    stack.pop_back();
+    ++count;
+    if (current->left != nullptr) stack.push_back(current->left.get());
+    if (current->right != nullptr) stack.push_back(current->right.get());
+  }
   return count;
 }
 
 size_t MaxDepth(const OtpNode& node) {
-  size_t depth = 0;
-  if (node.left != nullptr) depth = std::max(depth, MaxDepth(*node.left) + 1);
-  if (node.right != nullptr) depth = std::max(depth, MaxDepth(*node.right) + 1);
-  return depth;
+  size_t deepest = 0;
+  std::vector<std::pair<const OtpNode*, size_t>> stack;
+  stack.emplace_back(&node, 0);
+  while (!stack.empty()) {
+    auto [current, depth] = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, depth);
+    if (current->left != nullptr) {
+      stack.emplace_back(current->left.get(), depth + 1);
+    }
+    if (current->right != nullptr) {
+      stack.emplace_back(current->right.get(), depth + 1);
+    }
+  }
+  return deepest;
 }
 
 Result<OtpTree> RecastPlan(const plan::PlanNode& plan_root) {

@@ -22,6 +22,12 @@ using OtpNodePtr = std::unique_ptr<OtpNode>;
 
 /// One node of the re-cast binary tree.
 struct OtpNode {
+  OtpNode() = default;
+  /// Iterative teardown — OTP trees mirror plan depth (one OPR level per
+  /// plan level), so a deep chain plan would otherwise overflow the thread
+  /// stack in the implicit recursive destructor.
+  ~OtpNode();
+
   OtpNodeType type = OtpNodeType::kNull;
   /// kOperator: operator label (e.g. "Join:INNER", "Filter", "TableScan");
   /// kTable: table name; kPredicate: canonical predicate text.

@@ -1,0 +1,33 @@
+#include "plan/plan_limits.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace prestroid::plan {
+
+Status CheckPlanLimits(const PlanNode& root, const PlanLimits& limits) {
+  // Iterative DFS carrying (node, depth); early-exits on the first
+  // violation so the walk itself is bounded by the limits it enforces.
+  std::vector<std::pair<const PlanNode*, size_t>> stack;
+  stack.emplace_back(&root, 0);
+  size_t nodes = 0;
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (++nodes > limits.max_nodes) {
+      return Status::ResourceExhausted(
+          StrFormat("plan exceeds node limit (%zu)", limits.max_nodes));
+    }
+    if (depth > limits.max_depth) {
+      return Status::ResourceExhausted(
+          StrFormat("plan exceeds depth limit (%zu)", limits.max_depth));
+    }
+    for (const PlanNodePtr& child : node->children) {
+      stack.emplace_back(child.get(), depth + 1);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prestroid::plan

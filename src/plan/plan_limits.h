@@ -1,0 +1,48 @@
+#ifndef PRESTROID_PLAN_PLAN_LIMITS_H_
+#define PRESTROID_PLAN_PLAN_LIMITS_H_
+
+#include <cstddef>
+
+#include "plan/plan_node.h"
+#include "util/status.h"
+
+namespace prestroid::plan {
+
+/// Resource budget one plan may consume on the ingestion path. Enforced
+/// *during* parsing (plan_text.cc) so a hostile input is rejected before it
+/// allocates, and re-checked by the serving front end before any plan
+/// reaches the fingerprint/featurization machinery.
+///
+/// Limit overruns surface as kResourceExhausted ("well-formed but over
+/// budget"); malformed payloads surface as kInvalidArgument/kParseError.
+/// The defaults admit every plan the workload generators produce — and a
+/// 100k-node chain — while bounding the worst-case memory of one plan to a
+/// few hundred MB and the worst-case predicate parse to a few thousand
+/// tokens.
+struct PlanLimits {
+  /// Maximum operator nodes in one plan tree.
+  size_t max_nodes = 200000;
+  /// Maximum root-to-leaf edge distance (chain plans hit this first). Depth
+  /// is bounded by heap, not thread stack: every traversal in plan/, otp/
+  /// and serve/ is iterative.
+  size_t max_depth = 150000;
+  /// Maximum lexer tokens in one predicate / expression payload.
+  size_t max_predicate_tokens = 4096;
+  /// Maximum parenthesis/operator nesting inside one predicate. Keeps the
+  /// recursive-descent SQL parser's stack usage bounded.
+  size_t max_predicate_depth = 200;
+  /// Maximum bytes of one plan-text line (a single node's serialized form).
+  size_t max_line_bytes = 1 << 16;
+  /// Maximum total bytes of one plan's text form.
+  size_t max_plan_bytes = 64 << 20;
+};
+
+/// Verifies an already-materialized plan tree against `limits` with an
+/// iterative, early-exit walk (stops counting as soon as a limit is
+/// exceeded, so a 10M-node plan costs O(max_nodes), not O(10M)). Returns
+/// kResourceExhausted naming the violated limit, or OK.
+Status CheckPlanLimits(const PlanNode& root, const PlanLimits& limits);
+
+}  // namespace prestroid::plan
+
+#endif  // PRESTROID_PLAN_PLAN_LIMITS_H_

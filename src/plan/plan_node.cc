@@ -1,5 +1,7 @@
 #include "plan/plan_node.h"
 
+#include <utility>
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -41,22 +43,60 @@ const char* ExchangeKindToString(ExchangeKind kind) {
   return "?";
 }
 
-PlanNodePtr PlanNode::Clone() const {
+PlanNode::~PlanNode() {
+  // Detach the subtree into a flat worklist so unique_ptr teardown never
+  // recurses more than one level, no matter how deep the plan is.
+  std::vector<PlanNodePtr> pending;
+  pending.reserve(children.size());
+  for (PlanNodePtr& child : children) pending.push_back(std::move(child));
+  children.clear();
+  while (!pending.empty()) {
+    PlanNodePtr node = std::move(pending.back());
+    pending.pop_back();
+    for (PlanNodePtr& child : node->children) {
+      pending.push_back(std::move(child));
+    }
+    node->children.clear();
+  }
+}
+
+namespace {
+
+// Copies everything except children (those are wired up iteratively).
+PlanNodePtr CloneShallow(const PlanNode& src) {
   auto copy = std::make_unique<PlanNode>();
-  copy->type = type;
-  copy->table = table;
-  if (predicate != nullptr) copy->predicate = predicate->Clone();
-  copy->expressions.reserve(expressions.size());
-  for (const sql::ExprPtr& e : expressions) copy->expressions.push_back(e->Clone());
-  copy->group_keys = group_keys;
-  copy->sort_descending = sort_descending;
-  copy->join_type = join_type;
-  copy->exchange_kind = exchange_kind;
-  copy->limit = limit;
-  copy->cardinality = cardinality;
-  copy->children.reserve(children.size());
-  for (const PlanNodePtr& child : children) copy->children.push_back(child->Clone());
+  copy->type = src.type;
+  copy->table = src.table;
+  if (src.predicate != nullptr) copy->predicate = src.predicate->Clone();
+  copy->expressions.reserve(src.expressions.size());
+  for (const sql::ExprPtr& e : src.expressions) {
+    copy->expressions.push_back(e->Clone());
+  }
+  copy->group_keys = src.group_keys;
+  copy->sort_descending = src.sort_descending;
+  copy->join_type = src.join_type;
+  copy->exchange_kind = src.exchange_kind;
+  copy->limit = src.limit;
+  copy->cardinality = src.cardinality;
   return copy;
+}
+
+}  // namespace
+
+PlanNodePtr PlanNode::Clone() const {
+  PlanNodePtr root = CloneShallow(*this);
+  std::vector<std::pair<const PlanNode*, PlanNode*>> stack;
+  stack.emplace_back(this, root.get());
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    dst->children.reserve(src->children.size());
+    for (const PlanNodePtr& child : src->children) {
+      dst->children.push_back(CloneShallow(*child));
+      stack.emplace_back(child.get(), dst->children.back().get());
+    }
+  }
+  return root;
 }
 
 std::string PlanNode::Label() const {
@@ -186,8 +226,18 @@ PlanNodePtr MakeDistinct(PlanNodePtr child) {
 
 void VisitPlan(const PlanNode& root,
                const std::function<void(const PlanNode&)>& fn) {
-  fn(root);
-  for (const PlanNodePtr& child : root.children) VisitPlan(*child, fn);
+  // Explicit pre-order stack; children pushed right-to-left so visitation
+  // order matches the old recursive form exactly.
+  std::vector<const PlanNode*> stack;
+  stack.push_back(&root);
+  while (!stack.empty()) {
+    const PlanNode* node = stack.back();
+    stack.pop_back();
+    fn(*node);
+    for (size_t i = node->children.size(); i > 0; --i) {
+      stack.push_back(node->children[i - 1].get());
+    }
+  }
 }
 
 }  // namespace prestroid::plan

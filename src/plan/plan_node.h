@@ -37,6 +37,12 @@ using PlanNodePtr = std::unique_ptr<PlanNode>;
 /// One logical-plan operator. The tree is a strict hierarchy (each node owns
 /// its children); a DAG is not needed for the query shapes in this repo.
 struct PlanNode {
+  PlanNode() = default;
+  /// Iterative teardown: the implicit member-wise destructor recurses once
+  /// per tree level, which overflows the thread stack on the deep chain
+  /// plans the ingestion limits admit (up to ~150k levels).
+  ~PlanNode();
+
   PlanNodeType type = PlanNodeType::kTableScan;
   std::vector<PlanNodePtr> children;
 

@@ -1,33 +1,32 @@
 #include "plan/plan_stats.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace prestroid::plan {
 
-namespace {
-
-size_t Depth(const PlanNode& node) {
-  size_t deepest = 0;
-  for (const PlanNodePtr& child : node.children) {
-    deepest = std::max(deepest, Depth(*child) + 1);
-  }
-  return deepest;
-}
-
-}  // namespace
-
 PlanStats ComputePlanStats(const PlanNode& root) {
+  // One iterative (node, depth) walk replaces the old VisitPlan pass plus a
+  // recursive Depth() — stats run on hostile serving inputs, so traversal
+  // depth must be heap-bounded, not thread-stack-bounded.
   PlanStats stats;
-  VisitPlan(root, [&stats](const PlanNode& node) {
+  std::vector<std::pair<const PlanNode*, size_t>> stack;
+  stack.emplace_back(&root, 0);
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
     ++stats.node_count;
-    ++stats.per_type[node.type];
-    if (node.type == PlanNodeType::kJoin) {
+    ++stats.per_type[node->type];
+    if (node->type == PlanNodeType::kJoin) {
       ++stats.num_joins;
-      if (node.predicate != nullptr) ++stats.num_predicates;
+      if (node->predicate != nullptr) ++stats.num_predicates;
     }
-    if (node.type == PlanNodeType::kFilter) ++stats.num_predicates;
-  });
-  stats.max_depth = Depth(root);
+    if (node->type == PlanNodeType::kFilter) ++stats.num_predicates;
+    stats.max_depth = std::max(stats.max_depth, depth);
+    for (const PlanNodePtr& child : node->children) {
+      stack.emplace_back(child.get(), depth + 1);
+    }
+  }
   return stats;
 }
 

@@ -1,7 +1,7 @@
 #include "plan/plan_text.h"
 
-#include <cstdlib>
 #include <sstream>
+#include <utility>
 
 #include "sql/parser.h"
 #include "util/string_util.h"
@@ -10,25 +10,29 @@ namespace prestroid::plan {
 
 namespace {
 
-void WriteNode(const PlanNode& node, int depth, std::ostringstream* os) {
-  for (int i = 0; i < depth; ++i) *os << "  ";
-  *os << "- " << node.Label() << "\n";
-  for (const PlanNodePtr& child : node.children) {
-    WriteNode(*child, depth + 1, os);
-  }
-}
-
 struct ParsedLine {
   int depth;
   std::string kind;     // e.g. "Filter"
   std::string payload;  // bracket contents, may be empty
 };
 
-Result<ParsedLine> ParseLine(const std::string& line) {
+Result<ParsedLine> ParseLine(const std::string& line,
+                             const PlanLimits& limits) {
+  if (line.size() > limits.max_line_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("plan line exceeds byte limit (%zu bytes > %zu)",
+                  line.size(), limits.max_line_bytes));
+  }
   size_t indent = 0;
   while (indent < line.size() && line[indent] == ' ') ++indent;
   if (indent % 2 != 0) {
     return Status::ParseError("odd indentation in plan text: " + line);
+  }
+  // The depth limit also bounds `indent / 2` before the narrowing cast below,
+  // so a gigabyte of leading spaces cannot overflow the int depth.
+  if (indent / 2 > limits.max_depth) {
+    return Status::ResourceExhausted(
+        StrFormat("plan exceeds depth limit (%zu)", limits.max_depth));
   }
   std::string_view rest = std::string_view(line).substr(indent);
   if (!StartsWith(rest, "- ")) {
@@ -51,7 +55,10 @@ Result<ParsedLine> ParseLine(const std::string& line) {
   return out;
 }
 
-Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
+Result<PlanNodePtr> NodeFromLine(const ParsedLine& line,
+                                 const PlanLimits& limits) {
+  const sql::ParseLimits expr_limits{limits.max_predicate_tokens,
+                                     limits.max_predicate_depth};
   auto node = std::make_unique<PlanNode>();
   const std::string& kind = line.kind;
   const std::string& payload = line.payload;
@@ -60,7 +67,7 @@ Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
     node->table = payload;
   } else if (kind == "Filter") {
     node->type = PlanNodeType::kFilter;
-    auto pred = sql::ParseExpression(payload);
+    auto pred = sql::ParseExpression(payload, expr_limits);
     if (!pred.ok()) return pred.status();
     node->predicate = std::move(pred).value();
   } else if (kind == "Project") {
@@ -68,7 +75,7 @@ Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
     for (const std::string& part : Split(payload, ';')) {
       std::string text(Trim(part));
       if (text.empty()) continue;
-      auto expr = sql::ParseExpression(text);
+      auto expr = sql::ParseExpression(text, expr_limits);
       if (!expr.ok()) return expr.status();
       node->expressions.push_back(std::move(expr).value());
     }
@@ -95,7 +102,7 @@ Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
       return Status::ParseError("unknown join type: " + head);
     }
     if (!cond.empty()) {
-      auto pred = sql::ParseExpression(cond);
+      auto pred = sql::ParseExpression(cond, expr_limits);
       if (!pred.ok()) return pred.status();
       node->predicate = std::move(pred).value();
     }
@@ -114,7 +121,7 @@ Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
     for (const std::string& agg : Split(aggs, ';')) {
       std::string text(Trim(agg));
       if (text.empty()) continue;
-      auto expr = sql::ParseExpression(text);
+      auto expr = sql::ParseExpression(text, expr_limits);
       if (!expr.ok()) return expr.status();
       node->expressions.push_back(std::move(expr).value());
     }
@@ -128,14 +135,18 @@ Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
         desc = true;
         text = text.substr(0, text.size() - 5);
       }
-      auto expr = sql::ParseExpression(text);
+      auto expr = sql::ParseExpression(text, expr_limits);
       if (!expr.ok()) return expr.status();
       node->expressions.push_back(std::move(expr).value());
       node->sort_descending.push_back(desc);
     }
   } else if (kind == "Limit") {
     node->type = PlanNodeType::kLimit;
-    node->limit = std::strtoll(payload.c_str(), nullptr, 10);
+    // strtoll silently accepts trailing garbage and saturates on overflow;
+    // require the payload to be exactly one in-range integer.
+    if (!ParseInt64(payload, &node->limit)) {
+      return Status::InvalidArgument("malformed Limit count: " + payload);
+    }
   } else if (kind == "Exchange") {
     node->type = PlanNodeType::kExchange;
     if (payload == "GATHER") {
@@ -159,15 +170,41 @@ Result<PlanNodePtr> NodeFromLine(const ParsedLine& line) {
 
 std::string PlanToText(const PlanNode& root) {
   std::ostringstream os;
-  WriteNode(root, 0, &os);
+  // Explicit pre-order stack: serialization must survive the same chain
+  // depths parsing accepts.
+  std::vector<std::pair<const PlanNode*, int>> stack;
+  stack.emplace_back(&root, 0);
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << "- " << node->Label() << "\n";
+    for (size_t i = node->children.size(); i > 0; --i) {
+      stack.emplace_back(node->children[i - 1].get(), depth + 1);
+    }
+  }
   return os.str();
 }
 
 Result<PlanNodePtr> ParsePlanText(const std::string& text) {
+  return ParsePlanText(text, PlanLimits{});
+}
+
+Result<PlanNodePtr> ParsePlanText(const std::string& text,
+                                  const PlanLimits& limits) {
+  if (text.size() > limits.max_plan_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("plan text exceeds byte limit (%zu bytes > %zu)",
+                  text.size(), limits.max_plan_bytes));
+  }
   std::vector<ParsedLine> lines;
   for (const std::string& raw : Split(text, '\n')) {
     if (Trim(raw).empty()) continue;
-    auto line = ParseLine(raw);
+    if (lines.size() >= limits.max_nodes) {
+      return Status::ResourceExhausted(
+          StrFormat("plan exceeds node limit (%zu)", limits.max_nodes));
+    }
+    auto line = ParseLine(raw, limits);
     if (!line.ok()) return line.status();
     lines.push_back(std::move(line).value());
   }
@@ -178,7 +215,7 @@ Result<PlanNodePtr> ParsePlanText(const std::string& text) {
 
   // Depth-indexed stack of the current path from the root.
   std::vector<PlanNode*> stack;
-  auto root = NodeFromLine(lines[0]);
+  auto root = NodeFromLine(lines[0], limits);
   if (!root.ok()) return root.status();
   PlanNodePtr root_node = std::move(root).value();
   stack.push_back(root_node.get());
@@ -189,7 +226,7 @@ Result<PlanNodePtr> ParsePlanText(const std::string& text) {
           StrFormat("bad indentation at plan line %zu", i));
     }
     stack.resize(static_cast<size_t>(line.depth));
-    auto node = NodeFromLine(line);
+    auto node = NodeFromLine(line, limits);
     if (!node.ok()) return node.status();
     PlanNode* parent = stack.back();
     parent->children.push_back(std::move(node).value());

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "plan/plan_limits.h"
 #include "plan/plan_node.h"
 #include "util/status.h"
 
@@ -19,8 +20,14 @@ namespace prestroid::plan {
 /// `EXPLAIN <query>` output as the ingestion format of trace files.
 std::string PlanToText(const PlanNode& root);
 
-/// Parses the text produced by PlanToText back into a plan tree.
+/// Parses the text produced by PlanToText back into a plan tree. Limits are
+/// enforced *while* parsing — an over-budget input is rejected with
+/// kResourceExhausted before its tree is materialized, and malformed input
+/// (including a Limit payload that is not exactly one in-range integer)
+/// yields kParseError/kInvalidArgument. Never aborts on hostile bytes.
 Result<PlanNodePtr> ParsePlanText(const std::string& text);
+Result<PlanNodePtr> ParsePlanText(const std::string& text,
+                                  const PlanLimits& limits);
 
 }  // namespace prestroid::plan
 

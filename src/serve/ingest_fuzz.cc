@@ -1,0 +1,272 @@
+#include "serve/ingest_fuzz.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "otp/otp_tree.h"
+#include "plan/plan_stats.h"
+#include "plan/plan_text.h"
+#include "serve/plan_fingerprint.h"
+#include "sql/parser.h"
+#include "util/random.h"
+
+namespace prestroid::serve {
+
+namespace {
+
+using plan::MakeAggregate;
+using plan::MakeDistinct;
+using plan::MakeExchange;
+using plan::MakeFilter;
+using plan::MakeJoin;
+using plan::MakeLimit;
+using plan::MakeProject;
+using plan::MakeSort;
+using plan::MakeTableScan;
+using plan::PlanNodePtr;
+
+const char* const kTables[] = {"orders", "lineitem", "customer", "part",
+                               "supplier", "nation"};
+const char* const kColumns[] = {"price", "qty", "discount", "region_id",
+                                "ship_date", "status"};
+
+std::string PickTable(Rng& rng) {
+  return kTables[rng.NextUint64(std::size(kTables))];
+}
+
+std::string PickColumn(Rng& rng) {
+  return kColumns[rng.NextUint64(std::size(kColumns))];
+}
+
+/// Builds a small predicate text and parses it into an ExprPtr. Base-corpus
+/// predicates are always valid — mutation is what makes inputs hostile.
+sql::ExprPtr MakePredicate(Rng& rng) {
+  std::string text;
+  switch (rng.NextUint64(4)) {
+    case 0:
+      text = PickColumn(rng) + " > " + std::to_string(rng.UniformInt(0, 1000));
+      break;
+    case 1:
+      text = "(" + PickColumn(rng) + " >= " +
+             std::to_string(rng.UniformInt(0, 100)) + " AND " +
+             PickColumn(rng) + " < " + std::to_string(rng.UniformInt(100, 999)) +
+             ")";
+      break;
+    case 2: {
+      text = PickColumn(rng) + " IN (";
+      const int n = rng.UniformInt(1, 8);
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) text += ", ";
+        text += std::to_string(rng.UniformInt(0, 500));
+      }
+      text += ")";
+      break;
+    }
+    default:
+      text = PickColumn(rng) + " = '" + PickTable(rng) + "'";
+      break;
+  }
+  auto parsed = sql::ParseExpression(text);
+  return parsed.ok() ? std::move(parsed).value() : nullptr;
+}
+
+/// Wraps `child` in one randomly chosen unary operator.
+PlanNodePtr WrapUnary(Rng& rng, PlanNodePtr child) {
+  switch (rng.NextUint64(6)) {
+    case 0:
+      return MakeFilter(MakePredicate(rng), std::move(child));
+    case 1:
+      return MakeLimit(rng.UniformInt(1, 100000), std::move(child));
+    case 2:
+      return MakeDistinct(std::move(child));
+    case 3:
+      return MakeExchange(rng.Bernoulli(0.5) ? plan::ExchangeKind::kGather
+                                             : plan::ExchangeKind::kRepartition,
+                          std::move(child));
+    case 4: {
+      std::vector<sql::ExprPtr> keys;
+      keys.push_back(MakePredicate(rng));
+      return MakeSort(std::move(keys), {rng.Bernoulli(0.5)}, std::move(child));
+    }
+    default: {
+      std::vector<std::string> group_keys = {PickColumn(rng)};
+      std::vector<sql::ExprPtr> aggs;
+      aggs.push_back(MakePredicate(rng));
+      return MakeAggregate(std::move(group_keys), std::move(aggs),
+                           std::move(child));
+    }
+  }
+}
+
+/// Random join tree over `leaves` scans (iterative bottom-up combine).
+PlanNodePtr BuildJoinTree(Rng& rng, size_t leaves) {
+  std::vector<PlanNodePtr> forest;
+  forest.reserve(leaves);
+  for (size_t i = 0; i < leaves; ++i) {
+    PlanNodePtr scan = MakeTableScan(PickTable(rng));
+    if (rng.Bernoulli(0.5)) scan = MakeFilter(MakePredicate(rng), std::move(scan));
+    forest.push_back(std::move(scan));
+  }
+  while (forest.size() > 1) {
+    const size_t a = rng.NextUint64(forest.size());
+    PlanNodePtr left = std::move(forest[a]);
+    forest.erase(forest.begin() + static_cast<ptrdiff_t>(a));
+    const size_t b = rng.NextUint64(forest.size());
+    PlanNodePtr right = std::move(forest[b]);
+    forest[b] = MakeJoin(rng.Bernoulli(0.8) ? sql::JoinType::kInner
+                                            : sql::JoinType::kLeft,
+                         MakePredicate(rng), std::move(left), std::move(right));
+  }
+  return std::move(forest.front());
+}
+
+}  // namespace
+
+std::string FuzzBasePlanText(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  PlanNodePtr root;
+  switch (rng.NextUint64(3)) {
+    case 0: {
+      // Deep unary chain over a single scan.
+      root = MakeTableScan(PickTable(rng));
+      const int depth = rng.UniformInt(1, 48);
+      for (int i = 0; i < depth; ++i) root = WrapUnary(rng, std::move(root));
+      break;
+    }
+    case 1:
+      // Bushy join tree.
+      root = BuildJoinTree(rng, static_cast<size_t>(rng.UniformInt(2, 10)));
+      break;
+    default: {
+      // Mixed: join tree under a short unary chain, predicate-heavy.
+      root = BuildJoinTree(rng, static_cast<size_t>(rng.UniformInt(2, 5)));
+      const int wraps = rng.UniformInt(1, 6);
+      for (int i = 0; i < wraps; ++i) {
+        root = MakeFilter(MakePredicate(rng), std::move(root));
+      }
+      break;
+    }
+  }
+  return plan::PlanToText(*root);
+}
+
+std::string MutatePlanText(const std::string& base, uint64_t seed) {
+  Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  std::string text = base;
+  const int rounds = rng.UniformInt(1, 3);
+  for (int round = 0; round < rounds; ++round) {
+    if (text.empty()) break;
+    switch (rng.NextUint64(6)) {
+      case 0:
+        // Truncation mid-record (often mid-line, splitting a token).
+        text.resize(rng.NextUint64(text.size()));
+        break;
+      case 1: {
+        // Depth spike: splice in a line with an enormous indent run, so the
+        // parser sees an indentation jump that implies absurd tree depth.
+        const size_t indent = 2 * (1 + rng.NextUint64(1u << 18));
+        std::string spike(indent, ' ');
+        spike += "- Distinct\n";
+        const size_t at = rng.NextUint64(text.size());
+        const size_t line_start = text.rfind('\n', at);
+        text.insert(line_start == std::string::npos ? 0 : line_start + 1,
+                    spike);
+        break;
+      }
+      case 2: {
+        // Raw byte noise: flip a handful of bytes anywhere, including into
+        // NUL/control/high-bit values the grammar never emits.
+        const int flips = rng.UniformInt(1, 16);
+        for (int i = 0; i < flips; ++i) {
+          text[rng.NextUint64(text.size())] =
+              static_cast<char>(rng.NextUint64(256));
+        }
+        break;
+      }
+      case 3: {
+        // Token bomb: append a Filter whose IN-list predicate has far more
+        // tokens than any legitimate plan line.
+        std::string bomb = "- Filter [qty IN (";
+        const int n = rng.UniformInt(2000, 12000);
+        for (int i = 0; i < n; ++i) {
+          if (i > 0) bomb += ",";
+          bomb += std::to_string(i);
+        }
+        bomb += ")]\n";
+        text += bomb;
+        break;
+      }
+      case 4: {
+        // Line duplication/splice: repeat a random slice of the text so
+        // sibling ordering and indent monotonicity break.
+        const size_t from = rng.NextUint64(text.size());
+        const size_t len =
+            std::min<size_t>(text.size() - from, 1 + rng.NextUint64(512));
+        const std::string slice = text.substr(from, len);
+        text.insert(rng.NextUint64(text.size()), slice);
+        break;
+      }
+      default: {
+        // Oversized single line: one line grown past any sane byte budget.
+        std::string fat = "- TableScan [";
+        fat.append(1 + rng.NextUint64(1u << 18), 'x');
+        fat += "]\n";
+        text += fat;
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+void RunFuzzCase(const std::string& text, const plan::PlanLimits& limits,
+                 FuzzCampaignStats* stats) {
+  ++stats->cases;
+  auto parsed = plan::ParsePlanText(text, limits);
+  if (!parsed.ok()) {
+    switch (parsed.status().code()) {
+      case StatusCode::kResourceExhausted:
+        ++stats->limit_rejects;
+        break;
+      case StatusCode::kParseError:
+      case StatusCode::kInvalidArgument:
+        ++stats->parse_errors;
+        break;
+      default:
+        ++stats->other_errors;
+        break;
+    }
+    return;
+  }
+  ++stats->parsed_ok;
+  const plan::PlanNodePtr root = std::move(parsed).value();
+
+  // The plan passed the parse-time governor; everything downstream must now
+  // digest it without faulting. Statuses are tolerated, crashes are not.
+  (void)plan::CheckPlanLimits(*root, limits);
+  (void)plan::ComputePlanStats(*root);
+  (void)FingerprintPlan(*root);
+
+  auto recast = otp::RecastPlan(*root);
+  if (recast.ok()) (void)otp::Flatten(recast.value());
+
+  const plan::PlanNodePtr clone = root->Clone();
+  const std::string round_trip = plan::PlanToText(*clone);
+  (void)plan::ParsePlanText(round_trip, limits);
+  // Teardown of root/clone/recast exercises the iterative destructors.
+}
+
+FuzzCampaignStats RunFuzzCampaign(uint64_t seed_begin, uint64_t seed_end,
+                                  const plan::PlanLimits& limits) {
+  FuzzCampaignStats stats;
+  for (uint64_t seed = seed_begin; seed < seed_end; ++seed) {
+    const std::string base = FuzzBasePlanText(seed);
+    RunFuzzCase(base, limits, &stats);
+    RunFuzzCase(MutatePlanText(base, seed), limits, &stats);
+  }
+  return stats;
+}
+
+}  // namespace prestroid::serve

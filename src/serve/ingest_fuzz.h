@@ -1,0 +1,54 @@
+#ifndef PRESTROID_SERVE_INGEST_FUZZ_H_
+#define PRESTROID_SERVE_INGEST_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+
+#include "plan/plan_limits.h"
+
+namespace prestroid::serve {
+
+/// Deterministic structure-aware fuzzer for the plan-text ingestion path.
+///
+/// Each seed expands to (base plan, mutation recipe) with no hidden state —
+/// the same seed produces byte-identical input on every run and platform, so
+/// a CI failure is reproducible locally with just the seed number. The
+/// mutations target the grammar, not random bytes alone: truncation inside a
+/// record, indentation (depth) spikes, raw byte noise, predicate token
+/// bombs, duplicated/spliced lines, and oversized single lines.
+///
+/// Run under ASan/UBSan in CI (fuzz-ingest step); see tests/plan_fuzz_test.cc
+/// for the in-suite variant.
+
+/// Deterministically builds a valid plan text for `seed` (varied shapes:
+/// chains, join trees, predicate-heavy plans).
+std::string FuzzBasePlanText(uint64_t seed);
+
+/// Applies the seed's mutation recipe to `base`. The result is usually
+/// malformed — that is the point.
+std::string MutatePlanText(const std::string& base, uint64_t seed);
+
+/// Outcome counters for one fuzz campaign.
+struct FuzzCampaignStats {
+  size_t cases = 0;
+  size_t parsed_ok = 0;       // mutant still parsed cleanly
+  size_t parse_errors = 0;    // kParseError / kInvalidArgument
+  size_t limit_rejects = 0;   // kResourceExhausted
+  size_t other_errors = 0;    // anything else status-shaped
+};
+
+/// Drives one input end-to-end through the ingestion machinery: limited
+/// parse, plan-stat walk, limits re-check, recast, fingerprint, clone,
+/// serialize round-trip, and iterative teardown. Every failure must be
+/// status-shaped; a crash/sanitizer finding is a bug in the library, never
+/// in the input. Returns how the case resolved (updates `stats`).
+void RunFuzzCase(const std::string& text, const plan::PlanLimits& limits,
+                 FuzzCampaignStats* stats);
+
+/// Full campaign over [seed_begin, seed_end): base + mutant per seed.
+FuzzCampaignStats RunFuzzCampaign(uint64_t seed_begin, uint64_t seed_end,
+                                  const plan::PlanLimits& limits);
+
+}  // namespace prestroid::serve
+
+#endif  // PRESTROID_SERVE_INGEST_FUZZ_H_

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "sql/ast.h"
 
@@ -26,11 +27,21 @@ void HashString(uint64_t& h, const std::string& s) {
   for (char c : s) HashByte(h, static_cast<uint8_t>(c));
 }
 
-/// Hashes the expression tree structurally — the same information its
-/// round-trippable ToString() carries, without materializing the string.
-/// Equal structure implies equal text, so this keys at least as finely as
-/// the predicate text the recast consumes; it never falsely shares.
-void HashExpr(uint64_t& h, const sql::Expr& expr) {
+/// One pending unit of hashing work. The fingerprint runs on whatever plan
+/// the front end admits — potentially a 100k+-deep chain — so the traversal
+/// keeps its own heap stack instead of recursing. Delimiter bytes are queued
+/// as tasks so the emitted byte stream is identical to the old recursive
+/// form (fingerprints are cache keys; they must not change).
+struct HashTask {
+  enum class Kind : uint8_t { kNode, kExpr, kByte };
+  Kind kind;
+  const void* ptr = nullptr;  // PlanNode* or Expr*, per kind
+  uint8_t byte = 0;
+};
+
+/// Hashes `expr`'s own payload (kind byte + per-kind fields), excluding
+/// children and delimiters.
+void HashExprPayload(uint64_t& h, const sql::Expr& expr) {
   HashByte(h, static_cast<uint8_t>(expr.kind));
   switch (expr.kind) {
     case sql::ExprKind::kColumn:
@@ -68,51 +79,81 @@ void HashExpr(uint64_t& h, const sql::Expr& expr) {
       // beyond their kind and children.
       break;
   }
-  HashByte(h, 0xf4);
-  for (const sql::ExprPtr& child : expr.children) {
-    HashExpr(h, *child);
-    HashByte(h, 0xf5);
-  }
-  HashByte(h, 0xf6);
-}
-
-void HashNode(uint64_t& h, const plan::PlanNode& node) {
-  HashByte(h, static_cast<uint8_t>(node.type));
-  switch (node.type) {
-    case plan::PlanNodeType::kTableScan:
-      HashString(h, node.table);
-      break;
-    case plan::PlanNodeType::kJoin:
-      // Recast rule R2 keeps only the flavour; the join condition is dropped.
-      HashByte(h, static_cast<uint8_t>(node.join_type));
-      break;
-    case plan::PlanNodeType::kExchange:
-      HashByte(h, static_cast<uint8_t>(node.exchange_kind));
-      break;
-    default:
-      // Recast rule R1: a non-join unary operator contributes its predicate
-      // (or the null marker) and nothing else.
-      if (node.predicate != nullptr) {
-        HashExpr(h, *node.predicate);
-      } else {
-        HashByte(h, 0xf0);
-      }
-      break;
-  }
-  // Delimit the child list so tree shape is part of the fingerprint.
-  HashByte(h, 0xf1);
-  for (const plan::PlanNodePtr& child : node.children) {
-    HashNode(h, *child);
-    HashByte(h, 0xf2);
-  }
-  HashByte(h, 0xf3);
 }
 
 }  // namespace
 
 uint64_t FingerprintPlan(const plan::PlanNode& plan) {
+  // Structurally hashes the plan (and, per recast rule R1, the expression
+  // trees of unary-operator predicates): equal structure implies equal
+  // serialized text, so this keys at least as finely as the predicate text
+  // the recast consumes; it never falsely shares.
   uint64_t h = kFnvOffsetBasis;
-  HashNode(h, plan);
+  std::vector<HashTask> stack;
+  stack.push_back({HashTask::Kind::kNode, &plan, 0});
+  // Tasks are pushed in reverse emission order (a pop emits next).
+  while (!stack.empty()) {
+    HashTask task = stack.back();
+    stack.pop_back();
+    switch (task.kind) {
+      case HashTask::Kind::kByte:
+        HashByte(h, task.byte);
+        break;
+      case HashTask::Kind::kExpr: {
+        const auto& expr = *static_cast<const sql::Expr*>(task.ptr);
+        HashExprPayload(h, expr);
+        // Emit: 0xf4, (child, 0xf5)..., 0xf6.
+        stack.push_back({HashTask::Kind::kByte, nullptr, 0xf6});
+        for (size_t i = expr.children.size(); i > 0; --i) {
+          stack.push_back({HashTask::Kind::kByte, nullptr, 0xf5});
+          stack.push_back(
+              {HashTask::Kind::kExpr, expr.children[i - 1].get(), 0});
+        }
+        stack.push_back({HashTask::Kind::kByte, nullptr, 0xf4});
+        break;
+      }
+      case HashTask::Kind::kNode: {
+        const auto& node = *static_cast<const plan::PlanNode*>(task.ptr);
+        HashByte(h, static_cast<uint8_t>(node.type));
+        bool hash_predicate = false;
+        switch (node.type) {
+          case plan::PlanNodeType::kTableScan:
+            HashString(h, node.table);
+            break;
+          case plan::PlanNodeType::kJoin:
+            // Recast rule R2 keeps only the flavour; the condition is
+            // dropped.
+            HashByte(h, static_cast<uint8_t>(node.join_type));
+            break;
+          case plan::PlanNodeType::kExchange:
+            HashByte(h, static_cast<uint8_t>(node.exchange_kind));
+            break;
+          default:
+            // Recast rule R1: a non-join unary operator contributes its
+            // predicate (or the null marker) and nothing else.
+            if (node.predicate != nullptr) {
+              hash_predicate = true;
+            } else {
+              HashByte(h, 0xf0);
+            }
+            break;
+        }
+        // Emit: [predicate expr], 0xf1, (child, 0xf2)..., 0xf3 — the child
+        // delimiters make tree shape part of the fingerprint.
+        stack.push_back({HashTask::Kind::kByte, nullptr, 0xf3});
+        for (size_t i = node.children.size(); i > 0; --i) {
+          stack.push_back({HashTask::Kind::kByte, nullptr, 0xf2});
+          stack.push_back(
+              {HashTask::Kind::kNode, node.children[i - 1].get(), 0});
+        }
+        stack.push_back({HashTask::Kind::kByte, nullptr, 0xf1});
+        if (hash_predicate) {
+          stack.push_back({HashTask::Kind::kExpr, node.predicate.get(), 0});
+        }
+        break;
+      }
+    }
+  }
   return h;
 }
 

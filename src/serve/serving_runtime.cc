@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "plan/plan_limits.h"
 #include "plan/plan_stats.h"
 #include "serve/plan_fingerprint.h"
 
@@ -76,6 +77,17 @@ void ServingRuntime::Shutdown() {
 
 Result<std::future<cost::ServingEstimate>> ServingRuntime::Submit(
     const plan::PlanNode& plan, double deadline_ms) {
+  // Governor check before anything touches the plan: a rejected plan is
+  // never fingerprinted, featurized, or queued. The walk is checked outside
+  // the queue lock — it early-exits at the limit, so its cost is bounded by
+  // the limits themselves, not by the hostile plan's size.
+  Status within_limits = plan::CheckPlanLimits(plan, config_.plan_limits);
+  if (!within_limits.ok()) {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    ++limit_rejects_;
+    return Status::InvalidArgument("plan rejected by resource governor: " +
+                                   within_limits.message());
+  }
   std::future<cost::ServingEstimate> future;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -102,6 +114,20 @@ Result<std::future<cost::ServingEstimate>> ServingRuntime::Submit(
 
 cost::ServingEstimate ServingRuntime::Estimate(const plan::PlanNode& plan,
                                                double deadline_ms) {
+  // The blocking wrapper never fails, so a governor reject degrades through
+  // the estimator's fallback chain instead of surfacing a status.
+  Status within_limits = plan::CheckPlanLimits(plan, config_.plan_limits);
+  if (!within_limits.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      ++limit_rejects_;
+    }
+    std::lock_guard<std::mutex> serve_lock(serve_mu_);
+    estimator_->CountRequest();
+    const plan::PlanStats stats = plan::ComputePlanStats(plan);
+    return estimator_->EstimateFallback(stats, std::move(within_limits),
+                                        std::chrono::steady_clock::now());
+  }
   std::future<cost::ServingEstimate> future;
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
@@ -144,6 +170,7 @@ cost::ServingStats ServingRuntime::StatsSnapshot() const {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stats.rejected_requests = rejected_requests_;
+    stats.limit_rejects = limit_rejects_;
     stats.queue_high_watermark = queue_high_watermark_;
   }
   return stats;

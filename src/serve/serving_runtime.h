@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cost/serving_estimator.h"
+#include "plan/plan_limits.h"
 #include "plan/plan_node.h"
 #include "serve/plan_cache.h"
 #include "util/histogram.h"
@@ -33,6 +34,11 @@ struct ServingRuntimeConfig {
   size_t batch_window_us = 200;
   /// Plan-fingerprint cache entries; 0 disables the cache.
   size_t cache_entries = 1024;
+  /// Resource governor applied to every submitted plan *before* it is
+  /// fingerprinted or featurized. Over-limit plans are rejected at admission
+  /// (kInvalidArgument, counted in ServingStats::limit_rejects) so a hostile
+  /// plan never reaches the hashing/encoding machinery.
+  plan::PlanLimits plan_limits;
 };
 
 /// Concurrent batched serving front end over a ServingEstimator.
@@ -79,9 +85,11 @@ class ServingRuntime {
   void Shutdown();
 
   /// Enqueues one estimate request. Returns kResourceExhausted immediately
-  /// when the queue is full (the request was never admitted) and
-  /// kInvalidArgument after Shutdown(). deadline_ms <= 0 uses the estimator's
-  /// configured default; the deadline covers queue wait + compute.
+  /// when the queue is full (the request was never admitted),
+  /// kInvalidArgument when the plan fails the PlanLimits governor (counted
+  /// in limit_rejects), and kInvalidArgument after Shutdown(). deadline_ms
+  /// <= 0 uses the estimator's configured default; the deadline covers queue
+  /// wait + compute.
   Result<std::future<cost::ServingEstimate>> Submit(const plan::PlanNode& plan,
                                                     double deadline_ms = 0.0);
 
@@ -126,6 +134,7 @@ class ServingRuntime {
   std::deque<PendingRequest> queue_;
   bool stop_ = false;
   size_t rejected_requests_ = 0;
+  size_t limit_rejects_ = 0;
   size_t queue_high_watermark_ = 0;
 
   /// Serializes worker access to the estimator + cache + histogram against

@@ -23,7 +23,8 @@ namespace {
 ///   factor    := column | literal | func '(' args ')' | '(' value ')'
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const ParseLimits& limits)
+      : tokens_(std::move(tokens)), limits_(limits) {}
 
   Result<std::unique_ptr<SelectStmt>> ParseStatement() {
     auto stmt_result = ParseSelectBody();
@@ -47,6 +48,23 @@ class Parser {
   }
 
  private:
+  /// Counts live recursion frames so hostile nesting ("((((...") surfaces
+  /// as a Status instead of exhausting the thread stack. Scoped to the
+  /// functions that can re-enter themselves: predicates, factors, and
+  /// subqueries.
+  struct DepthScope {
+    explicit DepthScope(Parser* parser) : parser_(parser) { ++parser_->depth_; }
+    ~DepthScope() { --parser_->depth_; }
+    Parser* parser_;
+  };
+  Status CheckDepth() const {
+    if (depth_ > limits_.max_depth) {
+      return Status::ResourceExhausted(StrFormat(
+          "expression nesting exceeds depth limit (%zu)", limits_.max_depth));
+    }
+    return Status::OK();
+  }
+
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
@@ -73,6 +91,8 @@ class Parser {
   }
 
   Result<std::unique_ptr<SelectStmt>> ParseSelectBody() {
+    DepthScope scope(this);
+    PRESTROID_RETURN_NOT_OK(CheckDepth());
     if (!MatchKeyword("SELECT")) return Error("expected SELECT");
     auto stmt = std::make_unique<SelectStmt>();
     stmt->distinct = MatchKeyword("DISTINCT");
@@ -229,6 +249,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseUnary() {
+    DepthScope scope(this);
+    PRESTROID_RETURN_NOT_OK(CheckDepth());
     if (MatchKeyword("NOT")) {
       auto inner = ParseUnary();
       if (!inner.ok()) return inner.status();
@@ -240,6 +262,8 @@ class Parser {
   // Lookahead to distinguish a parenthesized predicate from a parenthesized
   // value expression: both start with '('. We try the predicate first.
   Result<ExprPtr> ParsePrimaryPredicate() {
+    DepthScope scope(this);
+    PRESTROID_RETURN_NOT_OK(CheckDepth());
     if (Peek().type == TokenType::kLeftParen && LooksLikeNestedPredicate()) {
       Advance();  // consume '('
       auto inner = ParsePredicate();
@@ -357,6 +381,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseFactor() {
+    DepthScope scope(this);
+    PRESTROID_RETURN_NOT_OK(CheckDepth());
     const Token& t = Peek();
     if (t.IsOperator("*")) {
       Advance();
@@ -439,22 +465,46 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  ParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
+
+Result<std::vector<Token>> TokenizeLimited(const std::string& text,
+                                           const ParseLimits& limits) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  if (tokens->size() > limits.max_tokens) {
+    return Status::ResourceExhausted(StrFormat(
+        "input exceeds token limit (%zu tokens > %zu)", tokens->size(),
+        limits.max_tokens));
+  }
+  return tokens;
+}
 
 }  // namespace
 
 Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
-  auto tokens = Tokenize(sql);
+  return ParseSelect(sql, ParseLimits{});
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql,
+                                                const ParseLimits& limits) {
+  auto tokens = TokenizeLimited(sql, limits);
   if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(tokens).value());
+  Parser parser(std::move(tokens).value(), limits);
   return parser.ParseStatement();
 }
 
 Result<ExprPtr> ParseExpression(const std::string& text) {
-  auto tokens = Tokenize(text);
+  return ParseExpression(text, ParseLimits{});
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text,
+                                const ParseLimits& limits) {
+  auto tokens = TokenizeLimited(text, limits);
   if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(tokens).value());
+  Parser parser(std::move(tokens).value(), limits);
   return parser.ParseStandaloneExpression();
 }
 

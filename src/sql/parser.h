@@ -9,14 +9,27 @@
 
 namespace prestroid::sql {
 
+/// Resource guard for one parse. The recursive-descent parser consumes
+/// thread stack proportional to expression nesting, so `max_depth` is a hard
+/// cap (kResourceExhausted beyond it) rather than a tunable suggestion;
+/// `max_tokens` bounds work and allocation up front.
+struct ParseLimits {
+  size_t max_tokens = 100000;
+  size_t max_depth = 200;
+};
+
 /// Parses a mini-SQL SELECT statement (the dialect used by the workload
 /// generators and the Prestroid pipeline). Returns ParseError on malformed
-/// input — never aborts.
+/// input and kResourceExhausted on inputs over the limits — never aborts.
 Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql,
+                                                const ParseLimits& limits);
 
 /// Parses a standalone predicate/scalar expression (used by the plan-text
 /// round-trip and by tests).
 Result<ExprPtr> ParseExpression(const std::string& text);
+Result<ExprPtr> ParseExpression(const std::string& text,
+                                const ParseLimits& limits);
 
 }  // namespace prestroid::sql
 

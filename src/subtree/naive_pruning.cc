@@ -11,10 +11,18 @@ namespace {
 
 using otp::OtpNode;
 
-void DfsOrder(const OtpNode& node, std::vector<const OtpNode*>* out) {
-  out->push_back(&node);
-  if (node.left != nullptr) DfsOrder(*node.left, out);
-  if (node.right != nullptr) DfsOrder(*node.right, out);
+// Explicit-stack pre-order walk: OTP trees mirror plan depth, so recursion
+// here would overflow the thread stack on the deep chains the ingestion
+// limits admit.
+void DfsOrder(const OtpNode& root, std::vector<const OtpNode*>* out) {
+  std::vector<const OtpNode*> stack = {&root};
+  while (!stack.empty()) {
+    const OtpNode* node = stack.back();
+    stack.pop_back();
+    out->push_back(node);
+    if (node->right != nullptr) stack.push_back(node->right.get());
+    if (node->left != nullptr) stack.push_back(node->left.get());
+  }
 }
 
 std::vector<const OtpNode*> BfsOrder(const OtpNode& root) {

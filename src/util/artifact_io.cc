@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "util/fault_injection.h"
+#include "util/string_util.h"
 
 namespace prestroid {
 
@@ -178,29 +179,40 @@ Result<std::vector<ArtifactSection>> DecodeArtifact(const std::string& bytes) {
     return Status::DataCorruption("artifact truncated before header");
   }
   std::istringstream header(line);
-  std::string magic, version;
-  size_t num_sections = 0;
-  header >> magic >> version >> num_sections;
+  std::string magic, version, count_text;
+  header >> magic >> version >> count_text;
   if (header.fail() || magic != kMagic) {
     return Status::DataCorruption("not a Prestroid artifact (bad magic)");
   }
   if (version != kVersion) {
     return Status::DataCorruption("unsupported artifact version: " + version);
   }
+  // Checked parse: istringstream >> size_t silently wraps negative input
+  // into a near-SIZE_MAX count, which the reserve below would then try to
+  // honour. A count can also never exceed the byte length of the file.
+  int64_t num_sections = 0;
+  if (!ParseInt64(count_text, &num_sections) || num_sections < 0 ||
+      static_cast<uint64_t>(num_sections) > bytes.size()) {
+    return Status::DataCorruption("implausible section count: " + count_text);
+  }
 
   std::vector<ArtifactSection> sections;
-  sections.reserve(num_sections);
-  for (size_t i = 0; i < num_sections; ++i) {
+  sections.reserve(static_cast<size_t>(num_sections));
+  for (int64_t i = 0; i < num_sections; ++i) {
     if (!next_line(&line)) {
       return Status::DataCorruption("artifact truncated in section table");
     }
     std::istringstream section_header(line);
-    std::string tag, name, crc_hex;
-    size_t length = 0;
-    section_header >> tag >> name >> length >> crc_hex;
+    std::string tag, name, length_text, crc_hex;
+    section_header >> tag >> name >> length_text >> crc_hex;
     if (section_header.fail() || tag != "section" || crc_hex.size() != 8) {
       return Status::DataCorruption("malformed section header: " + line);
     }
+    int64_t length_value = 0;
+    if (!ParseInt64(length_text, &length_value) || length_value < 0) {
+      return Status::DataCorruption("implausible section length: " + line);
+    }
+    const size_t length = static_cast<size_t>(length_value);
     // strtoul would silently stop at the first bad character (and accepts
     // uppercase aliases of the lowercase digits the writer emits), so a
     // flipped checksum byte could still "match" — require strict lowercase
@@ -210,7 +222,11 @@ Result<std::vector<ArtifactSection>> DecodeArtifact(const std::string& bytes) {
         return Status::DataCorruption("malformed section checksum: " + line);
       }
     }
-    if (pos + length + 1 > bytes.size()) {
+    // Subtraction form: `pos + length + 1` would wrap for a length near
+    // SIZE_MAX and sail past the bound. `pos <= bytes.size()` always holds,
+    // and the section needs `length` payload bytes plus its terminator.
+    const size_t available = bytes.size() - pos;
+    if (length > available || available - length < 1) {
       return Status::DataCorruption("artifact truncated inside section " + name);
     }
     ArtifactSection section;

@@ -86,6 +86,32 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   return true;
 }
 
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  size_t i = 0;
+  bool negative = false;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) return false;
+  // Accumulate in unsigned space so the INT64_MIN magnitude is expressible.
+  constexpr uint64_t kPositiveMax = static_cast<uint64_t>(INT64_MAX);
+  const uint64_t bound = negative ? kPositiveMax + 1 : kPositiveMax;
+  uint64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (bound - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = negative ? static_cast<int64_t>(~value + 1)
+                  : static_cast<int64_t>(value);
+  return true;
+}
+
 std::string StrFormat(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

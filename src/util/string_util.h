@@ -1,6 +1,7 @@
 #ifndef PRESTROID_UTIL_STRING_UTIL_H_
 #define PRESTROID_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +29,12 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 
 /// True if the two strings match ignoring ASCII case.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict base-10 integer parse: the whole of `text` (after optional
+/// leading/trailing ASCII whitespace) must be one integer that fits int64_t.
+/// Unlike bare strtoll this rejects empty input, trailing garbage ("12x"),
+/// and overflow, writing the value to `*out` only on success.
+bool ParseInt64(std::string_view text, int64_t* out);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)

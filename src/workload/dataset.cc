@@ -1,11 +1,216 @@
 #include "workload/dataset.h"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace prestroid::workload {
+
+const char* QuarantineReasonToString(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kMalformedHeader:
+      return "malformed-header";
+    case QuarantineReason::kTruncatedRecord:
+      return "truncated-record";
+    case QuarantineReason::kMalformedPlan:
+      return "malformed-plan";
+    case QuarantineReason::kOverLimitPlan:
+      return "over-limit-plan";
+    case QuarantineReason::kNonFiniteLabel:
+      return "nan-label";
+    case QuarantineReason::kNegativeLabel:
+      return "negative-label";
+    case QuarantineReason::kReasonCount:
+      break;
+  }
+  return "?";
+}
+
+std::string IngestStats::Summary() const {
+  std::string out =
+      StrFormat("accepted=%zu quarantined=%zu", accepted, quarantined);
+  if (quarantined == 0) return out;
+  out += " (";
+  bool first = true;
+  for (size_t i = 0; i < by_reason.size(); ++i) {
+    if (by_reason[i] == 0) continue;
+    if (!first) out += " ";
+    first = false;
+    out += StrFormat("%s=%zu",
+                     QuarantineReasonToString(static_cast<QuarantineReason>(i)),
+                     by_reason[i]);
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+/// First bytes of the offending record, with control bytes escaped so one
+/// quarantined record is always exactly one log line.
+std::string SnippetOf(const std::string& chunk) {
+  constexpr size_t kMaxSnippet = 96;
+  std::string out;
+  out.reserve(std::min(chunk.size(), kMaxSnippet) + 8);
+  for (size_t i = 0; i < chunk.size() && out.size() < kMaxSnippet; ++i) {
+    const unsigned char c = static_cast<unsigned char>(chunk[i]);
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c < 0x20 || c >= 0x7f) {
+      out += StrFormat("\\x%02x", c);
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  if (chunk.size() > kMaxSnippet) out += "...";
+  return out;
+}
+
+/// Append-only sink for quarantined records. A missing path degrades to
+/// counting only; an unwritable path is an environment error surfaced to the
+/// caller (silently dropping evidence would defeat the point).
+class QuarantineLog {
+ public:
+  Status Open(const std::string& path) {
+    if (path.empty()) return Status::OK();
+    out_.open(path, std::ios::app);
+    if (!out_.is_open()) {
+      return Status::IoError("cannot open quarantine file: " + path);
+    }
+    return Status::OK();
+  }
+
+  Status Append(QuarantineReason reason, size_t ordinal,
+                const std::string& chunk) {
+    if (!out_.is_open()) return Status::OK();
+    out_ << QuarantineReasonToString(reason) << "\t" << ordinal << "\t"
+         << SnippetOf(chunk) << "\n";
+    if (!out_.good()) return Status::IoError("quarantine file write failed");
+    return Status::OK();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+bool LabelsFinite(const QueryRecord& record) {
+  return std::isfinite(record.metrics.total_cpu_minutes) &&
+         std::isfinite(record.metrics.peak_memory_gb) &&
+         std::isfinite(record.metrics.input_gb);
+}
+
+bool LabelsNonNegative(const QueryRecord& record) {
+  return record.metrics.total_cpu_minutes >= 0 &&
+         record.metrics.peak_memory_gb >= 0 && record.metrics.input_gb >= 0;
+}
+
+/// Classifies why one single-record chunk failed the strict parser.
+QuarantineReason ClassifyFailure(const std::string& chunk,
+                                 const Status& status) {
+  if (status.code() == StatusCode::kResourceExhausted) {
+    return QuarantineReason::kOverLimitPlan;
+  }
+  std::istringstream is(chunk);
+  std::string first_line;
+  std::getline(is, first_line);
+  double cpu = 0, mem = 0, input = 0;
+  long long id = 0;
+  int day = 0, template_id = -1;
+  if (std::sscanf(first_line.c_str(), "#QUERY %lld %d %d %lf %lf %lf", &id,
+                  &day, &template_id, &cpu, &mem, &input) != 6) {
+    return QuarantineReason::kMalformedHeader;
+  }
+  // Header is fine; a record that never reaches #END was cut off, anything
+  // else is a body (usually plan/predicate) problem.
+  if (chunk.find("\n#END\n") == std::string::npos &&
+      !EndsWith(chunk, "\n#END") && !StartsWith(chunk, "#END")) {
+    return QuarantineReason::kTruncatedRecord;
+  }
+  return QuarantineReason::kMalformedPlan;
+}
+
+}  // namespace
+
+Result<IngestResult> IngestTraceTolerant(const std::string& text,
+                                         const IngestOptions& options) {
+  IngestResult result;
+  QuarantineLog log;
+  PRESTROID_RETURN_NOT_OK(log.Open(options.quarantine_path));
+
+  // Split into per-record chunks at #QUERY boundaries; each chunk is a
+  // complete one-record mini-trace the strict parser can judge in isolation,
+  // so one bad record can never poison its neighbours.
+  std::vector<std::string> chunks;
+  size_t start = std::string::npos;
+  size_t scan = 0;
+  auto is_record_start = [&text](size_t pos) {
+    return text.compare(pos, 7, "#QUERY ") == 0 &&
+           (pos == 0 || text[pos - 1] == '\n');
+  };
+  for (; scan < text.size(); ++scan) {
+    if (!is_record_start(scan)) continue;
+    if (start != std::string::npos) {
+      chunks.push_back(text.substr(start, scan - start));
+    } else if (!Trim(text.substr(0, scan)).empty()) {
+      // Junk before the first record is its own quarantined chunk.
+      chunks.push_back(text.substr(0, scan));
+    }
+    start = scan;
+  }
+  if (start != std::string::npos) {
+    chunks.push_back(text.substr(start));
+  } else if (!Trim(text).empty()) {
+    chunks.push_back(text);
+  }
+
+  auto quarantine = [&](size_t ordinal, const std::string& chunk,
+                        QuarantineReason reason) -> Status {
+    ++result.stats.quarantined;
+    ++result.stats.by_reason[static_cast<size_t>(reason)];
+    return log.Append(reason, ordinal, chunk);
+  };
+
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const std::string& chunk = chunks[i];
+    auto parsed = DeserializeTrace(chunk, options.plan_limits);
+    if (!parsed.ok()) {
+      PRESTROID_RETURN_NOT_OK(
+          quarantine(i, chunk, ClassifyFailure(chunk, parsed.status())));
+      continue;
+    }
+    for (QueryRecord& record : *parsed) {
+      if (!LabelsFinite(record)) {
+        PRESTROID_RETURN_NOT_OK(
+            quarantine(i, chunk, QuarantineReason::kNonFiniteLabel));
+        continue;
+      }
+      if (!LabelsNonNegative(record)) {
+        PRESTROID_RETURN_NOT_OK(
+            quarantine(i, chunk, QuarantineReason::kNegativeLabel));
+        continue;
+      }
+      result.records.push_back(std::move(record));
+      ++result.stats.accepted;
+    }
+  }
+  return result;
+}
+
+Result<IngestResult> ReadTraceFileTolerant(const std::string& path,
+                                           const IngestOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return IngestTraceTolerant(buffer.str(), options);
+}
 
 DatasetSplits SplitRandom(size_t num_records, double train_ratio,
                           double val_ratio, Rng* rng) {

@@ -1,12 +1,67 @@
 #ifndef PRESTROID_WORKLOAD_DATASET_H_
 #define PRESTROID_WORKLOAD_DATASET_H_
 
+#include <array>
+#include <string>
 #include <vector>
 
+#include "plan/plan_limits.h"
 #include "util/random.h"
 #include "workload/trace.h"
 
 namespace prestroid::workload {
+
+/// Why one trace record was quarantined instead of ingested.
+enum class QuarantineReason {
+  kMalformedHeader = 0,  // #QUERY line does not parse
+  kTruncatedRecord,      // record body not terminated by #END
+  kMalformedPlan,        // plan text / predicate failed to parse
+  kOverLimitPlan,        // plan exceeded the configured PlanLimits
+  kNonFiniteLabel,       // NaN or infinite metric value
+  kNegativeLabel,        // metric value below zero
+  kReasonCount,          // sentinel, keep last
+};
+
+const char* QuarantineReasonToString(QuarantineReason reason);
+
+/// Counters for one tolerant ingestion pass.
+struct IngestStats {
+  size_t accepted = 0;
+  size_t quarantined = 0;
+  std::array<size_t, static_cast<size_t>(QuarantineReason::kReasonCount)>
+      by_reason{};
+
+  /// One-line human-readable summary, e.g.
+  /// "accepted=98 quarantined=2 (malformed-plan=1 nan-label=1)".
+  std::string Summary() const;
+};
+
+/// Knobs of the tolerant ingestion path.
+struct IngestOptions {
+  /// Per-plan resource budget; over-limit plans are quarantined, not fatal.
+  plan::PlanLimits plan_limits;
+  /// When non-empty, every quarantined record is appended to this file as
+  ///   <reason>\t<record-ordinal>\t<escaped first bytes of the record>
+  /// so operators can replay or inspect rejects offline. Empty = count only.
+  std::string quarantine_path;
+};
+
+/// Tolerantly ingested trace: the clean records plus what was skipped.
+struct IngestResult {
+  std::vector<QueryRecord> records;
+  IngestStats stats;
+};
+
+/// Parses a serialized trace, skipping (and counting) hostile records
+/// instead of failing the run: malformed headers/plans, over-limit plans,
+/// truncated tails, and non-finite or negative labels are quarantined.
+/// Only environmental failures (e.g. an unwritable quarantine file) abort.
+Result<IngestResult> IngestTraceTolerant(const std::string& text,
+                                         const IngestOptions& options);
+
+/// File variant of IngestTraceTolerant.
+Result<IngestResult> ReadTraceFileTolerant(const std::string& path,
+                                           const IngestOptions& options);
 
 /// Index-based train/validation/test partition over a record vector.
 struct DatasetSplits {

@@ -86,6 +86,11 @@ std::string SerializeTrace(const std::vector<QueryRecord>& records) {
 }
 
 Result<std::vector<QueryRecord>> DeserializeTrace(const std::string& text) {
+  return DeserializeTrace(text, plan::PlanLimits{});
+}
+
+Result<std::vector<QueryRecord>> DeserializeTrace(
+    const std::string& text, const plan::PlanLimits& limits) {
   std::vector<QueryRecord> records;
   std::istringstream is(text);
   std::string line;
@@ -127,7 +132,7 @@ Result<std::vector<QueryRecord>> DeserializeTrace(const std::string& text) {
       if (state != State::kInPlan) {
         return Status::ParseError("#END without #PLAN");
       }
-      auto parsed = plan::ParsePlanText(plan_text);
+      auto parsed = plan::ParsePlanText(plan_text, limits);
       if (!parsed.ok()) return parsed.status();
       current.plan = std::move(parsed).value();
       records.push_back(std::move(current));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "plan/plan_limits.h"
 #include "plan/plan_node.h"
 #include "workload/query_generator.h"
 #include "workload/schema_generator.h"
@@ -59,8 +60,12 @@ Result<std::vector<QueryRecord>> GenerateGrabTrace(
 /// metrics per record).
 std::string SerializeTrace(const std::vector<QueryRecord>& records);
 
-/// Parses a serialized trace.
+/// Parses a serialized trace. Strict: the first malformed or over-limit
+/// record fails the whole parse (the tolerant, quarantining path lives in
+/// workload/dataset.h). Plans are checked against `limits` while parsing.
 Result<std::vector<QueryRecord>> DeserializeTrace(const std::string& text);
+Result<std::vector<QueryRecord>> DeserializeTrace(const std::string& text,
+                                                  const plan::PlanLimits& limits);
 
 /// Convenience file I/O.
 Status WriteTraceFile(const std::string& path,

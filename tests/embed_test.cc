@@ -269,5 +269,77 @@ TEST_F(EncoderFixture, NoFallbackYieldsZero) {
   for (float v : out) EXPECT_EQ(v, 0.0f);
 }
 
+// Hostile-token coverage for the fallback hierarchy: ingestion admits any
+// predicate the SQL grammar accepts, so the encoder must absorb degenerate
+// token streams without crashing or emitting garbage.
+
+TEST_F(EncoderFixture, EmptyTokenizationPredicateIsHandled) {
+  // A literal-only comparison tokenizes to just its operator; a bare literal
+  // tokenizes to nothing at all. Neither may crash, and the no-token case
+  // must take the fallback path exactly like an OOV predicate.
+  auto literal_only = Pred("1");
+  EXPECT_TRUE(TokenizePredicate(*literal_only).empty());
+  std::vector<float> out(encoder_->dim(), 7.0f);
+  EXPECT_FALSE(encoder_->TryEmbed(*literal_only, out.data()));
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+
+  // With a fallback available, the empty predicate inherits it.
+  auto known = Pred("longitude > 1");
+  encoder_->FitGlobalFallback({known.get()});
+  std::vector<float> known_emb(encoder_->dim());
+  ASSERT_TRUE(encoder_->TryEmbed(*known, known_emb.data()));
+  encoder_->Embed(*literal_only, out.data());
+  for (size_t j = 0; j < encoder_->dim(); ++j) {
+    EXPECT_NEAR(out[j], known_emb[j], 1e-5f);
+  }
+}
+
+TEST_F(EncoderFixture, AllOovQueryContextFallsThroughToGlobal) {
+  // Levels 1 and 2 are both empty when every predicate in the query is OOV;
+  // the encoder must keep descending to the global level, not divide by a
+  // zero count or reuse stale context.
+  // LIKE / IS NULL markers are outside the training vocabulary, so these
+  // clauses have no in-vocabulary token at all (a compare op like '=' would
+  // anchor them back into the vocab).
+  auto oov_a = Pred("ghost_col IS NULL");
+  auto oov_b = Pred("phantom_col LIKE '%z%'");
+  encoder_->SetQueryContext({oov_a.get(), oov_b.get()});
+  std::vector<float> out(encoder_->dim(), 3.0f);
+  encoder_->Embed(*oov_a, out.data());
+  for (float v : out) EXPECT_EQ(v, 0.0f);  // nothing to fall back on yet
+
+  auto known = Pred("longitude > 1");
+  encoder_->FitGlobalFallback({known.get()});
+  std::vector<float> known_emb(encoder_->dim());
+  ASSERT_TRUE(encoder_->TryEmbed(*known, known_emb.data()));
+  encoder_->Embed(*oov_b, out.data());
+  for (size_t j = 0; j < encoder_->dim(); ++j) {
+    EXPECT_NEAR(out[j], known_emb[j], 1e-5f);
+  }
+  encoder_->ClearQueryContext();
+}
+
+TEST_F(EncoderFixture, GiantTokenIsJustAnotherOovToken) {
+  // A 64 KiB column name sails through the SQL grammar (identifiers have no
+  // length cap of their own; the plan-text layer bounds total line bytes).
+  // The encoder must treat it as a plain OOV token — no crash, no
+  // pathological slowdown, and the level-1 fallback still applies.
+  const std::string giant(1 << 16, 'z');
+  auto monster = Pred(giant + " LIKE '%q%'");  // LIKE marker is OOV too
+  std::vector<float> out(encoder_->dim(), 9.0f);
+  EXPECT_FALSE(encoder_->TryEmbed(*monster, out.data()));
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+
+  auto known = Pred("longitude > 1");
+  encoder_->SetQueryContext({known.get(), monster.get()});
+  std::vector<float> known_emb(encoder_->dim());
+  ASSERT_TRUE(encoder_->TryEmbed(*known, known_emb.data()));
+  encoder_->Embed(*monster, out.data());
+  for (size_t j = 0; j < encoder_->dim(); ++j) {
+    EXPECT_NEAR(out[j], known_emb[j], 1e-5f);
+  }
+  encoder_->ClearQueryContext();
+}
+
 }  // namespace
 }  // namespace prestroid::embed

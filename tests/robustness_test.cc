@@ -112,6 +112,32 @@ TEST(ArtifactTest, RejectsTrailingBytes) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kDataCorruption);
 }
 
+TEST(ArtifactTest, HostileCountsAndLengthsAreCorruption) {
+  // Counts/lengths are attacker-controlled text: negative values (which a
+  // plain `istream >> size_t` wraps to near SIZE_MAX), values beyond the
+  // file, and values that would overflow `pos + length + 1` must all be
+  // clean kDataCorruption — never an allocation attempt or an out-of-bounds
+  // read past the buffer.
+  const char* hostile[] = {
+      "PRESTROID_ARTIFACT v2 -1\nend\n",
+      "PRESTROID_ARTIFACT v2 18446744073709551615\nend\n",
+      "PRESTROID_ARTIFACT v2 99999999\nend\n",
+      "PRESTROID_ARTIFACT v2 1\n"
+      "section meta -5 00000000\n\nend\n",
+      "PRESTROID_ARTIFACT v2 1\n"
+      "section meta 18446744073709551614 00000000\n\nend\n",
+      "PRESTROID_ARTIFACT v2 1\n"
+      "section meta 9223372036854775807 00000000\n\nend\n",
+      "PRESTROID_ARTIFACT v2 1\n"
+      "section meta 100 00000000\nshort\nend\n",
+  };
+  for (const char* bytes : hostile) {
+    auto decoded = DecodeArtifact(bytes);
+    ASSERT_FALSE(decoded.ok()) << bytes;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataCorruption) << bytes;
+  }
+}
+
 TEST(ArtifactTest, EveryTruncationIsCorruption) {
   const std::string bytes = EncodeArtifact(TestSections());
   for (size_t len = 0; len < bytes.size(); ++len) {

@@ -248,15 +248,32 @@ TEST(ParserFuzzTest, TruncatedValidQueriesReturnStatus) {
 }
 
 TEST(ParserFuzzTest, DeeplyNestedInputDoesNotOverflow) {
-  // 200 levels of parenthesis nesting: either parses or errors cleanly.
+  // 200 levels of parenthesis nesting exceeds the default recursion budget:
+  // the parser must reject with kResourceExhausted, not smash the stack.
   std::string deep = "SELECT a FROM t WHERE ";
   for (int i = 0; i < 200; ++i) deep += "(";
   deep += "x = 1";
   for (int i = 0; i < 200; ++i) deep += ")";
   auto result = ParseSelect(deep);
-  if (!result.ok()) {
-    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
-  }
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  // The same input parses once the caller raises the depth budget.
+  ParseLimits relaxed;
+  relaxed.max_depth = 1000;
+  auto relaxed_result = ParseSelect(deep, relaxed);
+  ASSERT_TRUE(relaxed_result.ok()) << relaxed_result.status().ToString();
+}
+
+TEST(ParserFuzzTest, TokenBombRejectedBeforeParse) {
+  std::string sql = "SELECT a FROM t WHERE x IN (";
+  ParseLimits tight;
+  tight.max_tokens = 64;
+  for (int i = 0; i < 100; ++i) sql += "1, ";
+  sql += "2)";
+  auto result = ParseSelect(sql, tight);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace
