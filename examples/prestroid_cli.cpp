@@ -23,20 +23,26 @@
 // ServingEstimator — bounded admission queue, dynamic micro-batching,
 // plan-fingerprint feature caching, plan validation, per-request deadline,
 // and the model -> log-binning -> global-mean degradation chain — and
-// reports which tier answered each query; explain
+// reports which tier answered each query; with --retrain-interval it also
+// runs the continual-learning loop (shadow retraining, drift detection,
+// shadow-validated zero-downtime hot-swap with automatic rollback); explain
 // pretty-prints one record's logical plan and O-T-P statistics.
+#include <cmath>
 #include <cstdlib>
 #include <deque>
 #include <future>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "core/continual_trainer.h"
 #include "core/pipeline.h"
 #include "cost/serving_estimator.h"
+#include "serve/model_manager.h"
 #include "serve/serving_runtime.h"
 #include "util/histogram.h"
 #include "otp/otp_tree.h"
@@ -87,6 +93,18 @@ class Flags {
       std::exit(2);
     }
     return static_cast<long>(value);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || !std::isfinite(value)) {
+      std::cerr << "invalid number for --" << key << ": '" << it->second
+                << "'\n";
+      std::exit(2);
+    }
+    return value;
   }
   bool Has(const std::string& key) const { return present_.count(key) > 0; }
 
@@ -289,12 +307,16 @@ int Serve(const Flags& flags) {
   Status fitted = estimator.FitFallbacks(records);
   if (!fitted.ok()) return Fail(fitted);
 
-  // A broken or missing model artifact degrades serving instead of killing
-  // it: the estimator keeps answering from the fallback tiers.
+  // A *missing* model artifact degrades serving instead of killing it (the
+  // estimator keeps answering from the fallback tiers), but a *corrupt* one
+  // fails fast: LoadFile CRC-validates the container, and serving a process
+  // whose artifact store is corrupting data would hide real damage.
   if (!model_path.empty() && !flags.Has("no-model")) {
     auto pipeline = core::PrestroidPipeline::LoadFile(model_path);
     if (pipeline.ok()) {
       estimator.AttachPipeline(std::move(*pipeline));
+    } else if (pipeline.status().code() == StatusCode::kDataCorruption) {
+      return Fail(pipeline.status());
     } else {
       std::cerr << "warning: model tier unavailable ("
                 << pipeline.status().ToString() << "); serving degraded\n";
@@ -314,40 +336,131 @@ int Serve(const Flags& flags) {
   Status started = runtime.Start();
   if (!started.ok()) return Fail(started);
 
+  // --retrain-interval N > 0 turns on the continual-learning loop: served
+  // queries become labeled observations (their measured cost is in the
+  // trace), a shadow trainer periodically retrains a candidate on the
+  // freshest window, and the model manager shadow-validates and hot-swaps it
+  // into the running runtime — with drift detection, probation, and
+  // automatic rollback.
+  const size_t retrain_interval =
+      static_cast<size_t>(flags.GetInt("retrain-interval", 0));
+  std::unique_ptr<serve::ModelManager> manager;
+  std::unique_ptr<core::ContinualTrainer> trainer;
+  if (retrain_interval > 0) {
+    serve::ModelManagerConfig mm_config;
+    mm_config.drift_threshold = flags.GetDouble("drift-threshold", 2.0);
+    mm_config.probation_window =
+        static_cast<size_t>(flags.GetInt("probation-window", 64));
+    mm_config.rollback_qerr = flags.GetDouble("rollback-qerr", 2.0);
+    manager = std::make_unique<serve::ModelManager>(&runtime, mm_config);
+
+    core::ContinualTrainerConfig ct_config;
+    ct_config.pipeline.use_subtrees = !flags.Has("full");
+    ct_config.pipeline.sampler.node_limit =
+        static_cast<size_t>(flags.GetInt("n", 15));
+    ct_config.pipeline.num_subtrees =
+        static_cast<size_t>(flags.GetInt("k", 9));
+    ct_config.pipeline.word2vec.dim =
+        static_cast<size_t>(flags.GetInt("pf", 32));
+    ct_config.pipeline.word2vec.min_count = 2;
+    ct_config.pipeline.conv_channels.assign(
+        3, static_cast<size_t>(flags.GetInt("conv", 32)));
+    ct_config.pipeline.dense_units = {
+        static_cast<size_t>(flags.GetInt("conv", 32)), 16};
+    ct_config.pipeline.learning_rate = 3e-3f;
+    ct_config.pipeline.plan_limits = runtime_config.plan_limits;
+    ct_config.train.batch_size = 32;
+    ct_config.train.max_epochs =
+        static_cast<size_t>(flags.GetInt("retrain-epochs", 10));
+    ct_config.train.patience = 4;
+    ct_config.retrain_interval = retrain_interval;
+    ct_config.candidate_path = flags.Get(
+        "candidate",
+        (model_path.empty() ? std::string("model.ppl") : model_path) +
+            ".candidate");
+    // Interrupted retrains resume from their last snapshot instead of
+    // restarting (the existing crash-safe training machinery).
+    ct_config.train.snapshot_path = ct_config.candidate_path + ".ckpt";
+    ct_config.train.snapshot_every = 5;
+    ct_config.train.resume = true;
+    trainer = std::make_unique<core::ContinualTrainer>(ct_config);
+  }
+
   const size_t limit = std::min<size_t>(
       records.size(), static_cast<size_t>(flags.GetInt("limit", 20)));
-  // Submit everything up front so the micro-batcher actually sees batches;
-  // on queue overflow, wait for the oldest outstanding request to resolve
-  // and retry (closed-loop backpressure instead of dropping queries).
-  // Governor rejects (kInvalidArgument) are terminal for that query, not for
-  // the run: the row is skipped and shows up in the limit-rejects counter.
-  std::deque<std::pair<size_t, std::future<cost::ServingEstimate>>> in_flight;
+  // Submit a window at a time so the micro-batcher actually sees batches; on
+  // queue overflow, wait for the oldest outstanding request to resolve and
+  // retry (closed-loop backpressure instead of dropping queries). Governor
+  // rejects (kInvalidArgument) are terminal for that query, not for the run:
+  // the row is skipped and shows up in the limit-rejects counter. In
+  // continual mode each window's results are fed back as labeled
+  // observations before the retrain/promote step runs between windows.
+  const size_t window =
+      retrain_interval > 0 ? std::max<size_t>(retrain_interval, 1) : limit;
   std::vector<cost::ServingEstimate> estimates(limit);
   std::vector<bool> rejected(limit, false);
-  for (size_t i = 0; i < limit; ++i) {
-    for (;;) {
-      auto submitted = runtime.Submit(*records[i].plan);
-      if (submitted.ok()) {
-        in_flight.emplace_back(i, std::move(*submitted));
-        break;
+  for (size_t window_start = 0; window_start < limit;
+       window_start += window) {
+    const size_t window_end = std::min(limit, window_start + window);
+    std::deque<std::pair<size_t, std::future<cost::ServingEstimate>>> in_flight;
+    for (size_t i = window_start; i < window_end; ++i) {
+      for (;;) {
+        auto submitted = runtime.Submit(*records[i].plan);
+        if (submitted.ok()) {
+          in_flight.emplace_back(i, std::move(*submitted));
+          break;
+        }
+        if (submitted.status().code() == StatusCode::kInvalidArgument) {
+          std::cerr << "q" << i << " rejected: "
+                    << submitted.status().message() << "\n";
+          rejected[i] = true;
+          break;
+        }
+        if (submitted.status().code() != StatusCode::kResourceExhausted ||
+            in_flight.empty()) {
+          return Fail(submitted.status());
+        }
+        estimates[in_flight.front().first] = in_flight.front().second.get();
+        in_flight.pop_front();
       }
-      if (submitted.status().code() == StatusCode::kInvalidArgument) {
-        std::cerr << "q" << i << " rejected: "
-                  << submitted.status().message() << "\n";
-        rejected[i] = true;
-        break;
-      }
-      if (submitted.status().code() != StatusCode::kResourceExhausted ||
-          in_flight.empty()) {
-        return Fail(submitted.status());
-      }
+    }
+    while (!in_flight.empty()) {
       estimates[in_flight.front().first] = in_flight.front().second.get();
       in_flight.pop_front();
     }
-  }
-  while (!in_flight.empty()) {
-    estimates[in_flight.front().first] = in_flight.front().second.get();
-    in_flight.pop_front();
+    if (manager == nullptr) continue;
+
+    // Feed the window back: in this offline replay the trace's measured
+    // cost is the ground truth that in production arrives once the query
+    // finishes executing.
+    for (size_t i = window_start; i < window_end; ++i) {
+      if (rejected[i]) continue;
+      manager->ObserveLabeled(*records[i].plan, estimates[i].cpu_minutes,
+                              records[i].metrics.total_cpu_minutes,
+                              estimates[i].tier);
+      trainer->AddRecord(records[i]);
+    }
+    if (trainer->RetrainDue()) {
+      auto candidate = trainer->RetrainCandidate();
+      if (!candidate.ok()) {
+        std::cerr << "retrain failed (active model keeps serving): "
+                  << candidate.status().ToString() << "\n";
+        continue;
+      }
+      auto report = manager->TryPromote(candidate->artifact_path);
+      if (!report.ok()) {
+        std::cerr << "promotion failed (active model keeps serving): "
+                  << report.status().ToString() << "\n";
+        continue;
+      }
+      std::cout << StrFormat(
+          "candidate %s: %s (q-error p95 candidate=%.2f active=%.2f over "
+          "%zu replayed, version=%llu)\n",
+          candidate->artifact_path.c_str(),
+          serve::ModelLifecycleToString(report->outcome),
+          report->candidate_p95, report->active_p95, report->replay_size,
+          static_cast<unsigned long long>(report->version));
+    }
   }
 
   TablePrinter table({"query", "estimate (min)", "actual (min)", "tier",
@@ -367,7 +480,8 @@ int Serve(const Flags& flags) {
   }
   table.Print(std::cout);
 
-  const cost::ServingStats stats = runtime.StatsSnapshot();
+  const cost::ServingStats stats =
+      manager == nullptr ? runtime.StatsSnapshot() : manager->MergedStats();
   const LatencyHistogram latency = runtime.LatencySnapshot();
   runtime.Shutdown();
   std::cout << StrFormat(
@@ -392,6 +506,14 @@ int Serve(const Flags& flags) {
       "latency: p50=%.3fms p95=%.3fms p99=%.3fms (n=%zu)\n",
       latency.Percentile(50.0), latency.Percentile(95.0),
       latency.Percentile(99.0), latency.count());
+  if (manager != nullptr) {
+    std::cout << StrFormat(
+        "lifecycle: swaps=%zu rollbacks=%zu rejected-candidates=%zu "
+        "drift-flags=%zu | q-error p50=%.2f p95=%.2f baseline-p95=%.2f\n",
+        stats.model_swaps, stats.model_rollbacks, stats.rejected_candidates,
+        stats.drift_flags, stats.drift_qerr_p50, stats.drift_qerr_p95,
+        stats.drift_baseline_p95);
+  }
   return 0;
 }
 
@@ -444,6 +566,11 @@ int Usage() {
          "            [--max-batch B] [--queue-depth Q] [--cache-entries C]\n"
          "            [--max-plan-nodes N] [--max-plan-depth D]\n"
          "            [--quarantine-file FILE]\n"
+         "            [--retrain-interval N (0=off; N served+labeled\n"
+         "             queries per shadow retrain + hot-swap attempt)]\n"
+         "            [--retrain-epochs E] [--candidate FILE]\n"
+         "            [--drift-threshold X] [--probation-window N]\n"
+         "            [--rollback-qerr X]\n"
          "  explain   --trace FILE [--index I]\n";
   return 2;
 }

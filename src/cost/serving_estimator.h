@@ -69,6 +69,17 @@ struct ServingStats {
   size_t cache_hits = 0;            // plan-fingerprint cache hits
   size_t cache_misses = 0;          // featurization re-runs
   size_t cache_evictions = 0;       // LRU evictions
+
+  // --- model-lifecycle counters (serve::ServingRuntime::SwapPipeline and
+  // serve::ModelManager snapshots); zero on the direct single-query path ---
+  size_t model_swaps = 0;         // successful hot-swap promotions
+  size_t model_rollbacks = 0;     // post-swap regressions rolled back
+  size_t rejected_candidates = 0; // candidates failing load/shadow validation
+  size_t drift_flags = 0;         // observations where the drift gate tripped
+  double drift_qerr_p50 = 0.0;    // rolling prediction q-error quantiles
+  double drift_qerr_p95 = 0.0;
+  double drift_baseline_p95 = 0.0;  // promotion-time baseline the window is
+                                    // judged against (0 until established)
 };
 
 /// Fault-tolerant serving front end: wraps the learned pipeline with input
@@ -86,6 +97,17 @@ class ServingEstimator {
   /// predictable and the process thread-count flat.
   void AttachPipeline(std::unique_ptr<core::PrestroidPipeline> pipeline);
   bool has_pipeline() const { return pipeline_ != nullptr; }
+
+  /// Detaches and returns the model tier (nullptr when none was attached).
+  /// The hot-swap path uses Release + Attach under the serving lock so the
+  /// previous model can be retained for instant rollback.
+  std::unique_ptr<core::PrestroidPipeline> ReleasePipeline() {
+    return std::move(pipeline_);
+  }
+
+  /// Clears the model-tier latency EWMA; called on a model swap so the new
+  /// model's deadline admission is not judged by its predecessor's speed.
+  void ResetModelLatency() { model_latency_ewma_ms_ = 0.0; }
 
   /// The attached pipeline's execution context (flops / scratch counters for
   /// observability); nullptr when no pipeline is attached.

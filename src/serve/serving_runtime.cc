@@ -8,6 +8,7 @@
 #include "plan/plan_limits.h"
 #include "plan/plan_stats.h"
 #include "serve/plan_fingerprint.h"
+#include "util/fault_injection.h"
 
 namespace prestroid::serve {
 
@@ -158,6 +159,31 @@ void ServingRuntime::InvalidateCache() {
   cache_.Clear();
 }
 
+Result<std::unique_ptr<core::PrestroidPipeline>> ServingRuntime::SwapPipeline(
+    std::unique_ptr<core::PrestroidPipeline> pipeline, bool is_rollback) {
+  // serve_mu_ serializes against the batch worker: an in-flight batch
+  // finishes on the old model before the exchange below, and the next batch
+  // can only observe the fully swapped state (new pipeline + new cache
+  // generation). The admission queue is untouched, so no request is dropped.
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (FaultInjector::Global().ShouldFail(FaultSite::kModelSwap)) {
+    return Status::IoError(
+        "injected crash mid-swap; previous model left serving");
+  }
+  std::unique_ptr<core::PrestroidPipeline> previous =
+      estimator_->ReleasePipeline();
+  estimator_->AttachPipeline(std::move(pipeline));
+  estimator_->ResetModelLatency();
+  ++cache_generation_;
+  cache_.Clear();
+  if (is_rollback) {
+    ++model_rollbacks_;
+  } else {
+    ++model_swaps_;
+  }
+  return previous;
+}
+
 cost::ServingStats ServingRuntime::StatsSnapshot() const {
   cost::ServingStats stats;
   {
@@ -166,6 +192,8 @@ cost::ServingStats ServingRuntime::StatsSnapshot() const {
     stats.cache_hits = cache_.stats().hits;
     stats.cache_misses = cache_.stats().misses;
     stats.cache_evictions = cache_.stats().evictions;
+    stats.model_swaps = model_swaps_;
+    stats.model_rollbacks = model_rollbacks_;
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);

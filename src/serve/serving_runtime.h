@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -103,6 +104,24 @@ class ServingRuntime {
   /// pipeline swap made old featurizations stale).
   void InvalidateCache();
 
+  /// Atomically replaces the estimator's model tier while the runtime keeps
+  /// serving (RCU-style): blocks until the in-flight batch (if any) finishes
+  /// on the old model, attaches `pipeline`, resets the model-latency EWMA,
+  /// bumps the feature-cache generation (stale featurizations can never
+  /// reach the new model), and returns the previous pipeline so the caller
+  /// can retain it for instant rollback. Queued requests are never dropped:
+  /// they simply run on whichever model is attached when their batch is
+  /// served. Passing nullptr detaches the model tier (the degradation chain
+  /// keeps answering). `is_rollback` only selects which ServingStats counter
+  /// (model_swaps vs model_rollbacks) the transition increments.
+  ///
+  /// Instrumented with FaultSite::kModelSwap: an injected fault aborts the
+  /// swap before any state is touched, proving a crashed swap leaves the
+  /// active model, cache, and generation fully intact.
+  Result<std::unique_ptr<core::PrestroidPipeline>> SwapPipeline(
+      std::unique_ptr<core::PrestroidPipeline> pipeline,
+      bool is_rollback = false);
+
   /// Estimator counters merged with the runtime's queue/cache counters.
   cost::ServingStats StatsSnapshot() const;
 
@@ -143,6 +162,8 @@ class ServingRuntime {
   PlanFeatureCache cache_;
   uint64_t cache_generation_ = 0;
   LatencyHistogram latency_hist_;
+  size_t model_swaps_ = 0;
+  size_t model_rollbacks_ = 0;
 
   std::thread worker_;
   bool started_ = false;

@@ -1,12 +1,12 @@
 #include "util/artifact_io.h"
 
 #include <fcntl.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "util/fault_injection.h"
@@ -36,6 +36,55 @@ const uint32_t* Crc32Table() {
   }();
   (void)initialized;
   return table;
+}
+
+/// Bounded exponential backoff between interrupted-syscall (EINTR) retries.
+/// A handful of immediate-ish retries with growing pauses rides out signal
+/// storms; a syscall still interrupted after the budget is a real error, so
+/// artifact I/O can never spin forever on a hostile signal source.
+class EintrBackoff {
+ public:
+  /// Returns true (after sleeping) if another retry is allowed, false when
+  /// the retry budget is exhausted.
+  bool Next() {
+    if (attempt_ >= kMaxRetries) return false;
+    // 0us, 1us, 2us, 4us, ... capped at ~1ms: ~2ms worst-case total.
+    if (attempt_ > 0) {
+      long nanos = (1L << (attempt_ - 1)) * 1000L;
+      if (nanos > 1000000L) nanos = 1000000L;
+      struct timespec delay = {0, nanos};
+      ::nanosleep(&delay, nullptr);
+    }
+    ++attempt_;
+    return true;
+  }
+
+  int attempts() const { return attempt_; }
+
+  static constexpr int kMaxRetries = 8;
+
+ private:
+  int attempt_ = 0;
+};
+
+/// True when the fault injector wants this syscall to report EINTR.
+bool InjectedEintr() {
+  return FaultInjector::Global().ShouldFail(FaultSite::kArtifactEintr);
+}
+
+/// open(2) with EINTR retry.
+int OpenWithRetry(const char* path, int flags, mode_t mode) {
+  EintrBackoff backoff;
+  while (backoff.Next()) {
+    if (InjectedEintr()) {
+      errno = EINTR;
+      continue;
+    }
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+  errno = EINTR;
+  return -1;
 }
 
 /// Removes the temp file and reports `status`; used on every failure path of
@@ -76,11 +125,12 @@ uint32_t Crc32(const std::string& data) {
 Status AtomicWriteFile(const std::string& path, const std::string& payload) {
   const std::string tmp_path =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int fd = OpenWithRetry(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::FromErrno("open " + tmp_path, errno);
 
   FaultInjector& faults = FaultInjector::Global();
   size_t offset = 0;
+  EintrBackoff backoff;
   while (offset < payload.size()) {
     const size_t chunk = std::min(payload.size() - offset, kWriteChunk);
     if (faults.ShouldFail(FaultSite::kArtifactWrite)) {
@@ -100,9 +150,22 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload) {
       return CleanupAndFail(tmp_path,
                             Status::IoError("injected write failure: " + tmp_path));
     }
-    const ssize_t written = ::write(fd, payload.data() + offset, chunk);
+    ssize_t written = -1;
+    if (InjectedEintr()) {
+      errno = EINTR;
+    } else {
+      written = ::write(fd, payload.data() + offset, chunk);
+    }
     if (written < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (backoff.Next()) continue;
+        ::close(fd);
+        return CleanupAndFail(
+            tmp_path,
+            Status::IoError("write " + tmp_path + " interrupted " +
+                            std::to_string(EintrBackoff::kMaxRetries) +
+                            " times; giving up"));
+      }
       const int saved_errno = errno;
       ::close(fd);
       return CleanupAndFail(tmp_path,
@@ -140,12 +203,43 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload) {
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) return Status::IoError("cannot open for read: " + path);
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  if (is.bad()) return Status::IoError("read failed: " + path);
-  return buffer.str();
+  int fd = OpenWithRetry(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) return Status::IoError("cannot open for read: " + path);
+  std::string out;
+  char buffer[1 << 16];
+  EintrBackoff backoff;
+  for (;;) {
+    ssize_t n = -1;
+    if (InjectedEintr()) {
+      errno = EINTR;
+    } else {
+      n = ::read(fd, buffer, sizeof(buffer));
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (backoff.Next()) continue;
+        ::close(fd);
+        return Status::IoError("read " + path + " interrupted " +
+                               std::to_string(EintrBackoff::kMaxRetries) +
+                               " times; giving up");
+      }
+      const int saved_errno = errno;
+      ::close(fd);
+      return Status::FromErrno("read " + path, saved_errno);
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status ValidateArtifactFile(const std::string& path) {
+  PRESTROID_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  PRESTROID_ASSIGN_OR_RETURN(std::vector<ArtifactSection> sections,
+                             DecodeArtifact(bytes));
+  (void)sections;
+  return Status::OK();
 }
 
 std::string EncodeArtifact(const std::vector<ArtifactSection>& sections) {

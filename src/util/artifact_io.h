@@ -39,8 +39,17 @@ uint32_t Crc32(const std::string& data);
 /// FaultSite::kArtifactWrite / kArtifactSync / kArtifactRename.
 Status AtomicWriteFile(const std::string& path, const std::string& payload);
 
-/// Reads the whole file in binary mode.
+/// Reads the whole file in binary mode. Interrupted syscalls (EINTR) are
+/// retried with a bounded exponential backoff, like AtomicWriteFile.
 Result<std::string> ReadFileToString(const std::string& path);
+
+/// Full integrity check of a v2 artifact container on disk: reads the file
+/// and CRC-validates every section without deserializing any payload.
+/// kDataCorruption for truncation, bit flips, or a pre-container legacy file
+/// (which carries no checksums and therefore cannot be validated); IoError
+/// if the file is unreadable. Serving uses this to fail fast at startup
+/// instead of discovering a torn model mid-request.
+Status ValidateArtifactFile(const std::string& path);
 
 /// One named payload inside an artifact file.
 struct ArtifactSection {

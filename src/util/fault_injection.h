@@ -20,9 +20,18 @@ enum class FaultSite {
   /// One epoch's training loss inside TrainWithEarlyStopping. Arming a
   /// failure here replaces the epoch loss with NaN (simulates divergence).
   kTrainEpochLoss,
+  /// One syscall inside artifact read/write (open/read/write). Arming a
+  /// failure here makes that syscall report EINTR, exercising the bounded
+  /// retry-with-backoff path; arming with repeat exhausts the retry budget.
+  kArtifactEintr,
+  /// The critical section of ServingRuntime::SwapPipeline. Arming a failure
+  /// here aborts the swap before any state is touched (simulates a crash
+  /// mid-swap): the previously active model, feature cache, and generation
+  /// are all left intact.
+  kModelSwap,
 };
 
-inline constexpr size_t kNumFaultSites = 4;
+inline constexpr size_t kNumFaultSites = 6;
 
 /// Deterministic, test-driven fault injector (singleton). Each site keeps a
 /// hit counter; a site armed with `trigger_after` fires on the

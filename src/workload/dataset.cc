@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -46,6 +47,10 @@ std::string IngestStats::Summary() const {
                      by_reason[i]);
   }
   out += ")";
+  if (quarantine_rotations > 0) {
+    out += StrFormat(" rotations=%zu dropped-records=%zu", quarantine_rotations,
+                     quarantine_dropped);
+  }
   return out;
 }
 
@@ -73,31 +78,83 @@ std::string SnippetOf(const std::string& chunk) {
   return out;
 }
 
-/// Append-only sink for quarantined records. A missing path degrades to
-/// counting only; an unwritable path is an environment error surfaced to the
-/// caller (silently dropping evidence would defeat the point).
+/// Append-only sink for quarantined records with a size cap: when the active
+/// file would exceed `max_bytes` it rotates to "<path>.1" (replacing any
+/// previous rotation) and starts fresh, so a hostile ingest stream can fill
+/// at most ~2x the cap no matter how long it runs. Records whose on-disk
+/// evidence a rotation discarded are counted, never silently lost. A missing
+/// path degrades to counting only; an unwritable path is an environment
+/// error surfaced to the caller (silently dropping evidence would defeat the
+/// point).
 class QuarantineLog {
  public:
-  Status Open(const std::string& path) {
+  Status Open(const std::string& path, size_t max_bytes) {
     if (path.empty()) return Status::OK();
+    path_ = path;
+    max_bytes_ = max_bytes;
     out_.open(path, std::ios::app);
     if (!out_.is_open()) {
       return Status::IoError("cannot open quarantine file: " + path);
     }
+    const std::ofstream::pos_type at = out_.tellp();
+    bytes_ = at < 0 ? 0 : static_cast<size_t>(at);
     return Status::OK();
   }
 
   Status Append(QuarantineReason reason, size_t ordinal,
                 const std::string& chunk) {
     if (!out_.is_open()) return Status::OK();
-    out_ << QuarantineReasonToString(reason) << "\t" << ordinal << "\t"
-         << SnippetOf(chunk) << "\n";
+    const std::string line = StrFormat(
+        "%s\t%zu\t%s\n", QuarantineReasonToString(reason), ordinal,
+        SnippetOf(chunk).c_str());
+    if (max_bytes_ > 0 && line.size() > max_bytes_) {
+      // A single record that cannot fit the budget at all is counted as
+      // dropped rather than blowing the cap (snippets are short, so this
+      // only fires for pathological tiny caps).
+      ++dropped_;
+      return Status::OK();
+    }
+    if (max_bytes_ > 0 && bytes_ + line.size() > max_bytes_ && bytes_ > 0) {
+      PRESTROID_RETURN_NOT_OK(Rotate());
+    }
+    out_ << line;
     if (!out_.good()) return Status::IoError("quarantine file write failed");
+    bytes_ += line.size();
+    ++records_active_;
     return Status::OK();
   }
 
+  size_t rotations() const { return rotations_; }
+  size_t dropped() const { return dropped_; }
+
  private:
+  Status Rotate() {
+    out_.close();
+    // The previous rotation (if any) is overwritten: the records it held are
+    // gone from disk, so account for them before the rename.
+    dropped_ += records_rotated_;
+    if (std::rename(path_.c_str(), (path_ + ".1").c_str()) != 0) {
+      return Status::IoError("cannot rotate quarantine file: " + path_);
+    }
+    records_rotated_ = records_active_;
+    records_active_ = 0;
+    bytes_ = 0;
+    ++rotations_;
+    out_.open(path_, std::ios::trunc);
+    if (!out_.is_open()) {
+      return Status::IoError("cannot reopen quarantine file: " + path_);
+    }
+    return Status::OK();
+  }
+
   std::ofstream out_;
+  std::string path_;
+  size_t max_bytes_ = 0;
+  size_t bytes_ = 0;
+  size_t records_active_ = 0;   // records in the active file (this pass)
+  size_t records_rotated_ = 0;  // records in "<path>.1" (this pass)
+  size_t rotations_ = 0;
+  size_t dropped_ = 0;
 };
 
 bool LabelsFinite(const QueryRecord& record) {
@@ -142,7 +199,8 @@ Result<IngestResult> IngestTraceTolerant(const std::string& text,
                                          const IngestOptions& options) {
   IngestResult result;
   QuarantineLog log;
-  PRESTROID_RETURN_NOT_OK(log.Open(options.quarantine_path));
+  PRESTROID_RETURN_NOT_OK(
+      log.Open(options.quarantine_path, options.max_quarantine_bytes));
 
   // Split into per-record chunks at #QUERY boundaries; each chunk is a
   // complete one-record mini-trace the strict parser can judge in isolation,
@@ -200,6 +258,8 @@ Result<IngestResult> IngestTraceTolerant(const std::string& text,
       ++result.stats.accepted;
     }
   }
+  result.stats.quarantine_rotations = log.rotations();
+  result.stats.quarantine_dropped = log.dropped();
   return result;
 }
 

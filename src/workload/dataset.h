@@ -30,6 +30,11 @@ struct IngestStats {
   size_t quarantined = 0;
   std::array<size_t, static_cast<size_t>(QuarantineReason::kReasonCount)>
       by_reason{};
+  /// Size-cap rotations of the quarantine file during this pass, and records
+  /// whose on-disk evidence was discarded by those rotations (counters only
+  /// — the quarantined/by_reason tallies above always cover every record).
+  size_t quarantine_rotations = 0;
+  size_t quarantine_dropped = 0;
 
   /// One-line human-readable summary, e.g.
   /// "accepted=98 quarantined=2 (malformed-plan=1 nan-label=1)".
@@ -44,6 +49,13 @@ struct IngestOptions {
   ///   <reason>\t<record-ordinal>\t<escaped first bytes of the record>
   /// so operators can replay or inspect rejects offline. Empty = count only.
   std::string quarantine_path;
+  /// Cap on the active quarantine file. When an append would push it past
+  /// this, the file rotates to "<path>.1" (replacing any previous rotation,
+  /// whose records are counted in IngestStats::quarantine_dropped) and a
+  /// fresh file starts — so a hostile stream of rejects occupies at most
+  /// ~2x this many bytes on disk no matter how long ingestion runs.
+  /// 0 = unlimited.
+  size_t max_quarantine_bytes = 8u << 20;
 };
 
 /// Tolerantly ingested trace: the clean records plus what was skipped.

@@ -244,6 +244,92 @@ TEST(AtomicWriteTest, TornWriteLeavesOldArtifactLoadable) {
   EXPECT_FALSE(FileExists(tmp_path));
 }
 
+// --------------------------------------------------------------------------
+// EINTR retry with bounded exponential backoff (FaultSite::kArtifactEintr)
+// --------------------------------------------------------------------------
+
+TEST(EintrRetryTest, SingleInterruptOnWritePathIsRetried) {
+  ScopedFaultInjection faults;
+  const std::string path = TempPath("eintr_write.bin");
+  // One injected EINTR somewhere in open/write: the bounded retry loop must
+  // absorb it and the write must succeed as if nothing happened.
+  FaultInjector::Global().ArmFailure(FaultSite::kArtifactEintr);
+  ASSERT_TRUE(AtomicWriteFile(path, "contents after one EINTR").ok());
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "contents after one EINTR");
+}
+
+TEST(EintrRetryTest, SingleInterruptOnReadPathIsRetried) {
+  ScopedFaultInjection faults;
+  const std::string path = TempPath("eintr_read.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "readable payload").ok());
+  FaultInjector::Global().ArmFailure(FaultSite::kArtifactEintr);
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, "readable payload");
+  // The retry actually happened: the site was hit more than once.
+  EXPECT_GE(FaultInjector::Global().hits(FaultSite::kArtifactEintr), 2u);
+}
+
+TEST(EintrRetryTest, PersistentInterruptExhaustsTheWriteBudget) {
+  ScopedFaultInjection faults;
+  const std::string path = TempPath("eintr_write_storm.bin");
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  ASSERT_TRUE(AtomicWriteFile(path, "published v1").ok());
+
+  // trigger_after=1 lets the open(2) through so the write(2) loop is the one
+  // that faces the storm; repeat keeps every retry interrupted, so the
+  // bounded budget must run out instead of spinning forever.
+  FaultInjector::Global().ArmFailure(FaultSite::kArtifactEintr,
+                                     /*trigger_after=*/1, /*repeat=*/true);
+  Status failed = AtomicWriteFile(path, "candidate v2");
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_NE(failed.message().find("interrupted"), std::string::npos)
+      << failed.ToString();
+  // Giving up is clean: destination untouched, temp file removed.
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "published v1");
+  EXPECT_FALSE(FileExists(tmp_path));
+}
+
+TEST(EintrRetryTest, PersistentInterruptExhaustsTheReadBudget) {
+  ScopedFaultInjection faults;
+  const std::string path = TempPath("eintr_read_storm.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "unreachable payload").ok());
+  FaultInjector::Global().ArmFailure(FaultSite::kArtifactEintr,
+                                     /*trigger_after=*/1, /*repeat=*/true);
+  auto read = ReadFileToString(path);
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_NE(read.status().message().find("interrupted"), std::string::npos);
+  // The storm over, the file reads back intact.
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "unreachable payload");
+}
+
+// --------------------------------------------------------------------------
+// ValidateArtifactFile (serve-startup / candidate-promotion CRC gate)
+// --------------------------------------------------------------------------
+
+TEST(ValidateArtifactFileTest, AcceptsIntactRejectsCorruptAndMissing) {
+  const std::string path = TempPath("validate_artifact.bin");
+  ASSERT_TRUE(WriteArtifactFile(path, TestSections()).ok());
+  EXPECT_TRUE(ValidateArtifactFile(path).ok());
+
+  std::string bytes = ReadFileToString(path).ValueOrDie();
+  bytes[bytes.size() / 2] ^= 0x01;
+  WriteRawFile(path, bytes);
+  Status corrupt = ValidateArtifactFile(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.code(), StatusCode::kDataCorruption);
+
+  Status missing = ValidateArtifactFile(TempPath("no_such_artifact.bin"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kIoError);
+}
+
 /// End-to-end corruption tests over a real fitted pipeline artifact. Fitting
 /// is expensive, so the suite fits, trains and saves exactly once.
 class PipelineLoadTest : public ::testing::Test {

@@ -363,6 +363,154 @@ TEST_F(ServingRuntimeFixture, LegacySingleQueryPathSkipsTheCache) {
   runtime.Shutdown();
 }
 
+TEST_F(ServingRuntimeFixture, SwapPipelineIsAtomicAndBumpsTheCacheGeneration) {
+  auto estimator = MakeEstimator();
+  ServingRuntimeConfig config;
+  config.max_batch = 4;
+  ServingRuntime runtime(estimator.get(), config);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  const cost::ServingEstimate before = runtime.Estimate(SamplePlan(0), 1e9);
+  ASSERT_EQ(before.tier, cost::ServingTier::kModel);
+  cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.model_swaps, 0u);
+
+  // Swap in a fresh instance of the same artifact: the previous pipeline
+  // comes back for rollback retention, and the cached featurization is
+  // retired (generation bump), so the plan featurizes again under the new
+  // model — with a bit-identical answer, since the weights are identical.
+  auto replacement =
+      core::PrestroidPipeline::LoadFile(*artifact_path_).ValueOrDie();
+  auto previous = runtime.SwapPipeline(std::move(replacement));
+  ASSERT_TRUE(previous.ok()) << previous.status().ToString();
+  EXPECT_NE(*previous, nullptr);
+
+  const cost::ServingEstimate after = runtime.Estimate(SamplePlan(0), 1e9);
+  ASSERT_EQ(after.tier, cost::ServingTier::kModel);
+  EXPECT_EQ(after.cpu_minutes, before.cpu_minutes);
+  stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.cache_misses, 2u);  // old generation's entry is unreachable
+  EXPECT_EQ(stats.model_swaps, 1u);
+  EXPECT_EQ(stats.model_rollbacks, 0u);
+
+  // Rolling the retained pipeline back counts on the rollback counter.
+  auto rolled = runtime.SwapPipeline(std::move(*previous), /*is_rollback=*/true);
+  ASSERT_TRUE(rolled.ok());
+  stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.model_swaps, 1u);
+  EXPECT_EQ(stats.model_rollbacks, 1u);
+
+  // Detaching (nullptr) degrades to the fallback chain instead of failing.
+  auto detached = runtime.SwapPipeline(nullptr);
+  ASSERT_TRUE(detached.ok());
+  const cost::ServingEstimate degraded = runtime.Estimate(SamplePlan(0), 1e9);
+  EXPECT_NE(degraded.tier, cost::ServingTier::kModel);
+  EXPECT_TRUE(std::isfinite(degraded.cpu_minutes));
+  runtime.Shutdown();
+}
+
+TEST_F(ServingRuntimeFixture, HotSwapUnderConcurrentLoadKeepsParity) {
+  // Chaos criterion (a): >= 10 consecutive hot-swaps while multiple
+  // producers hammer the queue — zero failed requests, zero parity
+  // violations (every answer matches the single-query reference), all
+  // requests on the model tier throughout. Runs under TSan in CI.
+  auto estimator = MakeEstimator();
+  auto reference_pipeline =
+      core::PrestroidPipeline::LoadFile(*artifact_path_).ValueOrDie();
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 64;
+  constexpr size_t kDistinctPlans = 16;
+  std::vector<double> reference;
+  for (size_t i = 0; i < kDistinctPlans; ++i) {
+    reference.push_back(
+        reference_pipeline->PredictPlan(SamplePlan(i)).ValueOrDie());
+  }
+
+  ServingRuntimeConfig config;
+  config.queue_depth = 16;
+  config.max_batch = 4;
+  config.batch_window_us = 50;
+  config.cache_entries = 8;
+  ServingRuntime runtime(estimator.get(), config);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> failed{0};
+  std::atomic<size_t> parity_violations{0};
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      std::deque<std::pair<size_t, std::future<cost::ServingEstimate>>> window;
+      auto settle = [&](size_t plan_index,
+                        std::future<cost::ServingEstimate> f) {
+        const cost::ServingEstimate estimate = f.get();
+        if (estimate.tier != cost::ServingTier::kModel) ++failed;
+        if (!(std::fabs(estimate.cpu_minutes - reference[plan_index]) <=
+              1e-5)) {
+          ++parity_violations;
+        }
+        ++served;
+      };
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const size_t plan_index = (t * kPerThread + i) % kDistinctPlans;
+        for (;;) {
+          auto submitted =
+              runtime.Submit(SamplePlan(plan_index), /*deadline_ms=*/1e9);
+          if (submitted.ok()) {
+            window.emplace_back(plan_index, std::move(*submitted));
+            break;
+          }
+          if (window.empty()) {
+            std::this_thread::yield();
+            continue;
+          }
+          settle(window.front().first, std::move(window.front().second));
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        settle(window.front().first, std::move(window.front().second));
+        window.pop_front();
+      }
+    });
+  }
+
+  // The swapper: >= 10 promotions/rollbacks racing the producers, every one
+  // an instance of the same artifact so parity is checkable throughout.
+  constexpr size_t kSwaps = 12;
+  std::atomic<size_t> swap_failures{0};
+  std::thread swapper([&] {
+    auto next = core::PrestroidPipeline::LoadFile(*artifact_path_).ValueOrDie();
+    for (size_t s = 0; s < kSwaps; ++s) {
+      auto swapped =
+          runtime.SwapPipeline(std::move(next), /*is_rollback=*/s % 2 == 1);
+      if (!swapped.ok() || *swapped == nullptr) {
+        ++swap_failures;
+        next = core::PrestroidPipeline::LoadFile(*artifact_path_).ValueOrDie();
+      } else {
+        next = std::move(*swapped);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  swapper.join();
+  runtime.Shutdown();
+
+  EXPECT_EQ(served.load(), kThreads * kPerThread);
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_EQ(parity_violations.load(), 0u);
+  EXPECT_EQ(swap_failures.load(), 0u);
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_EQ(stats.model_swaps + stats.model_rollbacks, kSwaps);
+  EXPECT_EQ(stats.model_swaps, kSwaps / 2);
+  EXPECT_EQ(stats.model_rollbacks, kSwaps / 2);
+  EXPECT_EQ(runtime.LatencySnapshot().count(), kThreads * kPerThread);
+}
+
 TEST_F(ServingRuntimeFixture, MultiProducerStressIsSafe) {
   auto estimator = MakeEstimator();
   ServingRuntimeConfig config;

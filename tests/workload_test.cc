@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
 
 #include "plan/plan_stats.h"
 #include "plan/plan_text.h"
@@ -307,6 +310,103 @@ TEST(SplitTest, CpuMinutesExtraction) {
   std::vector<double> labels = CpuMinutesOf(records);
   ASSERT_EQ(labels.size(), 5u);
   EXPECT_DOUBLE_EQ(labels[0], records[0].metrics.total_cpu_minutes);
+}
+
+// --------------------------------------------------------------------------
+// Quarantine-file size cap + rotation
+// --------------------------------------------------------------------------
+
+std::string QuarantineTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+size_t FileSizeOrZero(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return 0;
+  const auto at = in.tellg();
+  return at < 0 ? 0 : static_cast<size_t>(at);
+}
+
+size_t CountLines(const std::string& path) {
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+/// A trace of `n` records that all fail header parsing, each quarantined as
+/// one log line.
+std::string MalformedTrace(size_t n) {
+  std::string text;
+  for (size_t i = 0; i < n; ++i) {
+    text += "#QUERY bogus record number " + std::to_string(i) + "\n";
+  }
+  return text;
+}
+
+TEST(QuarantineRotationTest, CapBoundsGrowthAndCountsDroppedRecords) {
+  const std::string path = QuarantineTempPath("quarantine_rotation.log");
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  IngestOptions options;
+  options.quarantine_path = path;
+  options.max_quarantine_bytes = 512;
+  constexpr size_t kRecords = 200;
+  auto result = IngestTraceTolerant(MalformedTrace(kRecords), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->stats.quarantined, kRecords);
+  EXPECT_GT(result->stats.quarantine_rotations, 0u);
+  EXPECT_GT(result->stats.quarantine_dropped, 0u);
+  // A hostile stream can fill at most ~2x the cap: the active file plus one
+  // rotated generation, each within budget.
+  EXPECT_LE(FileSizeOrZero(path), options.max_quarantine_bytes);
+  EXPECT_LE(FileSizeOrZero(path + ".1"), options.max_quarantine_bytes);
+  EXPECT_GT(FileSizeOrZero(path + ".1"), 0u);
+  // Every quarantined record is accounted for: still on disk or counted as
+  // dropped by a rotation — never silently lost.
+  EXPECT_EQ(CountLines(path) + CountLines(path + ".1") +
+                result->stats.quarantine_dropped,
+            kRecords);
+  // The rotation counter also reaches the caller-facing summary.
+  EXPECT_NE(result->stats.Summary().find("rotations="), std::string::npos);
+  EXPECT_NE(result->stats.Summary().find("dropped-records="),
+            std::string::npos);
+}
+
+TEST(QuarantineRotationTest, ZeroCapMeansUnlimited) {
+  const std::string path = QuarantineTempPath("quarantine_unlimited.log");
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  IngestOptions options;
+  options.quarantine_path = path;
+  options.max_quarantine_bytes = 0;
+  constexpr size_t kRecords = 64;
+  auto result = IngestTraceTolerant(MalformedTrace(kRecords), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.quarantine_rotations, 0u);
+  EXPECT_EQ(result->stats.quarantine_dropped, 0u);
+  EXPECT_EQ(CountLines(path), kRecords);
+  EXPECT_EQ(FileSizeOrZero(path + ".1"), 0u);
+}
+
+TEST(QuarantineRotationTest, RecordLargerThanTheCapIsDroppedNotWritten) {
+  const std::string path = QuarantineTempPath("quarantine_tiny_cap.log");
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  IngestOptions options;
+  options.quarantine_path = path;
+  options.max_quarantine_bytes = 16;  // smaller than any single log line
+  auto result = IngestTraceTolerant(MalformedTrace(1), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.quarantined, 1u);
+  EXPECT_EQ(result->stats.quarantine_dropped, 1u);
+  EXPECT_EQ(result->stats.quarantine_rotations, 0u);
+  EXPECT_EQ(FileSizeOrZero(path), 0u);
 }
 
 }  // namespace
