@@ -12,6 +12,9 @@
 //                 [--deadline-ms 50] [--no-model] [--limit 20]
 //                 [--batch-window-us 200] [--max-batch 32]
 //                 [--queue-depth 256] [--cache-entries 1024]
+//                 [--shards 1] [--tenants 1]
+//                 [--tenant-quota T:INFLIGHT[:BYTES][,T:...]]
+//                 [--memory-budget BYTES]
 //   prestroid_cli explain   --trace /tmp/trace.txt [--index 0]
 //
 // gen-trace writes the on-disk trace format (SQL + EXPLAIN text + profiler
@@ -27,6 +30,7 @@
 // runs the continual-learning loop (shadow retraining, drift detection,
 // shadow-validated zero-downtime hot-swap with automatic rollback); explain
 // pretty-prints one record's logical plan and O-T-P statistics.
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <deque>
@@ -44,6 +48,8 @@
 #include "cost/serving_estimator.h"
 #include "serve/model_manager.h"
 #include "serve/serving_runtime.h"
+#include "serve/sharded_runtime.h"
+#include "serve/tenant_quota.h"
 #include "util/histogram.h"
 #include "otp/otp_tree.h"
 #include "plan/plan_stats.h"
@@ -289,6 +295,199 @@ int Predict(const Flags& flags) {
   return 0;
 }
 
+/// Checked base-10 parse; rejects empty, trailing junk, and overflow (same
+/// contract as the Flags integer parser).
+bool ParseSize(const std::string& text, size_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+/// Parses "--tenant-quota T:INFLIGHT[:BYTES][,T:...]" and installs each
+/// quota. Returns false (with a usage message) on a malformed spec.
+bool ApplyTenantQuotas(const std::string& spec,
+                       serve::ShardedServingRuntime& runtime) {
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const std::vector<std::string> parts = Split(entry, ':');
+    size_t tenant = 0;
+    serve::TenantQuota quota;
+    const bool well_formed =
+        parts.size() >= 2 && parts.size() <= 3 &&
+        ParseSize(parts[0], &tenant) &&
+        ParseSize(parts[1], &quota.max_in_flight) &&
+        (parts.size() < 3 || ParseSize(parts[2], &quota.max_scratch_bytes));
+    if (!well_formed) {
+      std::cerr << "invalid --tenant-quota entry '" << entry
+                << "' (want T:INFLIGHT[:BYTES])\n";
+      return false;
+    }
+    runtime.SetTenantQuota(static_cast<serve::TenantId>(tenant), quota);
+  }
+  return true;
+}
+
+/// Multi-shard serve path (--shards N, N > 1): one estimator + model
+/// instance per shard behind the fingerprint-routed, tenant-quota'd
+/// ShardedServingRuntime. Queries are spread round-robin over --tenants K
+/// synthetic tenants so the quota/admission path is exercised. --shards 1
+/// stays on the original single-runtime code path in Serve(), preserving its
+/// behavior bit for bit.
+int ServeSharded(const Flags& flags, size_t shards) {
+  const std::string model_path = flags.Get("model", "");
+  const std::string trace_path = flags.Get("trace", "");
+  auto ingested = IngestTrace(flags, trace_path);
+  if (!ingested.ok()) return Fail(ingested.status());
+  std::vector<workload::QueryRecord>& records = ingested->records;
+
+  cost::ServingLimits limits;
+  limits.default_deadline_ms =
+      static_cast<double>(flags.GetInt("deadline-ms", 50));
+  std::vector<std::unique_ptr<cost::ServingEstimator>> estimators;
+  std::vector<cost::ServingEstimator*> raw_estimators;
+  for (size_t s = 0; s < shards; ++s) {
+    auto estimator = std::make_unique<cost::ServingEstimator>(limits);
+    Status fitted = estimator->FitFallbacks(records);
+    if (!fitted.ok()) return Fail(fitted);
+    if (!model_path.empty() && !flags.Has("no-model")) {
+      auto pipeline = core::PrestroidPipeline::LoadFile(model_path);
+      if (pipeline.ok()) {
+        estimator->AttachPipeline(std::move(*pipeline));
+      } else if (pipeline.status().code() == StatusCode::kDataCorruption) {
+        return Fail(pipeline.status());
+      } else if (s == 0) {
+        std::cerr << "warning: model tier unavailable ("
+                  << pipeline.status().ToString() << "); serving degraded\n";
+      }
+    }
+    raw_estimators.push_back(estimator.get());
+    estimators.push_back(std::move(estimator));
+  }
+
+  serve::ShardedRuntimeConfig config;
+  config.shards = shards;
+  config.shard.queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 256));
+  config.shard.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 32));
+  config.shard.batch_window_us =
+      static_cast<size_t>(flags.GetInt("batch-window-us", 200));
+  config.shard.cache_entries =
+      static_cast<size_t>(flags.GetInt("cache-entries", 1024));
+  config.shard.plan_limits = PlanLimitsFromFlags(flags);
+  config.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-budget", 0));
+  serve::ShardedServingRuntime runtime(raw_estimators, config);
+  if (!ApplyTenantQuotas(flags.Get("tenant-quota", ""), runtime)) return 2;
+  Status started = runtime.Start();
+  if (!started.ok()) return Fail(started);
+
+  const size_t tenants =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("tenants", 1)));
+  const size_t limit = std::min<size_t>(
+      records.size(), static_cast<size_t>(flags.GetInt("limit", 20)));
+
+  // Same closed-loop backpressure as the single-runtime path: on
+  // kResourceExhausted (queue, quota, or memory budget), drain the oldest
+  // outstanding request and retry; with nothing outstanding the shed is
+  // terminal for that query (its quota cannot free itself).
+  std::vector<cost::ServingEstimate> estimates(limit);
+  std::vector<std::string> rejected(limit);
+  std::deque<std::pair<size_t, std::future<cost::ServingEstimate>>> in_flight;
+  for (size_t i = 0; i < limit; ++i) {
+    const auto tenant = static_cast<serve::TenantId>(i % tenants);
+    for (;;) {
+      auto submitted = runtime.Submit(*records[i].plan, 0.0, tenant);
+      if (submitted.ok()) {
+        in_flight.emplace_back(i, std::move(*submitted));
+        break;
+      }
+      if (submitted.status().code() == StatusCode::kInvalidArgument) {
+        std::cerr << "q" << i << " rejected: " << submitted.status().message()
+                  << "\n";
+        rejected[i] = "rejected";
+        break;
+      }
+      if (submitted.status().code() != StatusCode::kResourceExhausted) {
+        return Fail(submitted.status());
+      }
+      if (in_flight.empty()) {
+        std::cerr << "q" << i << " shed: " << submitted.status().message()
+                  << "\n";
+        rejected[i] = "shed";
+        break;
+      }
+      estimates[in_flight.front().first] = in_flight.front().second.get();
+      in_flight.pop_front();
+    }
+  }
+  while (!in_flight.empty()) {
+    estimates[in_flight.front().first] = in_flight.front().second.get();
+    in_flight.pop_front();
+  }
+
+  TablePrinter table({"query", "tenant", "estimate (min)", "actual (min)",
+                      "tier", "latency (ms)"});
+  for (size_t i = 0; i < limit; ++i) {
+    const std::string tenant = StrFormat("%zu", i % tenants);
+    if (!rejected[i].empty()) {
+      table.AddRow({StrFormat("q%zu", i), tenant, "-",
+                    StrFormat("%.2f", records[i].metrics.total_cpu_minutes),
+                    rejected[i], "-"});
+      continue;
+    }
+    table.AddRow({StrFormat("q%zu", i), tenant,
+                  StrFormat("%.2f", estimates[i].cpu_minutes),
+                  StrFormat("%.2f", records[i].metrics.total_cpu_minutes),
+                  cost::ServingTierToString(estimates[i].tier),
+                  StrFormat("%.3f", estimates[i].latency_ms)});
+  }
+  table.Print(std::cout);
+
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  const LatencyHistogram latency = runtime.LatencySnapshot();
+  const MemoryTrackerStats memory = runtime.MemorySnapshot();
+  const std::vector<serve::TenantCounters> tenant_counters =
+      runtime.TenantSnapshot();
+  runtime.Shutdown();
+
+  std::cout << StrFormat(
+      "tiers: model=%zu log-binning=%zu global-mean=%zu | "
+      "rejects=%zu deadline-skips=%zu deadline-misses=%zu model-errors=%zu\n",
+      stats.by_tier[0], stats.by_tier[1], stats.by_tier[2],
+      stats.validation_rejects, stats.deadline_skips, stats.deadline_misses,
+      stats.model_errors);
+  const size_t cache_lookups = stats.cache_hits + stats.cache_misses;
+  std::cout << StrFormat(
+      "queue: rejected=%zu limit-rejects=%zu quarantined=%zu | cache: "
+      "hits=%zu misses=%zu evictions=%zu hit-rate=%.1f%%\n",
+      stats.rejected_requests, stats.limit_rejects,
+      ingested->stats.quarantined, stats.cache_hits, stats.cache_misses,
+      stats.cache_evictions,
+      cache_lookups == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.cache_hits) /
+                static_cast<double>(cache_lookups));
+  std::cout << StrFormat(
+      "latency: p50=%.3fms p95=%.3fms p99=%.3fms (n=%zu)\n",
+      latency.Percentile(50.0), latency.Percentile(95.0),
+      latency.Percentile(99.0), latency.count());
+  std::cout << StrFormat(
+      "shards: %zu | tenants: %zu quota-sheds=%zu memory-denied=%zu | "
+      "memory: in-use=%zuB peak=%zuB\n",
+      shards, tenants, stats.quota_sheds, stats.memory_denied,
+      memory.in_use_bytes, memory.peak_bytes);
+  for (const serve::TenantCounters& t : tenant_counters) {
+    std::cout << StrFormat(
+        "  tenant %u: admitted=%zu quota-sheds=%zu\n",
+        static_cast<unsigned>(t.tenant), t.admitted, t.quota_sheds);
+  }
+  return 0;
+}
+
 int Serve(const Flags& flags) {
   const std::string model_path = flags.Get("model", "");
   const std::string trace_path = flags.Get("trace", "");
@@ -296,6 +495,11 @@ int Serve(const Flags& flags) {
     std::cerr << "serve requires --trace <file> (and ideally --model <file>)\n";
     return 2;
   }
+  // Multi-shard tier behind the same command; the default --shards 1 never
+  // enters it, so single-shard serving keeps today's code path untouched.
+  const size_t shards =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("shards", 1)));
+  if (shards > 1) return ServeSharded(flags, shards);
   auto ingested = IngestTrace(flags, trace_path);
   if (!ingested.ok()) return Fail(ingested.status());
   std::vector<workload::QueryRecord>& records = ingested->records;
@@ -571,6 +775,10 @@ int Usage() {
          "            [--retrain-epochs E] [--candidate FILE]\n"
          "            [--drift-threshold X] [--probation-window N]\n"
          "            [--rollback-qerr X]\n"
+         "            [--shards S (default 1 = single-runtime path)]\n"
+         "            [--tenants K (spread queries over K tenants)]\n"
+         "            [--tenant-quota T:INFLIGHT[:BYTES][,T:...]]\n"
+         "            [--memory-budget BYTES (0=account only)]\n"
          "  explain   --trace FILE [--index I]\n";
   return 2;
 }

@@ -70,6 +70,11 @@ struct ServingStats {
   size_t cache_misses = 0;          // featurization re-runs
   size_t cache_evictions = 0;       // LRU evictions
 
+  // --- multi-tenant sharded-tier counters (serve::ShardedServingRuntime
+  // snapshots); zero on single-runtime and direct paths ---------------------
+  size_t quota_sheds = 0;     // requests shed over a TenantQuota budget
+  size_t memory_denied = 0;   // requests shed by the MemoryTracker budget
+
   // --- model-lifecycle counters (serve::ServingRuntime::SwapPipeline and
   // serve::ModelManager snapshots); zero on the direct single-query path ---
   size_t model_swaps = 0;         // successful hot-swap promotions
@@ -80,6 +85,43 @@ struct ServingStats {
   double drift_qerr_p95 = 0.0;
   double drift_baseline_p95 = 0.0;  // promotion-time baseline the window is
                                     // judged against (0 until established)
+
+  /// Accumulates `other` into this snapshot. Counters sum, including
+  /// queue_high_watermark — across shards the sum bounds total queued
+  /// requests; per-shard peaks stay available via shard(i) snapshots. The
+  /// drift quantiles and baseline take the element-wise max (the merged view
+  /// reports the worst shard, which is what the rollback gate cares about).
+  void MergeFrom(const ServingStats& other) {
+    requests += other.requests;
+    for (size_t i = 0; i < kNumServingTiers; ++i) {
+      by_tier[i] += other.by_tier[i];
+    }
+    validation_rejects += other.validation_rejects;
+    deadline_skips += other.deadline_skips;
+    deadline_misses += other.deadline_misses;
+    model_errors += other.model_errors;
+    rejected_requests += other.rejected_requests;
+    limit_rejects += other.limit_rejects;
+    queue_high_watermark += other.queue_high_watermark;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
+    quota_sheds += other.quota_sheds;
+    memory_denied += other.memory_denied;
+    model_swaps += other.model_swaps;
+    model_rollbacks += other.model_rollbacks;
+    rejected_candidates += other.rejected_candidates;
+    drift_flags += other.drift_flags;
+    if (other.drift_qerr_p50 > drift_qerr_p50) {
+      drift_qerr_p50 = other.drift_qerr_p50;
+    }
+    if (other.drift_qerr_p95 > drift_qerr_p95) {
+      drift_qerr_p95 = other.drift_qerr_p95;
+    }
+    if (other.drift_baseline_p95 > drift_baseline_p95) {
+      drift_baseline_p95 = other.drift_baseline_p95;
+    }
+  }
 };
 
 /// Fault-tolerant serving front end: wraps the learned pipeline with input

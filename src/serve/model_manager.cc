@@ -73,11 +73,11 @@ void DriftDetector::ClearBaseline() {
   has_baseline_ = false;
 }
 
-ModelManager::ModelManager(ServingRuntime* runtime, ModelManagerConfig config)
-    : runtime_(runtime),
+ModelManager::ModelManager(ServingHost* host, ModelManagerConfig config)
+    : host_(host),
       config_(config),
       drift_(std::max<size_t>(config.drift_window, 1)) {
-  PRESTROID_CHECK(runtime_ != nullptr);
+  PRESTROID_CHECK(host_ != nullptr);
 }
 
 void ModelManager::ObserveLabeled(const plan::PlanNode& plan,
@@ -188,7 +188,23 @@ Result<SwapReport> ModelManager::TryPromote(const std::string& candidate_path) {
       // candidate, so it promotes and the probation window judges it live.
 
       if (valid.ok()) {
-        auto swapped = runtime_->SwapPipeline(std::move(candidate));
+        // One pipeline instance per shard, all from the same validated
+        // artifact: instance 0 is the one shadow validation scored; the
+        // rest are loaded now so the cross-shard exchange is a pure memory
+        // operation. A load failure here is environmental (the artifact
+        // already validated) and aborts before any shard is touched.
+        std::vector<std::unique_ptr<core::PrestroidPipeline>> candidates;
+        candidates.push_back(std::move(candidate));
+        for (size_t i = 1; i < host_->ShardCount(); ++i) {
+          auto extra = core::PrestroidPipeline::LoadFile(candidate_path);
+          if (!extra.ok()) {
+            ++stats_.swap_failures;
+            return extra.status();
+          }
+          candidates.push_back(std::move(*extra));
+        }
+        auto swapped =
+            host_->SwapPipelines(std::move(candidates), /*is_rollback=*/false);
         if (!swapped.ok()) {
           ++stats_.swap_failures;
           return swapped.status();
@@ -205,7 +221,7 @@ Result<SwapReport> ModelManager::TryPromote(const std::string& candidate_path) {
         } else {
           drift_.ClearBaseline();
         }
-        in_probation_ = previous_ != nullptr && pre_swap_baseline_p95_ > 0.0;
+        in_probation_ = HasPreviousLocked() && pre_swap_baseline_p95_ > 0.0;
         post_swap_observations_ = 0;
         ++stats_.swaps;
         ++stats_.active_version;
@@ -229,19 +245,19 @@ Status ModelManager::Rollback(const std::string& reason) {
 }
 
 Status ModelManager::RollbackLocked(const std::string& reason) {
-  if (previous_ == nullptr) {
+  if (!HasPreviousLocked()) {
     return Status::InvalidArgument("no previous model retained for rollback (" +
                                    reason + ")");
   }
   auto swapped =
-      runtime_->SwapPipeline(std::move(previous_), /*is_rollback=*/true);
+      host_->SwapPipelines(std::move(previous_), /*is_rollback=*/true);
+  previous_.clear();
   if (!swapped.ok()) {
     ++stats_.swap_failures;
     return swapped.status();
   }
-  // The demoted model is discarded — re-promoting a model that just failed
+  // The demoted models are discarded — re-promoting a model that just failed
   // probation would need fresh evidence (a new candidate artifact) anyway.
-  previous_ = nullptr;
   in_probation_ = false;
   post_swap_observations_ = 0;
   drift_.ResetWindow();
@@ -268,10 +284,10 @@ ModelManagerStats ModelManager::StatsSnapshot() const {
 }
 
 cost::ServingStats ModelManager::MergedStats() const {
-  // Lock-order discipline: the runtime snapshot takes serve_mu_/queue_mu_,
-  // and promotion paths hold mu_ -> serve_mu_ — so take the runtime snapshot
-  // BEFORE locking mu_.
-  cost::ServingStats stats = runtime_->StatsSnapshot();
+  // Lock-order discipline: the host snapshot takes each shard's
+  // serve_mu_/queue_mu_, and promotion paths hold mu_ -> serve locks — so
+  // take the host snapshot BEFORE locking mu_.
+  cost::ServingStats stats = host_->StatsSnapshot();
   std::lock_guard<std::mutex> lock(mu_);
   stats.rejected_candidates = stats_.rejected_candidates;
   stats.drift_flags = stats_.drift_flags;

@@ -11,7 +11,7 @@
 
 #include "cost/serving_estimator.h"
 #include "plan/plan_node.h"
-#include "serve/serving_runtime.h"
+#include "serve/serving_host.h"
 #include "util/status.h"
 
 namespace prestroid::serve {
@@ -137,20 +137,22 @@ struct ModelManagerStats {
   bool drift_detected = false;     // sticky until the next promotion
 };
 
-/// Zero-downtime model lifecycle manager over a ServingRuntime: drift
-/// detection on rolling prediction-error quantiles, shadow validation of
-/// candidate artifacts against a held-out replay buffer, atomic promotion
-/// through ServingRuntime::SwapPipeline, and automatic rollback on post-swap
-/// regression (the previous ACTIVE model is retained in memory, so rollback
-/// needs no disk I/O).
+/// Zero-downtime model lifecycle manager over a ServingHost (a single
+/// ServingRuntime or an N-shard ShardedServingRuntime): drift detection on
+/// rolling prediction-error quantiles, shadow validation of candidate
+/// artifacts against a held-out replay buffer, atomic promotion through
+/// ServingHost::SwapPipelines (one pipeline instance loaded per shard,
+/// exchanged all-or-nothing), and automatic rollback on post-swap regression
+/// (the previous ACTIVE models are retained in memory, so rollback needs no
+/// disk I/O).
 ///
 /// Thread-safety: all public methods may be called from any thread; the
-/// manager serializes itself and only ever takes the runtime's locks while
+/// manager serializes itself and only ever takes the host's locks while
 /// holding its own (never the reverse), so it composes with concurrent
 /// Submit/Estimate/StatsSnapshot traffic.
 class ModelManager {
  public:
-  ModelManager(ServingRuntime* runtime, ModelManagerConfig config = {});
+  ModelManager(ServingHost* host, ModelManagerConfig config = {});
 
   /// Feeds one labeled observation: the estimate previously served for
   /// `plan` (prediction + tier) and the ground-truth cost that later became
@@ -172,20 +174,24 @@ class ModelManager {
   ///      untouched);
   ///   2. shadow validation on the replay buffer (a regressing candidate is
   ///      reported as kRejected, never swapped);
-  ///   3. atomic swap via ServingRuntime::SwapPipeline, retaining the
-  ///      previous model for rollback and entering the probation window.
+  ///   3. atomic swap via ServingHost::SwapPipelines — one pipeline instance
+  ///      is loaded from the artifact per shard (instance 0 is the one that
+  ///      shadow-validated) and every shard switches in one all-or-nothing
+  ///      transaction — retaining the previous models for rollback and
+  ///      entering the probation window.
   /// Only environmental/load failures surface as an error Status; a
   /// validation rejection is a normal outcome (SwapReport::kRejected).
   Result<SwapReport> TryPromote(const std::string& candidate_path);
 
-  /// Swaps the retained previous model back in (instant, no disk I/O).
-  /// kInvalidArgument when no previous model is retained.
+  /// Swaps the retained previous models back in on every shard (instant, no
+  /// disk I/O). kInvalidArgument when no previous model is retained.
   Status Rollback(const std::string& reason);
 
   ModelManagerStats StatsSnapshot() const;
 
-  /// The runtime's ServingStats with the manager's lifecycle/drift fields
-  /// merged in — the one-call summary the CLI and tests print.
+  /// The host's (cross-shard merged) ServingStats with the manager's
+  /// lifecycle/drift fields merged in — the one-call summary the CLI and
+  /// tests print.
   cost::ServingStats MergedStats() const;
 
   const ModelManagerConfig& config() const { return config_; }
@@ -200,13 +206,19 @@ class ModelManager {
   /// Rollback without re-locking (mu_ already held).
   Status RollbackLocked(const std::string& reason);
 
-  ServingRuntime* runtime_;
+  /// True when a real (non-null) previous model set is retained.
+  bool HasPreviousLocked() const {
+    return !previous_.empty() && previous_[0] != nullptr;
+  }
+
+  ServingHost* host_;
   ModelManagerConfig config_;
 
   mutable std::mutex mu_;
   DriftDetector drift_;
   std::deque<ReplayEntry> replay_;
-  std::unique_ptr<core::PrestroidPipeline> previous_;  // rollback target
+  /// Rollback targets, one per shard (empty = nothing retained).
+  std::vector<std::unique_ptr<core::PrestroidPipeline>> previous_;
   double pre_swap_baseline_p50_ = 0.0;
   double pre_swap_baseline_p95_ = 0.0;
   bool in_probation_ = false;

@@ -1,0 +1,45 @@
+#ifndef PRESTROID_SERVE_SERVING_HOST_H_
+#define PRESTROID_SERVE_SERVING_HOST_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "cost/serving_estimator.h"
+#include "util/status.h"
+
+namespace prestroid::serve {
+
+/// The serving-tier surface the model lifecycle manager promotes against.
+///
+/// A ServingRuntime is a one-shard host; a ShardedServingRuntime spans N
+/// shards. ModelManager only needs to know how many pipeline instances a
+/// promotion must produce and how to exchange them atomically — everything
+/// else (drift windows, replay buffers, probation) is host-agnostic.
+class ServingHost {
+ public:
+  virtual ~ServingHost() = default;
+
+  /// Number of pipeline instances a swap must supply (one per shard).
+  virtual size_t ShardCount() const = 0;
+
+  /// Atomically replaces every shard's model tier. `pipelines` must have
+  /// exactly ShardCount() entries (entry i goes to shard i; nullptr detaches
+  /// that shard's model tier). All-or-nothing: the host blocks in-flight
+  /// batches on every shard, performs ONE fault-injection check
+  /// (FaultSite::kModelSwap) before mutating anything, then exchanges all
+  /// shards under their serving locks — no request anywhere can observe a
+  /// half-swapped tier. Returns the previous pipelines in shard order for
+  /// rollback retention. `is_rollback` selects which ServingStats counter
+  /// each shard increments.
+  virtual Result<std::vector<std::unique_ptr<core::PrestroidPipeline>>>
+  SwapPipelines(std::vector<std::unique_ptr<core::PrestroidPipeline>> pipelines,
+                bool is_rollback) = 0;
+
+  /// Serving counters merged across every shard.
+  virtual cost::ServingStats StatsSnapshot() const = 0;
+};
+
+}  // namespace prestroid::serve
+
+#endif  // PRESTROID_SERVE_SERVING_HOST_H_

@@ -1,89 +1,51 @@
 #ifndef PRESTROID_SERVE_SERVING_RUNTIME_H_
 #define PRESTROID_SERVE_SERVING_RUNTIME_H_
 
-#include <chrono>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "cost/serving_estimator.h"
-#include "plan/plan_limits.h"
 #include "plan/plan_node.h"
-#include "serve/plan_cache.h"
+#include "serve/serving_host.h"
+#include "serve/serving_shard.h"
 #include "util/histogram.h"
 #include "util/status.h"
 
 namespace prestroid::serve {
 
-/// Admission-queue and batching policy for the concurrent serving runtime.
-struct ServingRuntimeConfig {
-  /// Bounded request queue; a Submit beyond this depth is rejected with
-  /// kResourceExhausted instead of blocking the producer.
-  size_t queue_depth = 256;
-  /// Largest fused forward pass. 1 degenerates to the legacy single-query
-  /// serving path (per-request EstimateWithFallback, no fingerprint cache,
-  /// no fused staging); caching and batch fusion engage at >= 2.
-  size_t max_batch = 32;
-  /// After the first request of a batch arrives, how long the worker waits
-  /// for the batch to fill before running a partial one. 0 = never wait
-  /// (drain whatever is queued).
-  size_t batch_window_us = 200;
-  /// Plan-fingerprint cache entries; 0 disables the cache.
-  size_t cache_entries = 1024;
-  /// Resource governor applied to every submitted plan *before* it is
-  /// fingerprinted or featurized. Over-limit plans are rejected at admission
-  /// (kInvalidArgument, counted in ServingStats::limit_rejects) so a hostile
-  /// plan never reaches the hashing/encoding machinery.
-  plan::PlanLimits plan_limits;
-};
-
-/// Concurrent batched serving front end over a ServingEstimator.
+/// Concurrent batched serving front end over a ServingEstimator: the
+/// single-shard configuration of the serving tier.
 ///
-/// Producers Submit() plans into a bounded MPMC queue and receive futures; a
-/// single batch-worker thread drains the queue under the batch-window /
-/// max-batch policy, featurizes each distinct plan once (plan-fingerprint
-/// LRU cache), runs ONE fused eval-mode forward pass per batch through the
-/// estimator's pipeline, and resolves the futures. Requests that cannot take
-/// the model tier — validation reject, deadline expired while queued, model
-/// error — degrade per item through the estimator's existing fallback chain,
-/// so a batch never fails wholesale.
+/// All queueing, batching, caching, and swap mechanics live in ServingShard
+/// (serve/serving_shard.h); this class pins exactly one shard behind the
+/// historical single-runtime API and implements ServingHost so the model
+/// lifecycle manager can promote against it and a sharded tier
+/// interchangeably. ShardedServingRuntime (serve/sharded_runtime.h) is the
+/// multi-core, multi-tenant composition of the same shard.
 ///
-/// The fused forward runs in eval mode (dropout off, batch-norm running
-/// statistics, masked per-tree pooling), so each row's prediction is
-/// independent of what else shares the batch: batched results equal
-/// single-query EstimateWithFallback results regardless of arrival order.
-///
-/// Thread-safety: Submit/Estimate/StatsSnapshot/LatencySnapshot/
-/// InvalidateCache may be called from any thread. The estimator and cache
-/// are confined to the worker thread (snapshot readers take the same lock
-/// the worker holds while serving a batch). The estimator must not be used
-/// directly by other threads while the runtime is running.
-///
-/// Lifetime: submitted plans are borrowed, not copied — the caller must keep
-/// a plan alive until its future resolves. The estimator must outlive the
-/// runtime.
-class ServingRuntime {
+/// Thread-safety and lifetime contracts are the shard's: Submit/Estimate/
+/// snapshots from any thread; submitted plans are borrowed until their
+/// future resolves; the estimator must outlive the runtime.
+class ServingRuntime : public ServingHost {
  public:
   explicit ServingRuntime(cost::ServingEstimator* estimator,
-                          ServingRuntimeConfig config = {});
-  ~ServingRuntime();
+                          ServingRuntimeConfig config = {})
+      : shard_(estimator, config) {}
 
   ServingRuntime(const ServingRuntime&) = delete;
   ServingRuntime& operator=(const ServingRuntime&) = delete;
 
   /// Spawns the batch worker. Submissions made before Start() sit in the
   /// queue (admission control applies) and are served once it runs.
-  Status Start();
+  /// Restartable after Shutdown(); each run reports its own queue
+  /// high-watermark.
+  Status Start() { return shard_.Start(); }
 
   /// Stops accepting work, drains every queued request (resolving its
   /// future), and joins the worker. If Start() was never called the drain
   /// happens inline on the calling thread. Idempotent.
-  void Shutdown();
+  void Shutdown() { shard_.Shutdown(); }
 
   /// Enqueues one estimate request. Returns kResourceExhausted immediately
   /// when the queue is full (the request was never admitted),
@@ -92,81 +54,67 @@ class ServingRuntime {
   /// <= 0 uses the estimator's configured default; the deadline covers queue
   /// wait + compute.
   Result<std::future<cost::ServingEstimate>> Submit(const plan::PlanNode& plan,
-                                                    double deadline_ms = 0.0);
+                                                    double deadline_ms = 0.0) {
+    return shard_.Submit(plan, deadline_ms);
+  }
 
   /// Blocking convenience wrapper: waits for queue space if necessary (so it
   /// never sheds load), then waits for the result. Requires a running
-  /// worker; calling it without Start() deadlocks once the queue fills.
-  cost::ServingEstimate Estimate(const plan::PlanNode& plan,
-                                 double deadline_ms = 0.0);
+  /// worker — called without Start() it returns kFailedPrecondition instead
+  /// of deadlocking once the queue fills. After Shutdown() it serves inline.
+  Result<cost::ServingEstimate> Estimate(const plan::PlanNode& plan,
+                                         double deadline_ms = 0.0) {
+    return shard_.EstimateBlocking(plan, deadline_ms);
+  }
 
   /// Retires every cached plan encoding (e.g. after catalog churn or a
   /// pipeline swap made old featurizations stale).
-  void InvalidateCache();
+  void InvalidateCache() { shard_.InvalidateCache(); }
 
   /// Atomically replaces the estimator's model tier while the runtime keeps
-  /// serving (RCU-style): blocks until the in-flight batch (if any) finishes
-  /// on the old model, attaches `pipeline`, resets the model-latency EWMA,
-  /// bumps the feature-cache generation (stale featurizations can never
-  /// reach the new model), and returns the previous pipeline so the caller
-  /// can retain it for instant rollback. Queued requests are never dropped:
-  /// they simply run on whichever model is attached when their batch is
-  /// served. Passing nullptr detaches the model tier (the degradation chain
-  /// keeps answering). `is_rollback` only selects which ServingStats counter
-  /// (model_swaps vs model_rollbacks) the transition increments.
-  ///
-  /// Instrumented with FaultSite::kModelSwap: an injected fault aborts the
-  /// swap before any state is touched, proving a crashed swap leaves the
-  /// active model, cache, and generation fully intact.
+  /// serving; see ServingShard::SwapPipeline for the full RCU-style and
+  /// fault-injection contract.
   Result<std::unique_ptr<core::PrestroidPipeline>> SwapPipeline(
       std::unique_ptr<core::PrestroidPipeline> pipeline,
-      bool is_rollback = false);
+      bool is_rollback = false) {
+    return shard_.SwapPipeline(std::move(pipeline), is_rollback);
+  }
 
   /// Estimator counters merged with the runtime's queue/cache counters.
-  cost::ServingStats StatsSnapshot() const;
+  cost::ServingStats StatsSnapshot() const override {
+    return shard_.StatsSnapshot();
+  }
 
   /// End-to-end request latency distribution (milliseconds, including queue
   /// wait), over every request the worker has resolved.
-  LatencyHistogram LatencySnapshot() const;
+  LatencyHistogram LatencySnapshot() const { return shard_.LatencySnapshot(); }
 
-  const ServingRuntimeConfig& config() const { return config_; }
+  const ServingRuntimeConfig& config() const { return shard_.config(); }
+
+  // --- ServingHost ---------------------------------------------------------
+
+  size_t ShardCount() const override { return 1; }
+
+  /// Single-shard swap transaction: expects exactly one pipeline and returns
+  /// the one previous pipeline, with the same fault-injection semantics as
+  /// SwapPipeline.
+  Result<std::vector<std::unique_ptr<core::PrestroidPipeline>>> SwapPipelines(
+      std::vector<std::unique_ptr<core::PrestroidPipeline>> pipelines,
+      bool is_rollback) override {
+    if (pipelines.size() != 1) {
+      return Status::InvalidArgument(
+          "single-shard runtime expects exactly 1 pipeline, got " +
+          std::to_string(pipelines.size()));
+    }
+    auto swapped = shard_.SwapPipeline(std::move(pipelines[0]), is_rollback);
+    if (!swapped.ok()) return swapped.status();
+    std::vector<std::unique_ptr<core::PrestroidPipeline>> previous;
+    previous.push_back(std::move(*swapped));
+    return previous;
+  }
 
  private:
-  struct PendingRequest {
-    const plan::PlanNode* plan;
-    double deadline_ms;
-    std::chrono::steady_clock::time_point enqueue_time;
-    std::promise<cost::ServingEstimate> promise;
-  };
-
-  void WorkerLoop();
-  /// Serves one drained batch: per-item admission + cache lookup, one fused
-  /// forward pass for the admitted items, per-item fallback for the rest.
-  void ServeBatch(std::vector<PendingRequest>& batch);
-
-  cost::ServingEstimator* estimator_;
-  ServingRuntimeConfig config_;
-
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;  // worker waits: work available / stop
-  std::condition_variable space_cv_;  // Estimate() waits: queue has room
-  std::deque<PendingRequest> queue_;
-  bool stop_ = false;
-  size_t rejected_requests_ = 0;
-  size_t limit_rejects_ = 0;
-  size_t queue_high_watermark_ = 0;
-
-  /// Serializes worker access to the estimator + cache + histogram against
-  /// snapshot readers.
-  mutable std::mutex serve_mu_;
-  PlanFeatureCache cache_;
-  uint64_t cache_generation_ = 0;
-  LatencyHistogram latency_hist_;
-  size_t model_swaps_ = 0;
-  size_t model_rollbacks_ = 0;
-
-  std::thread worker_;
-  bool started_ = false;
+  ServingShard shard_;
 };
 
 }  // namespace prestroid::serve

@@ -1,4 +1,4 @@
-#include "serve/serving_runtime.h"
+#include "serve/serving_shard.h"
 
 #include <algorithm>
 #include <cmath>
@@ -22,33 +22,35 @@ double ElapsedMs(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
-ServingRuntime::ServingRuntime(cost::ServingEstimator* estimator,
-                               ServingRuntimeConfig config)
+ServingShard::ServingShard(cost::ServingEstimator* estimator,
+                           ServingRuntimeConfig config, MemoryTracker* memory)
     : estimator_(estimator),
       config_(config),
-      cache_(config.cache_entries) {
+      cache_(config.cache_entries),
+      arena_(memory) {
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.queue_depth == 0) config_.queue_depth = 1;
 }
 
-ServingRuntime::~ServingRuntime() { Shutdown(); }
+ServingShard::~ServingShard() { Shutdown(); }
 
-Status ServingRuntime::Start() {
+Status ServingShard::Start() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stop_) {
-      return Status::InvalidArgument("serving runtime is shut down");
-    }
     if (started_) {
-      return Status::AlreadyExists("serving runtime already started");
+      return Status::AlreadyExists("serving shard already started");
     }
+    // Reopen admission after a prior Shutdown() and reset the watermark so a
+    // restarted shard reports this run's peak, not its predecessor's.
+    stop_ = false;
     started_ = true;
+    queue_high_watermark_ = 0;
   }
   worker_ = std::thread([this] { WorkerLoop(); });
   return Status::OK();
 }
 
-void ServingRuntime::Shutdown() {
+void ServingShard::Shutdown() {
   std::vector<PendingRequest> leftover;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -65,6 +67,12 @@ void ServingRuntime::Shutdown() {
   queue_cv_.notify_all();
   space_cv_.notify_all();
   if (worker_.joinable()) worker_.join();
+  {
+    // The worker is gone and stop_ still rejects submissions; clearing
+    // started_ makes the shard restartable via a later Start().
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    started_ = false;
+  }
   for (size_t begin = 0; begin < leftover.size(); begin += config_.max_batch) {
     const size_t end = std::min(begin + config_.max_batch, leftover.size());
     std::vector<PendingRequest> batch;
@@ -72,11 +80,12 @@ void ServingRuntime::Shutdown() {
     for (size_t i = begin; i < end; ++i) {
       batch.push_back(std::move(leftover[i]));
     }
+    std::lock_guard<std::mutex> serve_lock(serve_mu_);
     ServeBatch(batch);
   }
 }
 
-Result<std::future<cost::ServingEstimate>> ServingRuntime::Submit(
+Result<std::future<cost::ServingEstimate>> ServingShard::Submit(
     const plan::PlanNode& plan, double deadline_ms) {
   // Governor check before anything touches the plan: a rejected plan is
   // never fingerprinted, featurized, or queued. The walk is checked outside
@@ -89,14 +98,32 @@ Result<std::future<cost::ServingEstimate>> ServingRuntime::Submit(
     return Status::InvalidArgument("plan rejected by resource governor: " +
                                    within_limits.message());
   }
+  return Enqueue(plan, deadline_ms, /*fingerprint=*/0,
+                 /*has_fingerprint=*/false, ShardTicket{});
+}
+
+Result<std::future<cost::ServingEstimate>> ServingShard::SubmitRouted(
+    const plan::PlanNode& plan, double deadline_ms, uint64_t fingerprint,
+    ShardTicket ticket) {
+  // The facade already ran the governor (before fingerprinting — the PR5
+  // invariant) and charged the ticket; this path must not double-count.
+  return Enqueue(plan, deadline_ms, fingerprint, /*has_fingerprint=*/true,
+                 ticket);
+}
+
+Result<std::future<cost::ServingEstimate>> ServingShard::Enqueue(
+    const plan::PlanNode& plan, double deadline_ms, uint64_t fingerprint,
+    bool has_fingerprint, ShardTicket ticket) {
   std::future<cost::ServingEstimate> future;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stop_) {
-      return Status::InvalidArgument("serving runtime is shut down");
+      ticket.Release();
+      return Status::InvalidArgument("serving shard is shut down");
     }
     if (queue_.size() >= config_.queue_depth) {
       ++rejected_requests_;
+      ticket.Release();
       return Status::ResourceExhausted(
           "serving queue is full (depth " +
           std::to_string(config_.queue_depth) + ")");
@@ -105,6 +132,9 @@ Result<std::future<cost::ServingEstimate>> ServingRuntime::Submit(
     request.plan = &plan;
     request.deadline_ms = deadline_ms;
     request.enqueue_time = std::chrono::steady_clock::now();
+    request.fingerprint = fingerprint;
+    request.has_fingerprint = has_fingerprint;
+    request.ticket = ticket;
     future = request.promise.get_future();
     queue_.push_back(std::move(request));
     queue_high_watermark_ = std::max(queue_high_watermark_, queue_.size());
@@ -113,9 +143,18 @@ Result<std::future<cost::ServingEstimate>> ServingRuntime::Submit(
   return future;
 }
 
-cost::ServingEstimate ServingRuntime::Estimate(const plan::PlanNode& plan,
-                                               double deadline_ms) {
-  // The blocking wrapper never fails, so a governor reject degrades through
+Result<cost::ServingEstimate> ServingShard::EstimateBlocking(
+    const plan::PlanNode& plan, double deadline_ms) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_ && !stop_) {
+      // No worker will ever drain the queue: blocking here would park the
+      // caller forever once the queue fills. Fail fast instead.
+      return Status::FailedPrecondition(
+          "EstimateBlocking requires a running worker: call Start() first");
+    }
+  }
+  // The blocking wrapper never sheds, so a governor reject degrades through
   // the estimator's fallback chain instead of surfacing a status.
   Status within_limits = plan::CheckPlanLimits(plan, config_.plan_limits);
   if (!within_limits.ok()) {
@@ -153,13 +192,13 @@ cost::ServingEstimate ServingRuntime::Estimate(const plan::PlanNode& plan,
   return future.get();
 }
 
-void ServingRuntime::InvalidateCache() {
+void ServingShard::InvalidateCache() {
   std::lock_guard<std::mutex> lock(serve_mu_);
   ++cache_generation_;
   cache_.Clear();
 }
 
-Result<std::unique_ptr<core::PrestroidPipeline>> ServingRuntime::SwapPipeline(
+Result<std::unique_ptr<core::PrestroidPipeline>> ServingShard::SwapPipeline(
     std::unique_ptr<core::PrestroidPipeline> pipeline, bool is_rollback) {
   // serve_mu_ serializes against the batch worker: an in-flight batch
   // finishes on the old model before the exchange below, and the next batch
@@ -170,6 +209,11 @@ Result<std::unique_ptr<core::PrestroidPipeline>> ServingRuntime::SwapPipeline(
     return Status::IoError(
         "injected crash mid-swap; previous model left serving");
   }
+  return SwapPipelineLocked(std::move(pipeline), is_rollback);
+}
+
+std::unique_ptr<core::PrestroidPipeline> ServingShard::SwapPipelineLocked(
+    std::unique_ptr<core::PrestroidPipeline> pipeline, bool is_rollback) {
   std::unique_ptr<core::PrestroidPipeline> previous =
       estimator_->ReleasePipeline();
   estimator_->AttachPipeline(std::move(pipeline));
@@ -184,7 +228,7 @@ Result<std::unique_ptr<core::PrestroidPipeline>> ServingRuntime::SwapPipeline(
   return previous;
 }
 
-cost::ServingStats ServingRuntime::StatsSnapshot() const {
+cost::ServingStats ServingShard::StatsSnapshot() const {
   cost::ServingStats stats;
   {
     std::lock_guard<std::mutex> lock(serve_mu_);
@@ -204,12 +248,22 @@ cost::ServingStats ServingRuntime::StatsSnapshot() const {
   return stats;
 }
 
-LatencyHistogram ServingRuntime::LatencySnapshot() const {
+LatencyHistogram ServingShard::LatencySnapshot() const {
   std::lock_guard<std::mutex> lock(serve_mu_);
   return latency_hist_;
 }
 
-void ServingRuntime::WorkerLoop() {
+size_t ServingShard::arena_peak_bytes() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return arena_.peak_used_bytes();
+}
+
+size_t ServingShard::arena_capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return arena_.capacity_bytes();
+}
+
+void ServingShard::WorkerLoop() {
   while (true) {
     std::vector<PendingRequest> batch;
     {
@@ -237,16 +291,20 @@ void ServingRuntime::WorkerLoop() {
       }
     }
     space_cv_.notify_all();
+    std::lock_guard<std::mutex> serve_lock(serve_mu_);
     ServeBatch(batch);
   }
 }
 
-void ServingRuntime::ServeBatch(std::vector<PendingRequest>& batch) {
-  std::lock_guard<std::mutex> lock(serve_mu_);
+void ServingShard::ServeBatch(std::vector<PendingRequest>& batch) {
+  // Precondition: serve_mu_ held by the caller (worker loop or Shutdown).
   core::PrestroidPipeline* pipeline = estimator_->pipeline();
 
   auto resolve = [this, &batch](size_t i, cost::ServingEstimate estimate) {
     latency_hist_.Record(estimate.latency_ms);
+    // Quota slot and memory charge free as the caller unblocks — every
+    // resolution path funnels through here, so the release is exactly-once.
+    batch[i].ticket.Release();
     batch[i].promise.set_value(std::move(estimate));
   };
 
@@ -281,14 +339,18 @@ void ServingRuntime::ServeBatch(std::vector<PendingRequest>& batch) {
     return;
   }
 
-  struct AdmittedItem {
-    size_t index;  // into `batch`
-    std::shared_ptr<const core::PlanFeatures> features;
-  };
-  std::vector<AdmittedItem> admitted;
-  admitted.reserve(batch.size());
+  // Trivially-destructible staging arrays live in the per-batch scratch
+  // arena (rewound, not freed, between batches); the feature handles keep
+  // their shared_ptr lifetimes in a normal vector.
+  arena_.Reset();
+  double* remaining_ms = arena_.AllocateArray<double>(batch.size());
+  size_t* admitted_index = arena_.AllocateArray<size_t>(batch.size());
+  const core::PlanFeatures** feature_ptrs =
+      arena_.AllocateArray<const core::PlanFeatures*>(batch.size());
+  size_t admitted = 0;
+  std::vector<std::shared_ptr<const core::PlanFeatures>> feature_handles;
+  feature_handles.reserve(batch.size());
   std::vector<plan::PlanStats> plan_stats(batch.size());
-  std::vector<double> remaining_ms(batch.size(), 0.0);
 
   for (size_t i = 0; i < batch.size(); ++i) {
     PendingRequest& request = batch[i];
@@ -305,8 +367,13 @@ void ServingRuntime::ServeBatch(std::vector<PendingRequest>& batch) {
                                               request.enqueue_time));
       continue;
     }
-    const uint64_t key = CombineFingerprint(FingerprintPlan(*request.plan),
-                                            cache_generation_);
+    // Routed requests carry the facade's fingerprint (identical plans land
+    // on the same shard, so reusing it keeps the cache key stable across the
+    // tier); direct submissions hash here.
+    const uint64_t plan_fp = request.has_fingerprint
+                                 ? request.fingerprint
+                                 : FingerprintPlan(*request.plan);
+    const uint64_t key = CombineFingerprint(plan_fp, cache_generation_);
     std::shared_ptr<const core::PlanFeatures> features = cache_.Lookup(key);
     if (features == nullptr) {
       Result<core::PlanFeatures> fresh = pipeline->FeaturizePlan(*request.plan);
@@ -319,24 +386,24 @@ void ServingRuntime::ServeBatch(std::vector<PendingRequest>& batch) {
       features = std::make_shared<core::PlanFeatures>(std::move(*fresh));
       cache_.Insert(key, features);
     }
-    admitted.push_back(AdmittedItem{i, std::move(features)});
+    admitted_index[admitted] = i;
+    feature_ptrs[admitted] = features.get();
+    feature_handles.push_back(std::move(features));
+    ++admitted;
   }
 
-  if (admitted.empty()) return;
+  if (admitted == 0) return;
 
   // One fused eval-mode forward pass for every admitted request.
-  std::vector<const core::PlanFeatures*> feature_ptrs;
-  feature_ptrs.reserve(admitted.size());
-  for (const AdmittedItem& item : admitted) {
-    feature_ptrs.push_back(item.features.get());
-  }
   const auto forward_start = std::chrono::steady_clock::now();
-  const std::vector<double> predicted = pipeline->PredictFeaturized(feature_ptrs);
+  const std::vector<double> predicted = pipeline->PredictFeaturized(
+      std::vector<const core::PlanFeatures*>(feature_ptrs,
+                                             feature_ptrs + admitted));
   const double per_item_ms =
-      ElapsedMs(forward_start) / static_cast<double>(admitted.size());
+      ElapsedMs(forward_start) / static_cast<double>(admitted);
 
-  for (size_t j = 0; j < admitted.size(); ++j) {
-    const size_t i = admitted[j].index;
+  for (size_t j = 0; j < admitted; ++j) {
+    const size_t i = admitted_index[j];
     estimator_->UpdateModelLatency(per_item_ms, remaining_ms[i]);
     if (std::isfinite(predicted[j])) {
       resolve(i, estimator_->FinishModelEstimate(

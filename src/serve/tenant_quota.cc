@@ -1,0 +1,93 @@
+#include "serve/tenant_quota.h"
+
+#include <algorithm>
+#include <string>
+
+namespace prestroid::serve {
+
+void TenantQuotaTable::SetQuota(TenantId tenant, TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateLocked(tenant);
+  state.quota = quota;
+  state.has_quota = true;
+}
+
+Status TenantQuotaTable::TryAdmit(TenantId tenant, size_t scratch_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateLocked(tenant);
+  const TenantQuota& quota = state.quota;
+  if (quota.max_in_flight != 0 && state.in_flight >= quota.max_in_flight) {
+    ++state.quota_sheds;
+    return Status::ResourceExhausted(
+        "tenant " + std::to_string(tenant) + " over in-flight quota (" +
+        std::to_string(quota.max_in_flight) + ")");
+  }
+  if (quota.max_scratch_bytes != 0 &&
+      state.scratch_bytes + scratch_bytes > quota.max_scratch_bytes) {
+    ++state.quota_sheds;
+    return Status::ResourceExhausted(
+        "tenant " + std::to_string(tenant) + " over scratch quota (" +
+        std::to_string(quota.max_scratch_bytes) + " bytes)");
+  }
+  ++state.admitted;
+  ++state.in_flight;
+  state.scratch_bytes += scratch_bytes;
+  return Status::OK();
+}
+
+void TenantQuotaTable::Release(TenantId tenant, size_t scratch_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateLocked(tenant);
+  if (state.in_flight > 0) --state.in_flight;
+  state.scratch_bytes =
+      state.scratch_bytes >= scratch_bytes ? state.scratch_bytes - scratch_bytes
+                                           : 0;
+}
+
+TenantCounters TenantQuotaTable::Snapshot(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantCounters counters;
+  counters.tenant = tenant;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return counters;
+  counters.admitted = it->second.admitted;
+  counters.quota_sheds = it->second.quota_sheds;
+  counters.in_flight = it->second.in_flight;
+  counters.scratch_bytes = it->second.scratch_bytes;
+  return counters;
+}
+
+std::vector<TenantCounters> TenantQuotaTable::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantCounters> all;
+  all.reserve(tenants_.size());
+  for (const auto& [tenant, state] : tenants_) {
+    TenantCounters counters;
+    counters.tenant = tenant;
+    counters.admitted = state.admitted;
+    counters.quota_sheds = state.quota_sheds;
+    counters.in_flight = state.in_flight;
+    counters.scratch_bytes = state.scratch_bytes;
+    all.push_back(counters);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TenantCounters& a, const TenantCounters& b) {
+              return a.tenant < b.tenant;
+            });
+  return all;
+}
+
+size_t TenantQuotaTable::TotalSheds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [tenant, state] : tenants_) total += state.quota_sheds;
+  return total;
+}
+
+TenantQuotaTable::TenantState& TenantQuotaTable::StateLocked(TenantId tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) it->second.quota = default_quota_;
+  return it->second;
+}
+
+}  // namespace prestroid::serve

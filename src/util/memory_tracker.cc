@@ -1,0 +1,68 @@
+#include "util/memory_tracker.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace prestroid {
+
+ScratchArena::ScratchArena(MemoryTracker* tracker, size_t initial_block_bytes)
+    : tracker_(tracker),
+      next_block_bytes_(initial_block_bytes == 0 ? 1024
+                                                 : initial_block_bytes) {}
+
+ScratchArena::~ScratchArena() { Trim(); }
+
+void* ScratchArena::Allocate(size_t bytes, size_t align) {
+  PRESTROID_CHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  for (; active_block_ < blocks_.size(); ++active_block_) {
+    Block& block = blocks_[active_block_];
+    const size_t aligned = (block.offset + align - 1) & ~(align - 1);
+    if (aligned + bytes <= block.size) {
+      block.offset = aligned + bytes;
+      used_bytes_ += bytes;
+      if (used_bytes_ > peak_used_bytes_) peak_used_bytes_ = used_bytes_;
+      return block.data + aligned;
+    }
+  }
+  Block* block = GrowFor(bytes + align);
+  const size_t aligned =
+      (reinterpret_cast<uintptr_t>(block->data) + align - 1) & ~(align - 1);
+  const size_t start = aligned - reinterpret_cast<uintptr_t>(block->data);
+  block->offset = start + bytes;
+  used_bytes_ += bytes;
+  if (used_bytes_ > peak_used_bytes_) peak_used_bytes_ = used_bytes_;
+  return block->data + start;
+}
+
+ScratchArena::Block* ScratchArena::GrowFor(size_t bytes) {
+  size_t size = next_block_bytes_;
+  while (size < bytes) size *= 2;
+  next_block_bytes_ = size * 2;
+  char* data = static_cast<char*>(std::malloc(size));
+  PRESTROID_CHECK(data != nullptr);
+  if (tracker_ != nullptr) tracker_->Charge(size);
+  capacity_bytes_ += size;
+  blocks_.push_back(Block{data, size, 0});
+  active_block_ = blocks_.size() - 1;
+  return &blocks_.back();
+}
+
+void ScratchArena::Reset() {
+  for (Block& block : blocks_) block.offset = 0;
+  active_block_ = 0;
+  used_bytes_ = 0;
+}
+
+void ScratchArena::Trim() {
+  for (Block& block : blocks_) std::free(block.data);
+  if (tracker_ != nullptr) tracker_->Release(capacity_bytes_);
+  blocks_.clear();
+  active_block_ = 0;
+  capacity_bytes_ = 0;
+  used_bytes_ = 0;
+}
+
+}  // namespace prestroid

@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DataCorruption";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

@@ -27,6 +27,11 @@ enum class StatusCode {
   /// A bounded resource (admission queue, pool, quota) is full. Callers are
   /// expected to shed load or retry later; the request was never started.
   kResourceExhausted,
+  /// The operation requires state the caller has not established (e.g. a
+  /// blocking estimate against a runtime whose worker was never Start()ed).
+  /// Distinct from kInvalidArgument: the arguments are fine, the object is
+  /// not ready; fix the call ordering and retry.
+  kFailedPrecondition,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -78,6 +83,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   /// Builds an IoError from the current C `errno`, formatted as

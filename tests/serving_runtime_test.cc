@@ -319,6 +319,45 @@ TEST_F(ServingRuntimeFixture, QueueOverflowRejectsWithoutBlocking) {
   EXPECT_EQ(after.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(ServingRuntimeFixture, EstimateWithoutStartFailsFastInsteadOfHanging) {
+  // Regression: the blocking wrapper used to deadlock when called against a
+  // runtime whose worker was never started — the future can never resolve.
+  // It must fail fast with kFailedPrecondition instead.
+  cost::ServingEstimator estimator;
+  ServingRuntime runtime(&estimator, {});
+  auto blocked = runtime.Estimate(SamplePlan(0), 1e9);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kFailedPrecondition);
+  runtime.Shutdown();
+}
+
+TEST_F(ServingRuntimeFixture, RestartResetsTheQueueHighWatermark) {
+  cost::ServingEstimator estimator;  // fallbacks only — plenty for a drain
+  ServingRuntimeConfig config;
+  config.queue_depth = 4;
+  config.max_batch = 2;
+  ServingRuntime runtime(&estimator, config);
+
+  // First run: fill the queue before Start so the watermark deterministically
+  // reaches the full depth.
+  std::vector<std::future<cost::ServingEstimate>> first_run;
+  for (size_t i = 0; i < config.queue_depth; ++i) {
+    first_run.push_back(runtime.Submit(SamplePlan(i)).ValueOrDie());
+  }
+  EXPECT_EQ(runtime.StatsSnapshot().queue_high_watermark, config.queue_depth);
+  runtime.Shutdown();
+  for (auto& future : first_run) future.get();
+
+  // Second run: the watermark reports THIS run's peak, not the first run's.
+  ASSERT_TRUE(runtime.Start().ok());
+  auto one = runtime.Submit(SamplePlan(0), 1e9);
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(std::isfinite(one->get().cpu_minutes));
+  const cost::ServingStats stats = runtime.StatsSnapshot();
+  EXPECT_LE(stats.queue_high_watermark, 1u);
+  runtime.Shutdown();
+}
+
 TEST_F(ServingRuntimeFixture, CacheReusesFeaturesUntilInvalidated) {
   auto estimator = MakeEstimator();
   ServingRuntimeConfig config;
@@ -326,8 +365,10 @@ TEST_F(ServingRuntimeFixture, CacheReusesFeaturesUntilInvalidated) {
   ServingRuntime runtime(estimator.get(), config);
   ASSERT_TRUE(runtime.Start().ok());
 
-  const cost::ServingEstimate first = runtime.Estimate(SamplePlan(0), 1e9);
-  const cost::ServingEstimate second = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate first =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
+  const cost::ServingEstimate second =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
   ASSERT_EQ(first.tier, cost::ServingTier::kModel);
   ASSERT_EQ(second.tier, cost::ServingTier::kModel);
   // Identical plan, identical features: bitwise-equal model answers.
@@ -339,7 +380,8 @@ TEST_F(ServingRuntimeFixture, CacheReusesFeaturesUntilInvalidated) {
   // Catalog churn / artifact swap: invalidation retires the cached encoding,
   // so the same plan featurizes again under the new generation.
   runtime.InvalidateCache();
-  const cost::ServingEstimate third = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate third =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
   ASSERT_EQ(third.tier, cost::ServingTier::kModel);
   EXPECT_EQ(third.cpu_minutes, first.cpu_minutes);  // same pipeline, same answer
   stats = runtime.StatsSnapshot();
@@ -354,8 +396,10 @@ TEST_F(ServingRuntimeFixture, LegacySingleQueryPathSkipsTheCache) {
   config.max_batch = 1;  // legacy per-request path
   ServingRuntime runtime(estimator.get(), config);
   ASSERT_TRUE(runtime.Start().ok());
-  const cost::ServingEstimate a = runtime.Estimate(SamplePlan(0), 1e9);
-  const cost::ServingEstimate b = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate a =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
+  const cost::ServingEstimate b =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
   EXPECT_EQ(a.tier, cost::ServingTier::kModel);
   EXPECT_EQ(a.cpu_minutes, b.cpu_minutes);
   const cost::ServingStats stats = runtime.StatsSnapshot();
@@ -370,7 +414,8 @@ TEST_F(ServingRuntimeFixture, SwapPipelineIsAtomicAndBumpsTheCacheGeneration) {
   ServingRuntime runtime(estimator.get(), config);
   ASSERT_TRUE(runtime.Start().ok());
 
-  const cost::ServingEstimate before = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate before =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
   ASSERT_EQ(before.tier, cost::ServingTier::kModel);
   cost::ServingStats stats = runtime.StatsSnapshot();
   EXPECT_EQ(stats.cache_misses, 1u);
@@ -386,7 +431,8 @@ TEST_F(ServingRuntimeFixture, SwapPipelineIsAtomicAndBumpsTheCacheGeneration) {
   ASSERT_TRUE(previous.ok()) << previous.status().ToString();
   EXPECT_NE(*previous, nullptr);
 
-  const cost::ServingEstimate after = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate after =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
   ASSERT_EQ(after.tier, cost::ServingTier::kModel);
   EXPECT_EQ(after.cpu_minutes, before.cpu_minutes);
   stats = runtime.StatsSnapshot();
@@ -404,7 +450,8 @@ TEST_F(ServingRuntimeFixture, SwapPipelineIsAtomicAndBumpsTheCacheGeneration) {
   // Detaching (nullptr) degrades to the fallback chain instead of failing.
   auto detached = runtime.SwapPipeline(nullptr);
   ASSERT_TRUE(detached.ok());
-  const cost::ServingEstimate degraded = runtime.Estimate(SamplePlan(0), 1e9);
+  const cost::ServingEstimate degraded =
+      runtime.Estimate(SamplePlan(0), 1e9).ValueOrDie();
   EXPECT_NE(degraded.tier, cost::ServingTier::kModel);
   EXPECT_TRUE(std::isfinite(degraded.cpu_minutes));
   runtime.Shutdown();

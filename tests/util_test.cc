@@ -2,10 +2,13 @@
 
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/histogram.h"
+#include "util/memory_tracker.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -356,11 +359,165 @@ TEST(LatencyHistogramTest, MergeMatchesSingleThreadedRecording) {
   }
 }
 
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram filled, empty;
+  filled.Record(1.0);
+  filled.Record(10.0);
+  filled.Record(100.0);
+
+  LatencyHistogram a = filled;
+  a.Merge(empty);  // empty into non-empty: nothing changes
+  EXPECT_EQ(a.count(), filled.count());
+  EXPECT_DOUBLE_EQ(a.sum(), filled.sum());
+  EXPECT_DOUBLE_EQ(a.min(), filled.min());
+  EXPECT_DOUBLE_EQ(a.max(), filled.max());
+  for (double p : {50.0, 95.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), filled.Percentile(p));
+  }
+
+  LatencyHistogram b;  // non-empty into empty: adopts everything, including
+  b.Merge(filled);     // the min/max sentinels an empty histogram must not
+  EXPECT_EQ(b.count(), filled.count());  // contribute
+  EXPECT_DOUBLE_EQ(b.sum(), filled.sum());
+  EXPECT_DOUBLE_EQ(b.min(), filled.min());
+  EXPECT_DOUBLE_EQ(b.max(), filled.max());
+  for (double p : {50.0, 95.0}) {
+    EXPECT_DOUBLE_EQ(b.Percentile(p), filled.Percentile(p));
+  }
+}
+
+TEST(LatencyHistogramTest, MergeOfDisjointRangesSpansBoth) {
+  // One worker saw only sub-millisecond requests, another only multi-second
+  // ones (shards under a skewed tenant mix look exactly like this).
+  LatencyHistogram fast, slow;
+  for (int i = 0; i < 50; ++i) fast.Record(0.05);
+  for (int i = 0; i < 50; ++i) slow.Record(5000.0);
+  LatencyHistogram merged = fast;
+  merged.Merge(slow);
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_DOUBLE_EQ(merged.min(), 0.05);
+  EXPECT_DOUBLE_EQ(merged.max(), 5000.0);
+  // Exactly half the mass in each mode: p25 sits in the fast range, p75 in
+  // the slow one (2x envelopes absorb log-bucket resolution).
+  EXPECT_LE(merged.Percentile(25.0), 0.1);
+  EXPECT_GE(merged.Percentile(75.0), 2500.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesStableUnderMergeOrderAndGrouping) {
+  // Merging is element-wise bucket addition, so quantiles must not depend on
+  // how per-worker histograms are grouped or ordered when the owner folds
+  // them together.
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) {
+    samples.push_back(0.1 * static_cast<double>(1 + rng.NextUint64(5000)));
+  }
+  LatencyHistogram h1, h2, h3;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    (i % 3 == 0 ? h1 : i % 3 == 1 ? h2 : h3).Record(samples[i]);
+  }
+  LatencyHistogram left_fold = h1;   // (h1+h2)+h3
+  left_fold.Merge(h2);
+  left_fold.Merge(h3);
+  LatencyHistogram right_fold = h3;  // (h3+h2)+h1
+  right_fold.Merge(h2);
+  right_fold.Merge(h1);
+  EXPECT_EQ(left_fold.count(), samples.size());
+  EXPECT_EQ(right_fold.count(), samples.size());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(left_fold.Percentile(p), right_fold.Percentile(p));
+  }
+}
+
 TEST(StatusTest, ResourceExhaustedCode) {
   Status status = Status::ResourceExhausted("queue full");
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(status.ToString(), "ResourceExhausted: queue full");
+}
+
+TEST(StatusTest, FailedPreconditionCode) {
+  Status status = Status::FailedPrecondition("worker not started");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(status.ToString(), "FailedPrecondition: worker not started");
+}
+
+TEST(MemoryTrackerTest, ChargesReleasesAndTracksPeak) {
+  MemoryTracker tracker;  // budget 0: account, never refuse
+  EXPECT_TRUE(tracker.TryCharge(100));
+  EXPECT_TRUE(tracker.TryCharge(50));
+  EXPECT_EQ(tracker.in_use(), 150u);
+  EXPECT_EQ(tracker.peak(), 150u);
+  tracker.Release(100);
+  EXPECT_EQ(tracker.in_use(), 50u);
+  EXPECT_EQ(tracker.peak(), 150u);  // peak is sticky
+  EXPECT_EQ(tracker.denied(), 0u);
+}
+
+TEST(MemoryTrackerTest, BudgetRefusesAndCountsDenials) {
+  MemoryTracker tracker(100);
+  EXPECT_TRUE(tracker.TryCharge(80));
+  EXPECT_FALSE(tracker.TryCharge(21));  // 80 + 21 > 100
+  EXPECT_EQ(tracker.denied(), 1u);
+  EXPECT_EQ(tracker.in_use(), 80u);  // the refused charge left no residue
+  EXPECT_TRUE(tracker.TryCharge(20));
+  EXPECT_EQ(tracker.in_use(), 100u);
+  tracker.Release(100);
+  // Over-release clamps instead of wrapping.
+  tracker.Release(1000);
+  EXPECT_EQ(tracker.in_use(), 0u);
+  const MemoryTrackerStats stats = tracker.Snapshot();
+  EXPECT_EQ(stats.budget_bytes, 100u);
+  EXPECT_EQ(stats.peak_bytes, 100u);
+  EXPECT_EQ(stats.denied, 1u);
+}
+
+TEST(MemoryTrackerTest, UnconditionalChargeMayExceedBudget) {
+  MemoryTracker tracker(10);
+  tracker.Charge(64);  // arena block growth: already allocated, must account
+  EXPECT_EQ(tracker.in_use(), 64u);
+  EXPECT_EQ(tracker.denied(), 0u);
+}
+
+TEST(ScratchArenaTest, ResetRetainsBlocksAndTrackerCharge) {
+  MemoryTracker tracker;
+  ScratchArena arena(&tracker, /*initial_block_bytes=*/64);
+  void* first = arena.Allocate(40);
+  ASSERT_NE(first, nullptr);
+  const size_t warm_capacity = arena.capacity_bytes();
+  EXPECT_GT(warm_capacity, 0u);
+  EXPECT_EQ(tracker.in_use(), warm_capacity);
+
+  arena.Reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  // Steady state: same-size allocations reuse the retained blocks — no new
+  // capacity, no new tracker charge.
+  void* second = arena.Allocate(40);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(arena.capacity_bytes(), warm_capacity);
+  EXPECT_EQ(tracker.in_use(), warm_capacity);
+
+  arena.Trim();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  EXPECT_EQ(tracker.in_use(), 0u);
+}
+
+TEST(ScratchArenaTest, AllocationsAreAlignedAndGrowGeometrically) {
+  ScratchArena arena(nullptr, /*initial_block_bytes=*/32);
+  for (size_t align : {size_t{1}, size_t{8}, size_t{64}}) {
+    void* p = arena.Allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+  }
+  // An allocation larger than any existing block forces growth.
+  double* wide = arena.AllocateArray<double>(100);
+  ASSERT_NE(wide, nullptr);
+  wide[99] = 1.0;  // must be writable storage
+  EXPECT_DOUBLE_EQ(wide[99], 1.0);
+  EXPECT_GE(arena.capacity_bytes(), 100 * sizeof(double));
+  EXPECT_GE(arena.peak_used_bytes(), arena.used_bytes());
 }
 
 TEST(TablePrinterTest, DoubleRowFormatting) {
