@@ -1,5 +1,8 @@
 #include "bench_json.h"
 
+#include <thread>
+
+#include "tensor/kernels/gemm_kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -179,6 +182,17 @@ void JsonWriter::FieldDouble(const std::string& key, double value,
                              const char* fmt) {
   Key(key);
   Double(value, fmt);
+}
+
+void JsonWriter::Provenance() {
+#ifdef PRESTROID_GIT_SHA
+  Field("git_sha", PRESTROID_GIT_SHA);
+#else
+  Field("git_sha", "unknown");
+#endif
+  Field("gemm_isa", GemmBlockedIsaName());
+  Field("hardware_threads",
+        static_cast<size_t>(std::thread::hardware_concurrency()));
 }
 
 }  // namespace prestroid::bench

@@ -31,6 +31,7 @@
 #include "sql/parser.h"
 #include "subtree/subtree_sampler.h"
 #include "tensor/execution_context.h"
+#include "tensor/kernels/resident_weights.h"
 #include "tensor/ops.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -287,9 +288,10 @@ void RunScalingSweep() {
 namespace {
 
 struct KernelBenchRecord {
-  std::string op;      // "gemm" | "tree_conv_fwd_bwd"
+  std::string op;      // "gemm" | "tree_conv_fwd_bwd" | "serving_gemm"
   std::string shape;   // "MxKxN" / "BATCHxNODESxDIM"
-  std::string kernel;  // "scalar" | "blocked"
+  std::string kernel;  // "scalar" | "blocked" | "resident"
+  std::string precision = "fp32";  // "fp32" | "bf16" | "int8"
   size_t threads = 1;
   double ns_per_iter = 0.0;
   double gflops = 0.0;
@@ -419,6 +421,80 @@ int RunJsonBench(const std::string& path) {
     }
   }
 
+  // Serving-shaped GEMMs (m <= 32 plus one batch-1152 im2col row block):
+  // the per-call-packing blocked path vs the resident pre-packed tier at
+  // fp32/bf16/int8 (tensor/kernels/resident_weights.h). The int8 records
+  // back the BENCH acceptance line: speedup over blocked fp32 at m <= 32
+  // and the resident weight-memory reduction.
+  const size_t serving_shapes[][3] = {
+      {1, 1152, 128},    // single request through the dense head (3C -> C)
+      {8, 1152, 128},    // small fused batch
+      {32, 1152, 128},   // max_batch=32 fused forward
+      {32, 128, 64},     // dense head tail (C -> units)
+  };
+  double int8_log_speedup = 0.0;
+  size_t int8_speedup_count = 0;
+  double weight_fp32_bytes = 0.0;
+  double weight_int8_bytes = 0.0;
+  for (const auto& s : serving_shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Rng rng(3);
+    const Tensor a = Tensor::Random({m, k}, &rng);
+    const Tensor b = Tensor::Random({k, n}, &rng);
+    const Tensor bias = Tensor::Random({n}, &rng);
+    Tensor out;
+    const std::string shape = StrFormat("%zux%zux%zu", m, k, n);
+    const double flops = 2.0 * static_cast<double>(m * k * n);
+
+    ExecutionContext ctx(threads);
+    ctx.mutable_kernels()->SetAllBackends(KernelBackend::kBlocked);
+    KernelBenchRecord blocked;
+    blocked.op = "serving_gemm";
+    blocked.shape = shape;
+    blocked.kernel = "blocked";
+    blocked.threads = threads;
+    blocked.ns_per_iter =
+        MedianNs([&] { MatMulBiasInto(&out, a, b, bias, &ctx); });
+    blocked.gflops = flops / blocked.ns_per_iter;
+    const double blocked_ns = blocked.ns_per_iter;
+    std::cout << "serving_gemm " << shape << " blocked/fp32: "
+              << StrFormat("%.2f", blocked.gflops) << " GFLOP/s\n";
+    records.push_back(std::move(blocked));
+
+    const Precision precisions[] = {Precision::kFp32, Precision::kBf16,
+                                    Precision::kInt8};
+    for (Precision precision : precisions) {
+      const ResidentWeights resident = ResidentWeights::Build(b, precision);
+      KernelBenchRecord rec;
+      rec.op = "serving_gemm";
+      rec.shape = shape;
+      rec.kernel = "resident";
+      rec.precision = KernelRegistry::PrecisionName(precision);
+      rec.threads = threads;
+      rec.ns_per_iter = MedianNs(
+          [&] { resident.Gemm(&out, a, &bias, GemmEpilogue::kBias, &ctx); });
+      rec.gflops = flops / rec.ns_per_iter;
+      std::cout << "serving_gemm " << shape << " resident/" << rec.precision
+                << ": " << StrFormat("%.2f", rec.gflops) << " GFLOP/s ("
+                << StrFormat("%.2fx", blocked_ns / rec.ns_per_iter)
+                << " vs blocked)\n";
+      if (precision == Precision::kInt8) {
+        int8_log_speedup += std::log(blocked_ns / rec.ns_per_iter);
+        ++int8_speedup_count;
+        weight_fp32_bytes += static_cast<double>(resident.fp32_bytes());
+        weight_int8_bytes += static_cast<double>(resident.resident_bytes());
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  const double int8_speedup =
+      int8_speedup_count == 0
+          ? 0.0
+          : std::exp(int8_log_speedup /
+                     static_cast<double>(int8_speedup_count));
+  const double int8_memory_reduction =
+      weight_int8_bytes == 0.0 ? 0.0 : weight_fp32_bytes / weight_int8_bytes;
+
   const double gemm_speedup = GeomeanSpeedup(records, "gemm");
   const double conv_speedup = GeomeanSpeedup(records, "tree_conv_fwd_bwd");
 
@@ -431,9 +507,9 @@ int RunJsonBench(const std::string& path) {
     bench::JsonWriter json(out);
     json.BeginObject();
     json.Field("generated_by", "bench/micro_ops --json");
+    json.Provenance();
     json.Field("reps", kJsonReps);
     json.Field("warmup", kJsonWarmup);
-    json.Field("hardware_threads", ThreadPool::HardwareConcurrency());
     json.Key("records");
     json.BeginArray();
     for (const KernelBenchRecord& r : records) {
@@ -441,6 +517,7 @@ int RunJsonBench(const std::string& path) {
       json.Field("op", r.op);
       json.Field("shape", r.shape);
       json.Field("kernel", r.kernel);
+      json.Field("precision", r.precision);
       json.Field("threads", r.threads);
       json.FieldDouble("gflops", r.gflops);
       json.FieldDouble("ns_per_iter", r.ns_per_iter, "%.1f");
@@ -452,6 +529,10 @@ int RunJsonBench(const std::string& path) {
     json.FieldDouble("gemm_geomean_speedup_blocked_over_scalar", gemm_speedup);
     json.FieldDouble("tree_conv_geomean_speedup_blocked_over_scalar",
                      conv_speedup);
+    json.FieldDouble("serving_int8_geomean_speedup_over_blocked_fp32",
+                     int8_speedup);
+    json.FieldDouble("serving_int8_weight_memory_reduction",
+                     int8_memory_reduction);
     json.EndObject();
     json.EndObject();
   }
@@ -460,6 +541,10 @@ int RunJsonBench(const std::string& path) {
             << StrFormat("%.2fx", gemm_speedup) << "\n";
   std::cout << "tree-conv fwd+bwd geomean speedup (blocked/scalar): "
             << StrFormat("%.2fx", conv_speedup) << "\n";
+  std::cout << "serving int8 geomean speedup (resident-int8/blocked-fp32): "
+            << StrFormat("%.2fx", int8_speedup) << "\n";
+  std::cout << "serving int8 weight-memory reduction: "
+            << StrFormat("%.2fx", int8_memory_reduction) << "\n";
   std::cout << "wrote " << path << "\n";
   return 0;
 }

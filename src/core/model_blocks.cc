@@ -54,6 +54,10 @@ size_t TreeConvStack::NumParameters() {
   return total;
 }
 
+void TreeConvStack::CollectQuantLayers(std::vector<QuantizableLayer*>* out) {
+  for (auto& conv : convs_) out->push_back(conv.get());
+}
+
 DenseHead::DenseHead(const DenseHeadConfig& config, Rng* rng) {
   PRESTROID_CHECK_GT(config.input_dim, 0u);
   size_t in = config.input_dim;
@@ -115,6 +119,12 @@ size_t DenseHead::NumParameters() {
   size_t total = 0;
   for (ParamRef& p : Params()) total += p.value->size();
   return total;
+}
+
+void DenseHead::CollectQuantLayers(std::vector<QuantizableLayer*>* out) {
+  for (auto& layer : layers_) {
+    if (auto* dense = dynamic_cast<Dense*>(layer.get())) out->push_back(dense);
+  }
 }
 
 }  // namespace prestroid::core

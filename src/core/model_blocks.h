@@ -40,6 +40,10 @@ class TreeConvStack {
   size_t output_dim() const { return output_dim_; }
   size_t num_layers() const { return convs_.size(); }
 
+  /// Appends the stack's quantizable layers (every TreeConvLayer) in forward
+  /// order (see CostModel::CollectQuantLayers).
+  void CollectQuantLayers(std::vector<QuantizableLayer*>* out);
+
  private:
   size_t output_dim_;
   std::vector<std::unique_ptr<TreeConvLayer>> convs_;
@@ -80,6 +84,10 @@ class DenseHead {
   /// Non-trainable buffers (batch-norm running statistics).
   std::vector<ParamRef> State();
   size_t NumParameters();
+
+  /// Appends the head's quantizable layers (every Dense) in forward order
+  /// (see CostModel::CollectQuantLayers).
+  void CollectQuantLayers(std::vector<QuantizableLayer*>* out);
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -9,6 +9,7 @@
 #include "core/full_tree_model.h"
 #include "core/label_transform.h"
 #include "core/metrics.h"
+#include "core/quant_profile.h"
 #include "core/subtree_model.h"
 #include "embed/word2vec.h"
 #include "nn/trainer.h"
@@ -107,6 +108,32 @@ class PrestroidPipeline {
   std::vector<double> PredictFeaturized(
       const std::vector<const PlanFeatures*>& batch);
 
+  // --- Low-precision inference (the resident kernel tier; DESIGN.md §5.8) --
+
+  /// Freezes the model's eval-mode GEMM weights at `precision`. kFp32
+  /// clears any resident state and restores the exact historical path.
+  /// For kInt8, `profile` supplies the calibrated per-layer activation
+  /// scales; null falls back to dynamic per-batch absmax. A profile whose
+  /// layer count does not match the model is kInvalidArgument and leaves
+  /// the pipeline at fp32. Training a frozen pipeline is forbidden (layer
+  /// Backward CHECK-fails); call SetInferencePrecision(kFp32, null) first.
+  Status SetInferencePrecision(Precision precision,
+                               const QuantizationProfile* profile);
+  Precision inference_precision() const { return inference_precision_; }
+
+  /// One-pass post-training calibration: records every quantizable layer's
+  /// GEMM-input range over fp32 eval forwards of `sample`, then resolves
+  /// percentile-clipped symmetric scales (nn/quantize.h). The pipeline must
+  /// be at fp32. The returned profile pairs with SetInferencePrecision and
+  /// Save/LoadQuantizationProfile.
+  Result<QuantizationProfile> CalibrateQuantization(
+      const std::vector<const PlanFeatures*>& sample, double clip_percentile);
+
+  /// Bytes of the model's GEMM weight operands as served at the active
+  /// precision (resident layouts when frozen, fp32 otherwise) — the
+  /// weight-memory term of the Fig 6-style serving footprint report.
+  size_t InferenceWeightBytes();
+
   CostModel* model();
   /// The pipeline-owned execution context (thread pool + scratch arena +
   /// counters) bound to the model. Never null after Fit()/LoadFile().
@@ -152,6 +179,7 @@ class PrestroidPipeline {
   std::unique_ptr<FullTreeModel> full_model_;
   std::vector<float> targets_;
   std::vector<double> cpu_minutes_;
+  Precision inference_precision_ = Precision::kFp32;
 };
 
 }  // namespace prestroid::core

@@ -1,0 +1,49 @@
+#ifndef PRESTROID_CORE_QUANT_PROFILE_H_
+#define PRESTROID_CORE_QUANT_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prestroid::core {
+
+/// Calibrated activation statistics for one quantizable layer, in the order
+/// CostModel::CollectQuantLayers yields (conv trunk, then dense head).
+struct QuantLayerProfile {
+  float act_scale = 0.0f;  // per-tensor symmetric int8 scale (clip / 127)
+  float act_min = 0.0f;    // observed range, kept for auditability
+  float act_max = 0.0f;
+};
+
+/// A model's int8 quantization profile: the output of one calibration pass
+/// (PrestroidPipeline::CalibrateQuantization) over a trace sample. Stored as
+/// its own versioned artifact next to the model (QuantProfilePathFor), CRC'd
+/// by the v2 container, so a serving process can apply --precision int8 with
+/// calibrated scales instead of dynamic per-batch absmax.
+struct QuantizationProfile {
+  double clip_percentile = 99.0;  // row-absmax percentile used for the clip
+  size_t samples = 0;             // calibration sample count (plans)
+  std::vector<QuantLayerProfile> layers;
+};
+
+/// Conventional sibling path of a model artifact's profile:
+/// "<model_path>.qprof".
+inline std::string QuantProfilePathFor(const std::string& model_path) {
+  return model_path + ".qprof";
+}
+
+/// Serializes `profile` atomically to `path` in the v2 artifact container
+/// (CRC-validated section "qprof"). Implemented in core/pipeline_io.cc.
+Status SaveQuantizationProfile(const std::string& path,
+                               const QuantizationProfile& profile);
+
+/// Loads a profile written by SaveQuantizationProfile. kDataCorruption when
+/// the container CRC or the payload fails validation — callers must then
+/// serve fp32, never crash (the degradation-chain contract; DESIGN.md §5.8).
+Result<QuantizationProfile> LoadQuantizationProfile(const std::string& path);
+
+}  // namespace prestroid::core
+
+#endif  // PRESTROID_CORE_QUANT_PROFILE_H_

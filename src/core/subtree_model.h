@@ -86,6 +86,10 @@ class SubtreeModel : public CostModel {
   /// Binds `ctx` on every layer of the trunk, pooling and head.
   void SetExecutionContext(ExecutionContext* ctx) override;
   ExecutionContext* execution_context() override { return ctx_; }
+  void CollectQuantLayers(std::vector<QuantizableLayer*>* out) override {
+    conv_->CollectQuantLayers(out);
+    head_->CollectQuantLayers(out);
+  }
 
   /// Exact bytes of the padded input tensor for one batch (Figure 6 top):
   /// batch * K * N * F * sizeof(float).

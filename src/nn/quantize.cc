@@ -1,0 +1,52 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prestroid {
+
+void QuantCalibration::RecordRows(const float* data, size_t rows,
+                                  size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    float row_max = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      const float v = row[c];
+      if (!any_) {
+        min_ = max_ = v;
+        any_ = true;
+      } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+      }
+      const float av = std::fabs(v);
+      if (av > row_max) row_max = av;
+    }
+    if (row_absmax_.size() < kMaxRows) row_absmax_.push_back(row_max);
+  }
+  rows_seen_ += rows;
+}
+
+Result<QuantRange> QuantCalibration::Resolve(double clip_percentile) const {
+  if (row_absmax_.empty()) {
+    return Status::FailedPrecondition(
+        "quantization calibration saw no activations");
+  }
+  const double clip =
+      std::min(100.0, std::max(0.0, clip_percentile)) / 100.0;
+  std::vector<float> sorted = row_absmax_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank percentile: the smallest absmax covering `clip` of the
+  // recorded rows. clip = 1.0 keeps the true max (no clipping).
+  size_t idx = static_cast<size_t>(
+      std::ceil(clip * static_cast<double>(sorted.size())));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  QuantRange range;
+  range.act_scale = sorted[idx] / 127.0f;
+  range.act_min = min_;
+  range.act_max = max_;
+  return range;
+}
+
+}  // namespace prestroid

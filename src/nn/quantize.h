@@ -1,0 +1,92 @@
+#ifndef PRESTROID_NN_QUANTIZE_H_
+#define PRESTROID_NN_QUANTIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/kernels/kernel_registry.h"
+#include "util/status.h"
+
+namespace prestroid {
+
+/// Resolved activation statistics for one quantizable layer: the per-tensor
+/// symmetric int8 scale plus the observed range (kept for debugging and for
+/// the profile artifact, so a loaded profile is auditable).
+struct QuantRange {
+  float act_scale = 0.0f;
+  float act_min = 0.0f;
+  float act_max = 0.0f;
+};
+
+/// One-pass activation-range recorder for post-training calibration.
+///
+/// While attached to a layer (QuantizableLayer::set_calibration_sink), every
+/// fp32 eval forward records the layer's GEMM input: the global min/max plus
+/// one absmax per input row (capped — see kMaxRows — so a huge trace sample
+/// cannot balloon memory; min/max keep integrating after the cap).
+/// Resolve() turns the recording into a percentile-clipped symmetric scale:
+/// scale = percentile(row_absmax, clip) / 127. The clip drops outlier rows
+/// (rare huge plans) that would otherwise stretch the scale and crush the
+/// resolution of every ordinary activation.
+class QuantCalibration {
+ public:
+  /// Row-absmax reservoir cap. 65536 rows is ~256 KiB per layer and far more
+  /// than a percentile estimate needs.
+  static constexpr size_t kMaxRows = 1u << 16;
+
+  /// Records `rows` x `cols` row-major activations.
+  void RecordRows(const float* data, size_t rows, size_t cols);
+
+  /// Resolves the recording at `clip_percentile` (e.g. 99.0). Edge cases by
+  /// construction: a single-row trace clips to that row's absmax; constant
+  /// activations give scale = |c| / 127; an all-zero recording gives scale 0
+  /// (the int8 path then quantizes every activation to 0 and outputs exactly
+  /// the bias). kFailedPrecondition when nothing was recorded.
+  Result<QuantRange> Resolve(double clip_percentile) const;
+
+  size_t rows_seen() const { return rows_seen_; }
+
+ private:
+  float min_ = 0.0f;
+  float max_ = 0.0f;
+  bool any_ = false;
+  std::vector<float> row_absmax_;
+  size_t rows_seen_ = 0;
+};
+
+/// Interface a layer implements to join the low-precision inference tier
+/// (Dense and TreeConvLayer). Models expose their quantizable layers in a
+/// stable forward order via CostModel::CollectQuantLayers, which is the
+/// order quantization-profile entries are matched by.
+class QuantizableLayer {
+ public:
+  virtual ~QuantizableLayer() = default;
+
+  /// Freezes this layer's eval-mode GEMM weights into a ResidentWeights at
+  /// `precision` (fp32 = pre-packed panels, bit-identical to the blocked
+  /// path). `act_scale` is the calibrated int8 activation scale; <= 0 means
+  /// dynamic per-batch absmax. Training forward/backward must not run while
+  /// frozen — Backward() checks. Idempotent: call again to re-freeze.
+  virtual Status PrepareInferencePrecision(Precision precision,
+                                           float act_scale) = 0;
+
+  /// Drops the resident weights; the layer serves fp32 again.
+  virtual void ClearInferencePrecision() = 0;
+
+  /// Active inference precision (kFp32 when not frozen).
+  virtual Precision inference_precision() const = 0;
+
+  /// Attaches (or detaches, with null) a calibration recorder fed by this
+  /// layer's fp32 eval forwards. Ignored while frozen.
+  virtual void set_calibration_sink(QuantCalibration* sink) = 0;
+
+  /// Bytes of the resident inference operand (fp32 weight bytes when not
+  /// frozen) and of the fp32 weights it replaces — the per-layer terms of
+  /// the Fig 6-style weight-memory report.
+  virtual size_t resident_weight_bytes() const = 0;
+  virtual size_t fp32_weight_bytes() const = 0;
+};
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_NN_QUANTIZE_H_

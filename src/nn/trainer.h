@@ -12,6 +12,8 @@
 
 namespace prestroid {
 
+class QuantizableLayer;  // nn/quantize.h
+
 /// Abstract interface every query-cost regressor implements (Prestroid
 /// sub-tree / full-tree models and the M-MSCN / WCNN baselines). Each model
 /// owns its featurized copy of the dataset; sample indices select rows.
@@ -59,6 +61,15 @@ class CostModel {
   /// The bound context, or null for models that don't track one. The trainer
   /// uses it to report per-epoch flop counts in verbose logs.
   virtual ExecutionContext* execution_context() { return nullptr; }
+
+  /// Appends the model's quantizable GEMM layers (nn/quantize.h) in stable
+  /// forward order — convolution trunk first, then the dense head. This is
+  /// the order quantization-profile entries are matched by, so it must not
+  /// change between calibration and serving. Default: none (models without
+  /// quantizable layers, e.g. SVR).
+  virtual void CollectQuantLayers(std::vector<QuantizableLayer*>* out) {
+    (void)out;
+  }
 
   /// Optimizer state (e.g. Adam moments + step counter) for crash-safe
   /// training snapshots. Default: stateless (nothing written, restore is a

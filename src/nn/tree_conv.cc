@@ -34,7 +34,12 @@ Tensor& TreeConvLayer::Forward(const Tensor& features,
   input_cache_.CopyFrom(features);
   structure_cache_ = &structure;
 
-  if (ctx_->kernels().backend(KernelOp::kTreeConv) == KernelBackend::kBlocked) {
+  // Frozen inference always takes the im2col lowering — that is the operand
+  // layout the resident weights were built for. Calibration does too, so the
+  // recorded activation ranges cover exactly the operand the int8 path will
+  // quantize, independent of the kTreeConv backend choice.
+  if (resident_ != nullptr || calibration_ != nullptr ||
+      ctx_->kernels().backend(KernelOp::kTreeConv) == KernelBackend::kBlocked) {
     return ForwardBlocked(structure);
   }
 
@@ -79,6 +84,7 @@ Tensor& TreeConvLayer::Forward(const Tensor& features,
 }
 
 Tensor& TreeConvLayer::Backward(const Tensor& grad_output) {
+  PRESTROID_CHECK(resident_ == nullptr);  // no training while frozen
   PRESTROID_CHECK(structure_cache_ != nullptr);
   const TreeStructure& structure = *structure_cache_;
   const size_t batch = input_cache_.dim(0);
@@ -221,6 +227,18 @@ Tensor& TreeConvLayer::ForwardBlocked(const TreeStructure& structure) {
   const size_t batch = input_cache_.dim(0);
   const size_t nodes = input_cache_.dim(1);
   GatherWindows(structure);
+  if (calibration_ != nullptr && resident_ == nullptr) {
+    // Calibration records the actual GEMM operand — the gathered windows —
+    // so the resolved scale covers exactly what the int8 path quantizes.
+    calibration_->RecordRows(packed_input_.data(), batch * nodes,
+                             3 * in_features_);
+  }
+  if (resident_ != nullptr) {
+    resident_->Gemm(&output_, packed_input_, &bias_, GemmEpilogue::kBias,
+                    ctx_);
+    output_.ReshapeInPlace({batch, nodes, out_features_});
+    return output_;
+  }
   StackWeights();
   // One fused-bias GEMM covers every (node, position) pair:
   //   out[row] = [x_self | x_left | x_right] @ [W_self; W_left; W_right] + b
@@ -228,6 +246,15 @@ Tensor& TreeConvLayer::ForwardBlocked(const TreeStructure& structure) {
   MatMulBiasInto(&output_, packed_input_, wcat_, bias_, ctx_);
   output_.ReshapeInPlace({batch, nodes, out_features_});
   return output_;
+}
+
+Status TreeConvLayer::PrepareInferencePrecision(Precision precision,
+                                                float act_scale) {
+  StackWeights();
+  resident_ = std::make_unique<ResidentWeights>(
+      ResidentWeights::Build(wcat_, precision));
+  resident_->set_activation_scale(act_scale);
+  return Status::OK();
 }
 
 Tensor& TreeConvLayer::BackwardBlocked(const Tensor& grad_output,

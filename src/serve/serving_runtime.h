@@ -91,6 +91,11 @@ class ServingRuntime : public ServingHost {
 
   const ServingRuntimeConfig& config() const { return shard_.config(); }
 
+  /// Direct shard access for tests and per-shard observability (precision,
+  /// resident weight bytes, arena counters).
+  ServingShard& shard() { return shard_; }
+  const ServingShard& shard() const { return shard_; }
+
   // --- ServingHost ---------------------------------------------------------
 
   size_t ShardCount() const override { return 1; }

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/quant_profile.h"
 #include "cost/serving_estimator.h"
 #include "plan/plan_limits.h"
 #include "plan/plan_node.h"
@@ -43,6 +44,17 @@ struct ServingRuntimeConfig {
   /// (kInvalidArgument, counted in ServingStats::limit_rejects) so a hostile
   /// plan never reaches the hashing/encoding machinery.
   plan::PlanLimits plan_limits;
+  /// Inference precision for the shard's model tier (DESIGN.md §5.8). kFp32
+  /// is the exact historical path; kBf16/kInt8 freeze the attached
+  /// pipeline's weights into the resident kernel tier at Start() and after
+  /// every pipeline swap. If freezing fails (e.g. a profile/model layer
+  /// mismatch) the shard serves fp32 and counts a precision_fallback — the
+  /// degradation-chain contract: never crash, never refuse to serve.
+  Precision precision = Precision::kFp32;
+  /// Calibrated activation scales for kInt8 (null = dynamic per-batch
+  /// absmax). Shared because every shard of a sharded runtime applies the
+  /// same profile to its own pipeline replica.
+  std::shared_ptr<const core::QuantizationProfile> quant_profile;
 };
 
 /// Admission charges riding along with one routed request: the tenant's
@@ -203,6 +215,16 @@ class ServingShard {
   /// memory footprint, not a leak.
   size_t arena_capacity_bytes() const;
 
+  /// Precision the model tier is actually serving at: config().precision
+  /// when the freeze succeeded, kFp32 after a precision fallback or when no
+  /// pipeline is attached.
+  Precision active_precision() const;
+
+  /// Bytes of the attached pipeline's GEMM weights as served (resident
+  /// low-precision layouts when frozen, fp32 otherwise); 0 with no pipeline.
+  /// Charged against the box MemoryTracker while resident.
+  size_t resident_weight_bytes() const;
+
  private:
   struct PendingRequest {
     const plan::PlanNode* plan;
@@ -227,8 +249,16 @@ class ServingShard {
   /// forward pass for the admitted items, per-item fallback for the rest.
   void ServeBatch(std::vector<PendingRequest>& batch);
 
+  /// Applies config_.precision to the attached pipeline (serve_mu_ held):
+  /// releases any prior resident-weight memory charge, freezes the weights
+  /// at the configured precision, and charges the new resident footprint.
+  /// On failure the pipeline stays fp32 and precision_fallbacks_ ticks.
+  /// Called from Start() and after every SwapPipelineLocked.
+  void ApplyPrecisionLocked();
+
   cost::ServingEstimator* estimator_;
   ServingRuntimeConfig config_;
+  MemoryTracker* memory_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;  // worker waits: work available / stop
@@ -247,6 +277,11 @@ class ServingShard {
   LatencyHistogram latency_hist_;
   size_t model_swaps_ = 0;
   size_t model_rollbacks_ = 0;
+  Precision active_precision_ = Precision::kFp32;
+  size_t resident_weight_bytes_ = 0;  // as-served weight footprint
+  size_t resident_charged_bytes_ = 0; // portion charged to memory_
+  size_t quantized_batches_ = 0;
+  size_t precision_fallbacks_ = 0;
   /// Per-batch staging storage (deadline/pointer arrays), reset per batch and
   /// charged against the box-level tracker. Worker-confined under serve_mu_.
   ScratchArena arena_;

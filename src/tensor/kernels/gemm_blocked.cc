@@ -62,6 +62,8 @@ size_t GemmBlockedRowTile() {
   return gemm_base::GemmBlockedRowTile();
 }
 
+const char* GemmBlockedIsaName() { return UseAvx2Path() ? "avx2" : "base"; }
+
 size_t GemmPackedBSize(size_t k, size_t n) {
 #if defined(PRESTROID_GEMM_AVX2_TU)
   if (UseAvx2Path()) return gemm_avx2::GemmPackedBSize(k, n);

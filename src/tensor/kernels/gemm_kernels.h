@@ -64,6 +64,11 @@ void GemmTransposeBScalarRows(size_t i0, size_t i1, size_t k, size_t n,
 /// Row-tile height MR of the blocked micro-kernel (ISA-dependent).
 size_t GemmBlockedRowTile();
 
+/// Which instantiation the one-time CPUID dispatch selected for this process:
+/// "avx2" or "base". Stamped into BENCH_*.json provenance so kernel numbers
+/// are comparable across machines.
+const char* GemmBlockedIsaName();
+
 /// Floats needed for a packed image of B ([k, n] logical): n rounded up to
 /// the panel width NR.
 size_t GemmPackedBSize(size_t k, size_t n);

@@ -1,0 +1,123 @@
+// Low-precision GEMM: baseline-ISA instantiation plus the runtime dispatch
+// into the AVX2 TU (gemm_quant_avx2.cc). Mirrors the gemm_blocked.cc two-TU
+// scheme: this file is always compiled at the build's baseline ISA so the
+// binary runs on any x86-64 (or non-x86) machine, and per-call dispatch picks
+// the AVX2 instantiation when the blocked-GEMM probe resolved to "avx2" —
+// one source of truth for both the CPUID check and the PRESTROID_GEMM_ISA
+// environment override.
+
+#include "tensor/kernels/gemm_quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#define PRESTROID_GEMM_ISA_NS quant_base
+#include "tensor/kernels/gemm_quant_impl.inc"
+#undef PRESTROID_GEMM_ISA_NS
+
+#if defined(PRESTROID_QUANT_AVX2_TU)
+namespace prestroid {
+namespace quant_avx2 {
+// Compiled in gemm_quant_avx2.cc with -mavx2 -mfma.
+void GemmInt8Rows(size_t i0, size_t i1, size_t k, size_t n, const int8_t* a,
+                  const int8_t* b, const float* scale, const float* bias,
+                  GemmEpilogue epilogue, float* c, size_t ldc);
+void GemmBf16Rows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                  const uint16_t* b, const float* bias, GemmEpilogue epilogue,
+                  float* c, size_t ldc);
+}  // namespace quant_avx2
+}  // namespace prestroid
+#endif
+
+namespace prestroid {
+
+namespace {
+
+bool UseQuantAvx2() {
+#if defined(PRESTROID_QUANT_AVX2_TU)
+  // Reuse the blocked-GEMM ISA resolution (CPUID probe + PRESTROID_GEMM_ISA
+  // override) so the whole kernel tier switches ISAs together.
+  static const bool use = std::strcmp(GemmBlockedIsaName(), "avx2") == 0;
+  return use;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+float AbsMax(const float* data, size_t count) {
+  float best = 0.0f;
+  for (size_t i = 0; i < count; ++i) {
+    const float v = std::fabs(data[i]);
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+void QuantizeSymmetric(const float* src, size_t count, float inv_scale,
+                       int8_t* dst) {
+  for (size_t i = 0; i < count; ++i) {
+    const float scaled = src[i] * inv_scale;
+    // lrintf honors round-to-nearest-even; the clamp makes the symmetric
+    // range [-127, 127] (never -128, keeping |q| * |q| bounded uniformly).
+    long q = std::lrintf(scaled);
+    if (q > 127) q = 127;
+    if (q < -127) q = -127;
+    dst[i] = static_cast<int8_t>(q);
+  }
+}
+
+void PackInt8PairsB(size_t k, size_t n, const float* w,
+                    const float* channel_scale, int8_t* packed) {
+  const size_t k_pad = (k + 1) & ~static_cast<size_t>(1);
+  for (size_t p = 0; p < k_pad / 2; ++p) {
+    int8_t* prow = packed + p * 2 * n;
+    for (size_t half = 0; half < 2; ++half) {
+      const size_t kk = 2 * p + half;
+      if (kk >= k) {  // odd-k pad row: contributes exactly zero
+        for (size_t j = 0; j < n; ++j) prow[2 * j + half] = 0;
+        continue;
+      }
+      const float* row = w + kk * n;
+      for (size_t j = 0; j < n; ++j) {
+        const float s = channel_scale[j];
+        // s == 0 means the whole output channel is zero weight.
+        const float inv = s > 0.0f ? 1.0f / s : 0.0f;
+        long q = std::lrintf(row[j] * inv);
+        if (q > 127) q = 127;
+        if (q < -127) q = -127;
+        prow[2 * j + half] = static_cast<int8_t>(q);
+      }
+    }
+  }
+}
+
+void GemmInt8Rows(size_t i0, size_t i1, size_t k, size_t n, const int8_t* a,
+                  const int8_t* b, const float* scale, const float* bias,
+                  GemmEpilogue epilogue, float* c, size_t ldc) {
+#if defined(PRESTROID_QUANT_AVX2_TU)
+  if (UseQuantAvx2()) {
+    quant_avx2::GemmInt8Rows(i0, i1, k, n, a, b, scale, bias, epilogue, c,
+                             ldc);
+    return;
+  }
+#endif
+  quant_base::GemmInt8Rows(i0, i1, k, n, a, b, scale, bias, epilogue, c, ldc);
+}
+
+void GemmBf16Rows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                  const uint16_t* b, const float* bias, GemmEpilogue epilogue,
+                  float* c, size_t ldc) {
+#if defined(PRESTROID_QUANT_AVX2_TU)
+  if (UseQuantAvx2()) {
+    quant_avx2::GemmBf16Rows(i0, i1, k, n, a, b, bias, epilogue, c, ldc);
+    return;
+  }
+#endif
+  quant_base::GemmBf16Rows(i0, i1, k, n, a, b, bias, epilogue, c, ldc);
+}
+
+}  // namespace prestroid

@@ -1,0 +1,86 @@
+#ifndef PRESTROID_TENSOR_KERNELS_GEMM_QUANT_H_
+#define PRESTROID_TENSOR_KERNELS_GEMM_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "tensor/kernels/gemm_kernels.h"
+
+namespace prestroid {
+
+// ---------------------------------------------------------------------------
+// Low-precision GEMM kernels (gemm_quant.cc) — the compute substrate of the
+// resident-weight inference tier (resident_weights.h). These are row-range
+// kernels in the same shape as GemmScalarRows/GemmBlockedRows: safe to call
+// concurrently on disjoint row ranges, and every output element accumulates
+// k-ascending, so results are bit-identical across thread counts and chunk
+// boundaries (DESIGN.md §5.2/§5.8).
+// ---------------------------------------------------------------------------
+
+/// fp32 -> bfloat16: the high 16 bits of the float pattern, rounded to
+/// nearest-even (the tie-break LSB trick; NaNs stay NaN because rounding
+/// cannot clear a set mantissa MSB into the exponent).
+inline uint16_t FloatToBf16(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const uint32_t rounding = 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>((bits + rounding) >> 16);
+}
+
+/// bfloat16 -> fp32: exact (bf16 values are a subset of fp32).
+inline float Bf16ToFloat(uint16_t v) {
+  const uint32_t bits = static_cast<uint32_t>(v) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+/// Largest |x| over `count` floats (0 for count == 0).
+float AbsMax(const float* data, size_t count);
+
+/// Symmetric int8 quantization: q = clamp(round(v * inv_scale), -127, 127).
+/// inv_scale == 0 (an all-zero or unscaled tensor) writes all zeros.
+void QuantizeSymmetric(const float* src, size_t count, float inv_scale,
+                       int8_t* dst);
+
+/// Bytes/elements of the pair-interleaved int8 B image for [k, n] weights:
+/// k rounded up to even, consumed two reduction rows at a time.
+inline size_t Int8PairPackedSize(size_t k, size_t n) {
+  return ((k + 1) & ~static_cast<size_t>(1)) * n;
+}
+
+/// Quantizes row-major fp32 weights [k, n] into the pair-interleaved int8
+/// layout GemmInt8Rows consumes: pair-row p holds 2n bytes with
+/// (q[2p][j], q[2p+1][j]) adjacent at packed[p*2n + 2j]. Odd k appends an
+/// all-zero pad row (contributes exactly nothing). channel_scale[j] is the
+/// per-output-channel scale (0 for an all-zero channel); `packed` must hold
+/// Int8PairPackedSize(k, n) bytes.
+void PackInt8PairsB(size_t k, size_t n, const float* w,
+                    const float* channel_scale, int8_t* packed);
+
+/// Rows [i0, i1) of C = dequant(Aq @ Bq) (+ bias)(+ ReLU). Aq is [m, k]
+/// row-major int8 with k EVEN (zero-pad activations for odd reductions); Bq
+/// is the pair-interleaved image from PackInt8PairsB. C is [m, n] fp32 with
+/// leading dimension ldc. Accumulation is exact int32 (|acc| <= 127*127*k,
+/// safe for k up to ~2^17), bit-identical across ISAs and thread counts
+/// (the fp32 dequant may vary by one ulp across ISA builds); the fused epilogue
+/// applies the per-output-channel dequantization scale[j]
+/// (= a_scale * w_scale[j]), then bias, then ReLU — one pass while the
+/// accumulators are hot. `bias` may be null for kNone. The AVX2 path
+/// (dispatched like the blocked fp32 kernel) runs the reduction on vpmaddwd.
+void GemmInt8Rows(size_t i0, size_t i1, size_t k, size_t n, const int8_t* a,
+                  const int8_t* b, const float* scale, const float* bias,
+                  GemmEpilogue epilogue, float* c, size_t ldc);
+
+/// Rows [i0, i1) of C = A @ expand(Bh) (+ bias)(+ ReLU). A is [m, k] fp32
+/// row-major, Bh is [k, n] row-major bfloat16 expanded on the fly, C is
+/// [m, n] fp32 with leading dimension ldc. Accumulation is fp32,
+/// k-ascending.
+void GemmBf16Rows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                  const uint16_t* b, const float* bias, GemmEpilogue epilogue,
+                  float* c, size_t ldc);
+
+}  // namespace prestroid
+
+#endif  // PRESTROID_TENSOR_KERNELS_GEMM_QUANT_H_

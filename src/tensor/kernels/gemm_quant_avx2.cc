@@ -1,0 +1,11 @@
+// AVX2+FMA instantiation of the low-precision GEMM kernels. Compiled with
+// -mavx2 -mfma (src/CMakeLists.txt); nothing outside this TU may inline its
+// code. gemm_quant.cc dispatches here at runtime when the CPU qualifies.
+
+#include "tensor/kernels/gemm_quant.h"
+
+#include <vector>
+
+#define PRESTROID_GEMM_ISA_NS quant_avx2
+#include "tensor/kernels/gemm_quant_impl.inc"
+#undef PRESTROID_GEMM_ISA_NS

@@ -18,6 +18,14 @@ KernelBackend KernelRegistry::DefaultBackend() {
   return resolved;
 }
 
+Status KernelRegistry::ValidateEnv() {
+  const char* env = std::getenv("PRESTROID_KERNEL");
+  if (env == nullptr || ParseBackend(env).has_value()) return Status::OK();
+  return Status::InvalidArgument(
+      std::string("unrecognized PRESTROID_KERNEL value \"") + env +
+      "\"; accepted values: scalar, blocked");
+}
+
 const char* KernelRegistry::BackendName(KernelBackend backend) {
   switch (backend) {
     case KernelBackend::kScalar:
@@ -32,6 +40,26 @@ std::optional<KernelBackend> KernelRegistry::ParseBackend(
     const std::string& name) {
   if (name == "scalar") return KernelBackend::kScalar;
   if (name == "blocked") return KernelBackend::kBlocked;
+  return std::nullopt;
+}
+
+const char* KernelRegistry::PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+std::optional<Precision> KernelRegistry::ParsePrecision(
+    const std::string& name) {
+  if (name == "fp32") return Precision::kFp32;
+  if (name == "bf16") return Precision::kBf16;
+  if (name == "int8") return Precision::kInt8;
   return std::nullopt;
 }
 
