@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <future>
@@ -40,15 +41,21 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "core/continual_trainer.h"
 #include "core/pipeline.h"
 #include "core/quant_profile.h"
 #include "cost/serving_estimator.h"
+#include "net/estimate_service.h"
+#include "net/http_server.h"
+#include "net/listener.h"
+#include "net/signal_handler.h"
 #include "serve/model_manager.h"
 #include "serve/serving_runtime.h"
 #include "serve/sharded_runtime.h"
@@ -596,6 +603,263 @@ int ServeSharded(const Flags& flags, size_t shards) {
   return 0;
 }
 
+/// Network serve path (serve --listen HOST:PORT): the sharded serving tier
+/// behind the poll-based HTTP front end (DESIGN.md §5.9). Composes with
+/// --shards/--tenants/--tenant-quota/--memory-budget/--precision and, via
+/// --retrain-interval, the continual-learning loop — served queries that
+/// arrive with an X-Actual-Cpu-Minutes label feed a background retrain
+/// thread that shadow-trains and hot-swaps candidates while the server keeps
+/// answering. SIGTERM/SIGINT triggers a graceful drain: stop accepting,
+/// flush in-flight batches, print the final stats summary, exit 0.
+int ServeHttp(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "");
+  const std::string trace_path = flags.Get("trace", "");
+  std::string host;
+  uint16_t port = 0;
+  Status listen_spec = net::ParseHostPort(flags.Get("listen", ""), &host, &port);
+  if (!listen_spec.ok()) return Fail(listen_spec);
+
+  auto ingested = IngestTrace(flags, trace_path);
+  if (!ingested.ok()) return Fail(ingested.status());
+  std::vector<workload::QueryRecord>& records = ingested->records;
+
+  const size_t shards =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("shards", 1)));
+  cost::ServingLimits limits;
+  limits.default_deadline_ms =
+      static_cast<double>(flags.GetInt("deadline-ms", 50));
+  std::vector<std::unique_ptr<cost::ServingEstimator>> estimators;
+  std::vector<cost::ServingEstimator*> raw_estimators;
+  for (size_t s = 0; s < shards; ++s) {
+    auto estimator = std::make_unique<cost::ServingEstimator>(limits);
+    Status fitted = estimator->FitFallbacks(records);
+    if (!fitted.ok()) return Fail(fitted);
+    if (!model_path.empty() && !flags.Has("no-model")) {
+      auto pipeline = core::PrestroidPipeline::LoadFile(model_path);
+      if (pipeline.ok()) {
+        estimator->AttachPipeline(std::move(*pipeline));
+      } else if (pipeline.status().code() == StatusCode::kDataCorruption) {
+        return Fail(pipeline.status());
+      } else if (s == 0) {
+        std::cerr << "warning: model tier unavailable ("
+                  << pipeline.status().ToString() << "); serving degraded\n";
+      }
+    }
+    raw_estimators.push_back(estimator.get());
+    estimators.push_back(std::move(estimator));
+  }
+
+  serve::ShardedRuntimeConfig config;
+  config.shards = shards;
+  config.shard.queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 256));
+  config.shard.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 32));
+  config.shard.batch_window_us =
+      static_cast<size_t>(flags.GetInt("batch-window-us", 200));
+  config.shard.cache_entries =
+      static_cast<size_t>(flags.GetInt("cache-entries", 1024));
+  config.shard.plan_limits = PlanLimitsFromFlags(flags);
+  if (!ApplyPrecisionFlags(flags, model_path, &config.shard)) return 2;
+  config.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-budget", 0));
+  serve::ShardedServingRuntime runtime(raw_estimators, config);
+  if (!ApplyTenantQuotas(flags.Get("tenant-quota", ""), runtime)) return 2;
+  Status started = runtime.Start();
+  if (!started.ok()) return Fail(started);
+
+  // Continual mode over the wire: labeled completions (requests carrying
+  // X-Actual-Cpu-Minutes) flow through a queue into a single background
+  // thread that owns the ModelManager + ContinualTrainer — keeping all
+  // lifecycle machinery single-threaded while the event loop keeps serving.
+  const size_t retrain_interval =
+      static_cast<size_t>(flags.GetInt("retrain-interval", 0));
+  std::unique_ptr<serve::ModelManager> manager;
+  std::unique_ptr<core::ContinualTrainer> trainer;
+  struct LabeledObs {
+    plan::PlanNodePtr plan;
+    cost::ServingEstimate estimate;
+    double actual = 0.0;
+  };
+  std::mutex obs_mu;
+  std::condition_variable obs_cv;
+  std::deque<LabeledObs> obs_queue;
+  bool obs_stop = false;
+  std::thread retrain_thread;
+  if (retrain_interval > 0) {
+    serve::ModelManagerConfig mm_config;
+    mm_config.drift_threshold = flags.GetDouble("drift-threshold", 2.0);
+    mm_config.probation_window =
+        static_cast<size_t>(flags.GetInt("probation-window", 64));
+    mm_config.rollback_qerr = flags.GetDouble("rollback-qerr", 2.0);
+    manager = std::make_unique<serve::ModelManager>(&runtime, mm_config);
+
+    core::ContinualTrainerConfig ct_config;
+    ct_config.pipeline.use_subtrees = !flags.Has("full");
+    ct_config.pipeline.sampler.node_limit =
+        static_cast<size_t>(flags.GetInt("n", 15));
+    ct_config.pipeline.num_subtrees =
+        static_cast<size_t>(flags.GetInt("k", 9));
+    ct_config.pipeline.word2vec.dim =
+        static_cast<size_t>(flags.GetInt("pf", 32));
+    ct_config.pipeline.word2vec.min_count = 2;
+    ct_config.pipeline.conv_channels.assign(
+        3, static_cast<size_t>(flags.GetInt("conv", 32)));
+    ct_config.pipeline.dense_units = {
+        static_cast<size_t>(flags.GetInt("conv", 32)), 16};
+    ct_config.pipeline.learning_rate = 3e-3f;
+    ct_config.pipeline.plan_limits = config.shard.plan_limits;
+    ct_config.train.batch_size = 32;
+    ct_config.train.max_epochs =
+        static_cast<size_t>(flags.GetInt("retrain-epochs", 10));
+    ct_config.train.patience = 4;
+    ct_config.retrain_interval = retrain_interval;
+    ct_config.candidate_path = flags.Get(
+        "candidate",
+        (model_path.empty() ? std::string("model.ppl") : model_path) +
+            ".candidate");
+    ct_config.train.snapshot_path = ct_config.candidate_path + ".ckpt";
+    ct_config.train.snapshot_every = 5;
+    ct_config.train.resume = true;
+    trainer = std::make_unique<core::ContinualTrainer>(ct_config);
+
+    retrain_thread = std::thread([&]() {
+      for (;;) {
+        LabeledObs obs;
+        {
+          std::unique_lock<std::mutex> lock(obs_mu);
+          obs_cv.wait(lock,
+                      [&]() { return obs_stop || !obs_queue.empty(); });
+          if (obs_queue.empty()) return;  // stop and drained
+          obs = std::move(obs_queue.front());
+          obs_queue.pop_front();
+        }
+        manager->ObserveLabeled(*obs.plan, obs.estimate.cpu_minutes,
+                                obs.actual, obs.estimate.tier);
+        workload::QueryRecord record;
+        record.plan = std::move(obs.plan);
+        record.metrics.total_cpu_minutes = obs.actual;
+        trainer->AddRecord(record);
+        if (!trainer->RetrainDue()) continue;
+        auto candidate = trainer->RetrainCandidate();
+        if (!candidate.ok()) {
+          std::cerr << "retrain failed (active model keeps serving): "
+                    << candidate.status().ToString() << "\n";
+          continue;
+        }
+        auto report = manager->TryPromote(candidate->artifact_path);
+        if (!report.ok()) {
+          std::cerr << "promotion failed (active model keeps serving): "
+                    << report.status().ToString() << "\n";
+          continue;
+        }
+        std::cout << StrFormat(
+            "candidate %s: %s (q-error p95 candidate=%.2f active=%.2f over "
+            "%zu replayed, version=%llu)\n",
+            candidate->artifact_path.c_str(),
+            serve::ModelLifecycleToString(report->outcome),
+            report->candidate_p95, report->active_p95, report->replay_size,
+            static_cast<unsigned long long>(report->version));
+      }
+    });
+  }
+
+  net::SignalHandler signals;
+  Status installed = signals.Install();
+  if (!installed.ok()) return Fail(installed);
+
+  net::HttpServerConfig server_config;
+  server_config.host = host;
+  server_config.port = port;
+  server_config.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections", 256));
+  server_config.max_body_bytes = config.shard.plan_limits.max_plan_bytes;
+  server_config.drain_timeout_ms =
+      static_cast<size_t>(flags.GetInt("drain-timeout-ms", 5000));
+  server_config.header_timeout_ms =
+      static_cast<size_t>(flags.GetInt("header-timeout-ms", 10000));
+  net::HttpServer server(server_config);
+  Status bound = server.Start();
+  if (!bound.ok()) return Fail(bound);
+
+  net::EstimateServiceConfig service_config;
+  service_config.plan_limits = config.shard.plan_limits;
+  net::EstimateService service(&runtime, service_config);
+  if (retrain_interval > 0) {
+    service.SetLabeledObservationHook(
+        [&](plan::PlanNodePtr plan, const cost::ServingEstimate& estimate,
+            double actual) {
+          {
+            std::lock_guard<std::mutex> lock(obs_mu);
+            obs_queue.push_back(
+                LabeledObs{std::move(plan), estimate, actual});
+          }
+          obs_cv.notify_one();
+        });
+  }
+  service.RegisterRoutes(&server);
+
+  std::cout << StrFormat(
+      "serving on %s:%u (shards=%zu, max-connections=%zu%s)\n", host.c_str(),
+      static_cast<unsigned>(server.port()), shards,
+      server_config.max_connections,
+      retrain_interval > 0 ? ", continual retraining on" : "");
+  std::cout << "POST /estimate | GET /healthz | GET /metrics | "
+               "SIGTERM drains\n";
+
+  Status ran = server.Run(signals.drain_fd());
+  if (!ran.ok()) return Fail(ran);
+
+  // Shutdown order matters: stop the retrain thread (it borrows nothing from
+  // the runtime), then Shutdown() the runtime (resolves every queued
+  // future), and only then release the service's parked plans.
+  if (retrain_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(obs_mu);
+      obs_stop = true;
+    }
+    obs_cv.notify_one();
+    retrain_thread.join();
+  }
+  const cost::ServingStats stats =
+      manager == nullptr ? runtime.StatsSnapshot() : manager->MergedStats();
+  const LatencyHistogram latency = runtime.LatencySnapshot();
+  const net::HttpServerStats http = server.StatsSnapshot();
+  runtime.Shutdown();
+  service.Shutdown();
+
+  std::cout << StrFormat(
+      "drained in %.1fms (forced closes: %zu)\n", server.drain_latency_ms(),
+      static_cast<size_t>(http.forced_drain_closes));
+  std::cout << StrFormat(
+      "http: requests=%zu accepted=%zu rejected=%zu aborted=%zu "
+      "drain-rejects=%zu\n",
+      static_cast<size_t>(http.requests),
+      static_cast<size_t>(http.connections_accepted),
+      static_cast<size_t>(http.connections_rejected),
+      static_cast<size_t>(http.connections_aborted),
+      static_cast<size_t>(http.draining_rejects));
+  std::cout << StrFormat(
+      "tiers: model=%zu log-binning=%zu global-mean=%zu | "
+      "rejects=%zu deadline-skips=%zu deadline-misses=%zu model-errors=%zu\n",
+      stats.by_tier[0], stats.by_tier[1], stats.by_tier[2],
+      stats.validation_rejects, stats.deadline_skips, stats.deadline_misses,
+      stats.model_errors);
+  std::cout << StrFormat(
+      "latency: p50=%.3fms p95=%.3fms p99=%.3fms (n=%zu)\n",
+      latency.Percentile(50.0), latency.Percentile(95.0),
+      latency.Percentile(99.0), latency.count());
+  if (config.shard.precision != Precision::kFp32) {
+    size_t resident_bytes = 0;
+    for (size_t s = 0; s < runtime.ShardCount(); ++s) {
+      resident_bytes += runtime.shard(s).resident_weight_bytes();
+    }
+    PrintPrecisionSummary(config.shard.precision,
+                          runtime.shard(0).active_precision(), stats,
+                          resident_bytes);
+  }
+  return 0;
+}
+
 int Serve(const Flags& flags) {
   const std::string model_path = flags.Get("model", "");
   const std::string trace_path = flags.Get("trace", "");
@@ -603,6 +867,9 @@ int Serve(const Flags& flags) {
     std::cerr << "serve requires --trace <file> (and ideally --model <file>)\n";
     return 2;
   }
+  // --listen turns the command into a long-running network service over the
+  // sharded tier; without it, serve stays the offline replay it always was.
+  if (flags.Has("listen")) return ServeHttp(flags);
   // Multi-shard tier behind the same command; the default --shards 1 never
   // enters it, so single-shard serving keeps today's code path untouched.
   const size_t shards =
@@ -901,6 +1168,11 @@ int Usage() {
          "            [--tenants K (spread queries over K tenants)]\n"
          "            [--tenant-quota T:INFLIGHT[:BYTES][,T:...]]\n"
          "            [--memory-budget BYTES (0=account only)]\n"
+         "            [--listen HOST:PORT (HTTP service: POST /estimate,\n"
+         "             GET /healthz, GET /metrics; SIGTERM drains)]\n"
+         "            [--max-connections N (default 256)]\n"
+         "            [--drain-timeout-ms T (default 5000)]\n"
+         "            [--header-timeout-ms T (default 10000)]\n"
          "  explain   --trace FILE [--index I]\n";
   return 2;
 }

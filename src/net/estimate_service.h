@@ -1,0 +1,129 @@
+#ifndef PRESTROID_NET_ESTIMATE_SERVICE_H_
+#define PRESTROID_NET_ESTIMATE_SERVICE_H_
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cost/serving_estimator.h"
+#include "net/http_server.h"
+#include "plan/catalog.h"
+#include "plan/plan_limits.h"
+#include "plan/plan_node.h"
+#include "serve/sharded_runtime.h"
+#include "sql/ast.h"
+#include "util/histogram.h"
+
+namespace prestroid::net {
+
+/// Request-handling policy of the estimate endpoint.
+struct EstimateServiceConfig {
+  /// Governor applied to plan-text bodies (the same limits the runtime's
+  /// admission re-checks).
+  plan::PlanLimits plan_limits;
+  /// Deadline used when a request carries no X-Deadline-Ms header; 0 means
+  /// no deadline.
+  double default_deadline_ms = 0.0;
+};
+
+/// The HTTP estimate API over a ShardedServingRuntime.
+///
+/// Routes (RegisterRoutes):
+///   POST /estimate   body = plan text (default) or raw SQL (Content-Type
+///                    containing "sql", or ?input=sql). Headers:
+///                    X-Deadline-Ms (per-request deadline, propagated to the
+///                    runtime's queue-deadline check), X-Tenant (admission
+///                    quota id), X-Actual-Cpu-Minutes (ground-truth label
+///                    feeding the continual-retraining hook).
+///                    Responds 200 with {"cpu_minutes", "tier", "degraded",
+///                    ...}; a degraded (non-model-tier) answer is still 200
+///                    — the degradation chain is the availability story —
+///                    with "degraded": true and the reason. Submit errors map
+///                    through HttpStatusForCode (429 shed, 400 bad plan,
+///                    503 down).
+///   GET /healthz     liveness + shard count.
+///   GET /metrics     Prometheus text exposition (net/metrics.h).
+///
+/// Handlers run on the server's event-loop thread. /estimate returns a
+/// PendingResponse so the loop keeps serving other connections while the
+/// runtime's batch workers compute; concurrent requests micro-batch inside
+/// the runtime.
+///
+/// Plan lifetime: the runtime borrows submitted plans until their futures
+/// resolve, so the service parks each in-flight plan in a registry that
+/// outlives any abandoned connection (a client hanging up — or a drain
+/// force-close — must not free a plan a batch worker is reading). Call
+/// Shutdown() only AFTER runtime->Shutdown() has resolved every future.
+class EstimateService {
+ public:
+  /// Called (on the event-loop thread) for each completed estimate whose
+  /// request carried X-Actual-Cpu-Minutes; receives ownership of the plan.
+  /// Wire this to the continual-retraining pipeline.
+  using LabeledObservationFn = std::function<void(
+      plan::PlanNodePtr plan, const cost::ServingEstimate& estimate,
+      double actual_cpu_minutes)>;
+
+  EstimateService(serve::ShardedServingRuntime* runtime,
+                  EstimateServiceConfig config = {});
+
+  /// Registers /estimate, /healthz and /metrics; keeps `server` for stats
+  /// scraping (must outlive the service's use).
+  void RegisterRoutes(HttpServer* server);
+
+  void SetLabeledObservationHook(LabeledObservationFn hook);
+
+  /// Releases plans parked for requests whose connections were abandoned.
+  /// Precondition: runtime->Shutdown() already ran (all futures resolved).
+  void Shutdown();
+
+  /// HTTP-side end-to-end latency distribution (dispatch -> response built).
+  HistogramSnapshot RequestLatencySnapshot() const;
+
+  /// In-flight /estimate requests (parked plans). Exposed for tests.
+  size_t InflightCount() const;
+
+ private:
+  struct Inflight {
+    plan::PlanNodePtr plan;
+    std::future<cost::ServingEstimate> future;
+    std::chrono::steady_clock::time_point dispatched;
+    double actual_cpu_minutes = 0.0;
+    bool has_actual = false;
+  };
+
+  HandlerResult HandleEstimate(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+
+  /// Parses the request body into a plan: plan text by default, SQL when
+  /// asked (planned against a catalog synthesized from the statement itself,
+  /// so raw SQL needs no pre-registered schema).
+  Result<plan::PlanNodePtr> ParseBody(const HttpRequest& request);
+
+  HttpResponse BuildEstimateBody(const cost::ServingEstimate& estimate);
+  void Remove(const std::shared_ptr<Inflight>& state);
+
+  serve::ShardedServingRuntime* runtime_;
+  EstimateServiceConfig config_;
+  HttpServer* server_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Inflight>> inflight_;
+  LatencyHistogram request_latency_;
+  LabeledObservationFn labeled_hook_;
+};
+
+/// Builds a catalog containing every base table referenced by `stmt`
+/// (recursing subqueries), each populated with the columns the statement
+/// mentions and default statistics. This lets POST /estimate accept raw SQL
+/// with no out-of-band schema: the planner only needs names to resolve, and
+/// cost estimation degrades gracefully to default stats.
+Result<plan::Catalog> SynthesizeCatalog(const sql::SelectStmt& stmt);
+
+}  // namespace prestroid::net
+
+#endif  // PRESTROID_NET_ESTIMATE_SERVICE_H_

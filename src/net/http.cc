@@ -1,0 +1,278 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace prestroid::net {
+
+namespace {
+
+std::string Lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text;
+}
+
+std::string TrimOws(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t')) --end;
+  return text.substr(begin, end - begin);
+}
+
+/// RFC 9110 token characters, the legal alphabet for methods and header
+/// names. Anything else (including embedded NUL and control bytes) is a
+/// protocol violation, not something to pass through to handlers.
+bool IsTokenChar(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(const std::string& text) {
+  if (text.empty()) return false;
+  for (unsigned char c : text) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = FindHeader("connection");
+  const std::string value = connection == nullptr ? "" : Lower(*connection);
+  if (version == "HTTP/1.0") return value == "keep-alive";
+  return value != "close";
+}
+
+const char* HttpReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default:  return "Unknown";
+  }
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kUnavailable:
+    case StatusCode::kFailedPrecondition:
+      return 503;
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    case StatusCode::kDataCorruption:
+      return 500;
+  }
+  return 500;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  const bool close = response.close || !keep_alive;
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.code,
+                              HttpReasonPhrase(response.code));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  out += close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse ErrorResponse(int http_code, const std::string& message) {
+  HttpResponse response;
+  response.code = http_code;
+  response.content_type = "application/json";
+  response.body = "{\"error\": \"" + JsonEscape(message) + "\"}\n";
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return ErrorResponse(HttpStatusForCode(status.code()), status.ToString());
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+HttpParser::ParseState HttpParser::TryParse(std::string* buffer,
+                                            HttpRequest* request) {
+  // Locate the header terminator. Tolerate bare-LF line endings (common from
+  // hand-typed clients) by searching for both forms.
+  size_t header_end = buffer->find("\r\n\r\n");
+  size_t terminator_len = 4;
+  {
+    const size_t lf_end = buffer->find("\n\n");
+    if (lf_end != std::string::npos &&
+        (header_end == std::string::npos || lf_end + 2 <= header_end)) {
+      header_end = lf_end;
+      terminator_len = 2;
+    }
+  }
+  if (header_end == std::string::npos) {
+    // Bound memory before the terminator ever arrives: a peer trickling an
+    // endless header block (slowloris) hits this, not an allocator.
+    if (buffer->size() > max_header_bytes_) {
+      return Fail(431, StrFormat("header block exceeds %zu bytes",
+                                 max_header_bytes_));
+    }
+    return ParseState::kNeedMore;
+  }
+  if (header_end > max_header_bytes_) {
+    return Fail(431,
+                StrFormat("header block exceeds %zu bytes", max_header_bytes_));
+  }
+
+  // Split the header block into lines (tolerating \r\n and \n).
+  const std::string head = buffer->substr(0, header_end);
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= head.size()) {
+    size_t eol = head.find('\n', pos);
+    std::string line = eol == std::string::npos ? head.substr(pos)
+                                                : head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    return Fail(400, "empty request line");
+  }
+
+  HttpRequest parsed;
+  {
+    const std::vector<std::string> parts = SplitWhitespace(lines[0]);
+    if (parts.size() != 3) {
+      return Fail(400, "malformed request line");
+    }
+    parsed.method = parts[0];
+    parsed.target = parts[1];
+    parsed.version = parts[2];
+    if (!IsToken(parsed.method)) {
+      return Fail(400, "malformed method token");
+    }
+    if (parsed.version != "HTTP/1.1" && parsed.version != "HTTP/1.0") {
+      return Fail(505, "unsupported version '" + parsed.version + "'");
+    }
+    const size_t question = parsed.target.find('?');
+    parsed.path = parsed.target.substr(0, question);
+    parsed.query = question == std::string::npos
+                       ? ""
+                       : parsed.target.substr(question + 1);
+    if (parsed.path.empty() || parsed.path[0] != '/') {
+      return Fail(400, "request target must be origin-form");
+    }
+  }
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Fail(400, "malformed header line");
+    }
+    std::string name = line.substr(0, colon);
+    if (!IsToken(name)) {
+      // Covers whitespace before the colon (smuggling vector) and control
+      // bytes in the field name.
+      return Fail(400, "malformed header name");
+    }
+    parsed.headers.emplace_back(Lower(std::move(name)),
+                                TrimOws(line.substr(colon + 1)));
+  }
+
+  // Body framing: Content-Length only. Reject Transfer-Encoding outright
+  // rather than guessing at framing (request-smuggling hygiene).
+  if (parsed.FindHeader("transfer-encoding") != nullptr) {
+    return Fail(501, "transfer-encoding is not supported");
+  }
+  size_t content_length = 0;
+  if (const std::string* value = parsed.FindHeader("content-length")) {
+    int64_t length = 0;
+    if (!ParseInt64(*value, &length) || length < 0) {
+      return Fail(400, "malformed content-length '" + *value + "'");
+    }
+    content_length = static_cast<size_t>(length);
+  } else if (parsed.method == "POST" || parsed.method == "PUT") {
+    return Fail(411, "content-length required");
+  }
+  if (content_length > max_body_bytes_) {
+    return Fail(413, StrFormat("body of %zu bytes exceeds the %zu-byte limit",
+                               content_length, max_body_bytes_));
+  }
+
+  const size_t body_begin = header_end + terminator_len;
+  if (buffer->size() - body_begin < content_length) {
+    return ParseState::kNeedMore;
+  }
+  parsed.body = buffer->substr(body_begin, content_length);
+  buffer->erase(0, body_begin + content_length);
+  *request = std::move(parsed);
+  return ParseState::kRequest;
+}
+
+}  // namespace prestroid::net

@@ -1,0 +1,113 @@
+#ifndef PRESTROID_NET_HTTP_H_
+#define PRESTROID_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prestroid::net {
+
+/// One parsed HTTP/1.1 request. Header names are lowercased at parse time
+/// (field names are case-insensitive per RFC 9110); values keep their bytes
+/// with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   // uppercase token, e.g. "GET", "POST"
+  std::string target;   // raw request target, e.g. "/estimate?input=sql"
+  std::string path;     // target up to '?'
+  std::string query;    // target after '?', empty if none
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with the given lowercase name; nullptr when absent.
+  const std::string* FindHeader(const std::string& lower_name) const;
+
+  /// HTTP/1.1 defaults to persistent connections; "connection: close" (any
+  /// case) opts out, and HTTP/1.0 requires an explicit keep-alive.
+  bool KeepAlive() const;
+};
+
+/// One response. `Serialize` emits the status line, the standard headers
+/// (Content-Type, Content-Length, Connection), any extras, and the body.
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Force `Connection: close` regardless of the request's preference
+  /// (protocol errors close — the byte stream may be unsynchronized).
+  bool close = false;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Standard reason phrase for `code` ("OK", "Bad Request", ...).
+const char* HttpReasonPhrase(int code);
+
+/// The single Status -> HTTP status-code table for the serving front end
+/// (DESIGN.md §5.9). Notably: kResourceExhausted -> 429 (shed load, retry),
+/// kInvalidArgument/kParseError -> 400, kUnavailable/kFailedPrecondition ->
+/// 503 (draining or not ready), kNotFound -> 404; everything else -> 500.
+int HttpStatusForCode(StatusCode code);
+
+/// Serializes `response`, honoring the request's keep-alive preference
+/// unless the response forces close.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Convenience: a JSON error body `{"error": "<message>"}` with the code
+/// mapped through HttpStatusForCode.
+HttpResponse ErrorResponse(const Status& status);
+HttpResponse ErrorResponse(int http_code, const std::string& message);
+
+/// JSON string escaping for response bodies (quotes, backslash, control
+/// bytes).
+std::string JsonEscape(const std::string& raw);
+
+/// Bounded incremental HTTP/1.1 request parser.
+///
+/// The parser reads from an external byte buffer the connection appends to,
+/// so pipelined requests need no copying: each TryParse consumes exactly one
+/// complete request's bytes from the front of `buffer` and leaves the rest
+/// for the next call.
+///
+/// Limits are enforced before memory is committed: headers larger than
+/// `max_header_bytes` fail with 431 without waiting for a terminator, and a
+/// declared Content-Length over `max_body_bytes` fails with 413 before any
+/// body byte is read. Transfer-Encoding is not implemented (501) — the
+/// serving protocol is length-delimited by design. Never throws and never
+/// aborts on hostile bytes.
+class HttpParser {
+ public:
+  HttpParser(size_t max_header_bytes, size_t max_body_bytes)
+      : max_header_bytes_(max_header_bytes), max_body_bytes_(max_body_bytes) {}
+
+  enum class ParseState {
+    kNeedMore,  // incomplete request; append bytes and call again
+    kRequest,   // *request filled; its bytes were erased from *buffer
+    kError,     // protocol violation; see error_code()/error_message()
+  };
+
+  /// Attempts to parse one request from the front of `buffer`.
+  ParseState TryParse(std::string* buffer, HttpRequest* request);
+
+  /// HTTP status to answer with after kError (400/411/413/431/501/505).
+  int error_code() const { return error_code_; }
+  const std::string& error_message() const { return error_message_; }
+
+ private:
+  ParseState Fail(int code, std::string message) {
+    error_code_ = code;
+    error_message_ = std::move(message);
+    return ParseState::kError;
+  }
+
+  size_t max_header_bytes_;
+  size_t max_body_bytes_;
+  int error_code_ = 400;
+  std::string error_message_;
+};
+
+}  // namespace prestroid::net
+
+#endif  // PRESTROID_NET_HTTP_H_

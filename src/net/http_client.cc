@@ -1,0 +1,205 @@
+#include "net/http_client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+
+#include "net/listener.h"
+#include "util/string_util.h"
+
+namespace prestroid::net {
+
+namespace {
+
+std::string Lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(
+    const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string BuildRequest(
+    const std::string& method, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& body) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: prestroid\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Status HttpClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  PRESTROID_ASSIGN_OR_RETURN(fd_, ConnectTcp(host_, port_));
+  leftover_.clear();
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  leftover_.clear();
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  PRESTROID_RETURN_NOT_OK(Connect());
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const Status status = Status::FromErrno("send", errno);
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+Result<ClientResponse> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string buffer = std::move(leftover_);
+  leftover_.clear();
+
+  auto fill = [&]() -> Status {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        return Status::OK();
+      }
+      if (n == 0) {
+        return Status::Unavailable("server closed the connection");
+      }
+      if (errno == EINTR) continue;
+      return Status::FromErrno("recv", errno);
+    }
+  };
+
+  // Read until the header block terminator arrives.
+  size_t header_end = std::string::npos;
+  for (;;) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    Status filled = fill();
+    if (!filled.ok()) {
+      Close();
+      return filled;
+    }
+  }
+  const std::string head = buffer.substr(0, header_end);
+  buffer.erase(0, header_end + 4);
+
+  ClientResponse response;
+  size_t line_start = 0;
+  size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) {
+    Close();
+    return Status::ParseError("malformed status line: " + status_line);
+  }
+  const size_t sp2 = status_line.find(' ', sp1 + 1);
+  int64_t code = 0;
+  if (!ParseInt64(status_line.substr(sp1 + 1, sp2 == std::string::npos
+                                                  ? std::string::npos
+                                                  : sp2 - sp1 - 1),
+                  &code)) {
+    Close();
+    return Status::ParseError("malformed status code: " + status_line);
+  }
+  response.code = static_cast<int>(code);
+
+  while (line_end != std::string::npos) {
+    line_start = line_end + 2;
+    line_end = head.find("\r\n", line_start);
+    const std::string line = head.substr(
+        line_start,
+        line_end == std::string::npos ? std::string::npos
+                                      : line_end - line_start);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    response.headers.emplace_back(Lower(Trim(line.substr(0, colon))),
+                                  Trim(line.substr(colon + 1)));
+  }
+
+  size_t content_length = 0;
+  if (const std::string* header = response.FindHeader("content-length")) {
+    int64_t parsed = 0;
+    if (!ParseInt64(*header, &parsed) || parsed < 0) {
+      Close();
+      return Status::ParseError("bad content-length: " + *header);
+    }
+    content_length = static_cast<size_t>(parsed);
+  }
+  while (buffer.size() < content_length) {
+    Status filled = fill();
+    if (!filled.ok()) {
+      Close();
+      return filled;
+    }
+  }
+  response.body = buffer.substr(0, content_length);
+  leftover_ = buffer.substr(content_length);
+
+  const std::string* connection = response.FindHeader("connection");
+  if (connection != nullptr && Lower(*connection) == "close") Close();
+  return response;
+}
+
+Result<ClientResponse> HttpClient::RoundTrip(const std::string& request) {
+  PRESTROID_RETURN_NOT_OK(SendRaw(request));
+  return ReadResponse();
+}
+
+Result<ClientResponse> HttpClient::Get(const std::string& target) {
+  return RoundTrip(BuildRequest("GET", target, {}, ""));
+}
+
+Result<ClientResponse> HttpClient::Post(
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return RoundTrip(BuildRequest("POST", target, headers, body));
+}
+
+}  // namespace prestroid::net

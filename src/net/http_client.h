@@ -1,0 +1,72 @@
+#ifndef PRESTROID_NET_HTTP_CLIENT_H_
+#define PRESTROID_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prestroid::net {
+
+/// One response as seen by the client. Header names are lowercased.
+struct ClientResponse {
+  int code = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(const std::string& lower_name) const;
+};
+
+/// Minimal blocking HTTP/1.1 client for tests and the load bench: one
+/// keep-alive connection, sequential request/response, Content-Length
+/// framing only (matching the server). Also exposes the raw fd and a
+/// SendRaw/ReadResponse split so fault-injection tests can speak broken
+/// HTTP: partial requests (slowloris), pipelined batches, mid-request
+/// hangups.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  ~HttpClient() { Close(); }
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects if not already connected (requests do this implicitly).
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  Result<ClientResponse> Get(const std::string& target);
+  Result<ClientResponse> Post(
+      const std::string& target, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Writes raw bytes on the connection (connecting first if needed).
+  Status SendRaw(const std::string& bytes);
+
+  /// Blocks until one complete response is parsed (leftover bytes are kept
+  /// for the next pipelined response). kUnavailable if the server closes
+  /// mid-response.
+  Result<ClientResponse> ReadResponse();
+
+ private:
+  Result<ClientResponse> RoundTrip(const std::string& request);
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  std::string leftover_;
+};
+
+/// Serializes a client request with Content-Length and Host headers.
+std::string BuildRequest(
+    const std::string& method, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& body);
+
+}  // namespace prestroid::net
+
+#endif  // PRESTROID_NET_HTTP_CLIENT_H_

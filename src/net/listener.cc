@@ -1,0 +1,162 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace prestroid::net {
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("expected HOST:PORT, got '" + spec + "'");
+  }
+  int64_t parsed = 0;
+  if (!ParseInt64(spec.substr(colon + 1), &parsed) || parsed < 0 ||
+      parsed > 65535) {
+    return Status::InvalidArgument("invalid port in '" + spec + "'");
+  }
+  *host = spec.substr(0, colon);
+  if (host->empty()) *host = "0.0.0.0";
+  *port = static_cast<uint16_t>(parsed);
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::FromErrno("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::FromErrno("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ResolveIpv4(const std::string& host, struct in_addr* out) {
+  std::string node = host;
+  if (node == "localhost") node = "127.0.0.1";
+  if (::inet_pton(AF_INET, node.c_str(), out) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status TcpListener::Listen(const std::string& host, uint16_t port,
+                           int backlog) {
+  Close();
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  PRESTROID_RETURN_NOT_OK(ResolveIpv4(host, &addr.sin_addr));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::FromErrno("socket", errno);
+  const int one = 1;
+  // Best-effort: a failed REUSEADDR only matters on fast restarts.
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::FromErrno(StrFormat("bind %s:%u", host.c_str(), port), errno);
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const Status status = Status::FromErrno("listen", errno);
+    ::close(fd);
+    return status;
+  }
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
+  // Resolve the bound port (meaningful for an ephemeral bind).
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<int> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      Status nonblocking = SetNonBlocking(client);
+      if (!nonblocking.ok()) {
+        ::close(client);
+        return nonblocking;
+      }
+      const int one = 1;
+      // Latency over throughput for small request/response exchanges.
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return client;
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN maps to kResourceExhausted via the FromErrno table: the accept
+    // queue is empty, poll again later.
+    return Status::FromErrno("accept", errno);
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  PRESTROID_RETURN_NOT_OK(ResolveIpv4(host, &addr.sin_addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::FromErrno("socket", errno);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    const Status status = Status::FromErrno(
+        StrFormat("connect %s:%u", host.c_str(), port), errno);
+    ::close(fd);
+    return status;
+  }
+}
+
+}  // namespace prestroid::net

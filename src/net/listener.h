@@ -1,0 +1,63 @@
+#ifndef PRESTROID_NET_LISTENER_H_
+#define PRESTROID_NET_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace prestroid::net {
+
+/// Splits "HOST:PORT" (e.g. "127.0.0.1:8080", ":8080" binding every
+/// interface) into its parts; kInvalidArgument on a malformed spec or an
+/// out-of-range port.
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+/// Sets O_NONBLOCK on `fd`; FromErrno on failure.
+Status SetNonBlocking(int fd);
+
+/// A bound, listening, non-blocking IPv4 TCP socket. EINTR-safe: accept
+/// retries interrupted syscalls. Move-only; the destructor closes the fd.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// socket + SO_REUSEADDR + bind + listen, all non-blocking. `port` 0 binds
+  /// an ephemeral port (see port() for the kernel's pick — how tests and the
+  /// load bench avoid address races). An in-use address surfaces as
+  /// kAlreadyExists via the FromErrno table.
+  Status Listen(const std::string& host, uint16_t port, int backlog = 128);
+
+  /// Accepts one pending connection, already set non-blocking. Returns the
+  /// fd, or kResourceExhausted when no connection is pending (EAGAIN), or
+  /// another FromErrno status on a real failure.
+  Result<int> Accept();
+
+  /// Stops accepting (idempotent). Existing connections are unaffected.
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The bound port (resolves an ephemeral bind), 0 before Listen.
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Blocking IPv4 connect to host:port used by the test/bench client; returns
+/// the connected fd or a FromErrno status (ECONNREFUSED -> kUnavailable).
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace prestroid::net
+
+#endif  // PRESTROID_NET_LISTENER_H_

@@ -1,0 +1,34 @@
+#ifndef PRESTROID_NET_METRICS_H_
+#define PRESTROID_NET_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "cost/serving_estimator.h"
+#include "net/http_server.h"
+#include "util/histogram.h"
+
+namespace prestroid::net {
+
+/// Everything the /metrics endpoint exports, gathered by the service at
+/// scrape time. Counters must be cumulative since process start (Prometheus
+/// rate() depends on monotonicity); gauges are point-in-time.
+struct MetricsSources {
+  cost::ServingStats serving;          // merged across shards
+  HistogramSnapshot serving_latency;   // runtime queue+compute latency (ms)
+  HistogramSnapshot request_latency;   // HTTP dispatch -> response built (ms)
+  HttpServerStats http;
+  size_t shards = 0;
+  size_t tenants = 0;
+};
+
+/// Renders the Prometheus text exposition format (version 0.0.4): one
+/// `# HELP` and `# TYPE` line per family, `_total`-suffixed counters,
+/// histograms as cumulative `_bucket{le="..."}` series ending in
+/// `le="+Inf"` whose value equals `_count`. Exact bucket counts come from
+/// LatencyHistogram::CumulativeSnapshot — no re-binning, no approximation.
+std::string RenderPrometheus(const MetricsSources& sources);
+
+}  // namespace prestroid::net
+
+#endif  // PRESTROID_NET_METRICS_H_

@@ -7,8 +7,22 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace prestroid {
+
+/// Point-in-time cumulative view of a LatencyHistogram, shaped for the
+/// Prometheus histogram exposition: `cumulative_counts[i]` is the number of
+/// samples <= `upper_bounds[i]` (the `le` label), bounds are strictly
+/// increasing, the final bound is +inf, and the final cumulative count
+/// equals `count`. Exact — built from the recorded buckets, never
+/// reconstructed from percentiles.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;        // last entry is +inf
+  std::vector<uint64_t> cumulative_counts; // monotone non-decreasing
+  uint64_t count = 0;
+  double sum = 0.0;
+};
 
 /// Fixed log-spaced latency histogram.
 ///
@@ -82,6 +96,25 @@ class LatencyHistogram {
   }
 
   uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+
+  /// Cumulative-bucket snapshot (see HistogramSnapshot). Every bucket is
+  /// emitted — including the underflow bucket (upper bound kMinValue) and
+  /// the overflow bucket (upper bound +inf) — so the exported histogram
+  /// accounts for every recorded sample.
+  HistogramSnapshot CumulativeSnapshot() const {
+    HistogramSnapshot snapshot;
+    snapshot.upper_bounds.reserve(kNumBuckets);
+    snapshot.cumulative_counts.reserve(kNumBuckets);
+    uint64_t running = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      running += buckets_[i];
+      snapshot.upper_bounds.push_back(BucketUpperBound(i));
+      snapshot.cumulative_counts.push_back(running);
+    }
+    snapshot.count = count_;
+    snapshot.sum = sum_;
+    return snapshot;
+  }
 
   /// [lower, upper) bounds of bucket `i` (underflow: [0, kMinValue);
   /// overflow: [kMaxValue, inf)).

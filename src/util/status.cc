@@ -1,5 +1,6 @@
 #include "util/status.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,9 +33,37 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
+
+namespace {
+
+/// errno -> StatusCode. Network errnos get retryable categories so callers
+/// can branch on code() instead of re-parsing errno out of the message; the
+/// historical default for everything else remains kIoError.
+StatusCode CodeForErrno(int errno_value) {
+  switch (errno_value) {
+    case ECONNRESET:
+    case EPIPE:
+    case ECONNREFUSED:
+    case ENOTCONN:
+      return StatusCode::kUnavailable;
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return StatusCode::kResourceExhausted;
+    case EADDRINUSE:
+      return StatusCode::kAlreadyExists;
+    default:
+      return StatusCode::kIoError;
+  }
+}
+
+}  // namespace
 
 Status Status::FromErrno(const std::string& context, int errno_value) {
   std::string message = context;
@@ -43,7 +72,7 @@ Status Status::FromErrno(const std::string& context, int errno_value) {
   char suffix[32];
   std::snprintf(suffix, sizeof(suffix), " [errno %d]", errno_value);
   message += suffix;
-  return Status(StatusCode::kIoError, std::move(message));
+  return Status(CodeForErrno(errno_value), std::move(message));
 }
 
 Status::Status(StatusCode code, std::string message) {

@@ -32,6 +32,12 @@ enum class StatusCode {
   /// Distinct from kInvalidArgument: the arguments are fine, the object is
   /// not ready; fix the call ordering and retry.
   kFailedPrecondition,
+  /// A transient endpoint failure: the peer went away (ECONNRESET/EPIPE),
+  /// the service is draining, or the operation would have to wait
+  /// (EAGAIN/EWOULDBLOCK on a non-blocking socket). Retrying against the
+  /// same or another instance may succeed — unlike kIoError, which reports
+  /// a hard local I/O failure.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -87,9 +93,15 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
-  /// Builds an IoError from the current C `errno`, formatted as
-  /// "<context>: <strerror(errno_value)> [errno <n>]".
+  /// Builds a Status from the current C `errno`, formatted as
+  /// "<context>: <strerror(errno_value)> [errno <n>]". Network errnos map to
+  /// retryable categories — ECONNRESET/EPIPE/ECONNREFUSED -> kUnavailable,
+  /// EAGAIN/EWOULDBLOCK -> kResourceExhausted, EADDRINUSE -> kAlreadyExists —
+  /// and everything else stays kIoError.
   static Status FromErrno(const std::string& context, int errno_value);
 
   bool ok() const { return state_ == nullptr; }

@@ -51,9 +51,41 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kNotFound, StatusCode::kAlreadyExists,
         StatusCode::kParseError, StatusCode::kUnimplemented,
         StatusCode::kInternal, StatusCode::kIoError,
-        StatusCode::kDataCorruption}) {
+        StatusCode::kDataCorruption, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, UnavailableFactory) {
+  Status status = Status::Unavailable("draining");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.ToString(), "Unavailable: draining");
+}
+
+TEST(StatusTest, FromErrnoMapsNetworkErrnos) {
+  // Peer-gone errnos are retryable, not hard I/O failures.
+  EXPECT_EQ(Status::FromErrno("send", ECONNRESET).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(Status::FromErrno("send", EPIPE).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::FromErrno("connect", ECONNREFUSED).code(),
+            StatusCode::kUnavailable);
+  // Would-block on a non-blocking socket is backpressure, not failure.
+  EXPECT_EQ(Status::FromErrno("recv", EAGAIN).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FromErrno("recv", EWOULDBLOCK).code(),
+            StatusCode::kResourceExhausted);
+  // A taken listen address is a distinct, actionable condition.
+  EXPECT_EQ(Status::FromErrno("bind 0.0.0.0:80", EADDRINUSE).code(),
+            StatusCode::kAlreadyExists);
+  // Non-network errnos keep the historical kIoError category.
+  EXPECT_EQ(Status::FromErrno("open", ENOENT).code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FromErrno("read", EIO).code(), StatusCode::kIoError);
+  // The context/strerror/errno formatting is shared across categories.
+  Status reset = Status::FromErrno("send to peer", ECONNRESET);
+  EXPECT_NE(reset.message().find("send to peer"), std::string::npos);
+  EXPECT_NE(reset.message().find("[errno"), std::string::npos);
 }
 
 TEST(StatusTest, DataCorruptionFactory) {
@@ -427,6 +459,69 @@ TEST(LatencyHistogramTest, QuantilesStableUnderMergeOrderAndGrouping) {
   for (double p : {1.0, 25.0, 50.0, 90.0, 99.0}) {
     EXPECT_DOUBLE_EQ(left_fold.Percentile(p), right_fold.Percentile(p));
   }
+}
+
+TEST(LatencyHistogramTest, CumulativeSnapshotIsExactAndMonotone) {
+  LatencyHistogram hist;
+  const std::vector<double> samples = {0.5, 0.5, 3.0, 42.0, 1e-4, 2e9};
+  for (double s : samples) hist.Record(s);
+  const HistogramSnapshot snapshot = hist.CumulativeSnapshot();
+  ASSERT_EQ(snapshot.upper_bounds.size(), LatencyHistogram::kNumBuckets);
+  ASSERT_EQ(snapshot.cumulative_counts.size(), LatencyHistogram::kNumBuckets);
+  EXPECT_EQ(snapshot.count, samples.size());
+  double expected_sum = 0.0;
+  for (double s : samples) expected_sum += s;
+  EXPECT_DOUBLE_EQ(snapshot.sum, expected_sum);
+  // Bounds strictly increase and terminate at +inf; cumulative counts are
+  // monotone and the +inf bucket accounts for every sample (the Prometheus
+  // exposition invariants).
+  for (size_t i = 1; i < snapshot.upper_bounds.size(); ++i) {
+    EXPECT_LT(snapshot.upper_bounds[i - 1], snapshot.upper_bounds[i]);
+    EXPECT_LE(snapshot.cumulative_counts[i - 1], snapshot.cumulative_counts[i]);
+  }
+  EXPECT_TRUE(std::isinf(snapshot.upper_bounds.back()));
+  EXPECT_EQ(snapshot.cumulative_counts.back(), snapshot.count);
+  // Exact per-bound counts: samples <= bound, straight from the buckets.
+  // 0.5 and 0.5 share a bucket; the underflow (1e-4) and overflow (2e9)
+  // samples land in the edge buckets.
+  EXPECT_EQ(snapshot.cumulative_counts.front(), 1u);  // the underflow sample
+  auto cumulative_at = [&](double value) {
+    for (size_t i = 0; i < snapshot.upper_bounds.size(); ++i) {
+      if (value <= snapshot.upper_bounds[i]) {
+        return snapshot.cumulative_counts[i];
+      }
+    }
+    return snapshot.cumulative_counts.back();
+  };
+  EXPECT_EQ(cumulative_at(1.0), 3u);    // underflow + the two 0.5s
+  EXPECT_EQ(cumulative_at(100.0), 5u);  // + 3.0 and 42.0
+}
+
+TEST(LatencyHistogramTest, CumulativeSnapshotSurvivesMerge) {
+  LatencyHistogram a, b;
+  for (int i = 1; i <= 50; ++i) a.Record(0.1 * i);
+  for (int i = 1; i <= 30; ++i) b.Record(10.0 * i);
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  const HistogramSnapshot sa = a.CumulativeSnapshot();
+  const HistogramSnapshot sb = b.CumulativeSnapshot();
+  const HistogramSnapshot sm = merged.CumulativeSnapshot();
+  EXPECT_EQ(sm.count, sa.count + sb.count);
+  EXPECT_DOUBLE_EQ(sm.sum, sa.sum + sb.sum);
+  // Merging is element-wise, so every cumulative bucket is the sum of the
+  // per-histogram cumulative buckets.
+  for (size_t i = 0; i < sm.cumulative_counts.size(); ++i) {
+    EXPECT_EQ(sm.cumulative_counts[i],
+              sa.cumulative_counts[i] + sb.cumulative_counts[i]);
+  }
+  EXPECT_EQ(sm.cumulative_counts.back(), sm.count);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsAllZeros) {
+  const HistogramSnapshot snapshot = LatencyHistogram().CumulativeSnapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.0);
+  for (uint64_t c : snapshot.cumulative_counts) EXPECT_EQ(c, 0u);
 }
 
 TEST(StatusTest, ResourceExhaustedCode) {
