@@ -1,0 +1,429 @@
+// chaos_net — seeded network-fault sweep against the resilient estimate
+// client (src/net/resilient_client.*) over real loopback sockets.
+//
+// Stands up the in-process serving stack (fallback tiers only; the chaos
+// layer targets the wire, not GEMM time), then drives it through three
+// phases via the fault-socket shim (src/net/fault_socket.*):
+//
+//   A. Fault-mode sweep: for every injected fault mode — connection
+//      refusal, mid-stream RST, short writes, partial reads, byte-level
+//      delays, truncated responses — run `rounds` seeded rounds of one
+//      estimate each. Fault parameters and retry jitter derive from the
+//      round seed, so a failing round is replayable. Contract: 100%
+//      eventual success within the deadline budget.
+//   B. Labeled retry storm: every round truncates the first response after
+//      the server already processed the labeled observation — the worst
+//      case for duplicate delivery. The client retries under an
+//      X-Idempotency-Key; the service's delivery-time dedup must land every
+//      label exactly once. Contract: zero duplicates, zero losses.
+//   C. Breaker lifecycle: sustained refusal trips the circuit breaker open,
+//      further requests short-circuit without touching the wire, and after
+//      the cooldown a half-open probe closes it. Contract: opens,
+//      half_opens, closes, short_circuits all >= 1 and final state closed.
+//
+// Writes BENCH_chaos_net.json (path = argv[1], default
+// ./BENCH_chaos_net.json); exits non-zero if any contract is violated.
+// PRESTROID_BENCH_SCALE=full raises the round counts.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "cost/serving_estimator.h"
+#include "net/estimate_service.h"
+#include "net/fault_socket.h"
+#include "net/http_server.h"
+#include "net/resilient_client.h"
+#include "plan/plan_text.h"
+#include "serve/sharded_runtime.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+
+namespace prestroid {
+namespace {
+
+constexpr uint64_t kBaseSeed = 0xC4A05;
+
+/// The serving stack behind one ephemeral port, with a labeled-observation
+/// hook counting deliveries per actual value.
+struct Stack {
+  explicit Stack(const std::vector<workload::QueryRecord>& records) {
+    estimator = std::make_unique<cost::ServingEstimator>();
+    PRESTROID_CHECK(estimator->FitFallbacks(records).ok());
+    std::vector<cost::ServingEstimator*> raw = {estimator.get()};
+    serve::ShardedRuntimeConfig runtime_config;
+    runtime_config.shards = 1;
+    runtime = std::make_unique<serve::ShardedServingRuntime>(raw,
+                                                             runtime_config);
+    PRESTROID_CHECK(runtime->Start().ok());
+    net::HttpServerConfig server_config;
+    server_config.host = "127.0.0.1";
+    server_config.port = 0;
+    server = std::make_unique<net::HttpServer>(server_config);
+    PRESTROID_CHECK(server->Start().ok());
+    service = std::make_unique<net::EstimateService>(runtime.get());
+    service->SetLabeledObservationHook(
+        [this](plan::PlanNodePtr, const cost::ServingEstimate&,
+               double actual) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++deliveries[actual];
+        });
+    service->RegisterRoutes(server.get());
+    loop = std::thread([this]() { PRESTROID_CHECK(server->Run().ok()); });
+  }
+
+  ~Stack() {
+    if (loop.joinable()) {
+      server->RequestDrain();
+      loop.join();
+      runtime->Shutdown();
+      service->Shutdown();
+    }
+  }
+
+  std::map<double, int> Deliveries() {
+    std::lock_guard<std::mutex> lock(mu);
+    return deliveries;
+  }
+
+  std::unique_ptr<cost::ServingEstimator> estimator;
+  std::unique_ptr<serve::ShardedServingRuntime> runtime;
+  std::unique_ptr<net::HttpServer> server;
+  std::unique_ptr<net::EstimateService> service;
+  std::thread loop;
+  std::mutex mu;
+  std::map<double, int> deliveries;
+};
+
+net::RetryPolicy SweepPolicy(uint64_t jitter_seed) {
+  net::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 1.0;
+  policy.max_backoff_ms = 20.0;
+  policy.attempt_timeout_ms = 2000.0;
+  policy.deadline_budget_ms = 10000.0;
+  policy.jitter_seed = jitter_seed;
+  return policy;
+}
+
+/// A sweep breaker that stays out of the way: the sweep alternates injected
+/// failures with successes by design, which is exactly the ratio a
+/// production-tuned breaker would (correctly) trip on. Phase C tests the
+/// breaker itself with production-like settings.
+net::CircuitBreakerConfig LaxBreaker() {
+  net::CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 0.99;
+  breaker.min_samples = 1u << 20;
+  return breaker;
+}
+
+struct SweepFault {
+  const char* name;
+  FaultSite site;
+  net::NetFaultMode mode;
+  bool recv_side;  // mode applies to recv (else send)
+};
+
+struct ModeResult {
+  std::string mode;
+  size_t rounds = 0;
+  size_t successes = 0;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t max_attempts = 0;
+};
+
+/// Phase A: one fault mode, `rounds` seeded rounds, fresh client per round
+/// (so every refusal round actually dials and breaker state never leaks
+/// across rounds).
+ModeResult RunSweepMode(const Stack& stack, const std::string& body,
+                        const SweepFault& fault, size_t rounds) {
+  ModeResult result;
+  result.mode = fault.name;
+  result.rounds = rounds;
+  for (size_t round = 0; round < rounds; ++round) {
+    net::ScopedNetFaults faults;
+    Rng rng(kBaseSeed ^ (static_cast<uint64_t>(fault.site) << 32) ^ round);
+    net::NetFaultOptions options;
+    if (fault.recv_side) {
+      options.recv_mode = fault.mode;
+    } else {
+      options.send_mode = fault.mode;
+    }
+    // Seed-derived fault parameters: replaying a round replays its fault.
+    options.short_write_bytes = static_cast<size_t>(rng.UniformInt(1, 4));
+    options.partial_read_bytes = static_cast<size_t>(rng.UniformInt(1, 3));
+    options.delay_us = static_cast<uint64_t>(rng.UniformInt(100, 3000));
+    net::SetNetFaultOptions(options);
+    FaultInjector::Global().ArmFailure(fault.site);
+
+    net::EstimateClient client("127.0.0.1", stack.server->port(),
+                               SweepPolicy(rng.Next()), LaxBreaker());
+    net::EstimateRequest request;
+    request.body = body;
+    auto reply = client.Estimate(request);
+    const net::EstimateClientStats stats = client.stats();
+    result.attempts += stats.attempts;
+    result.retries += stats.retries;
+    result.max_attempts = std::max(result.max_attempts, stats.attempts);
+    if (reply.ok() && reply->code == 200) {
+      ++result.successes;
+    } else {
+      std::cerr << "sweep " << fault.name << " round " << round
+                << " failed: " << reply.status().ToString() << "\n";
+    }
+  }
+  return result;
+}
+
+struct StormResult {
+  size_t rounds = 0;
+  size_t successes = 0;
+  size_t delivered_once = 0;
+  size_t duplicates = 0;
+  size_t lost = 0;
+  uint64_t suppressed_retries = 0;
+  uint64_t attempts = 0;
+};
+
+/// Phase B: truncate the first response of every labeled round; the keyed
+/// retry must not re-deliver the observation.
+StormResult RunLabeledStorm(Stack& stack, const std::string& body,
+                            size_t rounds) {
+  StormResult result;
+  result.rounds = rounds;
+  net::ScopedNetFaults faults;
+  net::NetFaultOptions options;
+  options.recv_mode = net::NetFaultMode::kTruncate;
+  net::SetNetFaultOptions(options);
+  net::EstimateClient client("127.0.0.1", stack.server->port(),
+                             SweepPolicy(kBaseSeed), LaxBreaker());
+  for (size_t round = 0; round < rounds; ++round) {
+    FaultInjector::Global().ArmFailure(FaultSite::kNetRecv);
+    net::EstimateRequest request;
+    request.body = body;
+    request.actual_cpu_minutes = 1000.0 + static_cast<double>(round);
+    request.idempotency_key = "chaos-storm-" + std::to_string(round);
+    auto reply = client.Estimate(request);
+    if (reply.ok() && reply->code == 200) ++result.successes;
+  }
+  result.attempts = client.stats().attempts;
+  // The poll-loop delivery is asynchronous to the 200; give it a moment.
+  for (int waited = 0; waited < 5000; ++waited) {
+    if (stack.Deliveries().size() >= rounds) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::map<double, int> deliveries = stack.Deliveries();
+  for (size_t round = 0; round < rounds; ++round) {
+    auto it = deliveries.find(1000.0 + static_cast<double>(round));
+    if (it == deliveries.end()) {
+      ++result.lost;
+    } else if (it->second == 1) {
+      ++result.delivered_once;
+    } else {
+      result.duplicates += static_cast<size_t>(it->second - 1);
+    }
+  }
+  result.suppressed_retries = stack.service->DuplicateLabelsSuppressed();
+  return result;
+}
+
+struct BreakerResult {
+  uint64_t opens = 0;
+  uint64_t half_opens = 0;
+  uint64_t closes = 0;
+  uint64_t short_circuits = 0;
+  std::string final_state;
+  bool recovered = false;
+};
+
+/// Phase C: refusal until open, short-circuit while open, recover through
+/// the half-open probe after the cooldown.
+BreakerResult RunBreakerLifecycle(const Stack& stack,
+                                  const std::string& body) {
+  net::ScopedNetFaults faults;
+  net::RetryPolicy policy = SweepPolicy(kBaseSeed);
+  policy.max_attempts = 1;  // one attempt per request: failures accumulate
+  net::CircuitBreakerConfig breaker;
+  breaker.window = 16;
+  breaker.min_samples = 4;
+  breaker.failure_threshold = 0.5;
+  breaker.open_cooldown_ms = 100.0;
+  net::EstimateClient client("127.0.0.1", stack.server->port(), policy,
+                             breaker);
+  FaultInjector::Global().ArmFailure(FaultSite::kNetConnect, 0,
+                                     /*repeat=*/true);
+  net::EstimateRequest request;
+  request.body = body;
+  for (int i = 0;
+       i < 32 && client.breaker_state() != net::CircuitState::kOpen; ++i) {
+    (void)client.Estimate(request);
+  }
+  // Open: these never touch the wire.
+  for (int i = 0; i < 4; ++i) (void)client.Estimate(request);
+  FaultInjector::Global().Reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto recovered = client.Estimate(request);  // half-open probe -> closed
+
+  const net::EstimateClientStats stats = client.stats();
+  BreakerResult result;
+  result.opens = stats.breaker.opens;
+  result.half_opens = stats.breaker.half_opens;
+  result.closes = stats.breaker.closes;
+  result.short_circuits = stats.breaker.short_circuits;
+  result.final_state = net::CircuitStateName(client.breaker_state());
+  result.recovered = recovered.ok() && recovered->code == 200;
+  return result;
+}
+
+int Run(const std::string& out_path) {
+  const bench::BenchScale scale = bench::GetBenchScale();
+  const size_t sweep_rounds = scale.full ? 100 : 20;
+  const size_t storm_rounds = scale.full ? 200 : 40;
+  bench::BenchDataset data = bench::BuildGrabDataset(scale, 0xC4A05);
+  const std::string body = plan::PlanToText(*data.records[0].plan);
+
+  Stack stack(data.records);
+
+  const SweepFault kFaults[] = {
+      {"connect_refusal", FaultSite::kNetConnect, net::NetFaultMode::kReset,
+       false},
+      {"send_reset", FaultSite::kNetSend, net::NetFaultMode::kReset, false},
+      {"short_write", FaultSite::kNetSend, net::NetFaultMode::kShortWrite,
+       false},
+      {"partial_read", FaultSite::kNetRecv, net::NetFaultMode::kPartialRead,
+       true},
+      {"recv_delay", FaultSite::kNetRecv, net::NetFaultMode::kDelay, true},
+      {"truncate_response", FaultSite::kNetRecv,
+       net::NetFaultMode::kTruncate, true},
+  };
+
+  std::vector<ModeResult> sweep;
+  size_t sweep_successes = 0;
+  size_t sweep_total = 0;
+  for (const SweepFault& fault : kFaults) {
+    sweep.push_back(RunSweepMode(stack, body, fault, sweep_rounds));
+    const ModeResult& r = sweep.back();
+    sweep_successes += r.successes;
+    sweep_total += r.rounds;
+    std::cout << StrFormat(
+        "sweep %-18s %3zu/%zu ok, attempts=%llu retries=%llu (max %llu per "
+        "request)\n",
+        r.mode.c_str(), r.successes, r.rounds,
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.max_attempts));
+  }
+  const double eventual_success_rate =
+      static_cast<double>(sweep_successes) / static_cast<double>(sweep_total);
+
+  const StormResult storm = RunLabeledStorm(stack, body, storm_rounds);
+  std::cout << StrFormat(
+      "storm: %zu/%zu ok, delivered-once=%zu duplicates=%zu lost=%zu, "
+      "suppressed-retries=%llu\n",
+      storm.successes, storm.rounds, storm.delivered_once, storm.duplicates,
+      storm.lost, static_cast<unsigned long long>(storm.suppressed_retries));
+
+  const BreakerResult breaker = RunBreakerLifecycle(stack, body);
+  std::cout << StrFormat(
+      "breaker: opens=%llu half_opens=%llu closes=%llu short_circuits=%llu "
+      "final=%s recovered=%s\n",
+      static_cast<unsigned long long>(breaker.opens),
+      static_cast<unsigned long long>(breaker.half_opens),
+      static_cast<unsigned long long>(breaker.closes),
+      static_cast<unsigned long long>(breaker.short_circuits),
+      breaker.final_state.c_str(), breaker.recovered ? "yes" : "no");
+
+  // Contracts (ISSUE acceptance criteria).
+  bool contract_ok = true;
+  auto require = [&contract_ok](bool condition, const char* what) {
+    if (!condition) {
+      std::cerr << "CONTRACT VIOLATION: " << what << "\n";
+      contract_ok = false;
+    }
+  };
+  require(eventual_success_rate == 1.0,
+          "100% eventual success across the fault sweep");
+  require(storm.duplicates == 0, "zero duplicated labeled observations");
+  require(storm.lost == 0, "zero lost labeled observations");
+  require(storm.successes == storm.rounds, "labeled storm eventual success");
+  require(breaker.opens >= 1 && breaker.half_opens >= 1 &&
+              breaker.closes >= 1 && breaker.short_circuits >= 1,
+          "breaker opened, short-circuited, half-opened, and closed");
+  require(breaker.final_state == "closed" && breaker.recovered,
+          "breaker recovered to closed with a successful probe");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.Field("generated_by", "bench/chaos_net");
+  json.Provenance();
+  json.Field("scale", scale.full ? "full" : "small");
+  json.Field("seed", static_cast<unsigned long long>(kBaseSeed));
+  json.Field("rounds_per_mode", sweep_rounds);
+  json.FieldDouble("eventual_success_rate", eventual_success_rate, "%.6f");
+  json.Key("fault_sweep");
+  json.BeginArray();
+  for (const ModeResult& r : sweep) {
+    json.BeginObject();
+    json.Field("mode", r.mode);
+    json.Field("rounds", r.rounds);
+    json.Field("successes", r.successes);
+    json.Field("attempts", static_cast<unsigned long long>(r.attempts));
+    json.Field("retries", static_cast<unsigned long long>(r.retries));
+    json.Field("max_attempts_per_request",
+               static_cast<unsigned long long>(r.max_attempts));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("labeled_storm");
+  json.BeginObject();
+  json.Field("rounds", storm.rounds);
+  json.Field("successes", storm.successes);
+  json.Field("delivered_exactly_once", storm.delivered_once);
+  json.Field("duplicates", storm.duplicates);
+  json.Field("lost", storm.lost);
+  json.Field("suppressed_retries",
+             static_cast<unsigned long long>(storm.suppressed_retries));
+  json.Field("attempts", static_cast<unsigned long long>(storm.attempts));
+  json.EndObject();
+  json.Key("breaker_lifecycle");
+  json.BeginObject();
+  json.Field("opens", static_cast<unsigned long long>(breaker.opens));
+  json.Field("half_opens",
+             static_cast<unsigned long long>(breaker.half_opens));
+  json.Field("closes", static_cast<unsigned long long>(breaker.closes));
+  json.Field("short_circuits",
+             static_cast<unsigned long long>(breaker.short_circuits));
+  json.Field("final_state", breaker.final_state);
+  json.Field("recovered", breaker.recovered ? "yes" : "no");
+  json.EndObject();
+  json.Field("contract_ok", contract_ok ? "yes" : "no");
+  json.EndObject();
+  out << "\n";
+
+  if (!contract_ok) return 1;
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace prestroid
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_chaos_net.json");
+  return prestroid::Run(out_path);
+}

@@ -36,6 +36,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <limits>
@@ -44,6 +45,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -55,6 +57,7 @@
 #include "net/estimate_service.h"
 #include "net/http_server.h"
 #include "net/listener.h"
+#include "net/resilient_client.h"
 #include "net/signal_handler.h"
 #include "serve/model_manager.h"
 #include "serve/serving_runtime.h"
@@ -777,6 +780,8 @@ int ServeHttp(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("drain-timeout-ms", 5000));
   server_config.header_timeout_ms =
       static_cast<size_t>(flags.GetInt("header-timeout-ms", 10000));
+  server_config.idle_timeout_ms =
+      static_cast<size_t>(flags.GetInt("idle-timeout-ms", 60000));
   net::HttpServer server(server_config);
   Status bound = server.Start();
   if (!bound.ok()) return Fail(bound);
@@ -1133,6 +1138,113 @@ int Explain(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// estimate: resilient client against a running `serve --listen` instance —
+// retry with full-jitter backoff under a total deadline budget, per-attempt
+// socket timeouts, and a half-open circuit breaker (DESIGN.md §5.10).
+int EstimateCmd(const Flags& flags) {
+  const std::string connect = flags.Get("connect", "");
+  if (connect.empty()) {
+    std::cerr << "estimate requires --connect HOST:PORT\n";
+    return 2;
+  }
+  std::string host;
+  uint16_t port = 0;
+  Status parsed = net::ParseHostPort(connect, &host, &port);
+  if (!parsed.ok()) return Fail(parsed);
+  if (host.empty()) host = "127.0.0.1";
+
+  net::EstimateRequest request;
+  if (flags.Has("sql")) {
+    request.body = flags.Get("sql", "");
+    request.sql = true;
+  } else if (flags.Has("plan")) {
+    const std::string path = flags.Get("plan", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot read plan file: " << path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    request.body = text.str();
+  } else if (flags.Has("trace")) {
+    auto records = workload::ReadTraceFile(flags.Get("trace", ""));
+    if (!records.ok()) return Fail(records.status());
+    const size_t index = static_cast<size_t>(flags.GetInt("index", 0));
+    if (index >= records->size()) {
+      std::cerr << StrFormat("--index %zu out of range (%zu records)\n",
+                             index, records->size());
+      return 1;
+    }
+    request.body = plan::PlanToText(*(*records)[index].plan);
+  } else {
+    std::cerr << "estimate requires one of --sql, --plan, or --trace\n";
+    return 2;
+  }
+  if (flags.Has("actual-cpu-minutes")) {
+    request.actual_cpu_minutes = flags.GetDouble("actual-cpu-minutes", 0.0);
+  }
+  request.idempotency_key = flags.Get("idempotency-key", "");
+  if (flags.Has("tenant")) {
+    request.tenant = static_cast<uint32_t>(flags.GetInt("tenant", 0));
+  }
+
+  net::RetryPolicy policy;
+  policy.max_attempts = static_cast<size_t>(flags.GetInt("retries", 3)) + 1;
+  policy.initial_backoff_ms = flags.GetDouble("backoff-ms", 10.0);
+  policy.max_backoff_ms = flags.GetDouble("max-backoff-ms", 2000.0);
+  policy.attempt_timeout_ms = flags.GetDouble("attempt-timeout-ms", 1000.0);
+  policy.deadline_budget_ms = flags.GetDouble("deadline-ms", 5000.0);
+  policy.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  net::CircuitBreakerConfig breaker;
+  breaker.failure_threshold = flags.GetDouble("circuit-threshold", 0.5);
+  breaker.open_cooldown_ms = flags.GetDouble("circuit-cooldown-ms", 1000.0);
+
+  net::EstimateClient client(host, port, policy, breaker);
+  const long count = flags.GetInt("count", 1);
+  int exit_code = 0;
+  for (long i = 0; i < count; ++i) {
+    auto reply = client.Estimate(request);
+    if (!reply.ok()) {
+      std::cerr << "request failed: " << reply.status().ToString() << "\n";
+      exit_code = 1;
+      continue;
+    }
+    if (reply->code == 200) {
+      std::cout << StrFormat(
+          "cpu_minutes=%.6g tier=%s degraded=%s attempts=%zu "
+          "elapsed_ms=%.2f\n",
+          reply->cpu_minutes, reply->tier.c_str(),
+          reply->degraded ? "true" : "false", reply->attempts,
+          reply->elapsed_ms);
+    } else {
+      std::cout << StrFormat("HTTP %d after %zu attempt(s): %s\n",
+                             reply->code, reply->attempts,
+                             reply->body.c_str());
+      exit_code = 1;
+    }
+  }
+  const net::EstimateClientStats stats = client.stats();
+  std::cerr << StrFormat(
+      "client: attempts=%llu retries=%llu transport_errors=%llu "
+      "retryable_statuses=%llu retry_after_honored=%llu "
+      "deadline_exhausted=%llu breaker{state=%s opens=%llu half_opens=%llu "
+      "closes=%llu short_circuits=%llu}\n",
+      static_cast<unsigned long long>(stats.attempts),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.transport_errors),
+      static_cast<unsigned long long>(stats.retryable_statuses),
+      static_cast<unsigned long long>(stats.retry_after_honored),
+      static_cast<unsigned long long>(stats.deadline_exhausted),
+      net::CircuitStateName(stats.breaker_state),
+      static_cast<unsigned long long>(stats.breaker.opens),
+      static_cast<unsigned long long>(stats.breaker.half_opens),
+      static_cast<unsigned long long>(stats.breaker.closes),
+      static_cast<unsigned long long>(stats.breaker.short_circuits));
+  return exit_code;
+}
+
 int Usage() {
   std::cerr
       << "usage: prestroid_cli <command> [--flag value ...]\n"
@@ -1173,6 +1285,19 @@ int Usage() {
          "            [--max-connections N (default 256)]\n"
          "            [--drain-timeout-ms T (default 5000)]\n"
          "            [--header-timeout-ms T (default 10000)]\n"
+         "            [--idle-timeout-ms T (default 60000; 0=off;\n"
+         "             silently closes idle keep-alive connections)]\n"
+         "  estimate  --connect HOST:PORT (--sql \"SELECT...\" |\n"
+         "            --plan FILE | --trace FILE [--index I])\n"
+         "            [--count N] [--retries R (default 3)]\n"
+         "            [--backoff-ms MS (default 10, full jitter)]\n"
+         "            [--max-backoff-ms MS] [--attempt-timeout-ms MS]\n"
+         "            [--deadline-ms MS (total budget, default 5000)]\n"
+         "            [--circuit-threshold F (default 0.5)]\n"
+         "            [--circuit-cooldown-ms MS] [--seed S]\n"
+         "            [--tenant T] [--actual-cpu-minutes X]\n"
+         "            [--idempotency-key K (required to retry labeled\n"
+         "             posts after bytes hit the wire)]\n"
          "  explain   --trace FILE [--index I]\n";
   return 2;
 }
@@ -1194,6 +1319,7 @@ int main(int argc, char** argv) {
   if (command == "train") return Train(flags);
   if (command == "predict") return Predict(flags);
   if (command == "serve") return Serve(flags);
+  if (command == "estimate") return EstimateCmd(flags);
   if (command == "explain") return Explain(flags);
   return Usage();
 }

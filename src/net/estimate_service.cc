@@ -151,6 +151,24 @@ size_t EstimateService::InflightCount() const {
   return inflight_.size();
 }
 
+uint64_t EstimateService::DuplicateLabelsSuppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicate_labels_;
+}
+
+bool EstimateService::MarkKeyDeliveredLocked(const std::string& key) {
+  if (!seen_keys_.insert(key).second) {
+    ++duplicate_labels_;
+    return false;
+  }
+  seen_keys_order_.push_back(key);
+  while (seen_keys_order_.size() > config_.idempotency_window) {
+    seen_keys_.erase(seen_keys_order_.front());
+    seen_keys_order_.pop_front();
+  }
+  return true;
+}
+
 Result<plan::PlanNodePtr> EstimateService::ParseBody(
     const HttpRequest& request) {
   if (request.body.empty()) {
@@ -222,6 +240,12 @@ HandlerResult EstimateService::HandleEstimate(const HttpRequest& request) {
     }
     state->has_actual = true;
   }
+  if (const std::string* header = request.FindHeader("x-idempotency-key")) {
+    if (header->empty() || header->size() > 256) {
+      return ErrorResponse(400, "X-Idempotency-Key must be 1..256 bytes");
+    }
+    state->idempotency_key = *header;
+  }
 
   Result<plan::PlanNodePtr> plan = ParseBody(request);
   if (!plan.ok()) return ErrorResponse(plan.status());
@@ -256,7 +280,15 @@ HandlerResult EstimateService::HandleEstimate(const HttpRequest& request) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       request_latency_.Record(elapsed_ms);
-      if (state->has_actual) hook = labeled_hook_;
+      if (state->has_actual) {
+        // The dedup decision happens at *delivery* time, atomically with
+        // marking the key seen: two in-flight retries carrying the same key
+        // resolve in some order on the loop thread, and exactly one wins.
+        if (state->idempotency_key.empty() ||
+            MarkKeyDeliveredLocked(state->idempotency_key)) {
+          hook = labeled_hook_;
+        }
+      }
     }
     Remove(state);
     if (hook) {
@@ -283,6 +315,7 @@ HttpResponse EstimateService::HandleMetrics(const HttpRequest& /*request*/) {
   if (server_ != nullptr) sources.http = server_->StatsSnapshot();
   sources.shards = runtime_->ShardCount();
   sources.tenants = runtime_->TenantSnapshot().size();
+  sources.duplicate_labels = DuplicateLabelsSuppressed();
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = RenderPrometheus(sources);

@@ -2,11 +2,14 @@
 #define PRESTROID_NET_ESTIMATE_SERVICE_H_
 
 #include <chrono>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cost/serving_estimator.h"
@@ -28,6 +31,12 @@ struct EstimateServiceConfig {
   /// Deadline used when a request carries no X-Deadline-Ms header; 0 means
   /// no deadline.
   double default_deadline_ms = 0.0;
+  /// How many X-Idempotency-Key values of delivered labeled observations to
+  /// remember (FIFO eviction). A retried labeled POST whose key was already
+  /// delivered still gets its estimate, but the label is NOT re-delivered —
+  /// the at-most-once guarantee the resilient client's retry storm relies
+  /// on.
+  size_t idempotency_window = 4096;
 };
 
 /// The HTTP estimate API over a ShardedServingRuntime.
@@ -38,7 +47,10 @@ struct EstimateServiceConfig {
 ///                    X-Deadline-Ms (per-request deadline, propagated to the
 ///                    runtime's queue-deadline check), X-Tenant (admission
 ///                    quota id), X-Actual-Cpu-Minutes (ground-truth label
-///                    feeding the continual-retraining hook).
+///                    feeding the continual-retraining hook),
+///                    X-Idempotency-Key (dedup token: a labeled observation
+///                    is delivered at most once per key, so clients may
+///                    retry labeled posts freely).
 ///                    Responds 200 with {"cpu_minutes", "tier", "degraded",
 ///                    ...}; a degraded (non-model-tier) answer is still 200
 ///                    — the degradation chain is the availability story —
@@ -86,6 +98,10 @@ class EstimateService {
   /// In-flight /estimate requests (parked plans). Exposed for tests.
   size_t InflightCount() const;
 
+  /// Labeled observations suppressed because their X-Idempotency-Key was
+  /// already delivered (exported at /metrics).
+  uint64_t DuplicateLabelsSuppressed() const;
+
  private:
   struct Inflight {
     plan::PlanNodePtr plan;
@@ -93,6 +109,7 @@ class EstimateService {
     std::chrono::steady_clock::time_point dispatched;
     double actual_cpu_minutes = 0.0;
     bool has_actual = false;
+    std::string idempotency_key;
   };
 
   HandlerResult HandleEstimate(const HttpRequest& request);
@@ -111,10 +128,18 @@ class EstimateService {
   EstimateServiceConfig config_;
   HttpServer* server_ = nullptr;
 
+  /// Marks `key` delivered; returns false when it already was (the caller
+  /// must then suppress the labeled hook). Caller holds mu_.
+  bool MarkKeyDeliveredLocked(const std::string& key);
+
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<Inflight>> inflight_;
   LatencyHistogram request_latency_;
   LabeledObservationFn labeled_hook_;
+  // Delivered-label dedup window (guards at-most-once under client retries).
+  std::unordered_set<std::string> seen_keys_;
+  std::deque<std::string> seen_keys_order_;
+  uint64_t duplicate_labels_ = 0;
 };
 
 /// Builds a catalog containing every base table referenced by `stmt`

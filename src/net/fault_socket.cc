@@ -1,0 +1,134 @@
+#include "net/fault_socket.h"
+
+#include <sys/socket.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <mutex>
+
+#include "net/listener.h"
+#include "util/fault_injection.h"
+
+namespace prestroid::net {
+
+namespace {
+
+std::mutex g_options_mu;
+NetFaultOptions g_options;  // guarded by g_options_mu
+
+NetFaultOptions Options() {
+  std::lock_guard<std::mutex> lock(g_options_mu);
+  return g_options;
+}
+
+void SleepMicros(uint64_t us) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(us / 1000000);
+  ts.tv_nsec = static_cast<long>((us % 1000000) * 1000);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+const char* NetFaultModeName(NetFaultMode mode) {
+  switch (mode) {
+    case NetFaultMode::kReset:
+      return "reset";
+    case NetFaultMode::kShortWrite:
+      return "short_write";
+    case NetFaultMode::kPartialRead:
+      return "partial_read";
+    case NetFaultMode::kDelay:
+      return "delay";
+    case NetFaultMode::kTruncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+void SetNetFaultOptions(const NetFaultOptions& options) {
+  std::lock_guard<std::mutex> lock(g_options_mu);
+  g_options = options;
+  if (g_options.short_write_bytes == 0) g_options.short_write_bytes = 1;
+  if (g_options.partial_read_bytes == 0) g_options.partial_read_bytes = 1;
+}
+
+NetFaultOptions GetNetFaultOptions() { return Options(); }
+
+void ResetNetFaultOptions() {
+  std::lock_guard<std::mutex> lock(g_options_mu);
+  g_options = NetFaultOptions();
+}
+
+ScopedNetFaults::ScopedNetFaults() {
+  FaultInjector::Global().Reset();
+  ResetNetFaultOptions();
+}
+
+ScopedNetFaults::~ScopedNetFaults() {
+  FaultInjector::Global().Reset();
+  ResetNetFaultOptions();
+}
+
+void HardResetSocket(int fd) {
+  if (fd < 0) return;
+  linger hard = {};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+}
+
+Result<int> FaultConnectTcp(const std::string& host, uint16_t port) {
+  if (FaultInjector::Global().ShouldFail(FaultSite::kNetConnect)) {
+    return Status::FromErrno("connect (injected refusal)", ECONNREFUSED);
+  }
+  return ConnectTcp(host, port);
+}
+
+ssize_t FaultSend(int fd, const void* buf, size_t len, int flags) {
+  if (FaultInjector::Global().ShouldFail(FaultSite::kNetSend)) {
+    const NetFaultOptions options = Options();
+    switch (options.send_mode) {
+      case NetFaultMode::kShortWrite:
+        return ::send(fd, buf, std::min(len, options.short_write_bytes),
+                      flags);
+      case NetFaultMode::kDelay:
+        SleepMicros(options.delay_us);
+        break;  // fall through to the real send below
+      case NetFaultMode::kReset:
+      case NetFaultMode::kPartialRead:
+      case NetFaultMode::kTruncate:
+        // A mid-stream abort: the caller's close() now RSTs the peer.
+        HardResetSocket(fd);
+        errno = ECONNRESET;
+        return -1;
+    }
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t FaultRecv(int fd, void* buf, size_t len, int flags) {
+  if (FaultInjector::Global().ShouldFail(FaultSite::kNetRecv)) {
+    const NetFaultOptions options = Options();
+    switch (options.recv_mode) {
+      case NetFaultMode::kTruncate:
+        return 0;  // clean EOF mid-response
+      case NetFaultMode::kPartialRead:
+        return ::recv(fd, buf, std::min(len, options.partial_read_bytes),
+                      flags);
+      case NetFaultMode::kDelay:
+        SleepMicros(options.delay_us);
+        break;  // fall through to the real recv below
+      case NetFaultMode::kReset:
+      case NetFaultMode::kShortWrite:
+        HardResetSocket(fd);
+        errno = ECONNRESET;
+        return -1;
+    }
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+}  // namespace prestroid::net

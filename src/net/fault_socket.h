@@ -1,0 +1,94 @@
+#ifndef PRESTROID_NET_FAULT_SOCKET_H_
+#define PRESTROID_NET_FAULT_SOCKET_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace prestroid::net {
+
+/// What an armed network fault does when it fires. Connection refusal is
+/// implied for the connect site; send/recv sites pick their behaviour from
+/// NetFaultOptions below.
+enum class NetFaultMode {
+  /// Hard reset: arms SO_LINGER{on,0} on the socket and reports ECONNRESET,
+  /// so the caller's close() emits a real RST observable by the peer.
+  kReset,
+  /// Send only `short_write_bytes` of the requested buffer (a genuine short
+  /// write — the bytes really go on the wire). Exercises caller send loops.
+  kShortWrite,
+  /// Clamp the recv buffer to `partial_read_bytes`, forcing the caller to
+  /// reassemble the stream from small fragments.
+  kPartialRead,
+  /// Sleep `delay_us` before performing the real recv (byte-level delay).
+  kDelay,
+  /// Report clean EOF (recv() == 0) without reading, as if the peer closed
+  /// mid-response: the caller sees a truncated response.
+  kTruncate,
+};
+
+const char* NetFaultModeName(NetFaultMode mode);
+
+/// Parameters consulted when a kNetSend / kNetRecv fault fires. Armed and
+/// sequenced through the FaultInjector registry (FaultSite::kNetConnect /
+/// kNetSend / kNetRecv): the injector decides *when* a site fires, these
+/// options decide *what* happens. Deterministic by construction — a fixed
+/// (trigger_after, repeat, options) tuple always yields the same fault at
+/// the same syscall ordinal.
+struct NetFaultOptions {
+  NetFaultMode send_mode = NetFaultMode::kReset;
+  NetFaultMode recv_mode = NetFaultMode::kReset;
+  /// Bytes actually written when a kShortWrite send fault fires (>= 1).
+  size_t short_write_bytes = 1;
+  /// Recv clamp when a kPartialRead fault fires (>= 1).
+  size_t partial_read_bytes = 1;
+  /// Sleep before the real recv when a kDelay fault fires.
+  uint64_t delay_us = 0;
+};
+
+/// Installs the options consulted by armed net faults. Like the
+/// FaultInjector itself, arming is meant to be driven from the (single)
+/// thread that owns the faulted client connection.
+void SetNetFaultOptions(const NetFaultOptions& options);
+NetFaultOptions GetNetFaultOptions();
+
+/// Restores default options. FaultInjector::Reset() disarms the sites
+/// themselves; call both between scenarios (ScopedNetFaults does).
+void ResetNetFaultOptions();
+
+/// RAII guard for tests/benches: resets both the fault-site registry and the
+/// net fault options on construction and destruction.
+class ScopedNetFaults {
+ public:
+  ScopedNetFaults();
+  ~ScopedNetFaults();
+  ScopedNetFaults(const ScopedNetFaults&) = delete;
+  ScopedNetFaults& operator=(const ScopedNetFaults&) = delete;
+};
+
+/// Arms SO_LINGER{on,0} so the next close(2) aborts the connection with an
+/// RST instead of an orderly FIN. Used by the shim's kReset mode; exposed
+/// for tests that want to slam a connection shut explicitly.
+void HardResetSocket(int fd);
+
+/// connect(2) with a FaultSite::kNetConnect injection point: when armed and
+/// firing, returns kUnavailable (ECONNREFUSED) without dialing the peer.
+Result<int> FaultConnectTcp(const std::string& host, uint16_t port);
+
+/// send(2) with a FaultSite::kNetSend injection point. On a fired fault the
+/// behaviour follows NetFaultOptions::send_mode; otherwise a plain send.
+/// Returns like send(2): bytes written, or -1 with errno set.
+ssize_t FaultSend(int fd, const void* buf, size_t len, int flags);
+
+/// recv(2) with a FaultSite::kNetRecv injection point. On a fired fault the
+/// behaviour follows NetFaultOptions::recv_mode; otherwise a plain recv.
+/// Returns like recv(2): bytes read, 0 on EOF, or -1 with errno set.
+ssize_t FaultRecv(int fd, void* buf, size_t len, int flags);
+
+}  // namespace prestroid::net
+
+#endif  // PRESTROID_NET_FAULT_SOCKET_H_

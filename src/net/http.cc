@@ -130,6 +130,13 @@ HttpResponse ErrorResponse(int http_code, const std::string& message) {
   response.code = http_code;
   response.content_type = "application/json";
   response.body = "{\"error\": \"" + JsonEscape(message) + "\"}\n";
+  // 429 (shed) and 503 (draining / not ready) are transient by contract:
+  // tell well-behaved clients when to come back. The resilient client caps
+  // this hint by its remaining deadline budget.
+  if (http_code == 429 || http_code == 503) {
+    response.extra_headers.emplace_back("Retry-After",
+                                        std::to_string(kRetryAfterSeconds));
+  }
   return response;
 }
 
@@ -245,13 +252,23 @@ HttpParser::ParseState HttpParser::TryParse(std::string* buffer,
                                 TrimOws(line.substr(colon + 1)));
   }
 
-  // Body framing: Content-Length only. Reject Transfer-Encoding outright
-  // rather than guessing at framing (request-smuggling hygiene).
-  if (parsed.FindHeader("transfer-encoding") != nullptr) {
-    return Fail(501, "transfer-encoding is not supported");
+  // Body framing: Content-Length, or Transfer-Encoding: chunked. Any other
+  // coding is rejected, and a request carrying both framings is refused
+  // outright (request-smuggling hygiene, RFC 9112 §6.1).
+  bool chunked = false;
+  if (const std::string* te = parsed.FindHeader("transfer-encoding")) {
+    if (Lower(TrimOws(*te)) != "chunked") {
+      return Fail(501, "unsupported transfer-encoding '" + *te + "'");
+    }
+    if (parsed.FindHeader("content-length") != nullptr) {
+      return Fail(400, "content-length and transfer-encoding are exclusive");
+    }
+    chunked = true;
   }
   size_t content_length = 0;
-  if (const std::string* value = parsed.FindHeader("content-length")) {
+  if (chunked) {
+    // handled below
+  } else if (const std::string* value = parsed.FindHeader("content-length")) {
     int64_t length = 0;
     if (!ParseInt64(*value, &length) || length < 0) {
       return Fail(400, "malformed content-length '" + *value + "'");
@@ -266,6 +283,12 @@ HttpParser::ParseState HttpParser::TryParse(std::string* buffer,
   }
 
   const size_t body_begin = header_end + terminator_len;
+  if (chunked) {
+    const ParseState state = DecodeChunkedBody(buffer, body_begin, &parsed);
+    if (state != ParseState::kRequest) return state;
+    *request = std::move(parsed);
+    return ParseState::kRequest;
+  }
   if (buffer->size() - body_begin < content_length) {
     return ParseState::kNeedMore;
   }
@@ -273,6 +296,126 @@ HttpParser::ParseState HttpParser::TryParse(std::string* buffer,
   buffer->erase(0, body_begin + content_length);
   *request = std::move(parsed);
   return ParseState::kRequest;
+}
+
+namespace {
+
+/// Longest accepted chunk-size line (hex size + optional extension). Hex
+/// sizes over 16 digits cannot fit a size_t anyway; the rest is headroom for
+/// extensions we parse past but ignore.
+constexpr size_t kMaxChunkLineBytes = 256;
+
+bool ParseHexSize(const std::string& text, size_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  size_t value = 0;
+  for (unsigned char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    if (value > (static_cast<size_t>(-1) >> 4)) return false;
+    value = (value << 4) | static_cast<size_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+HttpParser::ParseState HttpParser::DecodeChunkedBody(std::string* buffer,
+                                                     size_t body_begin,
+                                                     HttpRequest* parsed) {
+  // Decoding restarts from scratch on every TryParse call (the parser keeps
+  // no cross-call state); only a complete body consumes bytes, so kNeedMore
+  // always leaves `buffer` intact for the next append.
+  std::string decoded;
+  size_t cursor = body_begin;
+  // Bound the *encoded* stream as well as the decoded payload: a peer
+  // trickling 1-byte chunks wrapped in maximal extension lines must hit a
+  // limit, not the allocator. 2x the body cap plus header-sized slack covers
+  // any plausible legitimate chunking overhead.
+  if (buffer->size() - body_begin >
+      2 * max_body_bytes_ + max_header_bytes_ + kMaxChunkLineBytes) {
+    return Fail(413, StrFormat("chunked encoding exceeds the %zu-byte limit",
+                               max_body_bytes_));
+  }
+  for (;;) {
+    // -- chunk-size line: HEX[;extension]CRLF (bare LF tolerated) --
+    const size_t nl = buffer->find('\n', cursor);
+    if (nl == std::string::npos) {
+      if (buffer->size() - cursor > kMaxChunkLineBytes) {
+        return Fail(400, "chunk-size line too long");
+      }
+      return ParseState::kNeedMore;
+    }
+    if (nl - cursor > kMaxChunkLineBytes) {
+      return Fail(400, "chunk-size line too long");
+    }
+    std::string line = buffer->substr(cursor, nl - cursor);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t semi = line.find(';');
+    if (semi != std::string::npos) line = line.substr(0, semi);
+    size_t chunk_size = 0;
+    if (!ParseHexSize(TrimOws(line), &chunk_size)) {
+      return Fail(400, "malformed chunk size '" + line + "'");
+    }
+    if (decoded.size() + chunk_size > max_body_bytes_) {
+      return Fail(413,
+                  StrFormat("chunked body exceeds the %zu-byte limit",
+                            max_body_bytes_));
+    }
+    cursor = nl + 1;
+
+    if (chunk_size == 0) {
+      // -- trailer section: header lines until an empty line, ignored but
+      // bounded like the header block --
+      size_t trailer_bytes = 0;
+      for (;;) {
+        const size_t tnl = buffer->find('\n', cursor);
+        if (tnl == std::string::npos) {
+          if (buffer->size() - cursor > max_header_bytes_) {
+            return Fail(431, "trailer section too large");
+          }
+          return ParseState::kNeedMore;
+        }
+        trailer_bytes += tnl + 1 - cursor;
+        if (trailer_bytes > max_header_bytes_) {
+          return Fail(431, "trailer section too large");
+        }
+        std::string trailer = buffer->substr(cursor, tnl - cursor);
+        if (!trailer.empty() && trailer.back() == '\r') trailer.pop_back();
+        cursor = tnl + 1;
+        if (trailer.empty()) {
+          parsed->body = std::move(decoded);
+          buffer->erase(0, cursor);
+          return ParseState::kRequest;
+        }
+      }
+    }
+
+    // -- chunk data + its CRLF terminator --
+    if (buffer->size() - cursor < chunk_size) return ParseState::kNeedMore;
+    decoded.append(*buffer, cursor, chunk_size);
+    cursor += chunk_size;
+    if (buffer->size() == cursor) return ParseState::kNeedMore;
+    if ((*buffer)[cursor] == '\r') {
+      if (buffer->size() - cursor < 2) return ParseState::kNeedMore;
+      if ((*buffer)[cursor + 1] != '\n') {
+        return Fail(400, "missing chunk terminator");
+      }
+      cursor += 2;
+    } else if ((*buffer)[cursor] == '\n') {
+      cursor += 1;
+    } else {
+      return Fail(400, "missing chunk terminator");
+    }
+  }
 }
 
 }  // namespace prestroid::net

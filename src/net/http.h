@@ -55,8 +55,14 @@ int HttpStatusForCode(StatusCode code);
 /// unless the response forces close.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
+/// Retry hint attached to every 429/503 error response (`Retry-After`
+/// header, seconds). Clients treat it as advisory and cap it by their own
+/// deadline budget.
+inline constexpr int kRetryAfterSeconds = 1;
+
 /// Convenience: a JSON error body `{"error": "<message>"}` with the code
-/// mapped through HttpStatusForCode.
+/// mapped through HttpStatusForCode. 429/503 responses carry a
+/// `Retry-After: kRetryAfterSeconds` header.
 HttpResponse ErrorResponse(const Status& status);
 HttpResponse ErrorResponse(int http_code, const std::string& message);
 
@@ -74,9 +80,11 @@ std::string JsonEscape(const std::string& raw);
 /// Limits are enforced before memory is committed: headers larger than
 /// `max_header_bytes` fail with 431 without waiting for a terminator, and a
 /// declared Content-Length over `max_body_bytes` fails with 413 before any
-/// body byte is read. Transfer-Encoding is not implemented (501) — the
-/// serving protocol is length-delimited by design. Never throws and never
-/// aborts on hostile bytes.
+/// body byte is read. `Transfer-Encoding: chunked` request bodies are
+/// decoded with the same bounds (decoded size against `max_body_bytes`,
+/// bounded chunk-size lines and trailer section); any other coding is 501,
+/// and chunked combined with Content-Length is 400 (smuggling hygiene).
+/// Never throws and never aborts on hostile bytes.
 class HttpParser {
  public:
   HttpParser(size_t max_header_bytes, size_t max_body_bytes)
@@ -101,6 +109,15 @@ class HttpParser {
     error_message_ = std::move(message);
     return ParseState::kError;
   }
+
+  /// Decodes a `Transfer-Encoding: chunked` body starting at `body_begin`.
+  /// Bounded like the rest of the parser: chunk-size lines are capped, the
+  /// decoded total is held to max_body_bytes (413), and the trailer section
+  /// to max_header_bytes (431). On kRequest, `parsed->body` holds the
+  /// decoded bytes and the consumed prefix was erased from `buffer`;
+  /// kNeedMore leaves `buffer` untouched.
+  ParseState DecodeChunkedBody(std::string* buffer, size_t body_begin,
+                               HttpRequest* parsed);
 
   size_t max_header_bytes_;
   size_t max_body_bytes_;

@@ -7,7 +7,7 @@
 #include <cctype>
 #include <cerrno>
 
-#include "net/listener.h"
+#include "net/fault_socket.h"
 #include "util/string_util.h"
 
 namespace prestroid::net {
@@ -61,7 +61,7 @@ std::string BuildRequest(
 
 Status HttpClient::Connect() {
   if (fd_ >= 0) return Status::OK();
-  PRESTROID_ASSIGN_OR_RETURN(fd_, ConnectTcp(host_, port_));
+  PRESTROID_ASSIGN_OR_RETURN(fd_, FaultConnectTcp(host_, port_));
   leftover_.clear();
   return Status::OK();
 }
@@ -78,8 +78,8 @@ Status HttpClient::SendRaw(const std::string& bytes) {
   PRESTROID_RETURN_NOT_OK(Connect());
   size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = FaultSend(fd_, bytes.data() + sent, bytes.size() - sent,
+                                MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
@@ -100,7 +100,7 @@ Result<ClientResponse> HttpClient::ReadResponse() {
   auto fill = [&]() -> Status {
     char chunk[4096];
     for (;;) {
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      const ssize_t n = FaultRecv(fd_, chunk, sizeof(chunk), 0);
       if (n > 0) {
         buffer.append(chunk, static_cast<size_t>(n));
         return Status::OK();

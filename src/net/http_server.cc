@@ -119,6 +119,9 @@ void HttpServer::EnqueueResponse(Connection& conn,
   CountResponse(response.code);
   conn.out += SerializeResponse(response, persist);
   if (!persist) conn.close_after_write = true;
+  // A response is activity too: the idle clock measures silence since the
+  // last request *or* reply, not time spent computing a slow estimate.
+  conn.last_activity = Clock::now();
 }
 
 void HttpServer::Dispatch(Connection& conn, const HttpRequest& request) {
@@ -361,6 +364,18 @@ Status HttpServer::Run(int drain_fd) {
           }
           EnqueueResponse(conn, ErrorResponse(408, "request timed out"),
                           /*keep_alive=*/false);
+        } else if (conn.in.empty() && config_.idle_timeout_ms > 0 &&
+                   MsBetween(conn.last_activity, now) >
+                       static_cast<double>(config_.idle_timeout_ms)) {
+          // Idle keep-alive reaping: nothing is buffered and nothing is
+          // owed, so close silently — a 408 here would desynchronize a
+          // client that is about to send its next request.
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.idle_closes;
+          }
+          close_conn();
+          continue;
         }
       }
     }

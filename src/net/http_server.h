@@ -35,6 +35,11 @@ struct HttpServerConfig {
   /// A connection that has sent part of a request but not completed it
   /// within this window is answered 408 and closed (slowloris guard).
   size_t header_timeout_ms = 10000;
+  /// A keep-alive connection with *no* partial request buffered that stays
+  /// silent this long is closed without a response (idle reaping — distinct
+  /// from the header-assembly guard above, and 408-free: there is nothing to
+  /// answer). 0 disables idle reaping.
+  size_t idle_timeout_ms = 60000;
   /// After a drain begins, in-flight work gets this long to finish before
   /// remaining connections are force-closed.
   size_t drain_timeout_ms = 5000;
@@ -47,6 +52,7 @@ struct HttpServerStats {
   uint64_t connections_rejected = 0;  // over max_connections, shed with 503
   uint64_t connections_aborted = 0;   // peer closed mid-request or I/O error
   uint64_t header_timeouts = 0;       // slowloris closes (408)
+  uint64_t idle_closes = 0;           // keep-alive connections reaped silent
   uint64_t requests = 0;              // complete requests parsed
   uint64_t draining_rejects = 0;      // requests answered 503 during drain
   uint64_t forced_drain_closes = 0;   // connections cut at the drain deadline

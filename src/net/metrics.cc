@@ -106,8 +106,17 @@ std::string RenderPrometheus(const MetricsSources& sources) {
   Counter(&out, "prestroid_http_header_timeouts_total",
           "Connections closed by the slowloris header timeout.",
           h.header_timeouts);
+  Counter(&out, "prestroid_http_idle_closes_total",
+          "Keep-alive connections silently reaped by the idle timeout.",
+          h.idle_closes);
   Counter(&out, "prestroid_http_draining_rejects_total",
           "Requests answered 503 while draining.", h.draining_rejects);
+  Counter(&out, "prestroid_http_forced_drain_closes_total",
+          "Connections force-closed at the drain deadline.",
+          h.forced_drain_closes);
+  Counter(&out, "prestroid_estimate_duplicate_labels_total",
+          "Labeled observations suppressed by X-Idempotency-Key dedup.",
+          sources.duplicate_labels);
   Gauge(&out, "prestroid_http_connections_active",
         "Currently open client connections.",
         static_cast<double>(h.connections_active));

@@ -2,6 +2,7 @@
 #define PRESTROID_NET_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "cost/serving_estimator.h"
@@ -20,6 +21,7 @@ struct MetricsSources {
   HttpServerStats http;
   size_t shards = 0;
   size_t tenants = 0;
+  uint64_t duplicate_labels = 0;       // labeled posts deduped by key
 };
 
 /// Renders the Prometheus text exposition format (version 0.0.4): one

@@ -1,0 +1,387 @@
+#include "net/resilient_client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace prestroid::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000.0);
+  ts.tv_nsec = static_cast<long>((ms - static_cast<double>(ts.tv_sec) * 1000.0) *
+                                 1e6);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+/// Arms SO_SNDTIMEO/SO_RCVTIMEO so one stuck attempt cannot outlive its
+/// share of the deadline budget (recv then fails EAGAIN -> FromErrno maps it
+/// to kResourceExhausted, which the retry matrix treats as a timeout).
+void ArmSocketTimeout(int fd, double timeout_ms) {
+  if (fd < 0) return;
+  timeval tv;
+  const double clamped = std::max(timeout_ms, 1.0);
+  tv.tv_sec = static_cast<time_t>(clamped / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (clamped - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool RetryableStatusCode(StatusCode code) {
+  // kUnavailable: refused / reset / server closed mid-response.
+  // kResourceExhausted: socket timeout (EAGAIN via FromErrno).
+  // kIoError: other transient syscall failures.
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kIoError;
+}
+
+bool RetryableHttpCode(int code) {
+  return code == 408 || code == 429 || code == 503;
+}
+
+/// Pulls `"key": <number>` out of a JSON object body (the estimate reply is
+/// flat and produced by our own serializer, so positional scanning is safe).
+bool FindJsonNumber(const std::string& body, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = body.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = body.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = value;
+  return true;
+}
+
+bool FindJsonString(const std::string& body, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = body.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t begin = at + needle.size();
+  const size_t close = body.find('"', begin);
+  if (close == std::string::npos) return false;
+  *out = body.substr(begin, close - begin);
+  return true;
+}
+
+}  // namespace
+
+const char* CircuitStateName(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "closed";
+    case CircuitState::kOpen:
+      return "open";
+    case CircuitState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {
+  if (config_.window == 0) config_.window = 1;
+  if (config_.half_open_probes == 0) config_.half_open_probes = 1;
+  window_.assign(config_.window, false);
+}
+
+double CircuitBreaker::failure_rate() const {
+  if (window_count_ == 0) return 0.0;
+  return static_cast<double>(window_failures_) /
+         static_cast<double>(window_count_);
+}
+
+void CircuitBreaker::Record(bool failure) {
+  if (window_count_ == config_.window) {
+    // Evict the oldest outcome from the ring.
+    if (window_[window_next_]) --window_failures_;
+  } else {
+    ++window_count_;
+  }
+  window_[window_next_] = failure;
+  if (failure) ++window_failures_;
+  window_next_ = (window_next_ + 1) % config_.window;
+}
+
+void CircuitBreaker::Open(TimePoint now) {
+  state_ = CircuitState::kOpen;
+  open_until_ = now + std::chrono::microseconds(static_cast<int64_t>(
+                          config_.open_cooldown_ms * 1000.0));
+  half_open_in_flight_ = 0;
+  ++counters_.opens;
+  // Clear the window: outcomes that tripped the breaker must not instantly
+  // re-trip it after recovery.
+  window_count_ = 0;
+  window_failures_ = 0;
+  window_next_ = 0;
+}
+
+bool CircuitBreaker::Allow(TimePoint now) {
+  if (state_ == CircuitState::kOpen) {
+    if (now < open_until_) {
+      ++counters_.short_circuits;
+      return false;
+    }
+    state_ = CircuitState::kHalfOpen;
+    half_open_in_flight_ = 0;
+    ++counters_.half_opens;
+  }
+  if (state_ == CircuitState::kHalfOpen) {
+    if (half_open_in_flight_ >= config_.half_open_probes) {
+      ++counters_.short_circuits;
+      return false;
+    }
+    ++half_open_in_flight_;
+    return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess(TimePoint /*now*/) {
+  if (state_ == CircuitState::kHalfOpen) {
+    state_ = CircuitState::kClosed;
+    half_open_in_flight_ = 0;
+    ++counters_.closes;
+    window_count_ = 0;
+    window_failures_ = 0;
+    window_next_ = 0;
+    return;
+  }
+  Record(false);
+}
+
+void CircuitBreaker::OnFailure(TimePoint now) {
+  if (state_ == CircuitState::kHalfOpen) {
+    // The probe failed: back to open for another cooldown.
+    Open(now);
+    return;
+  }
+  Record(true);
+  if (state_ == CircuitState::kClosed && window_count_ >= config_.min_samples &&
+      failure_rate() >= config_.failure_threshold) {
+    Open(now);
+  }
+}
+
+EstimateClient::EstimateClient(std::string host, uint16_t port,
+                               RetryPolicy policy,
+                               CircuitBreakerConfig breaker)
+    : host_(host),
+      port_(port),
+      policy_(policy),
+      client_(std::move(host), port),
+      breaker_(breaker),
+      jitter_(policy.jitter_seed) {
+  if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+}
+
+EstimateClientStats EstimateClient::stats() const {
+  EstimateClientStats snapshot = stats_;
+  snapshot.breaker = breaker_.counters();
+  snapshot.breaker_state = breaker_.state();
+  return snapshot;
+}
+
+double EstimateClient::BackoffMs(size_t attempt) {
+  double cap = policy_.initial_backoff_ms;
+  for (size_t i = 1; i < attempt; ++i) {
+    cap *= policy_.backoff_multiplier;
+    if (cap >= policy_.max_backoff_ms) break;
+  }
+  cap = std::min(cap, policy_.max_backoff_ms);
+  if (cap <= 0.0) return 0.0;
+  // Full jitter: U[0, cap). Decorrelates a retry storm of many clients.
+  return jitter_.Uniform(0.0, cap);
+}
+
+Result<ClientResponse> EstimateClient::RoundTripOnce(const std::string& wire,
+                                                     double timeout_ms,
+                                                     bool* wrote_bytes) {
+  *wrote_bytes = false;
+  PRESTROID_RETURN_NOT_OK(client_.Connect());
+  ArmSocketTimeout(client_.fd(), timeout_ms);
+  // From here on the request may be (partially) on the wire.
+  *wrote_bytes = true;
+  PRESTROID_RETURN_NOT_OK(client_.SendRaw(wire));
+  return client_.ReadResponse();
+}
+
+Result<ClientResponse> EstimateClient::Perform(
+    const std::function<std::string(double remaining_ms)>& build_wire,
+    double budget_ms, bool retry_after_write, size_t* attempts_out) {
+  const Clock::time_point start = Clock::now();
+  Status last_error = Status::Unavailable("no attempt was made");
+  size_t attempts = 0;
+  *attempts_out = 0;
+  for (size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    const double remaining = budget_ms - ElapsedMs(start);
+    if (remaining <= 0.0) {
+      ++stats_.deadline_exhausted;
+      *attempts_out = attempts;
+      return Status::Unavailable(StrFormat(
+          "deadline budget of %.0f ms exhausted after %zu attempt(s); last "
+          "error: %s",
+          budget_ms, attempts, last_error.ToString().c_str()));
+    }
+    if (!breaker_.Allow(Clock::now())) {
+      *attempts_out = attempts;
+      return Status::Unavailable(StrFormat(
+          "circuit breaker is open (failure rate %.2f over %zu samples)",
+          breaker_.failure_rate(), breaker_.window_samples()));
+    }
+    ++stats_.attempts;
+    ++attempts;
+    if (attempt > 1) ++stats_.retries;
+
+    bool wrote = false;
+    const double timeout_ms = std::min(policy_.attempt_timeout_ms, remaining);
+    Result<ClientResponse> response =
+        RoundTripOnce(build_wire(remaining), timeout_ms, &wrote);
+
+    double sleep_ms = 0.0;
+    if (response.ok()) {
+      if (!RetryableHttpCode(response->code)) {
+        // A definitive reply — success for the breaker even when it is an
+        // application-level 4xx/5xx: the service is reachable and answering.
+        breaker_.OnSuccess(Clock::now());
+        *attempts_out = attempts;
+        return response;
+      }
+      // 408/429/503: transient by contract, counts against the breaker.
+      ++stats_.retryable_statuses;
+      breaker_.OnFailure(Clock::now());
+      last_error = Status::Unavailable(
+          StrFormat("HTTP %d from server", response->code));
+      sleep_ms = BackoffMs(attempt);
+      if (const std::string* retry_after =
+              response->FindHeader("retry-after")) {
+        int64_t seconds = 0;
+        if (ParseInt64(*retry_after, &seconds) && seconds >= 0) {
+          // Honor the server's hint, still capped by the budget below.
+          sleep_ms = std::max(sleep_ms,
+                              static_cast<double>(seconds) * 1000.0);
+          ++stats_.retry_after_honored;
+        }
+      }
+    } else {
+      ++stats_.transport_errors;
+      breaker_.OnFailure(Clock::now());
+      last_error = response.status();
+      if (!RetryableStatusCode(last_error.code())) {
+        *attempts_out = attempts;
+        return last_error;
+      }
+      if (wrote && !retry_after_write) {
+        // Bytes may have reached the server: retrying a labeled observation
+        // without an idempotency key could deliver the label twice.
+        ++stats_.non_idempotent_aborts;
+        *attempts_out = attempts;
+        return Status(last_error.code(),
+                      "not retrying a labeled observation after bytes were "
+                      "written without an idempotency key: " +
+                          last_error.ToString());
+      }
+      sleep_ms = BackoffMs(attempt);
+    }
+
+    if (attempt < policy_.max_attempts) {
+      // The backoff sleep comes out of the same budget as the attempts.
+      const double left = budget_ms - ElapsedMs(start);
+      if (left > 0.0) SleepMs(std::min(sleep_ms, left));
+    }
+  }
+  *attempts_out = attempts;
+  return Status::Unavailable(
+      StrFormat("retries exhausted after %zu attempts; last error: %s",
+                attempts, last_error.ToString().c_str()));
+}
+
+Result<EstimateReply> EstimateClient::Estimate(const EstimateRequest& request) {
+  ++stats_.requests;
+  const Clock::time_point start = Clock::now();
+  const double budget_ms = request.deadline_budget_ms > 0.0
+                               ? request.deadline_budget_ms
+                               : policy_.deadline_budget_ms;
+  const bool labeled = request.actual_cpu_minutes.has_value();
+  const bool retry_after_write = !labeled || !request.idempotency_key.empty();
+
+  std::vector<std::pair<std::string, std::string>> base_headers;
+  if (request.sql) base_headers.emplace_back("Content-Type", "application/sql");
+  if (labeled) {
+    base_headers.emplace_back("X-Actual-Cpu-Minutes",
+                              StrFormat("%.17g", *request.actual_cpu_minutes));
+  }
+  if (!request.idempotency_key.empty()) {
+    base_headers.emplace_back("X-Idempotency-Key", request.idempotency_key);
+  }
+  if (request.tenant.has_value()) {
+    base_headers.emplace_back("X-Tenant", std::to_string(*request.tenant));
+  }
+  const auto build_wire = [&](double remaining_ms) {
+    auto headers = base_headers;
+    headers.emplace_back("X-Deadline-Ms", StrFormat("%.3f", remaining_ms));
+    return BuildRequest("POST", "/estimate", headers, request.body);
+  };
+
+  size_t attempts = 0;
+  Result<ClientResponse> response =
+      Perform(build_wire, budget_ms, retry_after_write, &attempts);
+  if (!response.ok()) {
+    ++stats_.failures;
+    return response.status();
+  }
+  ++stats_.successes;
+
+  EstimateReply reply;
+  reply.code = response->code;
+  reply.body = response->body;
+  reply.attempts = attempts;
+  reply.elapsed_ms = ElapsedMs(start);
+  if (response->code == 200) {
+    FindJsonNumber(reply.body, "cpu_minutes", &reply.cpu_minutes);
+    FindJsonString(reply.body, "tier", &reply.tier);
+    reply.degraded = reply.body.find("\"degraded\": true") != std::string::npos;
+  }
+  return reply;
+}
+
+Result<ClientResponse> EstimateClient::Get(const std::string& target) {
+  ++stats_.requests;
+  const auto build_wire = [&](double /*remaining_ms*/) {
+    return BuildRequest("GET", target, {}, "");
+  };
+  size_t attempts = 0;
+  Result<ClientResponse> response =
+      Perform(build_wire, policy_.deadline_budget_ms,
+              /*retry_after_write=*/true, &attempts);
+  if (!response.ok()) {
+    ++stats_.failures;
+    return response;
+  }
+  ++stats_.successes;
+  return response;
+}
+
+}  // namespace prestroid::net

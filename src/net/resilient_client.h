@@ -1,0 +1,209 @@
+#ifndef PRESTROID_NET_RESILIENT_CLIENT_H_
+#define PRESTROID_NET_RESILIENT_CLIENT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/http_client.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace prestroid::net {
+
+/// Retry and deadline policy of the EstimateClient (DESIGN.md §5.10).
+///
+/// Every request gets a total wall-clock budget (`deadline_budget_ms`) that
+/// covers all attempts AND all backoff sleeps. Each attempt advertises the
+/// *remaining* budget to the server via X-Deadline-Ms — the header shrinks
+/// on every retry, so the server never computes past a deadline the client
+/// has already given up on. Backoff is bounded exponential with full jitter
+/// (sleep ~ U[0, min(cap, base * mult^attempt))), seeded for reproducible
+/// chaos runs.
+struct RetryPolicy {
+  /// Attempts per request (first try + retries); >= 1.
+  size_t max_attempts = 4;
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  double backoff_multiplier = 2.0;
+  /// Socket-level send/recv timeout per attempt (SO_SNDTIMEO/SO_RCVTIMEO),
+  /// further clamped by the remaining deadline budget.
+  double attempt_timeout_ms = 1000.0;
+  /// Total budget across attempts and sleeps; exhaustion fails the request
+  /// with kUnavailable even if attempts remain.
+  double deadline_budget_ms = 5000.0;
+  /// Seed for the full-jitter backoff Rng (deterministic sleep sequence).
+  uint64_t jitter_seed = 0x5EEDBEEF;
+};
+
+/// Half-open circuit breaker over a sliding failure-rate window.
+struct CircuitBreakerConfig {
+  /// Sliding window of attempt outcomes the failure rate is computed over.
+  size_t window = 32;
+  /// Minimum outcomes in the window before the rate can trip the breaker.
+  size_t min_samples = 8;
+  /// Failure rate in [0,1] at or above which a closed breaker opens.
+  double failure_threshold = 0.5;
+  /// How long an open breaker rejects before letting probes through.
+  double open_cooldown_ms = 1000.0;
+  /// Probes admitted in half-open state; the first verdict decides
+  /// (success -> closed, failure -> open again).
+  size_t half_open_probes = 1;
+};
+
+enum class CircuitState { kClosed, kOpen, kHalfOpen };
+const char* CircuitStateName(CircuitState state);
+
+/// Lifetime transition/short-circuit counters (exported by the CLI and the
+/// chaos bench; the EstimateClient folds them into its stats).
+struct CircuitBreakerCounters {
+  uint64_t opens = 0;
+  uint64_t half_opens = 0;
+  uint64_t closes = 0;
+  uint64_t short_circuits = 0;  // calls rejected without touching the wire
+};
+
+/// State machine: kClosed --(failure rate >= threshold over >= min_samples)
+/// --> kOpen --(cooldown elapses, next Allow)--> kHalfOpen --(probe ok)-->
+/// kClosed, or --(probe fails)--> kOpen. Opening and closing both clear the
+/// window so stale outcomes cannot immediately re-trip it.
+///
+/// Time is passed in explicitly so tests and the chaos bench drive the
+/// machine deterministically. Not thread-safe: one breaker per client, one
+/// client per thread.
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  /// May a call proceed now? Transitions kOpen -> kHalfOpen once the
+  /// cooldown elapsed; counts a short-circuit when the answer is no.
+  bool Allow(TimePoint now);
+  void OnSuccess(TimePoint now);
+  void OnFailure(TimePoint now);
+
+  CircuitState state() const { return state_; }
+  const CircuitBreakerCounters& counters() const { return counters_; }
+  double failure_rate() const;
+  size_t window_samples() const { return window_count_; }
+
+ private:
+  void Open(TimePoint now);
+  void Record(bool failure);
+
+  CircuitBreakerConfig config_;
+  CircuitState state_ = CircuitState::kClosed;
+  TimePoint open_until_{};
+  size_t half_open_in_flight_ = 0;
+  std::vector<bool> window_;  // ring buffer of outcomes, true = failure
+  size_t window_next_ = 0;
+  size_t window_count_ = 0;
+  size_t window_failures_ = 0;
+  CircuitBreakerCounters counters_;
+};
+
+/// One estimate request as the resilient client sees it.
+struct EstimateRequest {
+  /// Plan text (default) or raw SQL when `sql` is set.
+  std::string body;
+  bool sql = false;
+  /// Per-request total budget; 0 uses RetryPolicy::deadline_budget_ms.
+  double deadline_budget_ms = 0.0;
+  /// Ground-truth label: makes this a labeled observation post. Labeled
+  /// posts are NOT idempotent server-side unless `idempotency_key` is set —
+  /// without a key the client refuses to retry once bytes may have been
+  /// written (a duplicated ObserveLabeled would skew continual training).
+  std::optional<double> actual_cpu_minutes;
+  std::string idempotency_key;
+  std::optional<uint32_t> tenant;
+};
+
+/// A successful round trip (any HTTP status — the caller inspects `code`;
+/// only transport failures and retryable statuses surface as Status errors).
+struct EstimateReply {
+  int code = 0;
+  /// Parsed from the JSON body on 200 responses.
+  double cpu_minutes = 0.0;
+  bool degraded = false;
+  std::string tier;
+  std::string body;
+  size_t attempts = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// Monotonic counters of one EstimateClient.
+struct EstimateClientStats {
+  uint64_t requests = 0;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t successes = 0;           // definitive replies (incl. 4xx)
+  uint64_t failures = 0;            // requests that gave up
+  uint64_t transport_errors = 0;    // refused/reset/EOF/timeout attempts
+  uint64_t retryable_statuses = 0;  // 408/429/503 attempts
+  uint64_t retry_after_honored = 0;
+  uint64_t deadline_exhausted = 0;
+  uint64_t non_idempotent_aborts = 0;
+  CircuitBreakerCounters breaker;
+  CircuitState breaker_state = CircuitState::kClosed;
+};
+
+/// Resilient estimate client over HttpClient (DESIGN.md §5.10).
+///
+/// Retry matrix: transport errors (connection refused, mid-stream RST,
+/// truncated response, per-attempt timeout) and retryable HTTP statuses
+/// (408, 429, 503 — the shed/drain codes, which also carry Retry-After)
+/// retry with full-jitter backoff; every other HTTP status is a definitive
+/// answer returned to the caller; every attempt outcome feeds the breaker's
+/// failure window (kUnavailable-mapped statuses included). A labeled post
+/// without an idempotency key never retries after bytes may have been
+/// written. Not thread-safe: one client per thread.
+class EstimateClient {
+ public:
+  EstimateClient(std::string host, uint16_t port, RetryPolicy policy = {},
+                 CircuitBreakerConfig breaker = {});
+
+  /// POST /estimate with retries under the deadline budget.
+  Result<EstimateReply> Estimate(const EstimateRequest& request);
+
+  /// Resilient GET (always idempotent): same retry matrix as Estimate.
+  Result<ClientResponse> Get(const std::string& target);
+
+  /// Counter snapshot with the breaker's counters and state folded in.
+  EstimateClientStats stats() const;
+  CircuitState breaker_state() const { return breaker_.state(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  /// One wire attempt: connect if needed, arm socket timeouts, send, read.
+  /// `*wrote_bytes` reports whether any request byte may have reached the
+  /// wire (false iff the failure happened at connect).
+  Result<ClientResponse> RoundTripOnce(const std::string& wire,
+                                       double timeout_ms, bool* wrote_bytes);
+
+  /// Full-jitter backoff for the given 1-based attempt number.
+  double BackoffMs(size_t attempt);
+
+  /// The shared retry loop. `build_wire` receives the remaining budget (ms)
+  /// so each attempt's X-Deadline-Ms shrinks; `retry_after_write` is false
+  /// for label posts without a key.
+  Result<ClientResponse> Perform(
+      const std::function<std::string(double remaining_ms)>& build_wire,
+      double budget_ms, bool retry_after_write, size_t* attempts_out);
+
+  std::string host_;
+  uint16_t port_;
+  RetryPolicy policy_;
+  HttpClient client_;
+  CircuitBreaker breaker_;
+  Rng jitter_;
+  EstimateClientStats stats_;
+};
+
+}  // namespace prestroid::net
+
+#endif  // PRESTROID_NET_RESILIENT_CLIENT_H_

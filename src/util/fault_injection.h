@@ -29,9 +29,20 @@ enum class FaultSite {
   /// mid-swap): the previously active model, feature cache, and generation
   /// are all left intact.
   kModelSwap,
+  /// The connect(2) performed by net::FaultConnectTcp (used by HttpClient).
+  /// Arming a failure here refuses the connection (ECONNREFUSED) without
+  /// ever dialing the peer.
+  kNetConnect,
+  /// One send(2) inside net::FaultSend. What happens when the fault fires is
+  /// chosen by net::NetFaultOptions::send_mode (mid-stream RST, short write).
+  kNetSend,
+  /// One recv(2) inside net::FaultRecv. What happens when the fault fires is
+  /// chosen by net::NetFaultOptions::recv_mode (RST, truncated response,
+  /// clamped partial read, byte-level delay).
+  kNetRecv,
 };
 
-inline constexpr size_t kNumFaultSites = 6;
+inline constexpr size_t kNumFaultSites = 9;
 
 /// Deterministic, test-driven fault injector (singleton). Each site keeps a
 /// hit counter; a site armed with `trigger_after` fires on the
